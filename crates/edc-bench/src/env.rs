@@ -1,0 +1,244 @@
+//! Shared experiment environment: device model, cost model, calibrated
+//! content model, and trace cache — built once, reused by every figure.
+
+use edc_core::{CalibrationConfig, ContentModel, EdcConfig, Policy, SimConfig, SimScheme};
+use edc_datagen::DataMix;
+use edc_flash::{HddTiming, RaisLevel, SsdConfig};
+use edc_sim::replay::{replay, ReplayReport};
+use edc_sim::Storage;
+use edc_trace::{Trace, TracePreset};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything an experiment needs, built once.
+pub struct ExperimentEnv {
+    /// Trace length in seconds.
+    pub duration_s: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Single-SSD configuration (Table I's device analogue).
+    pub ssd: SsdConfig,
+    /// Engine configuration (one compression worker — the paper's
+    /// lightweight prototype).
+    pub sim: SimConfig,
+    /// Calibrated content model (shared across schemes).
+    pub content: Arc<ContentModel>,
+    traces: HashMap<&'static str, Trace>,
+}
+
+/// A scheme under test, by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// No compression.
+    Native,
+    /// Fixed Lzf.
+    Lzf,
+    /// Fixed Gzip-class.
+    Gzip,
+    /// Fixed Bzip2-class.
+    Bzip2,
+    /// Elastic Data Compression with the default configuration.
+    Edc,
+}
+
+impl SchemeKind {
+    /// The five schemes of the paper's figures, in figure order.
+    pub const ALL: [SchemeKind; 5] = [
+        SchemeKind::Native,
+        SchemeKind::Lzf,
+        SchemeKind::Gzip,
+        SchemeKind::Bzip2,
+        SchemeKind::Edc,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Native => "Native",
+            SchemeKind::Lzf => "Lzf",
+            SchemeKind::Gzip => "Gzip",
+            SchemeKind::Bzip2 => "Bzip2",
+            SchemeKind::Edc => "EDC",
+        }
+    }
+
+    /// The policy this kind runs.
+    pub fn policy(self) -> Policy {
+        match self {
+            SchemeKind::Native => Policy::Native,
+            SchemeKind::Lzf => Policy::Fixed(edc_compress::CodecId::Lzf),
+            SchemeKind::Gzip => Policy::Fixed(edc_compress::CodecId::Deflate),
+            SchemeKind::Bzip2 => Policy::Fixed(edc_compress::CodecId::Bwt),
+            SchemeKind::Edc => Policy::Elastic(EdcConfig::default()),
+        }
+    }
+}
+
+/// Storage platform of an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// One SSD (Fig. 10).
+    SingleSsd,
+    /// Five-device RAIS5 (Fig. 11).
+    Rais5,
+    /// One HDD (paper §VI future work #2).
+    Hdd,
+}
+
+/// One cell of the scheme × trace matrix.
+pub struct MatrixCell {
+    /// Scheme under test.
+    pub kind: SchemeKind,
+    /// Trace name.
+    pub trace: &'static str,
+    /// Replay outcome.
+    pub report: ReplayReport,
+    /// Per-codec usage (EDC's Gzip share etc.).
+    pub usage: edc_core::CodecUsage,
+    /// SD merge rate.
+    pub merge_rate: f64,
+}
+
+impl ExperimentEnv {
+    /// Build the environment. `quick` shrinks durations for smoke runs.
+    pub fn new(quick: bool) -> Self {
+        let duration_s = if quick { 45.0 } else { 240.0 };
+        let seed = 42;
+        // 1 GiB logical, preconditioned to 80 %: the heavier write streams
+        // (Prxy_0) overrun the free space and exercise GC, while lighter
+        // ones (Fin1) barely trigger it — mirroring the mixed GC pressure
+        // of the paper's well-worn but large devices.
+        let ssd = SsdConfig { logical_bytes: 1 << 30, ..SsdConfig::default() };
+        let sim = SimConfig { cpu_workers: 1, precondition: 0.8, ..SimConfig::default() };
+        let content = Arc::new(ContentModel::calibrate(
+            DataMix::primary_storage(),
+            seed,
+            if quick {
+                CalibrationConfig { samples: 1, small_bytes: 4096, large_bytes: 16384 }
+            } else {
+                CalibrationConfig::default()
+            },
+        ));
+        let mut traces = HashMap::new();
+        for preset in TracePreset::ALL {
+            traces.insert(preset.name(), preset.generate(duration_s, seed));
+        }
+        ExperimentEnv { duration_s, seed, ssd, sim, content, traces }
+    }
+
+    /// The four paper traces in figure order.
+    pub fn trace_names(&self) -> [&'static str; 4] {
+        [
+            TracePreset::Fin1.name(),
+            TracePreset::Fin2.name(),
+            TracePreset::Usr0.name(),
+            TracePreset::Prxy0.name(),
+        ]
+    }
+
+    /// Fetch a generated trace by name.
+    pub fn trace(&self, name: &str) -> &Trace {
+        self.traces.get(name).expect("unknown trace")
+    }
+
+    /// Fresh storage for `platform`.
+    pub fn storage(&self, platform: Platform) -> Storage {
+        match platform {
+            Platform::SingleSsd => Storage::single(self.ssd),
+            Platform::Rais5 => Storage::rais(RaisLevel::Rais5, 5, self.ssd),
+            Platform::Hdd => Storage::hdd(self.ssd.logical_bytes, HddTiming::default()),
+        }
+    }
+
+    /// Build a scheme of `kind` over fresh storage.
+    pub fn scheme(&self, kind: SchemeKind, platform: Platform) -> SimScheme {
+        SimScheme::new(kind.policy(), self.storage(platform), self.sim.clone(), self.content.clone())
+    }
+
+    /// Build a scheme with an explicit policy (threshold sweeps, ablations).
+    pub fn scheme_with(&self, policy: Policy, platform: Platform) -> SimScheme {
+        SimScheme::new(policy, self.storage(platform), self.sim.clone(), self.content.clone())
+    }
+
+    /// Replay one (scheme, trace) cell.
+    pub fn run_cell(&self, kind: SchemeKind, trace: &'static str, platform: Platform) -> MatrixCell {
+        let mut scheme = self.scheme(kind, platform);
+        let report = replay(self.trace(trace), &mut scheme);
+        MatrixCell {
+            kind,
+            trace,
+            report,
+            usage: scheme.codec_usage(),
+            merge_rate: scheme.merge_rate(),
+        }
+    }
+
+    /// Replay the full scheme × trace matrix on `platform`.
+    ///
+    /// Cells are independent (each builds its own device and scheme), so
+    /// they run on a crossbeam-scoped worker pool; results are identical
+    /// to the sequential order by construction (pure functions of the
+    /// shared read-only environment).
+    pub fn run_matrix(&self, platform: Platform) -> Vec<MatrixCell> {
+        let work: Vec<(SchemeKind, &'static str)> = self
+            .trace_names()
+            .iter()
+            .flat_map(|&trace| SchemeKind::ALL.iter().map(move |&kind| (kind, trace)))
+            .collect();
+        let n = work.len();
+        let threads = std::thread::available_parallelism()
+            .map_or(2, |c| c.get())
+            .min(n)
+            .max(1);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<MatrixCell>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (kind, trace) = work[i];
+                    *slots[i].lock().expect("slot poisoned") =
+                        Some(self.run_cell(kind, trace, platform));
+                });
+            }
+        })
+        .expect("matrix worker panicked");
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("slot poisoned").expect("cell computed"))
+            .collect()
+    }
+}
+
+/// Find a cell in matrix results.
+pub fn cell<'a>(cells: &'a [MatrixCell], kind: SchemeKind, trace: &str) -> &'a MatrixCell {
+    cells
+        .iter()
+        .find(|c| c.kind == kind && c.trace == trace)
+        .expect("matrix cell present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_builds_and_runs_one_cell() {
+        let env = ExperimentEnv::new(true);
+        assert_eq!(env.trace_names().len(), 4);
+        let c = env.run_cell(SchemeKind::Native, "Fin2", Platform::SingleSsd);
+        assert!(c.report.overall.count > 100);
+        assert_eq!(c.report.scheme, "Native");
+    }
+
+    #[test]
+    fn scheme_kinds_have_unique_names() {
+        let names: std::collections::HashSet<&str> =
+            SchemeKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+}

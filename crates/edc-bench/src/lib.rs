@@ -1,0 +1,21 @@
+//! # edc-bench
+//!
+//! Experiment harness regenerating every table and figure of the EDC
+//! paper's evaluation (§II measurements and §IV results). Each experiment
+//! is a function that runs the simulation/codecs, writes a CSV into the
+//! results directory, and returns a printable table. The `edc-bench`
+//! binary exposes them as subcommands (`fig1` … `fig12`, `table1`,
+//! `table2`, the DESIGN.md ablations, and `all`).
+//!
+//! See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod env;
+pub mod experiments;
+pub mod output;
+
+pub use env::ExperimentEnv;
+pub use output::Table;

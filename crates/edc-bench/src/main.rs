@@ -1,0 +1,138 @@
+//! `edc-bench` — regenerate the EDC paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p edc-bench --release -- all
+//! cargo run -p edc-bench --release -- fig10 --quick
+//! cargo run -p edc-bench --release -- fig12 --out results
+//! ```
+//!
+//! Subcommands: `fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12
+//! ablations all`. `--quick` shrinks trace durations for smoke runs;
+//! `--out DIR` sets the CSV directory (default `results/`).
+
+use edc_bench::env::{ExperimentEnv, Platform};
+use edc_bench::experiments as ex;
+use edc_bench::Table;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let out_value_idx = args.iter().position(|a| a == "--out").map(|i| i + 1);
+    let cmd = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && Some(*i) != out_value_idx)
+        .map(|(_, a)| a.clone())
+        .unwrap_or_else(|| "all".to_string());
+
+    let started = Instant::now();
+    eprintln!("# edc-bench: building environment (quick={quick}) ...");
+    let env = ExperimentEnv::new(quick);
+    eprintln!("# environment ready in {:.1}s", started.elapsed().as_secs_f64());
+
+    let emit = |t: &Table, name: &str| {
+        t.write_csv(&out_dir, name).unwrap_or_else(|e| panic!("writing {name}.csv: {e}"));
+        println!("{}", t.render());
+    };
+
+    let run_fig1 = || emit(&ex::fig1(&env), "fig1");
+    let run_fig2 = || emit(&ex::fig2(quick), "fig2");
+    let run_fig3 = || {
+        let (series, summary) = ex::fig3(&env);
+        series.write_csv(&out_dir, "fig3").expect("fig3.csv");
+        println!("{}", summary.render());
+        println!("(full per-second series written to fig3.csv)\n");
+    };
+    let run_table1 = || emit(&ex::table1(&env), "table1");
+    let run_table2 = || emit(&ex::table2(&env), "table2");
+    let run_single = || {
+        eprintln!("# replaying scheme x trace matrix on a single SSD ...");
+        let t0 = Instant::now();
+        let cells = env.run_matrix(Platform::SingleSsd);
+        eprintln!("# matrix done in {:.1}s", t0.elapsed().as_secs_f64());
+        emit(&ex::fig8(&cells, &env), "fig8");
+        emit(&ex::fig9(&cells, &env), "fig9");
+        emit(
+            &ex::fig_response(&cells, &env, "Fig.10  Avg response time, single SSD (normalized to Native = 1.0)"),
+            "fig10",
+        );
+        emit(&ex::rw_breakdown(&cells, &env), "rw_breakdown");
+    };
+    let run_fig11 = || {
+        eprintln!("# replaying scheme x trace matrix on RAIS5 ...");
+        let t0 = Instant::now();
+        let cells = env.run_matrix(Platform::Rais5);
+        eprintln!("# matrix done in {:.1}s", t0.elapsed().as_secs_f64());
+        emit(
+            &ex::fig_response(&cells, &env, "Fig.11  Avg response time, RAIS5 (normalized to Native = 1.0)"),
+            "fig11",
+        );
+    };
+    let run_fig12 = || emit(&ex::fig12(&env), "fig12");
+    let run_ablations = || {
+        emit(&ex::ablate_sd(&env), "ablate_sd");
+        emit(&ex::ablate_alloc(&env), "ablate_alloc");
+        emit(&ex::ablate_threshold(&env), "ablate_threshold");
+        emit(&ex::ablate_ladder(&env), "ablate_ladder");
+        emit(&ex::ablate_feedback(&env), "ablate_feedback");
+        emit(&ex::ablate_cache(&env), "ablate_cache");
+        emit(&ex::ablate_nvram(&env), "ablate_nvram");
+    };
+    let run_future_work = || {
+        emit(&ex::endurance(&env), "endurance");
+        emit(&ex::energy(&env), "energy");
+        emit(&ex::hdd(&env), "hdd");
+    };
+    let run_mixed = || emit(&ex::mixed(&env), "mixed");
+    let run_calibrate = || emit(&ex::calibrate(quick), "calibrate");
+    let run_timeline = || {
+        let t = ex::timeline(&env);
+        t.write_csv(&out_dir, "timeline").expect("timeline.csv");
+        println!("== {} == ({} rows written to timeline.csv)\n", t.title, t.len());
+    };
+
+    match cmd.as_str() {
+        "fig1" => run_fig1(),
+        "fig2" => run_fig2(),
+        "fig3" => run_fig3(),
+        "table1" => run_table1(),
+        "table2" => run_table2(),
+        "fig8" | "fig9" | "fig10" => run_single(),
+        "fig11" => run_fig11(),
+        "fig12" => run_fig12(),
+        "ablations" => run_ablations(),
+        "endurance" | "energy" | "hdd" | "future-work" => run_future_work(),
+        "timeline" => run_timeline(),
+        "mixed" => run_mixed(),
+        "calibrate" => run_calibrate(),
+        "all" => {
+            run_table1();
+            run_table2();
+            run_fig1();
+            run_fig2();
+            run_fig3();
+            run_single();
+            run_fig11();
+            run_fig12();
+            run_ablations();
+            run_future_work();
+            run_timeline();
+            run_mixed();
+            run_calibrate();
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            eprintln!("commands: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12 ablations future-work timeline mixed calibrate all");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("# total {:.1}s; CSVs in {}", started.elapsed().as_secs_f64(), out_dir.display());
+}

@@ -1,0 +1,242 @@
+//! LSB-first bit-level I/O used by the Huffman-coded codecs
+//! ([`crate::deflate`] and [`crate::bwt`]).
+//!
+//! Bits are packed least-significant-bit first within each byte, the same
+//! convention DEFLATE uses: the first bit written lands in bit 0 of the
+//! first byte. Codes are written with their own most-significant bit last,
+//! so the reader can consume them by repeated single-bit reads or by table
+//! lookup over a right-aligned window.
+
+use crate::DecompressError;
+
+/// Accumulates bits LSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    /// Bit accumulator; valid low `nbits` bits.
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a writer that reuses `out` (cleared) as its backing buffer.
+    pub fn with_buffer(mut out: Vec<u8>) -> Self {
+        out.clear();
+        Self { out, acc: 0, nbits: 0 }
+    }
+
+    /// Append the low `count` bits of `bits` (LSB first). `count <= 57`.
+    #[inline]
+    pub fn write_bits(&mut self, bits: u64, count: u32) {
+        debug_assert!(count <= 57, "write_bits supports at most 57 bits per call");
+        debug_assert!(count == 64 || bits < (1u64 << count), "value wider than count");
+        self.acc |= bits << self.nbits;
+        self.nbits += count;
+        while self.nbits >= 8 {
+            self.out.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Append a full byte (equivalent to `write_bits(byte, 8)`).
+    #[inline]
+    pub fn write_byte(&mut self, byte: u8) {
+        self.write_bits(byte as u64, 8);
+    }
+
+    /// Number of whole bytes that `finish` would currently produce.
+    pub fn byte_len(&self) -> usize {
+        self.out.len() + usize::from(self.nbits > 0)
+    }
+
+    /// Flush any partial byte (zero-padded high bits) and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push((self.acc & 0xFF) as u8);
+        }
+        self.out
+    }
+}
+
+/// Reads bits LSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    input: &'a [u8],
+    /// Next byte to load.
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Create a reader over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        Self { input, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    /// Ensure at least `count` bits are buffered, if available.
+    #[inline]
+    fn refill(&mut self, count: u32) {
+        while self.nbits < count && self.pos < self.input.len() {
+            self.acc |= (self.input[self.pos] as u64) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Read `count` bits (LSB-first). Errors with [`DecompressError::Truncated`]
+    /// if the stream has fewer bits left.
+    #[inline]
+    pub fn read_bits(&mut self, count: u32) -> Result<u64, DecompressError> {
+        debug_assert!(count <= 57);
+        self.refill(count);
+        if self.nbits < count {
+            return Err(DecompressError::Truncated);
+        }
+        let v = self.acc & ((1u64 << count) - 1);
+        self.acc >>= count;
+        self.nbits -= count;
+        Ok(v)
+    }
+
+    /// Peek up to `count` bits without consuming; missing bits read as zero.
+    ///
+    /// Used by table-driven Huffman decoding, where the final code of a
+    /// stream may be shorter than the peek window.
+    #[inline]
+    pub fn peek_bits(&mut self, count: u32) -> u64 {
+        debug_assert!(count <= 57);
+        self.refill(count);
+        self.acc & ((1u64 << count) - 1)
+    }
+
+    /// Consume `count` bits previously peeked. Errors if fewer are available.
+    #[inline]
+    pub fn consume(&mut self, count: u32) -> Result<(), DecompressError> {
+        if self.nbits < count {
+            return Err(DecompressError::Truncated);
+        }
+        self.acc >>= count;
+        self.nbits -= count;
+        Ok(())
+    }
+
+    /// Number of bits still available (buffered + unread bytes).
+    pub fn bits_remaining(&self) -> usize {
+        self.nbits as usize + (self.input.len() - self.pos) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_writer_produces_empty_output() {
+        assert!(BitWriter::new().finish().is_empty());
+    }
+
+    #[test]
+    fn single_bits_round_trip() {
+        let pattern = [1u64, 0, 1, 1, 0, 1, 0, 0, 1, 1, 1];
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.write_bits(b, 1);
+        }
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bits(1).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn mixed_width_round_trip() {
+        let fields: &[(u64, u32)] = &[
+            (0b101, 3),
+            (0xFFFF, 16),
+            (0, 1),
+            (0x1234_5678, 32),
+            (0b1, 1),
+            (0x1F_FFFF_FFFF_FFFF, 53),
+            (42, 7),
+        ];
+        let mut w = BitWriter::new();
+        for &(v, n) in fields {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in fields {
+            assert_eq!(r.read_bits(n).unwrap(), v, "field of width {n}");
+        }
+    }
+
+    #[test]
+    fn lsb_first_byte_layout() {
+        let mut w = BitWriter::new();
+        // First-written bit must be bit 0 of the first byte.
+        w.write_bits(1, 1);
+        w.write_bits(0, 1);
+        w.write_bits(1, 1);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b0000_0101]);
+    }
+
+    #[test]
+    fn read_past_end_is_truncated() {
+        let mut r = BitReader::new(&[0xAB]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+        assert_eq!(r.read_bits(1), Err(DecompressError::Truncated));
+    }
+
+    #[test]
+    fn peek_does_not_consume_and_pads_with_zero() {
+        let mut r = BitReader::new(&[0b0000_0001]);
+        assert_eq!(r.peek_bits(16), 1); // missing high bits read as 0
+        assert_eq!(r.peek_bits(16), 1);
+        assert_eq!(r.read_bits(8).unwrap(), 1);
+        assert_eq!(r.bits_remaining(), 0);
+    }
+
+    #[test]
+    fn consume_after_peek() {
+        let mut r = BitReader::new(&[0b1011_0110, 0xFF]);
+        let p = r.peek_bits(4);
+        assert_eq!(p, 0b0110);
+        r.consume(4).unwrap();
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert!(r.consume(1).is_err());
+    }
+
+    #[test]
+    fn byte_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.byte_len(), 0);
+        w.write_bits(0b11, 2);
+        assert_eq!(w.byte_len(), 1);
+        w.write_bits(0x3F, 6);
+        assert_eq!(w.byte_len(), 1);
+        w.write_bits(1, 1);
+        assert_eq!(w.byte_len(), 2);
+    }
+
+    #[test]
+    fn write_byte_equivalence() {
+        let mut a = BitWriter::new();
+        a.write_bits(3, 2);
+        a.write_byte(0xC3);
+        let mut b = BitWriter::new();
+        b.write_bits(3, 2);
+        b.write_bits(0xC3, 8);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,237 @@
+//! Deterministic CPU-cost model for (de)compression.
+//!
+//! The paper measures wall-clock latency on a Xeon X5680; a discrete-event
+//! simulation needs the *cost* of compressing a block without the noise of
+//! actually timing it on whatever machine runs the experiments. This module
+//! provides:
+//!
+//! * [`CostModel::paper_defaults`] — per-codec ns/byte constants matching
+//!   the throughput ordering the paper's Fig. 2 reports (Lzf/Lz4 fast,
+//!   Gzip ~an order of magnitude slower, Bzip2 slowest; decompression
+//!   several times faster than compression for each codec). These drive
+//!   the simulator so every experiment is exactly reproducible.
+//! * [`CostModel::calibrate`] — measures the throughput of *this crate's*
+//!   codecs on a caller-supplied corpus and builds a model from the
+//!   observations, for readers who want the simulation tied to their own
+//!   hardware. `edc-bench` records both in EXPERIMENTS.md.
+
+use crate::CodecId;
+use std::time::Instant;
+
+/// Per-codec cost coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecCost {
+    /// Compression cost in nanoseconds per input byte.
+    pub compress_ns_per_byte: f64,
+    /// Decompression cost in nanoseconds per *output* (original) byte.
+    pub decompress_ns_per_byte: f64,
+    /// Fixed per-call overhead in nanoseconds (setup, tables, dispatch).
+    pub fixed_ns: f64,
+}
+
+impl CodecCost {
+    /// Compression throughput implied by this cost, in MB/s.
+    pub fn compress_mb_per_s(&self) -> f64 {
+        1000.0 / self.compress_ns_per_byte
+    }
+
+    /// Decompression throughput implied by this cost, in MB/s.
+    pub fn decompress_mb_per_s(&self) -> f64 {
+        1000.0 / self.decompress_ns_per_byte
+    }
+}
+
+/// Cost model covering all codecs.
+///
+/// ```
+/// use edc_compress::{CostModel, CodecId};
+///
+/// let model = CostModel::paper_defaults();
+/// let fast = model.compress_ns(CodecId::Lzf, 4096);
+/// let slow = model.compress_ns(CodecId::Bwt, 4096);
+/// assert!(slow > 10 * fast); // Bzip2-class costs order(s) more CPU
+/// assert_eq!(model.compress_ns(CodecId::None, 4096), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    costs: [CodecCost; 4], // indexed by CodecId tag - 1
+}
+
+impl CostModel {
+    /// Costs matching the 2017-era single-core throughputs behind the
+    /// paper's Fig. 2 (approximate published numbers for LibLZF, LZ4,
+    /// zlib-9 and bzip2 on a Xeon X5680 class core):
+    ///
+    /// | codec | compress  | decompress |
+    /// |-------|-----------|------------|
+    /// | Lzf   | ~450 MB/s | ~1.8 GB/s  |
+    /// | Lz4   | ~630 MB/s | ~2.9 GB/s  |
+    /// | Gzip  | ~22 MB/s  | ~170 MB/s  |
+    /// | Bzip2 | ~9 MB/s   | ~28 MB/s   |
+    pub fn paper_defaults() -> Self {
+        CostModel {
+            costs: [
+                // Lzf
+                CodecCost { compress_ns_per_byte: 2.2, decompress_ns_per_byte: 0.55, fixed_ns: 500.0 },
+                // Lz4
+                CodecCost { compress_ns_per_byte: 1.6, decompress_ns_per_byte: 0.35, fixed_ns: 500.0 },
+                // Deflate (Gzip-class)
+                CodecCost { compress_ns_per_byte: 45.0, decompress_ns_per_byte: 6.0, fixed_ns: 2_000.0 },
+                // Bwt (Bzip2-class)
+                CodecCost { compress_ns_per_byte: 110.0, decompress_ns_per_byte: 36.0, fixed_ns: 4_000.0 },
+            ],
+        }
+    }
+
+    /// Build a model from explicit per-codec costs, in [`CodecId::ALL_CODECS`]
+    /// order (Lzf, Lz4, Deflate, Bwt).
+    pub fn from_costs(costs: [CodecCost; 4]) -> Self {
+        CostModel { costs }
+    }
+
+    /// Measure this crate's codecs on `corpus` (one entry per block) and
+    /// return a calibrated model. `rounds` controls averaging.
+    ///
+    /// Not deterministic — use only for reporting/calibration, never inside
+    /// a simulation that must reproduce exactly.
+    pub fn calibrate(corpus: &[Vec<u8>], rounds: usize) -> Self {
+        assert!(!corpus.is_empty() && rounds > 0, "need a corpus and at least one round");
+        let total_bytes: usize = corpus.iter().map(Vec::len).sum();
+        assert!(total_bytes > 0, "corpus must contain data");
+        let mut costs = Self::paper_defaults().costs;
+        for (slot, id) in CodecId::ALL_CODECS.iter().enumerate() {
+            let codec = crate::codec_by_id(*id).expect("real codec");
+            // Compress timing (also produces the streams for decompression).
+            let start = Instant::now();
+            let mut streams = Vec::new();
+            for _ in 0..rounds {
+                streams.clear();
+                streams.extend(corpus.iter().map(|b| codec.compress(b)));
+            }
+            let comp_ns = start.elapsed().as_nanos() as f64 / (rounds * total_bytes) as f64;
+            let start = Instant::now();
+            for _ in 0..rounds {
+                for (stream, block) in streams.iter().zip(corpus) {
+                    let out = codec.decompress(stream, block.len()).expect("round trip");
+                    std::hint::black_box(&out);
+                }
+            }
+            let dec_ns = start.elapsed().as_nanos() as f64 / (rounds * total_bytes) as f64;
+            costs[slot] = CodecCost {
+                compress_ns_per_byte: comp_ns.max(0.01),
+                decompress_ns_per_byte: dec_ns.max(0.01),
+                fixed_ns: costs[slot].fixed_ns,
+            };
+        }
+        CostModel { costs }
+    }
+
+    /// Cost coefficients for `id`. Returns `None` for [`CodecId::None`].
+    pub fn cost(&self, id: CodecId) -> Option<&CodecCost> {
+        match id {
+            CodecId::None => None,
+            _ => Some(&self.costs[id.tag() as usize - 1]),
+        }
+    }
+
+    /// Simulated time (ns) to compress `len` input bytes with `id`.
+    /// [`CodecId::None`] costs nothing.
+    pub fn compress_ns(&self, id: CodecId, len: usize) -> u64 {
+        match self.cost(id) {
+            None => 0,
+            Some(c) => (c.fixed_ns + c.compress_ns_per_byte * len as f64) as u64,
+        }
+    }
+
+    /// Simulated time (ns) to decompress back to `original_len` bytes.
+    pub fn decompress_ns(&self, id: CodecId, original_len: usize) -> u64 {
+        match self.cost(id) {
+            None => 0,
+            Some(c) => (c.fixed_ns + c.decompress_ns_per_byte * original_len as f64) as u64,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_preserve_speed_ordering() {
+        // The trade-off ordering of Fig. 2: Lz4 fastest, then Lzf, then
+        // Gzip, then Bzip2 — for both directions.
+        let m = CostModel::paper_defaults();
+        let c = |id: CodecId| m.cost(id).unwrap().compress_ns_per_byte;
+        let d = |id: CodecId| m.cost(id).unwrap().decompress_ns_per_byte;
+        assert!(c(CodecId::Lz4) < c(CodecId::Lzf));
+        assert!(c(CodecId::Lzf) < c(CodecId::Deflate));
+        assert!(c(CodecId::Deflate) < c(CodecId::Bwt));
+        assert!(d(CodecId::Lz4) < d(CodecId::Lzf));
+        assert!(d(CodecId::Lzf) < d(CodecId::Deflate));
+        assert!(d(CodecId::Deflate) < d(CodecId::Bwt));
+    }
+
+    #[test]
+    fn decompression_faster_than_compression() {
+        let m = CostModel::paper_defaults();
+        for id in CodecId::ALL_CODECS {
+            let c = m.cost(id).unwrap();
+            assert!(
+                c.decompress_ns_per_byte < c.compress_ns_per_byte,
+                "{id}: decompression must be faster"
+            );
+        }
+    }
+
+    #[test]
+    fn none_codec_is_free() {
+        let m = CostModel::paper_defaults();
+        assert_eq!(m.compress_ns(CodecId::None, 1 << 20), 0);
+        assert_eq!(m.decompress_ns(CodecId::None, 1 << 20), 0);
+        assert!(m.cost(CodecId::None).is_none());
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_size() {
+        let m = CostModel::paper_defaults();
+        let small = m.compress_ns(CodecId::Lzf, 4096);
+        let large = m.compress_ns(CodecId::Lzf, 8192);
+        // Twice the bytes, roughly twice the variable cost (fixed overhead
+        // makes it slightly sublinear).
+        assert!(large > small && large < 2 * small + 1000);
+    }
+
+    #[test]
+    fn throughput_helpers() {
+        let c = CodecCost { compress_ns_per_byte: 10.0, decompress_ns_per_byte: 2.0, fixed_ns: 0.0 };
+        assert!((c.compress_mb_per_s() - 100.0).abs() < 1e-9);
+        assert!((c.decompress_mb_per_s() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_produces_positive_costs() {
+        let corpus: Vec<Vec<u8>> = vec![
+            b"calibration corpus text corpus text corpus text".repeat(100),
+            vec![0u8; 8192],
+        ];
+        let m = CostModel::calibrate(&corpus, 1);
+        for id in CodecId::ALL_CODECS {
+            let c = m.cost(id).unwrap();
+            assert!(c.compress_ns_per_byte > 0.0);
+            assert!(c.decompress_ns_per_byte > 0.0);
+        }
+    }
+
+    #[test]
+    fn compress_ns_includes_fixed_overhead() {
+        let m = CostModel::paper_defaults();
+        let zero_len = m.compress_ns(CodecId::Bwt, 0);
+        assert!(zero_len >= 4_000, "fixed overhead must be charged, got {zero_len}");
+    }
+}

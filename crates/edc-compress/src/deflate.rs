@@ -1,0 +1,572 @@
+//! Gzip-class codec: LZ77 with hash-chain match finding and lazy
+//! evaluation, followed by canonical Huffman coding of a DEFLATE-style
+//! literal/length + distance alphabet.
+//!
+//! This is EDC's *mid-ladder* algorithm: a noticeably better ratio than the
+//! fast LZ codecs (it spends effort on chained match search and entropy
+//! coding) at several times their CPU cost — the same trade-off position
+//! Gzip occupies in the paper's Fig. 2.
+//!
+//! ## Container format
+//!
+//! A single bit selects the block type:
+//!
+//! * `1` — *raw block*: the input bytes follow verbatim (fallback when
+//!   entropy coding would expand the data).
+//! * `0` — *Huffman block*: serialized code lengths for the literal/length
+//!   alphabet (286 symbols) and the distance alphabet (30 symbols), then
+//!   the token stream terminated by the end-of-block symbol (256).
+//!
+//! Length and distance symbols use DEFLATE's base/extra-bits tables, so the
+//! match space is lengths 3..=258 over a 32 KiB window.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::huffman::{build_code_lengths, read_lengths, write_lengths, Decoder, Encoder};
+use crate::{Codec, CodecId, DecompressError};
+
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const WINDOW_SIZE: usize = 32 * 1024;
+const HASH_BITS: u32 = 15;
+const NUM_LITLEN: usize = 286; // 0–255 literals, 256 EOB, 257–285 lengths
+const NUM_DIST: usize = 30;
+const EOB: usize = 256;
+
+/// DEFLATE length-code table: `(base_length, extra_bits)` for codes 257..=285.
+const LEN_TABLE: [(u16, u8); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1),
+    (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3),
+    (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5),
+    (258, 0),
+];
+
+/// DEFLATE distance-code table: `(base_distance, extra_bits)` for codes 0..=29.
+const DIST_TABLE: [(u16, u8); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0),
+    (5, 1), (7, 1), (9, 2), (13, 2),
+    (17, 3), (25, 3), (33, 4), (49, 4),
+    (65, 5), (97, 5), (129, 6), (193, 6),
+    (257, 7), (385, 7), (513, 8), (769, 8),
+    (1025, 9), (1537, 9), (2049, 10), (3073, 10),
+    (4097, 11), (6145, 11), (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+];
+
+/// Map a match length (3..=258) to `(code_index, extra_value, extra_bits)`.
+#[inline]
+fn length_code(len: usize) -> (usize, u64, u8) {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+    // Binary search over the base table.
+    let idx = LEN_TABLE.partition_point(|&(base, _)| usize::from(base) <= len) - 1;
+    let (base, extra) = LEN_TABLE[idx];
+    (257 + idx, (len - usize::from(base)) as u64, extra)
+}
+
+/// Map a distance (1..=32768) to `(code_index, extra_value, extra_bits)`.
+#[inline]
+fn dist_code(dist: usize) -> (usize, u64, u8) {
+    debug_assert!((1..=WINDOW_SIZE).contains(&dist));
+    let idx = DIST_TABLE.partition_point(|&(base, _)| usize::from(base) <= dist) - 1;
+    let (base, extra) = DIST_TABLE[idx];
+    (idx, (dist - usize::from(base)) as u64, extra)
+}
+
+/// One LZ77 token prior to entropy coding.
+#[derive(Debug, Clone, Copy)]
+enum Token {
+    Literal(u8),
+    Match { len: u16, dist: u16 },
+}
+
+/// Match-finder effort parameters, derived from a compression level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Effort {
+    /// Chain probes per position; the knob that buys ratio with CPU time.
+    max_chain: usize,
+    /// Stop searching once a match at least this long is found.
+    good_len: usize,
+    /// One-step lazy matching (defer if the next position matches longer).
+    lazy: bool,
+}
+
+/// Gzip-class codec. See the [module docs](self) for format details.
+///
+/// Like zlib, the encoder takes a *level* (1–9) trading CPU for ratio:
+/// level 1 probes few chain candidates greedily, level 9 searches deep
+/// chains with lazy evaluation. The stream format is identical across
+/// levels — any level decompresses any stream.
+#[derive(Debug, Clone, Copy)]
+pub struct Deflate {
+    effort: Effort,
+}
+
+impl Default for Deflate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deflate {
+    /// Default level (6): the zlib-like balance used by the EDC ladder.
+    pub const fn new() -> Self {
+        Deflate { effort: Effort { max_chain: 64, good_len: 96, lazy: true } }
+    }
+
+    /// Create the codec at an explicit compression level.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= level <= 9`.
+    pub const fn with_level(level: u8) -> Self {
+        let effort = match level {
+            1 => Effort { max_chain: 4, good_len: 8, lazy: false },
+            2 => Effort { max_chain: 8, good_len: 16, lazy: false },
+            3 => Effort { max_chain: 16, good_len: 24, lazy: false },
+            4 => Effort { max_chain: 24, good_len: 32, lazy: true },
+            5 => Effort { max_chain: 40, good_len: 64, lazy: true },
+            6 => Effort { max_chain: 64, good_len: 96, lazy: true },
+            7 => Effort { max_chain: 96, good_len: 128, lazy: true },
+            8 => Effort { max_chain: 160, good_len: 192, lazy: true },
+            9 => Effort { max_chain: 256, good_len: MAX_MATCH, lazy: true },
+            _ => panic!("deflate level must be 1..=9"),
+        };
+        Deflate { effort }
+    }
+}
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = u32::from(data[i]) | u32::from(data[i + 1]) << 8 | u32::from(data[i + 2]) << 16;
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Hash-chain match finder over a 32 KiB sliding window.
+struct ChainMatcher {
+    head: Vec<u32>,
+    prev: Vec<u32>,
+    effort: Effort,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl ChainMatcher {
+    fn new(effort: Effort) -> Self {
+        ChainMatcher { head: vec![NIL; 1 << HASH_BITS], prev: vec![NIL; WINDOW_SIZE], effort }
+    }
+
+    #[inline]
+    fn insert(&mut self, data: &[u8], i: usize) {
+        let h = hash3(data, i);
+        self.prev[i & (WINDOW_SIZE - 1)] = self.head[h];
+        self.head[h] = i as u32;
+    }
+
+    /// Best `(len, dist)` match for position `i`, or `None`.
+    fn find(&self, data: &[u8], i: usize, max_len: usize) -> Option<(usize, usize)> {
+        if max_len < MIN_MATCH {
+            return None;
+        }
+        let h = hash3(data, i);
+        let mut cand = self.head[h];
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut chain = self.effort.max_chain;
+        while cand != NIL && chain > 0 {
+            let c = cand as usize;
+            if i - c > WINDOW_SIZE {
+                break;
+            }
+            // Check the byte that would extend the best match first.
+            if c + best_len < data.len()
+                && i + best_len < data.len()
+                && data[c + best_len] == data[i + best_len]
+            {
+                let mut len = 0usize;
+                while len < max_len && data[c + len] == data[i + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = i - c;
+                    if len >= self.effort.good_len.min(max_len) {
+                        break;
+                    }
+                }
+            }
+            let next = self.prev[c & (WINDOW_SIZE - 1)];
+            // Guard against stale entries that wrapped around the window.
+            if next != NIL && next as usize >= c {
+                break;
+            }
+            cand = next;
+            chain -= 1;
+        }
+        (best_len >= MIN_MATCH).then_some((best_len, best_dist))
+    }
+}
+
+/// Tokenize with one-step lazy matching (defer a match if the next position
+/// has a strictly longer one), as zlib does at its higher levels.
+fn tokenize(input: &[u8], effort: Effort) -> Vec<Token> {
+    let n = input.len();
+    let mut tokens = Vec::with_capacity(n / 3 + 8);
+    if n < MIN_MATCH {
+        tokens.extend(input.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    let mut m = ChainMatcher::new(effort);
+    let limit = n - MIN_MATCH; // last position where hash3 is valid
+    let mut i = 0usize;
+    while i < n {
+        if i > limit {
+            tokens.push(Token::Literal(input[i]));
+            i += 1;
+            continue;
+        }
+        let here = m.find(input, i, (n - i).min(MAX_MATCH));
+        m.insert(input, i);
+        let Some((mut len, mut dist)) = here else {
+            tokens.push(Token::Literal(input[i]));
+            i += 1;
+            continue;
+        };
+        // Lazy step: would starting at i+1 give a longer match?
+        if effort.lazy && len < effort.good_len && i < limit {
+            if let Some((nlen, ndist)) = m.find(input, i + 1, (n - i - 1).min(MAX_MATCH)) {
+                if nlen > len {
+                    tokens.push(Token::Literal(input[i]));
+                    m.insert(input, i + 1);
+                    i += 1;
+                    len = nlen;
+                    dist = ndist;
+                }
+            }
+        }
+        tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+        // Insert positions covered by the match into the dictionary.
+        let match_end = i + len;
+        let insert_to = match_end.min(limit + 1);
+        let mut j = i + 1;
+        while j < insert_to {
+            m.insert(input, j);
+            j += 1;
+        }
+        i = match_end;
+    }
+    tokens
+}
+
+impl Codec for Deflate {
+    fn id(&self) -> CodecId {
+        CodecId::Deflate
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let tokens = tokenize(input, self.effort);
+
+        // Count symbol frequencies.
+        let mut lit_freq = vec![0u64; NUM_LITLEN];
+        let mut dist_freq = vec![0u64; NUM_DIST];
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => lit_freq[b as usize] += 1,
+                Token::Match { len, dist } => {
+                    lit_freq[length_code(len as usize).0] += 1;
+                    dist_freq[dist_code(dist as usize).0] += 1;
+                }
+            }
+        }
+        lit_freq[EOB] += 1;
+
+        let lit_lens = build_code_lengths(&lit_freq);
+        let dist_lens = build_code_lengths(&dist_freq);
+        let lit_enc = Encoder::from_lengths(&lit_lens);
+        let dist_enc = Encoder::from_lengths(&dist_lens);
+
+        let mut w = BitWriter::new();
+        w.write_bits(0, 1); // Huffman block
+        write_lengths(&mut w, &lit_lens);
+        write_lengths(&mut w, &dist_lens);
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => lit_enc.write(&mut w, b as usize),
+                Token::Match { len, dist } => {
+                    let (lc, lextra, lbits) = length_code(len as usize);
+                    lit_enc.write(&mut w, lc);
+                    if lbits > 0 {
+                        w.write_bits(lextra, u32::from(lbits));
+                    }
+                    let (dc, dextra, dbits) = dist_code(dist as usize);
+                    dist_enc.write(&mut w, dc);
+                    if dbits > 0 {
+                        w.write_bits(dextra, u32::from(dbits));
+                    }
+                }
+            }
+        }
+        lit_enc.write(&mut w, EOB);
+        let encoded = w.finish();
+
+        if encoded.len() > input.len() + 1 {
+            // Raw fallback: 1-bit flag + verbatim bytes.
+            let mut w = BitWriter::new();
+            w.write_bits(1, 1);
+            for &b in input {
+                w.write_byte(b);
+            }
+            return w.finish();
+        }
+        encoded
+    }
+
+    fn decompress(&self, input: &[u8], expected_len: usize) -> Result<Vec<u8>, DecompressError> {
+        if input.is_empty() {
+            return Err(DecompressError::Truncated);
+        }
+        let mut r = BitReader::new(input);
+        let raw = r.read_bits(1)? == 1;
+        // Never pre-allocate an untrusted length (see `Lzf::decompress`).
+        let mut out = Vec::with_capacity(expected_len.min(16 << 20));
+        if raw {
+            for _ in 0..expected_len {
+                out.push(r.read_bits(8)? as u8);
+            }
+            return Ok(out);
+        }
+        let lit_lens = read_lengths(&mut r, NUM_LITLEN)?;
+        let dist_lens = read_lengths(&mut r, NUM_DIST)?;
+        let lit_dec = Decoder::from_lengths(&lit_lens)?;
+        let dist_dec = Decoder::from_lengths(&dist_lens)?;
+        loop {
+            let sym = lit_dec.read(&mut r)?;
+            match sym {
+                0..=255 => out.push(sym as u8),
+                256 => break,
+                257..=285 => {
+                    let (base, extra) = LEN_TABLE[sym - 257];
+                    let len = usize::from(base) + r.read_bits(u32::from(extra))? as usize;
+                    let dsym = dist_dec.read(&mut r)?;
+                    if dsym >= NUM_DIST {
+                        return Err(DecompressError::Malformed("distance code out of range"));
+                    }
+                    let (dbase, dextra) = DIST_TABLE[dsym];
+                    let dist = usize::from(dbase) + r.read_bits(u32::from(dextra))? as usize;
+                    if dist > out.len() {
+                        return Err(DecompressError::BadReference { at: out.len(), offset: dist });
+                    }
+                    let src = out.len() - dist;
+                    for k in 0..len {
+                        let b = out[src + k];
+                        out.push(b);
+                    }
+                }
+                _ => return Err(DecompressError::Malformed("literal/length code out of range")),
+            }
+            if out.len() > expected_len {
+                return Err(DecompressError::SizeMismatch {
+                    expected: expected_len,
+                    actual: out.len(),
+                });
+            }
+        }
+        if out.len() != expected_len {
+            return Err(DecompressError::SizeMismatch { expected: expected_len, actual: out.len() });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lzf::Lzf;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let c = Deflate::new().compress(data);
+        Deflate::new().decompress(&c, data.len()).expect("round trip")
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(roundtrip(b""), b"");
+    }
+
+    #[test]
+    fn single_byte() {
+        assert_eq!(roundtrip(b"A"), b"A");
+    }
+
+    #[test]
+    fn length_code_table_covers_range() {
+        for len in MIN_MATCH..=MAX_MATCH {
+            let (code, extra, bits) = length_code(len);
+            assert!((257..=285).contains(&code), "len {len} -> code {code}");
+            let (base, tbits) = LEN_TABLE[code - 257];
+            assert_eq!(u32::from(bits), u32::from(tbits));
+            assert_eq!(usize::from(base) + extra as usize, len);
+        }
+    }
+
+    #[test]
+    fn dist_code_table_covers_range() {
+        for dist in [1usize, 2, 3, 4, 5, 100, 1024, 4096, 10000, 32768] {
+            let (code, extra, _bits) = dist_code(dist);
+            assert!(code < NUM_DIST);
+            let (base, _) = DIST_TABLE[code];
+            assert_eq!(usize::from(base) + extra as usize, dist);
+        }
+    }
+
+    #[test]
+    fn repeated_text_high_ratio() {
+        let data: Vec<u8> = b"elastic data compression for flash storage "
+            .iter()
+            .copied()
+            .cycle()
+            .take(16384)
+            .collect();
+        let c = Deflate::new().compress(&data);
+        assert!(c.len() < data.len() / 10, "ratio too low: {} bytes", c.len());
+        assert_eq!(Deflate::new().decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn better_ratio_than_lzf_on_text() {
+        // The mid-ladder codec must out-compress the fast codec on text —
+        // this ordering is load-bearing for the paper's Fig. 2.
+        let mut data = Vec::new();
+        let words = [
+            "request", "storage", "flash", "latency", "compression", "block",
+            "buffer", "queue", "page", "erase", "write", "read",
+        ];
+        let mut seed = 11u64;
+        for _ in 0..4000 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            data.extend_from_slice(words[(seed >> 33) as usize % words.len()].as_bytes());
+            data.push(b' ');
+        }
+        let d = Deflate::new().compress(&data);
+        let l = Lzf::new().compress(&data);
+        assert!(d.len() < l.len(), "deflate {} !< lzf {}", d.len(), l.len());
+        assert_eq!(Deflate::new().decompress(&d, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_falls_back_to_raw() {
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 56) as u8
+            })
+            .collect();
+        let c = Deflate::new().compress(&data);
+        assert!(c.len() <= data.len() + 1, "raw fallback bound violated: {}", c.len());
+        assert_eq!(Deflate::new().decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn all_zero_block() {
+        let data = vec![0u8; 65536];
+        let c = Deflate::new().compress(&data);
+        assert!(c.len() < 600, "got {}", c.len());
+        assert_eq!(Deflate::new().decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn max_match_length_block() {
+        // A run long enough to require several MAX_MATCH tokens.
+        let mut data = vec![b'r'; MAX_MATCH * 4 + 17];
+        data[0] = b's'; // avoid the trivial all-same case
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn long_range_match_across_window() {
+        let mut data: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        let tail = data[..1000].to_vec();
+        data.extend_from_slice(&tail); // match at distance 20 000
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let data: Vec<u8> = b"hello world ".iter().copied().cycle().take(4096).collect();
+        let mut c = Deflate::new().compress(&data);
+        c.truncate(c.len() / 2);
+        assert!(Deflate::new().decompress(&c, data.len()).is_err());
+    }
+
+    #[test]
+    fn garbage_stream_detected() {
+        let garbage: Vec<u8> = (0..512u32).map(|i| (i * 7 + 3) as u8).collect();
+        // Must error, never panic.
+        let _ = Deflate::new().decompress(&garbage, 4096).is_err();
+    }
+
+    #[test]
+    fn wrong_expected_len_detected() {
+        let data = b"abcabcabcabcabcabc";
+        let c = Deflate::new().compress(data);
+        assert!(Deflate::new().decompress(&c, data.len() + 1).is_err());
+        assert!(Deflate::new().decompress(&c, data.len() - 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i * 131 % 256) as u8).collect();
+        assert_eq!(Deflate::new().compress(&data), Deflate::new().compress(&data));
+    }
+
+    #[test]
+    fn levels_trade_size_for_effort() {
+        // Monotone-ish: level 9 must not produce a larger stream than
+        // level 1 on matchy text, and every level round-trips.
+        let data: Vec<u8> = b"the elastic compression ladder trades ratio for speed "
+            .iter()
+            .copied()
+            .cycle()
+            .take(32768)
+            .collect();
+        let mut sizes = Vec::new();
+        for level in 1..=9u8 {
+            let codec = Deflate::with_level(level);
+            let c = codec.compress(&data);
+            assert_eq!(codec.decompress(&c, data.len()).unwrap(), data, "level {level}");
+            sizes.push(c.len());
+        }
+        assert!(sizes[8] <= sizes[0], "level 9 {} !<= level 1 {}", sizes[8], sizes[0]);
+    }
+
+    #[test]
+    fn levels_are_stream_compatible() {
+        // A level-1 decoder state machine must read a level-9 stream.
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 100) as u8).collect();
+        let c = Deflate::with_level(9).compress(&data);
+        assert_eq!(Deflate::with_level(1).decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "level must be 1..=9")]
+    fn level_zero_rejected() {
+        let _ = Deflate::with_level(0);
+    }
+
+    #[test]
+    fn binary_structured_data() {
+        // Struct-like records with repeating layout.
+        let mut data = Vec::new();
+        for i in 0..2000u32 {
+            data.extend_from_slice(&i.to_le_bytes());
+            data.extend_from_slice(&(i as u64 * 3).to_le_bytes());
+            data.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF]);
+        }
+        let c = Deflate::new().compress(&data);
+        assert!(c.len() < data.len() / 2);
+        assert_eq!(Deflate::new().decompress(&c, data.len()).unwrap(), data);
+    }
+}

@@ -1,0 +1,198 @@
+//! Self-describing compressed frames.
+//!
+//! The [`Codec`] trait is deliberately minimal: EDC's mapping table stores
+//! the codec tag and original size itself, so streams carry neither. For
+//! standalone use — files on disk, network payloads, anything without an
+//! external mapping entry — this module wraps a stream in a small header:
+//!
+//! ```text
+//! magic "EDCF" · version u8 · codec tag u8 · original_len u64 LE ·
+//! checksum u64 LE (of the payload) · payload
+//! ```
+//!
+//! ```
+//! use edc_compress::{frame, CodecId};
+//!
+//! let framed = frame::compress(CodecId::Deflate, b"hello hello hello hello");
+//! let (codec, data) = frame::decompress(&framed).unwrap();
+//! assert_eq!(codec, CodecId::Deflate);
+//! assert_eq!(data, b"hello hello hello hello");
+//! ```
+
+use crate::checksum::checksum64;
+use crate::{codec_by_id, CodecId, DecompressError};
+
+/// Checksum seed binding the header fields (tag + original length) to the
+/// payload hash, so header corruption is as detectable as payload
+/// corruption.
+fn frame_seed(tag: u8, original_len: u64) -> u64 {
+    u64::from(tag) ^ original_len.rotate_left(17)
+}
+
+/// Frame magic bytes.
+pub const MAGIC: [u8; 4] = *b"EDCF";
+/// Current frame version.
+pub const VERSION: u8 = 1;
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 4 + 1 + 1 + 8 + 8;
+
+/// Compress `data` with `codec` into a self-describing frame.
+/// [`CodecId::None`] stores the data verbatim (still framed + checksummed).
+pub fn compress(codec: CodecId, data: &[u8]) -> Vec<u8> {
+    let payload = match codec_by_id(codec) {
+        Some(c) => c.compress(data),
+        None => data.to_vec(),
+    };
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(codec.tag());
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    out.extend_from_slice(
+        &checksum64(&payload, frame_seed(codec.tag(), data.len() as u64)).to_le_bytes(),
+    );
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode a frame produced by [`compress`]; returns the codec used and the
+/// original bytes.
+pub fn decompress(framed: &[u8]) -> Result<(CodecId, Vec<u8>), DecompressError> {
+    if framed.len() < HEADER_LEN {
+        return Err(DecompressError::Truncated);
+    }
+    if framed[..4] != MAGIC {
+        return Err(DecompressError::Malformed("bad frame magic"));
+    }
+    if framed[4] != VERSION {
+        return Err(DecompressError::Malformed("unsupported frame version"));
+    }
+    let codec =
+        CodecId::from_tag(framed[5]).ok_or(DecompressError::Malformed("invalid codec tag"))?;
+    let original_len =
+        u64::from_le_bytes(framed[6..14].try_into().expect("fixed slice")) as usize;
+    let stored_sum = u64::from_le_bytes(framed[14..22].try_into().expect("fixed slice"));
+    let payload = &framed[HEADER_LEN..];
+    if checksum64(payload, frame_seed(codec.tag(), original_len as u64)) != stored_sum {
+        return Err(DecompressError::Malformed("frame checksum mismatch"));
+    }
+    let data = match codec_by_id(codec) {
+        Some(c) => c.decompress(payload, original_len)?,
+        None => {
+            if payload.len() != original_len {
+                return Err(DecompressError::SizeMismatch {
+                    expected: original_len,
+                    actual: payload.len(),
+                });
+            }
+            payload.to_vec()
+        }
+    };
+    Ok((codec, data))
+}
+
+/// Peek a frame's header without decompressing:
+/// `(codec, original_len, payload_len)`.
+pub fn inspect(framed: &[u8]) -> Result<(CodecId, u64, usize), DecompressError> {
+    if framed.len() < HEADER_LEN {
+        return Err(DecompressError::Truncated);
+    }
+    if framed[..4] != MAGIC || framed[4] != VERSION {
+        return Err(DecompressError::Malformed("bad frame header"));
+    }
+    let codec =
+        CodecId::from_tag(framed[5]).ok_or(DecompressError::Malformed("invalid codec tag"))?;
+    let original_len = u64::from_le_bytes(framed[6..14].try_into().expect("fixed slice"));
+    Ok((codec, original_len, framed.len() - HEADER_LEN))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_every_codec() {
+        let data: Vec<u8> = b"framed content framed content framed content "
+            .iter()
+            .copied()
+            .cycle()
+            .take(10_000)
+            .collect();
+        for codec in
+            [CodecId::None, CodecId::Lzf, CodecId::Lz4, CodecId::Deflate, CodecId::Bwt]
+        {
+            let f = compress(codec, &data);
+            let (got_codec, got) = decompress(&f).unwrap_or_else(|e| panic!("{codec}: {e}"));
+            assert_eq!(got_codec, codec);
+            assert_eq!(got, data);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let f = compress(CodecId::Lzf, b"");
+        let (_, got) = decompress(&f).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn inspect_reads_header_only() {
+        let data = vec![b'q'; 5000];
+        let f = compress(CodecId::Deflate, &data);
+        let (codec, orig, payload) = inspect(&f).unwrap();
+        assert_eq!(codec, CodecId::Deflate);
+        assert_eq!(orig, 5000);
+        assert_eq!(payload, f.len() - HEADER_LEN);
+        assert!(payload < 5000, "compressible payload must shrink");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut f = compress(CodecId::Lzf, b"data");
+        f[0] = b'X';
+        assert!(matches!(decompress(&f), Err(DecompressError::Malformed(_))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut f = compress(CodecId::Lzf, b"data");
+        f[4] = 99;
+        assert!(decompress(&f).is_err());
+    }
+
+    #[test]
+    fn payload_corruption_caught_by_checksum() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        let mut f = compress(CodecId::Lz4, &data);
+        let last = f.len() - 1;
+        f[last] ^= 0x40;
+        assert!(matches!(
+            decompress(&f),
+            Err(DecompressError::Malformed("frame checksum mismatch"))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let f = compress(CodecId::Bwt, &vec![7u8; 4096]);
+        assert!(decompress(&f[..10]).is_err());
+        assert!(decompress(&f[..HEADER_LEN]).is_err());
+        assert!(inspect(&f[..HEADER_LEN - 1]).is_err());
+    }
+
+    #[test]
+    fn tampered_length_field_rejected_before_allocation() {
+        // The header checksum binds the original length: a flipped length
+        // byte must fail *before* any decompression allocation happens
+        // (a 2^63-scale length would otherwise attempt a giant alloc).
+        let mut f = compress(CodecId::None, b"abc");
+        f[6] = 99;
+        assert!(matches!(
+            decompress(&f),
+            Err(DecompressError::Malformed("frame checksum mismatch"))
+        ));
+        let mut g = compress(CodecId::Deflate, &vec![b'x'; 4096]);
+        g[13] = 0x80; // most-significant length byte → absurd size
+        assert!(decompress(&g).is_err());
+    }
+}

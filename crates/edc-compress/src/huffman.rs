@@ -1,0 +1,478 @@
+//! Canonical, length-limited Huffman coding shared by the Gzip-class
+//! ([`crate::deflate`]) and Bzip2-class ([`crate::bwt`]) codecs.
+//!
+//! Code lengths are built with a standard heap-based Huffman construction;
+//! if the deepest code exceeds [`MAX_CODE_LEN`], frequencies are halved
+//! (rounding up) and the tree rebuilt — the same pragmatic depth-limiting
+//! strategy production encoders use. Codes are assigned canonically and
+//! stored bit-reversed so they can be emitted directly into the LSB-first
+//! bitstream and decoded with a single table lookup.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::DecompressError;
+
+/// Maximum Huffman code length (DEFLATE's limit; keeps decode tables small).
+pub const MAX_CODE_LEN: u32 = 15;
+
+/// Reverse the low `len` bits of `code`.
+#[inline]
+fn reverse_bits(code: u32, len: u32) -> u32 {
+    let mut v = 0u32;
+    for i in 0..len {
+        v |= ((code >> i) & 1) << (len - 1 - i);
+    }
+    v
+}
+
+/// Compute Huffman code lengths for `freqs`, limited to `MAX_CODE_LEN`.
+///
+/// Returns one length per symbol; unused symbols (zero frequency) get
+/// length 0. If exactly one symbol is used it gets length 1 (a zero-length
+/// code cannot be written to the stream).
+pub fn build_code_lengths(freqs: &[u64]) -> Vec<u8> {
+    assert!(!freqs.is_empty(), "need at least one symbol");
+    let used: Vec<usize> = (0..freqs.len()).filter(|&s| freqs[s] > 0).collect();
+    let mut lengths = vec![0u8; freqs.len()];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    let mut scaled: Vec<u64> = freqs.to_vec();
+    loop {
+        let lens = huffman_depths(&scaled, &used);
+        let max = lens.iter().copied().max().unwrap_or(0);
+        if u32::from(max) <= MAX_CODE_LEN {
+            for (&s, &l) in used.iter().zip(lens.iter()) {
+                lengths[s] = l;
+            }
+            return lengths;
+        }
+        // Flatten the distribution and retry; terminates because all
+        // frequencies converge to 1 (perfectly balanced tree).
+        for f in scaled.iter_mut() {
+            if *f > 0 {
+                *f = (*f).div_ceil(2);
+            }
+        }
+    }
+}
+
+/// Plain Huffman tree construction over the `used` symbols of `freqs`;
+/// returns depth per used symbol (parallel to `used`).
+fn huffman_depths(freqs: &[u64], used: &[usize]) -> Vec<u8> {
+    // Node arena: leaves first, then internal nodes.
+    let n = used.len();
+    debug_assert!(n >= 2);
+    let mut parent = vec![usize::MAX; 2 * n - 1];
+    // Min-heap of (freq, node_index); tie-break on node index for
+    // determinism across platforms.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> = used
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| std::cmp::Reverse((freqs[s], i)))
+        .collect();
+    let mut next = n;
+    while heap.len() > 1 {
+        let std::cmp::Reverse((fa, a)) = heap.pop().unwrap();
+        let std::cmp::Reverse((fb, b)) = heap.pop().unwrap();
+        parent[a] = next;
+        parent[b] = next;
+        heap.push(std::cmp::Reverse((fa + fb, next)));
+        next += 1;
+    }
+    // Depth of each leaf = chain length to the root.
+    (0..n)
+        .map(|leaf| {
+            let mut d = 0u8;
+            let mut node = leaf;
+            while parent[node] != usize::MAX {
+                node = parent[node];
+                d += 1;
+            }
+            d
+        })
+        .collect()
+}
+
+/// Encoder table: canonical codes, stored bit-reversed for LSB-first output.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    codes: Vec<u32>,
+    lens: Vec<u8>,
+}
+
+impl Encoder {
+    /// Build the encoder from canonical code lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        let codes = canonical_codes(lengths);
+        Encoder { codes, lens: lengths.to_vec() }
+    }
+
+    /// Emit `symbol` into `w`.
+    #[inline]
+    pub fn write(&self, w: &mut BitWriter, symbol: usize) {
+        let len = self.lens[symbol];
+        debug_assert!(len > 0, "encoding symbol {symbol} with zero-length code");
+        w.write_bits(self.codes[symbol] as u64, u32::from(len));
+    }
+
+    /// Code length of `symbol` in bits (0 = symbol unused).
+    #[inline]
+    pub fn len(&self, symbol: usize) -> u8 {
+        self.lens[symbol]
+    }
+}
+
+/// Assign canonical codes (shorter codes first, then by symbol index) and
+/// return them bit-reversed, ready for LSB-first emission.
+fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0) as u32;
+    let mut bl_count = vec![0u32; max_len as usize + 1];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; max_len as usize + 2];
+    let mut code = 0u32;
+    for bits in 1..=max_len as usize {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                reverse_bits(c, u32::from(l))
+            }
+        })
+        .collect()
+}
+
+/// Table-driven decoder: one lookup of `max_len` peeked bits per symbol.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// `(symbol, code_len)` per `max_len`-bit window value.
+    table: Vec<(u16, u8)>,
+    max_len: u32,
+}
+
+/// Sentinel for unmapped windows (invalid codes).
+const INVALID: (u16, u8) = (u16::MAX, 0);
+
+impl Decoder {
+    /// Build the decoder from canonical code lengths.
+    ///
+    /// Errors if the lengths describe an over-subscribed code (would decode
+    /// ambiguously), which indicates a corrupt header.
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, DecompressError> {
+        let max_len = u32::from(lengths.iter().copied().max().unwrap_or(0));
+        if max_len == 0 {
+            return Ok(Decoder { table: Vec::new(), max_len: 0 });
+        }
+        if max_len > MAX_CODE_LEN {
+            return Err(DecompressError::Malformed("code length exceeds limit"));
+        }
+        // Kraft check: an over-subscribed set of lengths is corrupt.
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (MAX_CODE_LEN - u32::from(l)))
+            .sum();
+        if kraft > 1u64 << MAX_CODE_LEN {
+            return Err(DecompressError::Malformed("over-subscribed Huffman code"));
+        }
+        let codes = canonical_codes(lengths);
+        let mut table = vec![INVALID; 1usize << max_len];
+        for (sym, (&len, &code)) in lengths.iter().zip(codes.iter()).enumerate() {
+            if len == 0 {
+                continue;
+            }
+            let len32 = u32::from(len);
+            // The reversed code occupies the low `len` bits of the window;
+            // every setting of the remaining high bits maps to this symbol.
+            let stride = 1usize << len32;
+            let mut w = code as usize;
+            while w < table.len() {
+                table[w] = (sym as u16, len);
+                w += stride;
+            }
+        }
+        Ok(Decoder { table, max_len })
+    }
+
+    /// Decode one symbol from `r`.
+    #[inline]
+    pub fn read(&self, r: &mut BitReader<'_>) -> Result<usize, DecompressError> {
+        if self.max_len == 0 {
+            return Err(DecompressError::Malformed("decoding with empty code"));
+        }
+        let window = r.peek_bits(self.max_len) as usize;
+        let (sym, len) = self.table[window];
+        if len == 0 {
+            return Err(DecompressError::Malformed("invalid Huffman code"));
+        }
+        r.consume(u32::from(len))?;
+        Ok(sym as usize)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code-length header serialization (DEFLATE-style run-length tokens, emitted
+// as raw 5-bit tokens — compact enough without a second Huffman layer).
+// ---------------------------------------------------------------------------
+
+const TOK_COPY_PREV: u64 = 16; // repeat previous length 3–6 times (2 extra bits)
+const TOK_ZERO_SHORT: u64 = 17; // 3–10 zeros (3 extra bits)
+const TOK_ZERO_LONG: u64 = 18; // 11–138 zeros (7 extra bits)
+
+/// Serialize a code-length array into `w`.
+pub fn write_lengths(w: &mut BitWriter, lengths: &[u8]) {
+    let mut i = 0usize;
+    while i < lengths.len() {
+        let l = lengths[i];
+        // Count the run of equal lengths starting here.
+        let mut run = 1usize;
+        while i + run < lengths.len() && lengths[i + run] == l {
+            run += 1;
+        }
+        if l == 0 {
+            let mut left = run;
+            while left >= 11 {
+                let take = left.min(138);
+                w.write_bits(TOK_ZERO_LONG, 5);
+                w.write_bits((take - 11) as u64, 7);
+                left -= take;
+            }
+            if left >= 3 {
+                w.write_bits(TOK_ZERO_SHORT, 5);
+                w.write_bits((left - 3) as u64, 3);
+                left = 0;
+            }
+            for _ in 0..left {
+                w.write_bits(0, 5);
+            }
+        } else {
+            // Literal once, then copy-prev runs.
+            w.write_bits(u64::from(l), 5);
+            let mut left = run - 1;
+            while left >= 3 {
+                let take = left.min(6);
+                w.write_bits(TOK_COPY_PREV, 5);
+                w.write_bits((take - 3) as u64, 2);
+                left -= take;
+            }
+            for _ in 0..left {
+                w.write_bits(u64::from(l), 5);
+            }
+        }
+        i += run;
+    }
+}
+
+/// Deserialize `count` code lengths from `r`.
+pub fn read_lengths(r: &mut BitReader<'_>, count: usize) -> Result<Vec<u8>, DecompressError> {
+    let mut lengths = Vec::with_capacity(count);
+    while lengths.len() < count {
+        let tok = r.read_bits(5)?;
+        match tok {
+            0..=15 => lengths.push(tok as u8),
+            TOK_COPY_PREV => {
+                let rep = 3 + r.read_bits(2)? as usize;
+                let prev = *lengths
+                    .last()
+                    .ok_or(DecompressError::Malformed("copy-prev with no previous length"))?;
+                for _ in 0..rep {
+                    lengths.push(prev);
+                }
+            }
+            TOK_ZERO_SHORT => {
+                let rep = 3 + r.read_bits(3)? as usize;
+                lengths.extend(std::iter::repeat_n(0u8, rep));
+            }
+            TOK_ZERO_LONG => {
+                let rep = 11 + r.read_bits(7)? as usize;
+                lengths.extend(std::iter::repeat_n(0u8, rep));
+            }
+            _ => return Err(DecompressError::Malformed("invalid length token")),
+        }
+    }
+    if lengths.len() != count {
+        return Err(DecompressError::Malformed("length run overflows table"));
+    }
+    Ok(lengths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_symbols(freqs: &[u64], stream: &[usize]) {
+        let lengths = build_code_lengths(freqs);
+        let enc = Encoder::from_lengths(&lengths);
+        let mut w = BitWriter::new();
+        write_lengths(&mut w, &lengths);
+        for &s in stream {
+            enc.write(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let read_lens = read_lengths(&mut r, freqs.len()).unwrap();
+        assert_eq!(read_lens, lengths);
+        let dec = Decoder::from_lengths(&read_lens).unwrap();
+        for &s in stream {
+            assert_eq!(dec.read(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let freqs: Vec<u64> = (1..=64).map(|i| i * i).collect();
+        let lengths = build_code_lengths(&freqs);
+        let kraft: f64 = lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-i32::from(l))).sum();
+        assert!(kraft <= 1.0 + 1e-12, "kraft = {kraft}");
+    }
+
+    #[test]
+    fn lengths_respect_limit_under_skew() {
+        // Fibonacci-like frequencies force deep trees in unlimited Huffman.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = build_code_lengths(&freqs);
+        assert!(lengths.iter().all(|&l| u32::from(l) <= MAX_CODE_LEN));
+        // Still decodable.
+        assert!(Decoder::from_lengths(&lengths).is_ok());
+    }
+
+    #[test]
+    fn frequent_symbols_get_shorter_codes() {
+        let mut freqs = vec![1u64; 16];
+        freqs[3] = 1000;
+        let lengths = build_code_lengths(&freqs);
+        let min = lengths.iter().copied().filter(|&l| l > 0).min().unwrap();
+        assert_eq!(lengths[3], min);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let mut freqs = vec![0u64; 256];
+        freqs[42] = 7;
+        let lengths = build_code_lengths(&freqs);
+        assert_eq!(lengths[42], 1);
+        assert_eq!(lengths.iter().filter(|&&l| l > 0).count(), 1);
+        roundtrip_symbols(&freqs, &[42, 42, 42, 42]);
+    }
+
+    #[test]
+    fn empty_alphabet() {
+        let freqs = vec![0u64; 16];
+        let lengths = build_code_lengths(&freqs);
+        assert!(lengths.iter().all(|&l| l == 0));
+        let dec = Decoder::from_lengths(&lengths).unwrap();
+        let mut r = BitReader::new(&[0u8; 4]);
+        assert!(dec.read(&mut r).is_err());
+    }
+
+    #[test]
+    fn two_symbol_roundtrip() {
+        let mut freqs = vec![0u64; 8];
+        freqs[1] = 3;
+        freqs[6] = 9;
+        roundtrip_symbols(&freqs, &[1, 6, 6, 1, 6, 6, 6, 1]);
+    }
+
+    #[test]
+    fn full_byte_alphabet_roundtrip() {
+        let mut freqs = vec![0u64; 256];
+        for (i, f) in freqs.iter_mut().enumerate() {
+            *f = (i as u64 % 17) + 1;
+        }
+        let stream: Vec<usize> = (0..2000).map(|i| (i * 31) % 256).collect();
+        roundtrip_symbols(&freqs, &stream);
+    }
+
+    #[test]
+    fn length_header_roundtrip_with_long_zero_runs() {
+        let mut lengths = vec![0u8; 300];
+        lengths[0] = 5;
+        lengths[150] = 5;
+        lengths[151] = 5;
+        lengths[152] = 5;
+        lengths[153] = 5;
+        lengths[299] = 2;
+        let mut w = BitWriter::new();
+        write_lengths(&mut w, &lengths);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(read_lengths(&mut r, 300).unwrap(), lengths);
+    }
+
+    #[test]
+    fn oversubscribed_code_rejected() {
+        // Three codes of length 1 cannot coexist.
+        let lengths = [1u8, 1, 1];
+        assert!(Decoder::from_lengths(&lengths).is_err());
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let freqs: Vec<u64> = (0..32).map(|i| 1 + (i % 5) as u64 * 10).collect();
+        let lengths = build_code_lengths(&freqs);
+        let codes = canonical_codes(&lengths);
+        // Check pairwise prefix-freedom over the *reversed* (stored) codes,
+        // interpreting them in LSB-first read order.
+        for a in 0..lengths.len() {
+            for b in 0..lengths.len() {
+                if a == b || lengths[a] == 0 || lengths[b] == 0 || lengths[a] > lengths[b] {
+                    continue;
+                }
+                let mask = (1u32 << lengths[a]) - 1;
+                assert!(
+                    (codes[b] & mask != codes[a]),
+                    "code {a} is a read-order prefix of code {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_code_stream_detected() {
+        let mut freqs = vec![0u64; 8];
+        freqs[0] = 1;
+        freqs[1] = 1;
+        freqs[2] = 2;
+        let lengths = build_code_lengths(&freqs);
+        let enc = Encoder::from_lengths(&lengths);
+        let mut w = BitWriter::new();
+        for _ in 0..100 {
+            enc.write(&mut w, 2);
+        }
+        let mut bytes = w.finish();
+        bytes.truncate(2);
+        let dec = Decoder::from_lengths(&lengths).unwrap();
+        let mut r = BitReader::new(&bytes);
+        let mut err = None;
+        for _ in 0..100 {
+            if let Err(e) = dec.read(&mut r) {
+                err = Some(e);
+                break;
+            }
+        }
+        assert!(err.is_some(), "must eventually hit truncation");
+    }
+}

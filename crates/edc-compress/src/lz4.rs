@@ -1,0 +1,323 @@
+//! Lz4-class codec: token-based fast LZ in the style of the LZ4 block
+//! format.
+//!
+//! Like [`crate::lzf`] this sits at the fast end of the ratio/speed
+//! trade-off, but with the LZ4 container layout: each *sequence* is
+//! `token · [literal-length extension] · literals · offset(2B LE) ·
+//! [match-length extension]`, with 4-bit length nibbles in the token and
+//! `255`-valued extension bytes. Minimum match length is 4; the final
+//! sequence carries literals only.
+
+use crate::{Codec, CodecId, DecompressError};
+use std::cell::RefCell;
+
+std::thread_local! {
+    /// Reusable match table (see `lzf::SCRATCH` for rationale).
+    static SCRATCH: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+const MIN_MATCH: usize = 4;
+const MAX_OFFSET: usize = u16::MAX as usize;
+const HASH_BITS: u32 = 15;
+
+/// Lz4-class fast LZ codec. See the [module docs](self) for the format.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Lz4 {
+    _private: (),
+}
+
+impl Lz4 {
+    /// Create the codec (stateless; `const` so it can back a `static`).
+    pub const fn new() -> Self {
+        Self { _private: () }
+    }
+}
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Write an LZ4-style length: `nibble` already holds `min(len, 15)`; emit
+/// extension bytes for the remainder.
+#[inline]
+fn push_length_ext(out: &mut Vec<u8>, mut rest: usize) {
+    while rest >= 255 {
+        out.push(255);
+        rest -= 255;
+    }
+    out.push(rest as u8);
+}
+
+#[inline]
+fn read_length_ext(input: &[u8], i: &mut usize, base: usize) -> Result<usize, DecompressError> {
+    let mut len = base;
+    if base == 15 {
+        loop {
+            if *i >= input.len() {
+                return Err(DecompressError::Truncated);
+            }
+            let b = input[*i];
+            *i += 1;
+            len += b as usize;
+            if b != 255 {
+                break;
+            }
+        }
+    }
+    Ok(len)
+}
+
+impl Codec for Lz4 {
+    fn id(&self) -> CodecId {
+        CodecId::Lz4
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let n = input.len();
+        let mut out = Vec::with_capacity(n / 2 + 16);
+        if n < MIN_MATCH + 1 {
+            // Single literal-only sequence.
+            emit_sequence(&mut out, input, 0, n, None);
+            return out;
+        }
+        SCRATCH.with(|cell| {
+        let mut table = cell.borrow_mut();
+        table.clear();
+        table.resize(1 << HASH_BITS, usize::MAX);
+        let mut lit_start = 0usize;
+        let mut i = 0usize;
+        let limit = n - MIN_MATCH;
+        while i <= limit {
+            let h = hash4(input, i);
+            let cand = table[h];
+            table[h] = i;
+            let ok = cand != usize::MAX
+                && i - cand <= MAX_OFFSET
+                && input[cand..cand + MIN_MATCH] == input[i..i + MIN_MATCH];
+            if !ok {
+                i += 1;
+                continue;
+            }
+            let max_len = n - i;
+            let mut len = MIN_MATCH;
+            while len < max_len && input[cand + len] == input[i + len] {
+                len += 1;
+            }
+            emit_sequence(&mut out, input, lit_start, i, Some((i - cand, len)));
+            let match_end = i + len;
+            let insert_to = match_end.min(limit + 1);
+            let mut j = i + 1;
+            while j < insert_to {
+                table[hash4(input, j)] = j;
+                j += 2; // sparser insertion than Lzf: trades ratio for speed
+            }
+            i = match_end;
+            lit_start = i;
+        }
+        // Trailing literal-only sequence (always emitted, even if empty, so
+        // the decoder sees a well-formed final token when there are no
+        // trailing literals and the stream is non-empty).
+        if lit_start < n || out.is_empty() {
+            emit_sequence(&mut out, input, lit_start, n, None);
+        }
+        out
+        })
+    }
+
+    fn decompress(&self, input: &[u8], expected_len: usize) -> Result<Vec<u8>, DecompressError> {
+        // See `Lzf::decompress`: never pre-allocate an untrusted length.
+        let mut out = Vec::with_capacity(expected_len.min(16 << 20));
+        if input.is_empty() {
+            if expected_len == 0 {
+                return Ok(out);
+            }
+            return Err(DecompressError::Truncated);
+        }
+        let mut i = 0usize;
+        while i < input.len() {
+            let token = input[i];
+            i += 1;
+            let lit_len = read_length_ext(input, &mut i, (token >> 4) as usize)?;
+            if i + lit_len > input.len() {
+                return Err(DecompressError::Truncated);
+            }
+            out.extend_from_slice(&input[i..i + lit_len]);
+            i += lit_len;
+            if i == input.len() {
+                break; // final, literal-only sequence
+            }
+            if i + 2 > input.len() {
+                return Err(DecompressError::Truncated);
+            }
+            let offset = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
+            i += 2;
+            if offset == 0 {
+                return Err(DecompressError::Malformed("zero match offset"));
+            }
+            let match_len = read_length_ext(input, &mut i, (token & 0x0F) as usize)? + MIN_MATCH;
+            if offset > out.len() {
+                return Err(DecompressError::BadReference { at: out.len(), offset });
+            }
+            let src = out.len() - offset;
+            for k in 0..match_len {
+                let b = out[src + k];
+                out.push(b);
+            }
+        }
+        if out.len() != expected_len {
+            return Err(DecompressError::SizeMismatch { expected: expected_len, actual: out.len() });
+        }
+        Ok(out)
+    }
+}
+
+/// Emit one sequence: literals `input[lit_start..lit_end]` then an optional
+/// `(offset, len)` match.
+fn emit_sequence(
+    out: &mut Vec<u8>,
+    input: &[u8],
+    lit_start: usize,
+    lit_end: usize,
+    m: Option<(usize, usize)>,
+) {
+    let lit_len = lit_end - lit_start;
+    let lit_nib = lit_len.min(15) as u8;
+    let match_nib = match m {
+        Some((_, len)) => (len - MIN_MATCH).min(15) as u8,
+        None => 0,
+    };
+    out.push(lit_nib << 4 | match_nib);
+    if lit_len >= 15 {
+        push_length_ext(out, lit_len - 15);
+    }
+    out.extend_from_slice(&input[lit_start..lit_end]);
+    if let Some((offset, len)) = m {
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+        if len - MIN_MATCH >= 15 {
+            push_length_ext(out, len - MIN_MATCH - 15);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let c = Lz4::new().compress(data);
+        Lz4::new().decompress(&c, data.len()).expect("round trip")
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(roundtrip(b""), b"");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for n in 1..=6 {
+            let data: Vec<u8> = (0..n as u8).map(|b| b.wrapping_mul(37)).collect();
+            assert_eq!(roundtrip(&data), data);
+        }
+    }
+
+    #[test]
+    fn all_zero_block_compresses_hard() {
+        let data = vec![0u8; 4096];
+        let c = Lz4::new().compress(&data);
+        assert!(c.len() < 64, "got {}", c.len());
+        assert_eq!(Lz4::new().decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn long_literal_run_extension_bytes() {
+        // >15+255 distinct literals exercises multi-byte length extension.
+        let data: Vec<u8> = (0..300u32).map(|i| (i * 97 % 256) as u8).collect();
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn long_match_extension_bytes() {
+        // One long repeated region exercises match-length extensions.
+        let mut data = b"seed".to_vec();
+        data.extend(std::iter::repeat_n(b'q', 1000));
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn overlapping_copy() {
+        let mut data = Vec::new();
+        for _ in 0..500 {
+            data.extend_from_slice(b"ab");
+        }
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn text_compresses() {
+        let data: Vec<u8> = b"flash based storage systems benefit from compression "
+            .iter()
+            .copied()
+            .cycle()
+            .take(16384)
+            .collect();
+        let c = Lz4::new().compress(&data);
+        assert!(c.len() < data.len() / 4);
+        assert_eq!(Lz4::new().decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn zero_offset_rejected() {
+        // token: 0 literals, match nibble 0 => match len 4, offset 0 (invalid).
+        let stream = [0x00u8, 0x00, 0x00];
+        let err = Lz4::new().decompress(&stream, 4).unwrap_err();
+        assert_eq!(err, DecompressError::Malformed("zero match offset"));
+    }
+
+    #[test]
+    fn reference_before_start_rejected() {
+        // 1 literal 'A', then match len 4 at offset 5 (> output so far).
+        let stream = [0x10u8, b'A', 0x05, 0x00];
+        let err = Lz4::new().decompress(&stream, 5).unwrap_err();
+        assert!(matches!(err, DecompressError::BadReference { .. }));
+    }
+
+    #[test]
+    fn truncated_literals_rejected() {
+        let stream = [0x50u8, b'a', b'b']; // promises 5 literals, has 2
+        assert_eq!(Lz4::new().decompress(&stream, 5), Err(DecompressError::Truncated));
+    }
+
+    #[test]
+    fn truncated_offset_rejected() {
+        let stream = [0x10u8, b'a', 0x01]; // match follows but only 1 offset byte
+        assert_eq!(Lz4::new().decompress(&stream, 5), Err(DecompressError::Truncated));
+    }
+
+    #[test]
+    fn expected_len_enforced() {
+        let data = b"abcdabcdabcdabcd";
+        let c = Lz4::new().compress(data);
+        assert!(matches!(
+            Lz4::new().decompress(&c, data.len() - 1),
+            Err(DecompressError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 7 * 41) as u8).collect();
+        assert_eq!(Lz4::new().compress(&data), Lz4::new().compress(&data));
+    }
+
+    #[test]
+    fn match_at_max_offset() {
+        let marker = b"XYZW";
+        let mut data = marker.to_vec();
+        data.extend((0..MAX_OFFSET - marker.len()).map(|i| (i % 89 + 100) as u8));
+        data.extend_from_slice(marker);
+        assert_eq!(roundtrip(&data), data);
+    }
+}

@@ -1,0 +1,97 @@
+//! Move-to-front transform, the middle stage of the Bzip2-class pipeline
+//! ([`crate::bwt`]).
+//!
+//! After the Burrows–Wheeler transform, equal bytes cluster; MTF converts
+//! that local clustering into a stream dominated by small values (mostly
+//! zeros), which the zero-run-length stage ([`crate::rle`]) then collapses.
+
+/// Forward move-to-front: each output byte is the index of the input byte in
+/// a recency list, which is then reordered to put that byte first.
+pub fn mtf_encode(input: &[u8]) -> Vec<u8> {
+    let mut order: [u8; 256] = std::array::from_fn(|i| i as u8);
+    input
+        .iter()
+        .map(|&b| {
+            let idx = order.iter().position(|&x| x == b).expect("byte present") as u8;
+            // Move to front.
+            order.copy_within(0..idx as usize, 1);
+            order[0] = b;
+            idx
+        })
+        .collect()
+}
+
+/// Inverse move-to-front.
+pub fn mtf_decode(input: &[u8]) -> Vec<u8> {
+    let mut order: [u8; 256] = std::array::from_fn(|i| i as u8);
+    input
+        .iter()
+        .map(|&idx| {
+            let b = order[idx as usize];
+            order.copy_within(0..idx as usize, 1);
+            order[0] = b;
+            b
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        assert!(mtf_encode(&[]).is_empty());
+        assert!(mtf_decode(&[]).is_empty());
+    }
+
+    #[test]
+    fn identity_first_symbol() {
+        // Byte 0 is initially at index 0.
+        assert_eq!(mtf_encode(&[0]), vec![0]);
+        // Byte 5 is initially at index 5.
+        assert_eq!(mtf_encode(&[5]), vec![5]);
+    }
+
+    #[test]
+    fn repeated_bytes_become_zeros() {
+        let out = mtf_encode(b"aaaaaa");
+        assert_eq!(out[0], b'a');
+        assert!(out[1..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn clustered_input_yields_small_values() {
+        let input = b"aaaabbbbccccaaaa";
+        let out = mtf_encode(input);
+        // Within each run, everything after the first occurrence is zero,
+        // and re-visiting a recently-seen byte yields a small index.
+        assert!(out[1..4].iter().all(|&x| x == 0), "{out:?}");
+        assert!(out[5..8].iter().all(|&x| x == 0), "{out:?}");
+        assert!(out[9..12].iter().all(|&x| x == 0), "{out:?}");
+        assert!(out[12] <= 3, "{out:?}"); // 'a' again, two distinct bytes since
+        assert!(out[13..].iter().all(|&x| x == 0), "{out:?}");
+    }
+
+    #[test]
+    fn round_trip_all_bytes() {
+        let input: Vec<u8> = (0..=255u8).chain((0..=255u8).rev()).collect();
+        assert_eq!(mtf_decode(&mtf_encode(&input)), input);
+    }
+
+    #[test]
+    fn round_trip_text() {
+        let input = b"move to front transforms clustered data into small indices";
+        assert_eq!(mtf_decode(&mtf_encode(input)), input);
+    }
+
+    #[test]
+    fn known_sequence() {
+        // input: b a b
+        // order [0..]: ..., encode 'b'(98): idx 98; order: b,0,1,...
+        // encode 'a'(97): 'a' was at 97, now shifted to 98 by 'b' moving front.
+        let out = mtf_encode(b"bab");
+        assert_eq!(out, vec![98, 98, 1]);
+        assert_eq!(mtf_decode(&out), b"bab");
+    }
+}

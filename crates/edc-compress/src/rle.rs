@@ -1,0 +1,159 @@
+//! Zero run-length coding of the move-to-front output, using bzip2's
+//! RUNA/RUNB bijective base-2 scheme.
+//!
+//! MTF output is dominated by zeros (runs of identical bytes after the
+//! BWT). Encoding a run of `n` zeros in bijective base 2 with digits
+//! RUNA (=1) and RUNB (=2) costs only `⌊log2(n+1)⌋` symbols.
+//!
+//! ## Symbol space
+//!
+//! * `RUNA` (0) and `RUNB` (1) — zero-run digits,
+//! * `2..=256` — MTF values `1..=255` shifted up by one,
+//! * `EOB_SYM` (257) — end of block.
+
+/// Zero-run digit with weight 1.
+pub const RUNA: u16 = 0;
+/// Zero-run digit with weight 2.
+pub const RUNB: u16 = 1;
+/// End-of-block symbol.
+pub const EOB_SYM: u16 = 257;
+/// Total symbol-space size (RUNA, RUNB, 255 shifted values, EOB).
+pub const NUM_SYMBOLS: usize = 258;
+
+/// Encode an MTF byte stream into RUNA/RUNB symbols (without the trailing
+/// [`EOB_SYM`]; the container appends it).
+pub fn zrle_encode(mtf: &[u8]) -> Vec<u16> {
+    let mut out = Vec::with_capacity(mtf.len() / 2 + 8);
+    let mut zero_run = 0usize;
+    for &v in mtf {
+        if v == 0 {
+            zero_run += 1;
+        } else {
+            flush_zero_run(&mut out, &mut zero_run);
+            out.push(u16::from(v) + 1);
+        }
+    }
+    flush_zero_run(&mut out, &mut zero_run);
+    out
+}
+
+/// Emit `run` zeros in bijective base 2: repeatedly take `(run+1)/2 - ...`;
+/// digit RUNA adds `2^k`, digit RUNB adds `2^(k+1)` for the k-th digit.
+fn flush_zero_run(out: &mut Vec<u16>, run: &mut usize) {
+    let mut n = *run;
+    while n > 0 {
+        if n & 1 == 1 {
+            out.push(RUNA);
+            n = (n - 1) / 2;
+        } else {
+            out.push(RUNB);
+            n = (n - 2) / 2;
+        }
+    }
+    *run = 0;
+}
+
+/// Decode RUNA/RUNB symbols back into the MTF byte stream. Symbols must not
+/// include [`EOB_SYM`].
+///
+/// Returns `None` if a symbol is out of range.
+pub fn zrle_decode(symbols: &[u16]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(symbols.len() * 2);
+    let mut i = 0usize;
+    while i < symbols.len() {
+        let s = symbols[i];
+        if s == RUNA || s == RUNB {
+            // Gather the full run of digits.
+            let mut run = 0usize;
+            let mut weight = 1usize;
+            while i < symbols.len() && (symbols[i] == RUNA || symbols[i] == RUNB) {
+                run += if symbols[i] == RUNA { weight } else { 2 * weight };
+                weight *= 2;
+                i += 1;
+            }
+            out.extend(std::iter::repeat_n(0u8, run));
+        } else if (2..=256).contains(&s) {
+            out.push((s - 1) as u8);
+            i += 1;
+        } else {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(mtf: &[u8]) {
+        let sym = zrle_encode(mtf);
+        assert_eq!(zrle_decode(&sym).unwrap(), mtf);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(zrle_encode(&[]).is_empty());
+        assert_eq!(zrle_decode(&[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn single_values() {
+        roundtrip(&[0]);
+        roundtrip(&[1]);
+        roundtrip(&[255]);
+    }
+
+    #[test]
+    fn zero_runs_of_every_small_length() {
+        for n in 0..100usize {
+            let mtf: Vec<u8> = std::iter::repeat_n(0u8, n).chain([7u8]).collect();
+            roundtrip(&mtf);
+        }
+    }
+
+    #[test]
+    fn long_zero_run_is_logarithmic() {
+        let mtf = vec![0u8; 1_000_000];
+        let sym = zrle_encode(&mtf);
+        assert!(sym.len() <= 21, "1M zeros must fit in ~log2 symbols, got {}", sym.len());
+        assert_eq!(zrle_decode(&sym).unwrap(), mtf);
+    }
+
+    #[test]
+    fn mixed_stream() {
+        let mtf = [0, 0, 0, 5, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 255, 0];
+        roundtrip(&mtf);
+    }
+
+    #[test]
+    fn nonzero_values_shift_by_one() {
+        let sym = zrle_encode(&[1, 255]);
+        assert_eq!(sym, vec![2, 256]);
+    }
+
+    #[test]
+    fn bijective_base2_examples() {
+        // run 1 => RUNA; run 2 => RUNB; run 3 => RUNA RUNA; run 4 => RUNB RUNA
+        assert_eq!(zrle_encode(&[0]), vec![RUNA]);
+        assert_eq!(zrle_encode(&[0, 0]), vec![RUNB]);
+        assert_eq!(zrle_encode(&[0, 0, 0]), vec![RUNA, RUNA]);
+        assert_eq!(zrle_encode(&[0, 0, 0, 0]), vec![RUNB, RUNA]);
+    }
+
+    #[test]
+    fn out_of_range_symbol_rejected() {
+        assert!(zrle_decode(&[300]).is_none());
+        assert!(zrle_decode(&[EOB_SYM]).is_none());
+    }
+
+    #[test]
+    fn adjacent_runs_and_values() {
+        let mut mtf = Vec::new();
+        for i in 0..50 {
+            mtf.extend(std::iter::repeat_n(0u8, i));
+            mtf.push((i % 254 + 1) as u8);
+        }
+        roundtrip(&mtf);
+    }
+}

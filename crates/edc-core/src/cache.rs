@@ -1,0 +1,188 @@
+//! Decompressed-run read cache (DRAM buffer).
+//!
+//! Every storage controller fronts its media with DRAM; for a compressed
+//! store the natural cache unit is the *decompressed run* — a hit serves
+//! the read at memory speed and skips both the flash fetch and the
+//! decompression. The cache is LRU over run identities and is invalidated
+//! by overwrites. Disabled by default in the experiments (the paper's
+//! prototype does not describe one); the `ablate_cache` experiment
+//! quantifies what it would add.
+
+use std::collections::HashMap;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted by capacity pressure.
+    pub evictions: u64,
+    /// Entries dropped by overwrite invalidation.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups (0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// LRU cache over run identities (`run_start` block numbers).
+#[derive(Debug, Clone)]
+pub struct RunCache {
+    /// run_start → last-use sequence number.
+    entries: HashMap<u64, u64>,
+    capacity: usize,
+    seq: u64,
+    stats: CacheStats,
+}
+
+impl RunCache {
+    /// Create a cache holding up to `capacity` runs (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        RunCache { entries: HashMap::new(), capacity, seq: 0, stats: CacheStats::default() }
+    }
+
+    /// Whether caching is enabled.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Look up a run; refreshes recency on hit.
+    pub fn lookup(&mut self, run_start: u64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.seq += 1;
+        match self.entries.get_mut(&run_start) {
+            Some(last) => {
+                *last = self.seq;
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Insert a run after a miss, evicting the least-recently-used entry
+    /// when full.
+    pub fn insert(&mut self, run_start: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.seq += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&run_start) {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|&(_, &s)| s) {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(run_start, self.seq);
+    }
+
+    /// Drop a run on overwrite.
+    pub fn invalidate(&mut self, run_start: u64) {
+        if self.entries.remove(&run_start).is_some() {
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Current resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let mut c = RunCache::new(0);
+        assert!(!c.enabled());
+        c.insert(1);
+        assert!(!c.lookup(1));
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = RunCache::new(4);
+        assert!(!c.lookup(7));
+        c.insert(7);
+        assert!(c.lookup(7));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = RunCache::new(2);
+        c.insert(1);
+        c.insert(2);
+        assert!(c.lookup(1)); // 1 is now most recent
+        c.insert(3); // evicts 2
+        assert!(c.lookup(1));
+        assert!(!c.lookup(2));
+        assert!(c.lookup(3));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidation_drops_entry() {
+        let mut c = RunCache::new(4);
+        c.insert(9);
+        c.invalidate(9);
+        assert!(!c.lookup(9));
+        assert_eq!(c.stats().invalidations, 1);
+        // Invalidating an absent run is a no-op.
+        c.invalidate(9);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = RunCache::new(8);
+        for i in 0..100 {
+            c.insert(i);
+        }
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.stats().evictions, 92);
+        // The last 8 inserted survive.
+        for i in 92..100 {
+            assert!(c.lookup(i), "run {i}");
+        }
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut c = RunCache::new(2);
+        c.insert(1);
+        c.insert(2);
+        c.insert(1); // refresh, not a third entry
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+    }
+}

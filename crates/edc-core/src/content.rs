@@ -1,0 +1,289 @@
+//! Content model: per-block compressibility for trace replay.
+//!
+//! The replayed traces carry no payload, so — like the paper, which used
+//! SDGen to synthesize content with realistic compressibility — the
+//! simulator assigns each logical block a content class and derives its
+//! compressed size per codec from a **calibration table measured on this
+//! crate's real codecs** over `edc-datagen` blocks. Calibration happens
+//! once per model (real compressions of every class at two sizes, plus the
+//! real sampling estimator); replay then uses deterministic table lookups
+//! with per-block jitter, which keeps multi-million-request experiments
+//! fast while staying anchored to genuinely measured ratios.
+
+use edc_compress::{codec_by_id, CodecId, Estimator};
+use edc_datagen::{BlockClass, ContentGenerator, DataMix};
+
+/// Calibration parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalibrationConfig {
+    /// Sample blocks per (class, size) cell.
+    pub samples: usize,
+    /// Small block size (bytes) — the unmerged 4 KiB write.
+    pub small_bytes: usize,
+    /// Large block size (bytes) — a full merged run.
+    pub large_bytes: usize,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig { samples: 3, small_bytes: 4096, large_bytes: 65536 }
+    }
+}
+
+/// Per-block content/compressibility model.
+#[derive(Debug, Clone)]
+pub struct ContentModel {
+    seed: u64,
+    small_bytes: f64,
+    large_bytes: f64,
+    /// `[class][codec] -> (fraction_small, fraction_large)`, codec indexed
+    /// by `tag - 1`.
+    table: Vec<[(f64, f64); 4]>,
+    /// Estimator-probe fraction per class (what EDC's sampling check sees).
+    probe: Vec<f64>,
+    /// Class probability masses in `BlockClass::ALL` order, cached at
+    /// calibration (`DataMix` only exposes RNG sampling).
+    class_pmf: [f64; 6],
+}
+
+/// splitmix64 — deterministic per-block hashing.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ContentModel {
+    /// Calibrate a model for `mix` with deterministic `seed`.
+    pub fn calibrate(mix: DataMix, seed: u64, cal: CalibrationConfig) -> Self {
+        assert!(cal.samples >= 1);
+        assert!(cal.small_bytes >= 512 && cal.large_bytes > cal.small_bytes);
+        let mut generator = ContentGenerator::new(seed ^ 0xCA11_B4A7E, mix.clone());
+        let estimator = Estimator::default();
+        let mut table = Vec::with_capacity(BlockClass::ALL.len());
+        let mut probe = Vec::with_capacity(BlockClass::ALL.len());
+        for class in BlockClass::ALL {
+            let mut cell = [(0.0f64, 0.0f64); 4];
+            let mut probe_sum = 0.0f64;
+            for s in 0..cal.samples {
+                let small = generator.block_of(class, cal.small_bytes);
+                let large = generator.block_of(class, cal.large_bytes);
+                probe_sum += estimator.estimate(&small).fraction;
+                let _ = s;
+                for (slot, id) in CodecId::ALL_CODECS.iter().enumerate() {
+                    let codec = codec_by_id(*id).expect("real codec");
+                    cell[slot].0 += codec.compress(&small).len() as f64 / small.len() as f64;
+                    cell[slot].1 += codec.compress(&large).len() as f64 / large.len() as f64;
+                }
+            }
+            let n = cal.samples as f64;
+            for c in cell.iter_mut() {
+                c.0 /= n;
+                c.1 /= n;
+            }
+            table.push(cell);
+            probe.push(probe_sum / n);
+        }
+        // Estimate the class probability masses once: DataMix only exposes
+        // RNG sampling, so draw a deterministic reference sample.
+        let class_pmf = {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+            let mut counts = [0usize; 6];
+            const DRAWS: usize = 65_536;
+            for _ in 0..DRAWS {
+                let c = mix.sample(&mut rng);
+                counts[BlockClass::ALL.iter().position(|&x| x == c).expect("known class")] += 1;
+            }
+            let mut out = [0.0f64; 6];
+            for i in 0..6 {
+                out[i] = counts[i] as f64 / DRAWS as f64;
+            }
+            out
+        };
+        ContentModel {
+            seed,
+            small_bytes: cal.small_bytes as f64,
+            large_bytes: cal.large_bytes as f64,
+            table,
+            probe,
+            class_pmf,
+        }
+    }
+
+    /// The content class of a logical block (stable per model).
+    pub fn class_of(&self, block: u64) -> BlockClass {
+        let h = mix64(block ^ self.seed);
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let mut acc = 0.0;
+        for (i, &w) in self.class_pmf.iter().enumerate() {
+            acc += w;
+            if u < acc {
+                return BlockClass::ALL[i];
+            }
+        }
+        *BlockClass::ALL.last().expect("non-empty")
+    }
+
+    /// Compressed fraction (compressed/original) for a run of `bytes`
+    /// starting at logical block `start_block`, under `codec`.
+    pub fn fraction(&self, start_block: u64, blocks: u32, codec: CodecId, bytes: u64) -> f64 {
+        if codec == CodecId::None {
+            return 1.0;
+        }
+        let slot = codec.tag() as usize - 1;
+        // Average the class fractions across the run's blocks.
+        let mut fs = 0.0;
+        let mut fl = 0.0;
+        for b in start_block..start_block + u64::from(blocks) {
+            let class = self.class_of(b);
+            let idx = BlockClass::ALL.iter().position(|&x| x == class).expect("known class");
+            let (s, l) = self.table[idx][slot];
+            fs += s;
+            fl += l;
+        }
+        fs /= f64::from(blocks);
+        fl /= f64::from(blocks);
+        // Interpolate in log-size between the calibrated anchors.
+        let t = ((bytes as f64).ln() - self.small_bytes.ln())
+            / (self.large_bytes.ln() - self.small_bytes.ln());
+        let t = t.clamp(0.0, 1.0);
+        let base = fs + (fl - fs) * t;
+        // Deterministic ±8 % per-run jitter (content heterogeneity).
+        let h = mix64(start_block.wrapping_mul(31).wrapping_add(u64::from(codec.tag())) ^ self.seed);
+        let jitter = 0.92 + 0.16 * ((h >> 11) as f64 / (1u64 << 53) as f64);
+        (base * jitter).clamp(0.01, 1.05)
+    }
+
+    /// What EDC's sampling estimator would report for this run — anchored
+    /// to the real [`Estimator`] measured at calibration.
+    pub fn estimate_fraction(&self, start_block: u64, blocks: u32) -> f64 {
+        let mut sum = 0.0;
+        for b in start_block..start_block + u64::from(blocks) {
+            let class = self.class_of(b);
+            let idx = BlockClass::ALL.iter().position(|&x| x == class).expect("known class");
+            sum += self.probe[idx];
+        }
+        let base = sum / f64::from(blocks);
+        let h = mix64(start_block.wrapping_mul(17) ^ self.seed ^ 0xE57);
+        let jitter = 0.95 + 0.10 * ((h >> 11) as f64 / (1u64 << 53) as f64);
+        (base * jitter).clamp(0.01, 1.2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cal() -> CalibrationConfig {
+        CalibrationConfig { samples: 1, small_bytes: 4096, large_bytes: 8192 }
+    }
+
+    fn model() -> ContentModel {
+        ContentModel::calibrate(DataMix::primary_storage(), 7, quick_cal())
+    }
+
+    #[test]
+    fn class_assignment_is_stable() {
+        let m = model();
+        for b in 0..100 {
+            assert_eq!(m.class_of(b), m.class_of(b));
+        }
+    }
+
+    #[test]
+    fn class_distribution_tracks_mix() {
+        let m = model();
+        let incompressible = (0..20_000u64)
+            .filter(|&b| m.class_of(b).is_incompressible())
+            .count() as f64
+            / 20_000.0;
+        let want = DataMix::primary_storage().incompressible_fraction();
+        assert!(
+            (incompressible - want).abs() < 0.05,
+            "incompressible share {incompressible:.3} vs mix {want:.3}"
+        );
+    }
+
+    #[test]
+    fn ratio_ordering_matches_codecs() {
+        // Over many compressible runs the strong codec must produce smaller
+        // fractions than the fast one — inherited from real calibration.
+        let m = model();
+        let mut lzf = 0.0;
+        let mut bwt = 0.0;
+        let mut n = 0.0;
+        for b in 0..2000u64 {
+            if m.class_of(b).is_incompressible() {
+                continue;
+            }
+            lzf += m.fraction(b, 1, CodecId::Lzf, 4096);
+            bwt += m.fraction(b, 1, CodecId::Bwt, 4096);
+            n += 1.0;
+        }
+        assert!(n > 100.0);
+        assert!(bwt / n < lzf / n, "bwt {:.3} !< lzf {:.3}", bwt / n, lzf / n);
+    }
+
+    #[test]
+    fn none_codec_fraction_is_one() {
+        let m = model();
+        assert_eq!(m.fraction(0, 1, CodecId::None, 4096), 1.0);
+    }
+
+    #[test]
+    fn larger_runs_compress_no_worse() {
+        // §III-E: "the larger the data block, the higher the compression
+        // ratio" — compare the same blocks at small vs merged sizes so the
+        // class mix is held constant.
+        let m = model();
+        let mut small = 0.0;
+        let mut large = 0.0;
+        let mut n = 0.0;
+        for b in 0..4000u64 {
+            if m.class_of(b).is_incompressible() {
+                continue;
+            }
+            small += m.fraction(b, 1, CodecId::Deflate, 4096);
+            large += m.fraction(b, 1, CodecId::Deflate, 65536);
+            n += 1.0;
+        }
+        assert!(large / n <= small / n + 0.02, "large {:.3} vs small {:.3}", large / n, small / n);
+    }
+
+    #[test]
+    fn estimator_separates_random_from_zero() {
+        let m = model();
+        // Find one block of each extreme class.
+        let zero = (0..10_000u64).find(|&b| m.class_of(b) == BlockClass::Zero).unwrap();
+        let random = (0..10_000u64).find(|&b| m.class_of(b) == BlockClass::Random).unwrap();
+        assert!(m.estimate_fraction(zero, 1) < 0.3);
+        assert!(m.estimate_fraction(random, 1) > 0.75);
+    }
+
+    #[test]
+    fn fractions_are_deterministic() {
+        let a = model();
+        let b = model();
+        for blk in 0..50u64 {
+            assert_eq!(
+                a.fraction(blk, 4, CodecId::Deflate, 16384),
+                b.fraction(blk, 4, CodecId::Deflate, 16384)
+            );
+        }
+    }
+
+    #[test]
+    fn fractions_bounded() {
+        let m = model();
+        for blk in 0..500u64 {
+            for id in CodecId::ALL_CODECS {
+                let f = m.fraction(blk, 1, id, 4096);
+                assert!((0.01..=1.05).contains(&f), "{id} fraction {f}");
+            }
+        }
+    }
+}

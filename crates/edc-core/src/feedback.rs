@@ -1,0 +1,204 @@
+//! Adaptive threshold feedback (paper Fig. 6).
+//!
+//! The paper sketches a *feedback mechanism* around the selector: the
+//! monitor's calculated IOPS feeds the algorithm choice, and "the latency
+//! involved in the data compression is also considered in the feedback".
+//! The static ladder needs its knees hand-tuned per device (Fig. 12 is
+//! that tuning); this module closes the loop instead: a controller
+//! observes the compression engine's *backlog* (how far behind arrival
+//! the CPU is running) and scales the ladder thresholds — sustained
+//! backlog shrinks the compression bands (protecting latency), sustained
+//! slack grows them back (harvesting idle cycles for ratio).
+//!
+//! This is a faithful elaboration of Fig. 6 rather than a paper mechanism
+//! with published constants; the `ablate_feedback` experiment compares it
+//! against the hand-tuned static ladder.
+
+use crate::selector::{AlgorithmSelector, SelectorConfig};
+use edc_compress::CodecId;
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedbackConfig {
+    /// Backlog (ns of queued CPU work) above which bands shrink.
+    pub high_backlog_ns: u64,
+    /// Backlog below which bands may grow back.
+    pub low_backlog_ns: u64,
+    /// Multiplicative shrink factor applied on pressure (< 1).
+    pub shrink: f64,
+    /// Multiplicative recovery factor applied on slack (> 1).
+    pub grow: f64,
+    /// Lower clamp on the scale (never shrink bands below this fraction).
+    pub min_scale: f64,
+    /// Controller decision interval (ns).
+    pub interval_ns: u64,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig {
+            high_backlog_ns: 2_000_000,  // 2 ms of queued compression work
+            low_backlog_ns: 200_000,     // 0.2 ms
+            shrink: 0.7,
+            grow: 1.1,
+            min_scale: 0.05,
+            interval_ns: 100_000_000, // re-evaluate every 100 ms
+        }
+    }
+}
+
+/// The adaptive selector: a base ladder whose thresholds are scaled by a
+/// feedback-driven factor in `[min_scale, 1.0]`.
+#[derive(Debug, Clone)]
+pub struct FeedbackSelector {
+    base: SelectorConfig,
+    config: FeedbackConfig,
+    scale: f64,
+    last_decision_ns: u64,
+    /// Count of shrink/grow adjustments (for reporting).
+    adjustments: u64,
+}
+
+impl FeedbackSelector {
+    /// Wrap a base ladder with the feedback controller.
+    pub fn new(base: SelectorConfig, config: FeedbackConfig) -> Self {
+        base.validate();
+        assert!(config.shrink > 0.0 && config.shrink < 1.0);
+        assert!(config.grow > 1.0);
+        assert!((0.0..1.0).contains(&config.min_scale));
+        assert!(config.interval_ns > 0);
+        FeedbackSelector { base, config, scale: 1.0, last_decision_ns: 0, adjustments: 0 }
+    }
+
+    /// Current threshold scale (1.0 = the base ladder).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Number of adjustments made so far.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// Feed an observation: `now_ns` and the compression engine's backlog
+    /// (earliest worker-free time minus now, clamped at zero). Call on
+    /// every flush; the controller acts at most once per interval.
+    pub fn observe(&mut self, now_ns: u64, backlog_ns: u64) {
+        if now_ns < self.last_decision_ns + self.config.interval_ns {
+            return;
+        }
+        self.last_decision_ns = now_ns;
+        if backlog_ns > self.config.high_backlog_ns {
+            let new = (self.scale * self.config.shrink).max(self.config.min_scale);
+            if new != self.scale {
+                self.scale = new;
+                self.adjustments += 1;
+            }
+        } else if backlog_ns < self.config.low_backlog_ns {
+            let new = (self.scale * self.config.grow).min(1.0);
+            if new != self.scale {
+                self.scale = new;
+                self.adjustments += 1;
+            }
+        }
+    }
+
+    /// Select a codec for the current intensity, under the scaled ladder.
+    pub fn select(&self, calc_iops: f64) -> CodecId {
+        // Scaling the thresholds down by `scale` is equivalent to scaling
+        // the observed intensity up by 1/scale.
+        let scaled = AlgorithmSelector::new(self.base.clone());
+        scaled.select(calc_iops / self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn selector() -> FeedbackSelector {
+        FeedbackSelector::new(SelectorConfig::two_level(1000.0, 4000.0), FeedbackConfig::default())
+    }
+
+    #[test]
+    fn starts_at_base_ladder() {
+        let s = selector();
+        assert_eq!(s.scale(), 1.0);
+        assert_eq!(s.select(500.0), CodecId::Deflate);
+        assert_eq!(s.select(2000.0), CodecId::Lzf);
+        assert_eq!(s.select(5000.0), CodecId::None);
+    }
+
+    #[test]
+    fn backlog_shrinks_bands() {
+        let mut s = selector();
+        s.observe(200_000_000, 10_000_000); // heavy backlog
+        assert!(s.scale() < 1.0);
+        // 900 calc-IOPS was Gzip under the base ladder; with shrunken
+        // bands it falls into the Lzf band (900 / 0.7 > 1000).
+        assert_eq!(s.select(900.0), CodecId::Lzf);
+        assert_eq!(s.adjustments(), 1);
+    }
+
+    #[test]
+    fn slack_recovers_bands() {
+        let mut s = selector();
+        // Shrink hard first.
+        for i in 1..10u64 {
+            s.observe(i * 200_000_000, 10_000_000);
+        }
+        let low = s.scale();
+        assert!(low < 0.2, "scale {low}");
+        // Then sustained slack recovers toward 1.0.
+        for i in 10..80u64 {
+            s.observe(i * 200_000_000, 0);
+        }
+        assert!(s.scale() > low);
+        assert!(s.scale() <= 1.0);
+    }
+
+    #[test]
+    fn interval_rate_limits_decisions() {
+        let mut s = selector();
+        s.observe(200_000_000, 10_000_000);
+        let after_first = s.scale();
+        // Immediately again: ignored (within the interval).
+        s.observe(200_000_001, 10_000_000);
+        assert_eq!(s.scale(), after_first);
+        // After the interval: acts.
+        s.observe(400_000_000, 10_000_000);
+        assert!(s.scale() < after_first);
+    }
+
+    #[test]
+    fn scale_clamped_to_min() {
+        let mut s = selector();
+        for i in 1..1000u64 {
+            s.observe(i * 200_000_000, u64::MAX / 2);
+        }
+        assert!(s.scale() >= FeedbackConfig::default().min_scale - 1e-12);
+        // Even fully shrunk, genuinely idle periods still compress.
+        assert_eq!(s.select(1.0), CodecId::Deflate);
+    }
+
+    #[test]
+    fn moderate_backlog_holds_steady() {
+        let mut s = selector();
+        let cfg = FeedbackConfig::default();
+        let mid = (cfg.high_backlog_ns + cfg.low_backlog_ns) / 2;
+        for i in 1..20u64 {
+            s.observe(i * 200_000_000, mid);
+        }
+        assert_eq!(s.scale(), 1.0, "dead band must not adjust");
+        assert_eq!(s.adjustments(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_config_rejected() {
+        let _ = FeedbackSelector::new(
+            SelectorConfig::two_level(1000.0, 4000.0),
+            FeedbackConfig { shrink: 1.5, ..FeedbackConfig::default() },
+        );
+    }
+}

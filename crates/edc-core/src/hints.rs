@@ -1,0 +1,225 @@
+//! File-type semantic hints — the paper's §VI future work #1:
+//! "the file type information can be incorporated into the EDC design, so
+//! that different compression algorithms are responsible for different
+//! data content in different file types."
+//!
+//! An upper layer (file system, object store) that knows what lives in a
+//! block range can register a [`FileTypeHint`] for it. Hints *constrain*
+//! the intensity ladder rather than replace it: a hint can force
+//! write-through (already-compressed media), cap the codec strength
+//! (latency-sensitive database pages), or leave the elastic choice alone —
+//! so the burst-protection semantics of the ladder are preserved.
+
+use edc_compress::CodecId;
+use std::collections::BTreeMap;
+
+/// Semantic content type of a block range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileTypeHint {
+    /// Already-compressed content (JPEG/MP4/ZIP/...): never compress —
+    /// skips even the sampling estimate.
+    Precompressed,
+    /// Natural text / source code: highly compressible; the elastic choice
+    /// stands (strong codecs pay off whenever the ladder allows them).
+    Text,
+    /// Database/index pages: latency-sensitive; cap the codec at the fast
+    /// tier even when the system is idle.
+    Database,
+    /// Virtual-machine or container images: mixed content, elastic choice
+    /// stands.
+    VmImage,
+}
+
+/// Codec "strength" for capping (None < fast LZ < Deflate < BWT).
+fn strength(id: CodecId) -> u8 {
+    match id {
+        CodecId::None => 0,
+        CodecId::Lzf | CodecId::Lz4 => 1,
+        CodecId::Deflate => 2,
+        CodecId::Bwt => 3,
+    }
+}
+
+impl FileTypeHint {
+    /// Guess a hint from a file extension (how a filesystem integration
+    /// would populate the registry).
+    pub fn from_extension(ext: &str) -> Option<FileTypeHint> {
+        match ext.to_ascii_lowercase().as_str() {
+            "jpg" | "jpeg" | "png" | "gif" | "mp4" | "mkv" | "avi" | "mp3" | "aac" | "zip"
+            | "gz" | "bz2" | "xz" | "zst" | "7z" | "rar" | "tif" | "tiff" => {
+                Some(FileTypeHint::Precompressed)
+            }
+            "txt" | "log" | "c" | "h" | "rs" | "py" | "js" | "html" | "css" | "xml" | "json"
+            | "csv" | "md" => Some(FileTypeHint::Text),
+            "db" | "ibd" | "myd" | "frm" | "sqlite" | "mdf" | "ldf" | "dbf" => {
+                Some(FileTypeHint::Database)
+            }
+            "vmdk" | "qcow2" | "vhd" | "vdi" | "img" | "iso" => Some(FileTypeHint::VmImage),
+            _ => None,
+        }
+    }
+
+    /// Apply the hint to the ladder's elastic choice.
+    pub fn constrain(self, elastic_choice: CodecId) -> CodecId {
+        match self {
+            FileTypeHint::Precompressed => CodecId::None,
+            FileTypeHint::Database => {
+                if strength(elastic_choice) > strength(CodecId::Lzf) {
+                    CodecId::Lzf
+                } else {
+                    elastic_choice
+                }
+            }
+            FileTypeHint::Text | FileTypeHint::VmImage => elastic_choice,
+        }
+    }
+
+    /// Whether the sampling estimate can be skipped entirely (the hint
+    /// already settles the compress/skip question).
+    pub fn settles_compressibility(self) -> bool {
+        matches!(self, FileTypeHint::Precompressed)
+    }
+}
+
+/// Block-range → hint registry (an interval map over 4 KiB block numbers).
+/// Later registrations override earlier ones where they overlap.
+#[derive(Debug, Clone, Default)]
+pub struct HintRegistry {
+    /// start_block → (end_block_exclusive, hint), non-overlapping.
+    ranges: BTreeMap<u64, (u64, FileTypeHint)>,
+}
+
+impl HintRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `hint` for blocks `[start, start + blocks)`.
+    pub fn set(&mut self, start: u64, blocks: u64, hint: FileTypeHint) {
+        assert!(blocks > 0, "empty hint range");
+        let end = start + blocks;
+        // Split/trim any existing ranges overlapping [start, end).
+        let overlapping: Vec<(u64, (u64, FileTypeHint))> = self
+            .ranges
+            .range(..end)
+            .filter(|&(&s, &(e, _))| e > start && s < end)
+            .map(|(&s, &v)| (s, v))
+            .collect();
+        for (s, (e, h)) in overlapping {
+            self.ranges.remove(&s);
+            if s < start {
+                self.ranges.insert(s, (start, h));
+            }
+            if e > end {
+                self.ranges.insert(end, (e, h));
+            }
+        }
+        self.ranges.insert(start, (end, hint));
+    }
+
+    /// Look up the hint covering `block`, if any.
+    pub fn lookup(&self, block: u64) -> Option<FileTypeHint> {
+        self.ranges
+            .range(..=block)
+            .next_back()
+            .filter(|&(_, &(end, _))| block < end)
+            .map(|(_, &(_, hint))| hint)
+    }
+
+    /// Number of registered ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_classification() {
+        assert_eq!(FileTypeHint::from_extension("JPG"), Some(FileTypeHint::Precompressed));
+        assert_eq!(FileTypeHint::from_extension("rs"), Some(FileTypeHint::Text));
+        assert_eq!(FileTypeHint::from_extension("sqlite"), Some(FileTypeHint::Database));
+        assert_eq!(FileTypeHint::from_extension("qcow2"), Some(FileTypeHint::VmImage));
+        assert_eq!(FileTypeHint::from_extension("weird"), None);
+    }
+
+    #[test]
+    fn precompressed_forces_write_through() {
+        for choice in [CodecId::Lzf, CodecId::Deflate, CodecId::Bwt, CodecId::None] {
+            assert_eq!(FileTypeHint::Precompressed.constrain(choice), CodecId::None);
+        }
+        assert!(FileTypeHint::Precompressed.settles_compressibility());
+    }
+
+    #[test]
+    fn database_caps_at_fast_tier() {
+        assert_eq!(FileTypeHint::Database.constrain(CodecId::Bwt), CodecId::Lzf);
+        assert_eq!(FileTypeHint::Database.constrain(CodecId::Deflate), CodecId::Lzf);
+        assert_eq!(FileTypeHint::Database.constrain(CodecId::Lzf), CodecId::Lzf);
+        // Burst protection preserved: the cap never *enables* compression.
+        assert_eq!(FileTypeHint::Database.constrain(CodecId::None), CodecId::None);
+    }
+
+    #[test]
+    fn text_leaves_elastic_choice() {
+        for choice in [CodecId::None, CodecId::Lzf, CodecId::Deflate, CodecId::Bwt] {
+            assert_eq!(FileTypeHint::Text.constrain(choice), choice);
+        }
+    }
+
+    #[test]
+    fn registry_lookup_basic() {
+        let mut r = HintRegistry::new();
+        r.set(100, 50, FileTypeHint::Text);
+        assert_eq!(r.lookup(99), None);
+        assert_eq!(r.lookup(100), Some(FileTypeHint::Text));
+        assert_eq!(r.lookup(149), Some(FileTypeHint::Text));
+        assert_eq!(r.lookup(150), None);
+    }
+
+    #[test]
+    fn later_registration_overrides_overlap() {
+        let mut r = HintRegistry::new();
+        r.set(0, 100, FileTypeHint::Text);
+        r.set(40, 20, FileTypeHint::Precompressed);
+        assert_eq!(r.lookup(10), Some(FileTypeHint::Text));
+        assert_eq!(r.lookup(45), Some(FileTypeHint::Precompressed));
+        assert_eq!(r.lookup(70), Some(FileTypeHint::Text), "tail of split range survives");
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn override_swallows_contained_ranges() {
+        let mut r = HintRegistry::new();
+        r.set(10, 5, FileTypeHint::Database);
+        r.set(20, 5, FileTypeHint::Text);
+        r.set(0, 100, FileTypeHint::VmImage);
+        for b in [0, 12, 22, 99] {
+            assert_eq!(r.lookup(b), Some(FileTypeHint::VmImage), "block {b}");
+        }
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn adjacent_ranges_do_not_interfere() {
+        let mut r = HintRegistry::new();
+        r.set(0, 10, FileTypeHint::Text);
+        r.set(10, 10, FileTypeHint::Database);
+        assert_eq!(r.lookup(9), Some(FileTypeHint::Text));
+        assert_eq!(r.lookup(10), Some(FileTypeHint::Database));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty hint range")]
+    fn empty_range_rejected() {
+        HintRegistry::new().set(0, 0, FileTypeHint::Text);
+    }
+}

@@ -1,0 +1,68 @@
+//! # edc-core
+//!
+//! Elastic Data Compression (EDC) — the primary contribution of Mao et
+//! al., *"Elastic Data Compression with Improved Performance and Space
+//! Efficiency for Flash-based Storage Systems"* (IPDPS 2017) — plus the
+//! Native and fixed-compression baselines it is evaluated against.
+//!
+//! EDC is a block-device-level compression layer that matches data of
+//! different compressibility with different compression algorithms while
+//! leveraging access idleness:
+//!
+//! * a [`monitor::WorkloadMonitor`] measures I/O intensity
+//!   as *calculated IOPS* (4 KiB page-units per second),
+//! * an [`selector::AlgorithmSelector`] maps intensity
+//!   to a codec through a threshold ladder — strong codecs when idle, fast
+//!   codecs when busy, none during bursts,
+//! * a sampling compressibility check writes incompressible blocks through
+//!   uncompressed (the 75 % rule),
+//! * a [`sd::SequentialityDetector`] merges
+//!   contiguous writes so larger units are compressed (paper Fig. 7),
+//! * a [`allocator::QuantizedAllocator`] places
+//!   compressed data in 25/50/75/100 % quanta (paper Fig. 5) backed by a
+//!   segregated-fit [`slots::SlotStore`],
+//! * a sharded [`mapping::BlockMap`] tracks per-block LBA, size
+//!   and the 3-bit codec tag.
+//!
+//! Two front-ends expose the pipeline:
+//!
+//! * [`pipeline::EdcPipeline`] — the real-bytes engine: give it actual
+//!   block writes and it estimates, merges, compresses (with the
+//!   from-scratch codecs in `edc-compress`) and hands back compressed
+//!   segments plus mapping updates. [`parallel::ParallelCompressor`] runs
+//!   the compression stage across threads.
+//! * [`scheme::SimScheme`] — the trace-replay engine used for the paper's
+//!   experiments, where content compressibility comes from a calibrated
+//!   [`content::ContentModel`] and CPU cost from the
+//!   deterministic cost model, so multi-hour traces replay in seconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocator;
+pub mod cache;
+pub mod content;
+pub mod feedback;
+pub mod hints;
+pub mod mapping;
+pub mod monitor;
+pub mod parallel;
+pub mod pipeline;
+pub mod scheme;
+pub mod sd;
+pub mod selector;
+pub mod slots;
+
+pub use allocator::{AllocPolicy, AllocStats, QuantizedAllocator};
+pub use cache::{CacheStats, RunCache};
+pub use content::{CalibrationConfig, ContentModel};
+pub use feedback::{FeedbackConfig, FeedbackSelector};
+pub use hints::{FileTypeHint, HintRegistry};
+pub use mapping::{BlockMap, MappingEntry};
+pub use monitor::WorkloadMonitor;
+pub use parallel::ParallelCompressor;
+pub use pipeline::{EdcPipeline, PipelineConfig, WriteResult};
+pub use scheme::{CodecUsage, EdcConfig, Policy, SimConfig, SimScheme, BLOCK_BYTES};
+pub use sd::{MergedRun, SdConfig, SequentialityDetector};
+pub use selector::{AlgorithmSelector, LadderRung, SelectorConfig};
+pub use slots::SlotStore;

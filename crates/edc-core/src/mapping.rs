@@ -1,0 +1,243 @@
+//! The block-mapping table (paper §III-C, Fig. 5).
+//!
+//! EDC tracks, per 4 KiB logical block, where and how its data is stored:
+//! the *LBA*, the compressed *Size*, and a 3-bit *Tag* naming the codec
+//! (`000` = uncompressed). Because the Sequentiality Detector merges
+//! contiguous writes into one compressed unit, an entry also records the
+//! merged run it belongs to — a read of any block in the run fetches and
+//! decompresses the whole run.
+//!
+//! The table is sharded behind [`parking_lot::Mutex`]es so the parallel
+//! compression engine ([`crate::parallel`]) can update it concurrently.
+
+use edc_compress::CodecId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Number of shards (power of two).
+const SHARDS: usize = 16;
+
+/// Per-block mapping entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappingEntry {
+    /// Codec tag (the paper's 3-bit field).
+    pub tag: CodecId,
+    /// First logical block of the merged run this block belongs to.
+    pub run_start: u64,
+    /// Length of the run in 4 KiB blocks (1 = unmerged).
+    pub run_blocks: u32,
+    /// Device byte address where the run's data lives (the paper's LBA
+    /// field, from the quantized slot allocator).
+    pub device_offset: u64,
+    /// Flash bytes allocated for the whole run (post-quantization).
+    pub stored_bytes: u64,
+    /// Compressed payload bytes of the whole run.
+    pub compressed_bytes: u64,
+    /// 64-bit checksum of the stored payload (0 when unused, e.g. in the
+    /// content-modelled simulator).
+    pub checksum: u64,
+}
+
+impl MappingEntry {
+    /// This block's even share of the run's allocated space, used for
+    /// space accounting on per-block invalidation (rounded up so shares
+    /// never under-count the allocation).
+    pub fn share_bytes(&self) -> u64 {
+        self.stored_bytes.div_ceil(u64::from(self.run_blocks))
+    }
+
+    /// Pack the paper's Fig. 5 fields — LBA, Size, Tag — into a 64-bit
+    /// word: 44-bit LBA (sectors), 17-bit size (sectors, up to 128 MiB of
+    /// run), 3-bit tag. Demonstrates the on-flash metadata layout; the
+    /// in-memory table keeps the richer struct.
+    pub fn pack_fields(lba_sector: u64, size_sectors: u32, tag: CodecId) -> u64 {
+        assert!(lba_sector < 1 << 44, "LBA exceeds 44 bits");
+        assert!(size_sectors < 1 << 17, "size exceeds 17 bits");
+        (lba_sector << 20) | (u64::from(size_sectors) << 3) | u64::from(tag.tag())
+    }
+
+    /// Inverse of [`MappingEntry::pack_fields`].
+    pub fn unpack_fields(word: u64) -> Option<(u64, u32, CodecId)> {
+        let tag = CodecId::from_tag((word & 0b111) as u8)?;
+        let size = ((word >> 3) & 0x1FFFF) as u32;
+        let lba = word >> 20;
+        Some((lba, size, tag))
+    }
+}
+
+/// Sharded logical-block → mapping-entry table.
+#[derive(Debug)]
+pub struct BlockMap {
+    shards: Vec<Mutex<HashMap<u64, MappingEntry>>>,
+}
+
+impl Default for BlockMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockMap {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        BlockMap { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    #[inline]
+    fn shard(&self, block: u64) -> &Mutex<HashMap<u64, MappingEntry>> {
+        // Spread consecutive blocks across shards.
+        &self.shards[(block as usize) & (SHARDS - 1)]
+    }
+
+    /// Look up a block.
+    pub fn get(&self, block: u64) -> Option<MappingEntry> {
+        self.shard(block).lock().get(&block).copied()
+    }
+
+    /// Insert entries for every block of a merged run; returns the evicted
+    /// old entries (for space reclamation accounting).
+    pub fn insert_run(&self, entry: MappingEntry) -> Vec<MappingEntry> {
+        let mut evicted = Vec::new();
+        for b in entry.run_start..entry.run_start + u64::from(entry.run_blocks) {
+            if let Some(old) = self.shard(b).lock().insert(b, entry) {
+                evicted.push(old);
+            }
+        }
+        evicted
+    }
+
+    /// Remove one block's entry (invalidation).
+    pub fn remove(&self, block: u64) -> Option<MappingEntry> {
+        self.shard(block).lock().remove(&block)
+    }
+
+    /// Number of mapped blocks.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(start: u64, blocks: u32, tag: CodecId) -> MappingEntry {
+        MappingEntry {
+            tag,
+            run_start: start,
+            run_blocks: blocks,
+            device_offset: start * 4096,
+            stored_bytes: 2048 * u64::from(blocks),
+            compressed_bytes: 1800 * u64::from(blocks),
+            checksum: 0,
+        }
+    }
+
+    #[test]
+    fn insert_and_get_single_block() {
+        let m = BlockMap::new();
+        m.insert_run(entry(7, 1, CodecId::Lzf));
+        let e = m.get(7).unwrap();
+        assert_eq!(e.tag, CodecId::Lzf);
+        assert_eq!(e.run_blocks, 1);
+        assert!(m.get(8).is_none());
+    }
+
+    #[test]
+    fn run_entries_cover_every_block() {
+        let m = BlockMap::new();
+        m.insert_run(entry(100, 16, CodecId::Deflate));
+        for b in 100..116 {
+            let e = m.get(b).unwrap();
+            assert_eq!(e.run_start, 100);
+            assert_eq!(e.run_blocks, 16);
+        }
+        assert!(m.get(99).is_none());
+        assert!(m.get(116).is_none());
+        assert_eq!(m.len(), 16);
+    }
+
+    #[test]
+    fn overwrite_returns_evicted_entries() {
+        let m = BlockMap::new();
+        m.insert_run(entry(0, 4, CodecId::Lzf));
+        let evicted = m.insert_run(entry(2, 4, CodecId::Deflate));
+        assert_eq!(evicted.len(), 2); // blocks 2 and 3 were mapped
+        assert_eq!(m.get(0).unwrap().tag, CodecId::Lzf);
+        assert_eq!(m.get(3).unwrap().tag, CodecId::Deflate);
+        assert_eq!(m.len(), 6);
+    }
+
+    #[test]
+    fn remove_invalidates() {
+        let m = BlockMap::new();
+        m.insert_run(entry(5, 1, CodecId::Bwt));
+        assert!(m.remove(5).is_some());
+        assert!(m.remove(5).is_none());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn share_bytes_rounds_up() {
+        let e = MappingEntry {
+            tag: CodecId::Lzf,
+            run_start: 0,
+            run_blocks: 3,
+            device_offset: 0,
+            stored_bytes: 10_000,
+            compressed_bytes: 9_000,
+            checksum: 0,
+        };
+        assert_eq!(e.share_bytes(), 3334);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for (lba, size, tag) in [
+            (0u64, 0u32, CodecId::None),
+            (123_456_789, 4, CodecId::Lzf),
+            ((1 << 44) - 1, (1 << 17) - 1, CodecId::Bwt),
+        ] {
+            let w = MappingEntry::pack_fields(lba, size, tag);
+            assert_eq!(MappingEntry::unpack_fields(w), Some((lba, size, tag)));
+        }
+    }
+
+    #[test]
+    fn unpack_rejects_bad_tag() {
+        // Tag bits 0b111 are not a valid codec.
+        assert!(MappingEntry::unpack_fields(0b111).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "LBA exceeds")]
+    fn pack_rejects_oversized_lba() {
+        let _ = MappingEntry::pack_fields(1 << 44, 0, CodecId::None);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let m = std::sync::Arc::new(BlockMap::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        let b = t * 1000 + i;
+                        m.insert_run(entry(b, 1, CodecId::Lzf));
+                        assert!(m.get(b).is_some());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len(), 4000);
+    }
+}

@@ -1,0 +1,164 @@
+//! The Workload Monitor (paper §III-D, Fig. 4).
+//!
+//! EDC quantifies I/O intensity as **calculated IOPS**: the number of 4 KiB
+//! page-units issued per second, where a request of `n` bytes counts as
+//! `ceil(n / 4 KiB)` units ("one 8 KB request is traded as two 4 KB
+//! requests"). The monitor keeps a sliding window of recent arrivals and
+//! answers the current calculated-IOPS value, which the
+//! [selector](crate::selector) turns into a codec choice.
+
+use edc_trace::Request;
+use std::collections::VecDeque;
+
+/// Sliding-window calculated-IOPS monitor.
+///
+/// ```
+/// use edc_core::WorkloadMonitor;
+/// use edc_trace::{Request, OpType};
+///
+/// let mut monitor = WorkloadMonitor::default(); // 1 s window
+/// // An 8 KiB request counts as two 4 KiB page-units (paper §III-D).
+/// monitor.record(&Request { arrival_ns: 0, op: OpType::Write, offset: 0, len: 8192 });
+/// assert_eq!(monitor.calculated_iops(0), 2.0);
+/// assert_eq!(monitor.calculated_iops(2_000_000_000), 0.0); // window passed
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadMonitor {
+    window_ns: u64,
+    /// `(arrival_ns, page_units)` events inside the window.
+    events: VecDeque<(u64, u32)>,
+    /// Sum of page units currently in the window.
+    pages_in_window: u64,
+    /// Most recent time passed to `record`/`calculated_iops`.
+    last_now_ns: u64,
+}
+
+impl WorkloadMonitor {
+    /// Default window: 1 second, matching the paper's "I/Os accessed Per
+    /// Second" definition.
+    pub const DEFAULT_WINDOW_NS: u64 = 1_000_000_000;
+
+    /// Create a monitor with the given sliding-window length.
+    pub fn new(window_ns: u64) -> Self {
+        assert!(window_ns > 0, "window must be positive");
+        WorkloadMonitor {
+            window_ns,
+            events: VecDeque::new(),
+            pages_in_window: 0,
+            last_now_ns: 0,
+        }
+    }
+
+    /// Record an arriving request.
+    pub fn record(&mut self, req: &Request) {
+        self.record_pages(req.arrival_ns, req.page_units());
+    }
+
+    /// Record `pages` page-units at `now_ns` (used by the engine to also
+    /// feed back internally generated work, closing the paper's Fig. 6
+    /// loop).
+    pub fn record_pages(&mut self, now_ns: u64, pages: u32) {
+        self.evict(now_ns);
+        self.events.push_back((now_ns, pages));
+        self.pages_in_window += u64::from(pages);
+        self.last_now_ns = self.last_now_ns.max(now_ns);
+    }
+
+    /// Current calculated IOPS (page-units per second over the window).
+    pub fn calculated_iops(&mut self, now_ns: u64) -> f64 {
+        self.evict(now_ns);
+        self.pages_in_window as f64 * 1e9 / self.window_ns as f64
+    }
+
+    fn evict(&mut self, now_ns: u64) {
+        let cutoff = now_ns.saturating_sub(self.window_ns);
+        while let Some(&(t, pages)) = self.events.front() {
+            if t >= cutoff {
+                break;
+            }
+            self.events.pop_front();
+            self.pages_in_window -= u64::from(pages);
+        }
+        self.last_now_ns = self.last_now_ns.max(now_ns);
+    }
+}
+
+impl Default for WorkloadMonitor {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_WINDOW_NS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edc_trace::OpType;
+
+    fn req(at_ns: u64, len: u32) -> Request {
+        Request { arrival_ns: at_ns, op: OpType::Write, offset: 0, len }
+    }
+
+    #[test]
+    fn empty_monitor_reads_zero() {
+        let mut m = WorkloadMonitor::default();
+        assert_eq!(m.calculated_iops(0), 0.0);
+        assert_eq!(m.calculated_iops(5_000_000_000), 0.0);
+    }
+
+    #[test]
+    fn counts_page_units_not_requests() {
+        let mut m = WorkloadMonitor::default();
+        m.record(&req(0, 8192)); // 2 page-units
+        m.record(&req(0, 4096)); // 1
+        assert_eq!(m.calculated_iops(0), 3.0);
+    }
+
+    #[test]
+    fn window_eviction() {
+        let mut m = WorkloadMonitor::default();
+        m.record(&req(0, 4096));
+        m.record(&req(500_000_000, 4096));
+        assert_eq!(m.calculated_iops(500_000_000), 2.0);
+        // At t=1.2 s the first event (t=0) has left the 1 s window.
+        assert_eq!(m.calculated_iops(1_200_000_000), 1.0);
+        // At t=2 s everything is gone.
+        assert_eq!(m.calculated_iops(2_000_000_000), 0.0);
+    }
+
+    #[test]
+    fn burst_registers_high_intensity() {
+        let mut m = WorkloadMonitor::default();
+        for i in 0..500 {
+            m.record(&req(i * 1_000_000, 4096)); // 500 reqs in 0.5 s
+        }
+        let iops = m.calculated_iops(500_000_000);
+        assert!(iops >= 499.0, "got {iops}");
+    }
+
+    #[test]
+    fn shorter_window_reacts_faster() {
+        let mut long = WorkloadMonitor::new(1_000_000_000);
+        let mut short = WorkloadMonitor::new(100_000_000);
+        for i in 0..100 {
+            let r = req(i * 1_000_000, 4096); // burst in first 100 ms
+            long.record(&r);
+            short.record(&r);
+        }
+        // 300 ms later the short window has forgotten the burst.
+        assert_eq!(short.calculated_iops(400_000_000), 0.0);
+        assert!(long.calculated_iops(400_000_000) > 0.0);
+    }
+
+    #[test]
+    fn feedback_pages_count() {
+        let mut m = WorkloadMonitor::default();
+        m.record_pages(0, 16); // e.g. a 64 KiB merged flush
+        assert_eq!(m.calculated_iops(0), 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = WorkloadMonitor::new(0);
+    }
+}

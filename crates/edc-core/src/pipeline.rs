@@ -1,0 +1,572 @@
+//! The real-bytes EDC pipeline: a usable compressed block store.
+//!
+//! [`EdcPipeline`] is the library front-end of EDC for actual data (the
+//! trace-replay experiments use [`crate::scheme`] instead, with modelled
+//! content). Give it 4 KiB-aligned writes and it runs the full paper
+//! pipeline — workload monitor, sequentiality detector, sampling
+//! compressibility estimate, threshold-ladder codec selection, real
+//! compression with the `edc-compress` codecs, quantized allocation — and
+//! stores the result in an in-memory device image. Reads locate the run
+//! via the mapping table, decompress according to the 3-bit tag, and
+//! return the original bytes.
+//!
+//! ```
+//! use edc_core::pipeline::{EdcPipeline, PipelineConfig};
+//!
+//! let mut store = EdcPipeline::new(1 << 20, PipelineConfig::default());
+//! let block = vec![b'x'; 4096];
+//! store.write(0, 0, &block);
+//! store.flush(1_000_000); // or let the next read/non-contiguous write flush
+//! assert_eq!(store.read(2_000_000, 0, 4096).unwrap(), block);
+//! ```
+
+use crate::allocator::{AllocPolicy, AllocStats, QuantizedAllocator};
+use crate::hints::{FileTypeHint, HintRegistry};
+use crate::mapping::{BlockMap, MappingEntry};
+use crate::monitor::WorkloadMonitor;
+use crate::scheme::BLOCK_BYTES;
+use crate::sd::{MergedRun, SdConfig, SequentialityDetector};
+use crate::selector::{AlgorithmSelector, SelectorConfig};
+use crate::slots::SlotStore;
+use edc_compress::{checksum64, codec_by_id, CodecId, DecompressError, Estimator, EstimatorConfig};
+use edc_trace::{OpType, Request};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfig {
+    /// Threshold ladder (calculated IOPS → codec).
+    pub selector: SelectorConfig,
+    /// Sequentiality-detector parameters.
+    pub sd: SdConfig,
+    /// Sampling-estimator parameters (includes the 75 % write-through rule).
+    pub estimator: EstimatorConfig,
+    /// Allocation policy.
+    pub alloc: AllocPolicy,
+}
+
+/// What happened to a flushed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteResult {
+    /// First logical block of the run.
+    pub start_block: u64,
+    /// Run length in blocks.
+    pub blocks: u32,
+    /// Codec actually used (`None` = written through).
+    pub tag: CodecId,
+    /// Compressed payload size (equals the raw size when written through).
+    pub payload_bytes: u64,
+    /// Flash bytes allocated (post-quantization).
+    pub allocated_bytes: u64,
+}
+
+/// Errors from [`EdcPipeline::read`].
+#[derive(Debug)]
+pub enum ReadError {
+    /// Stored payload failed to decompress — device image corruption.
+    Corrupt(DecompressError),
+    /// Stored payload hash does not match the mapping entry's checksum —
+    /// silent corruption caught before decompression.
+    ChecksumMismatch {
+        /// First logical block of the damaged run.
+        run_start: u64,
+    },
+    /// Read is not 4 KiB-aligned.
+    Unaligned,
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Corrupt(e) => write!(f, "stored data corrupt: {e}"),
+            ReadError::ChecksumMismatch { run_start } => {
+                write!(f, "checksum mismatch in run starting at block {run_start}")
+            }
+            ReadError::Unaligned => write!(f, "read must be 4 KiB aligned"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// An EDC-compressed block store over an in-memory device image.
+pub struct EdcPipeline {
+    config: PipelineConfig,
+    monitor: WorkloadMonitor,
+    selector: AlgorithmSelector,
+    sd: SequentialityDetector,
+    estimator: Estimator,
+    allocator: QuantizedAllocator,
+    slots: SlotStore,
+    map: BlockMap,
+    /// Device image: compressed payloads live at their slot offsets.
+    device: Vec<u8>,
+    /// Bytes of the run currently buffered in the SD.
+    pending: Vec<u8>,
+    /// File-type semantic hints (paper §VI future work #1).
+    hints: HintRegistry,
+    logical_written: u64,
+    physical_written: u64,
+}
+
+impl EdcPipeline {
+    /// Create a store over `capacity_bytes` of device space.
+    pub fn new(capacity_bytes: u64, config: PipelineConfig) -> Self {
+        assert!(capacity_bytes >= BLOCK_BYTES, "capacity below one block");
+        EdcPipeline {
+            selector: AlgorithmSelector::new(config.selector.clone()),
+            sd: SequentialityDetector::new(config.sd),
+            estimator: Estimator::new(config.estimator),
+            allocator: QuantizedAllocator::new(config.alloc),
+            slots: SlotStore::new(capacity_bytes),
+            map: BlockMap::new(),
+            device: vec![0; capacity_bytes as usize],
+            pending: Vec::new(),
+            hints: HintRegistry::new(),
+            monitor: WorkloadMonitor::default(),
+            logical_written: 0,
+            physical_written: 0,
+            config,
+        }
+    }
+
+    /// Write `data` (a multiple of 4 KiB) at byte `offset` (4 KiB-aligned)
+    /// at time `now_ns`. Returns the result of any run this write flushed;
+    /// the written data itself is buffered until a flush trigger.
+    pub fn write(&mut self, now_ns: u64, offset: u64, data: &[u8]) -> Option<WriteResult> {
+        assert!(offset.is_multiple_of(BLOCK_BYTES), "offset must be 4 KiB aligned");
+        assert!(!data.is_empty() && (data.len() as u64).is_multiple_of(BLOCK_BYTES), "data must be whole blocks");
+        let start = offset / BLOCK_BYTES;
+        let blocks = (data.len() as u64 / BLOCK_BYTES) as u32;
+        self.monitor.record(&Request {
+            arrival_ns: now_ns,
+            op: OpType::Write,
+            offset,
+            len: data.len() as u32,
+        });
+        self.logical_written += data.len() as u64;
+        let flushed = self.sd.on_write(start, blocks, now_ns);
+        let result = flushed.map(|run| {
+            let bytes = std::mem::take(&mut self.pending);
+            self.process_run(now_ns, run, bytes)
+        });
+        self.pending.extend_from_slice(data);
+        result
+    }
+
+    /// Register a file-type hint for the byte range `[offset, offset+len)`
+    /// (4 KiB-aligned). An upper layer that knows the content type of a
+    /// range uses this to constrain EDC's codec choice — the paper's §VI
+    /// future work #1.
+    pub fn set_hint(&mut self, offset: u64, len: u64, hint: FileTypeHint) {
+        assert!(offset.is_multiple_of(BLOCK_BYTES) && len.is_multiple_of(BLOCK_BYTES), "hint range must be aligned");
+        self.hints.set(offset / BLOCK_BYTES, len / BLOCK_BYTES, hint);
+    }
+
+    /// Force-flush the buffered run (timeout, shutdown).
+    pub fn flush(&mut self, now_ns: u64) -> Option<WriteResult> {
+        let run = self.sd.drain()?;
+        let bytes = std::mem::take(&mut self.pending);
+        Some(self.process_run(now_ns, run, bytes))
+    }
+
+    /// Read `len` bytes at `offset` (both 4 KiB-aligned). Unwritten blocks
+    /// read as zeroes, as on a real device.
+    pub fn read(&mut self, now_ns: u64, offset: u64, len: u64) -> Result<Vec<u8>, ReadError> {
+        if !offset.is_multiple_of(BLOCK_BYTES) || !len.is_multiple_of(BLOCK_BYTES) {
+            return Err(ReadError::Unaligned);
+        }
+        self.monitor.record(&Request {
+            arrival_ns: now_ns,
+            op: OpType::Read,
+            offset,
+            len: len as u32,
+        });
+        // Reads break write sequentiality: flush first (paper §III-E).
+        if self.sd.has_pending() {
+            let run = self.sd.on_read().expect("pending checked");
+            let bytes = std::mem::take(&mut self.pending);
+            self.process_run(now_ns, run, bytes);
+        }
+        let mut out = vec![0u8; len as usize];
+        let start = offset / BLOCK_BYTES;
+        let blocks = len / BLOCK_BYTES;
+        // Walk block by block, consulting each block's OWN mapping entry —
+        // a neighbouring block may belong to an older run that still covers
+        // this block's address range, and copying from that run would
+        // resurrect superseded data. Decompressed runs are memoized across
+        // consecutive blocks to avoid re-decoding shared runs.
+        let mut cached_off = u64::MAX;
+        let mut cached_start = 0u64;
+        let mut cached_run: Vec<u8> = Vec::new();
+        for b in start..start + blocks {
+            let Some(entry) = self.map.get(b) else {
+                continue;
+            };
+            if entry.device_offset != cached_off {
+                cached_run = self.load_run(&entry)?;
+                cached_off = entry.device_offset;
+                cached_start = entry.run_start;
+            }
+            let src = ((b - cached_start) * BLOCK_BYTES) as usize;
+            let dst = ((b - start) * BLOCK_BYTES) as usize;
+            out[dst..dst + BLOCK_BYTES as usize]
+                .copy_from_slice(&cached_run[src..src + BLOCK_BYTES as usize]);
+        }
+        Ok(out)
+    }
+
+    /// Verify and decompress (or copy) a run's payload from the device
+    /// image. The checksum catches silent corruption that would otherwise
+    /// decode "successfully" to wrong bytes.
+    fn load_run(&self, entry: &MappingEntry) -> Result<Vec<u8>, ReadError> {
+        let off = entry.device_offset as usize;
+        let payload = &self.device[off..off + entry.compressed_bytes as usize];
+        if checksum64(payload, entry.run_start) != entry.checksum {
+            return Err(ReadError::ChecksumMismatch { run_start: entry.run_start });
+        }
+        let original = (u64::from(entry.run_blocks) * BLOCK_BYTES) as usize;
+        match codec_by_id(entry.tag) {
+            None => Ok(payload.to_vec()),
+            Some(codec) => codec.decompress(payload, original).map_err(ReadError::Corrupt),
+        }
+    }
+
+    /// The decision core: hint → estimate → select → compress → allocate →
+    /// store.
+    fn process_run(&mut self, now_ns: u64, run: MergedRun, bytes: Vec<u8>) -> WriteResult {
+        debug_assert_eq!(bytes.len() as u64, run.bytes(), "SD buffer out of sync");
+        let hint = self.hints.lookup(run.start_block);
+        // 0. A semantic hint can settle the question without sampling.
+        let codec = if hint.is_some_and(FileTypeHint::settles_compressibility) {
+            CodecId::None
+        } else if self.estimator.is_incompressible(&bytes) {
+            // 1. Sampling compressibility check.
+            CodecId::None
+        } else {
+            // 2. Intensity ladder, constrained by any hint.
+            let choice = self.selector.select(self.monitor.calculated_iops(now_ns));
+            hint.map_or(choice, |h| h.constrain(choice))
+        };
+        // 3. Real compression.
+        let compressed = codec_by_id(codec).map(|c| c.compress(&bytes));
+        let comp_len = compressed.as_ref().map_or(bytes.len(), Vec::len) as u64;
+        // 4. Quantized allocation (with the 75 % fallback).
+        let prev = self
+            .map
+            .get(run.start_block)
+            .filter(|e| e.run_start == run.start_block && e.run_blocks == run.blocks);
+        let placement =
+            self.allocator.place(bytes.len() as u64, comp_len, prev.map(|e| e.stored_bytes));
+        let (tag, payload) = if placement.compressed {
+            (codec, compressed.expect("compressed placement implies a codec"))
+        } else {
+            (CodecId::None, bytes)
+        };
+        // 5. Slot allocation + device write. The slot is referenced by
+        // every block of the run and frees only when all are superseded.
+        let device_offset = self.slots.alloc_run(placement.allocated_bytes, run.blocks);
+        let off = device_offset as usize;
+        self.device[off..off + payload.len()].copy_from_slice(&payload);
+        self.physical_written += placement.allocated_bytes;
+        // 6. Mapping update; release superseded runs.
+        let entry = MappingEntry {
+            tag,
+            run_start: run.start_block,
+            run_blocks: run.blocks,
+            device_offset,
+            stored_bytes: placement.allocated_bytes,
+            compressed_bytes: payload.len() as u64,
+            checksum: checksum64(&payload, run.start_block),
+        };
+        for old in self.map.insert_run(entry) {
+            self.slots.release_block_ref(old.device_offset);
+        }
+        WriteResult {
+            start_block: run.start_block,
+            blocks: run.blocks,
+            tag,
+            payload_bytes: payload.len() as u64,
+            allocated_bytes: placement.allocated_bytes,
+        }
+    }
+
+    /// Cumulative logical bytes accepted.
+    pub fn logical_written(&self) -> u64 {
+        self.logical_written
+    }
+
+    /// Cumulative flash bytes allocated.
+    pub fn physical_written(&self) -> u64 {
+        self.physical_written
+    }
+
+    /// The paper's compression ratio over everything written so far.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.physical_written == 0 {
+            return 1.0;
+        }
+        self.logical_written as f64 / self.physical_written as f64
+    }
+
+    /// Allocator statistics.
+    pub fn alloc_stats(&self) -> AllocStats {
+        self.allocator.stats()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text_block(tag: u8) -> Vec<u8> {
+        format!("block {tag} elastic compression pipeline content ")
+            .into_bytes()
+            .into_iter()
+            .cycle()
+            .take(4096)
+            .collect()
+    }
+
+    fn random_block(seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 48) as u8
+            })
+            .collect()
+    }
+
+    fn pipeline() -> EdcPipeline {
+        EdcPipeline::new(4 << 20, PipelineConfig::default())
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut p = pipeline();
+        let data = text_block(1);
+        p.write(0, 0, &data);
+        p.flush(1_000);
+        assert_eq!(p.read(2_000, 0, 4096).unwrap(), data);
+    }
+
+    #[test]
+    fn read_flushes_pending_writes() {
+        let mut p = pipeline();
+        let data = text_block(2);
+        p.write(0, 8192, &data);
+        // No explicit flush: the read must still see the data.
+        assert_eq!(p.read(1_000, 8192, 4096).unwrap(), data);
+    }
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let mut p = pipeline();
+        assert_eq!(p.read(0, 0, 8192).unwrap(), vec![0u8; 8192]);
+    }
+
+    #[test]
+    fn sequential_writes_merge_into_one_run() {
+        let mut p = pipeline();
+        let a = text_block(3);
+        let b = text_block(4);
+        let c = text_block(5);
+        assert!(p.write(0, 0, &a).is_none());
+        assert!(p.write(10, 4096, &b).is_none());
+        assert!(p.write(20, 8192, &c).is_none());
+        let r = p.flush(30).expect("flush merged run");
+        assert_eq!(r.blocks, 3);
+        assert_eq!(r.start_block, 0);
+        // Round trip across the merged run.
+        let all = p.read(40, 0, 3 * 4096).unwrap();
+        assert_eq!(&all[..4096], &a[..]);
+        assert_eq!(&all[4096..8192], &b[..]);
+        assert_eq!(&all[8192..], &c[..]);
+    }
+
+    #[test]
+    fn compressible_data_is_compressed_and_saves_space() {
+        let mut p = pipeline();
+        for i in 0..32u64 {
+            p.write(i, i * 4096, &text_block(i as u8));
+        }
+        p.flush(100);
+        assert!(p.compression_ratio() > 1.5, "ratio {}", p.compression_ratio());
+    }
+
+    #[test]
+    fn incompressible_data_written_through() {
+        let mut p = pipeline();
+        let r = {
+            p.write(0, 0, &random_block(42));
+            p.flush(1).unwrap()
+        };
+        assert_eq!(r.tag, CodecId::None);
+        assert_eq!(r.allocated_bytes, 4096);
+        assert_eq!(p.read(2, 0, 4096).unwrap(), random_block(42));
+    }
+
+    #[test]
+    fn high_intensity_skips_compression() {
+        let mut p = pipeline();
+        // 20k writes/s sustained: the 1 s monitor window exceeds the
+        // 4 000 calc-IOPS skip threshold within 200 ms.
+        let mut last = None;
+        for i in 0..6000u64 {
+            let off = (i % 400) * 3 * 4096; // non-contiguous: flush each time
+            last = p.write(i * 50_000, off, &text_block(9)).or(last);
+        }
+        let r = last.expect("flushes happened");
+        assert_eq!(r.tag, CodecId::None, "burst writes must skip compression");
+    }
+
+    #[test]
+    fn idle_writes_use_strong_codec() {
+        let mut p = pipeline();
+        // One write every 100 ms: ~10 calculated IOPS → Gzip band.
+        let mut results = Vec::new();
+        for i in 0..20u64 {
+            if let Some(r) = p.write(i * 100_000_000, (i * 5) * 4096, &text_block(7)) {
+                results.push(r);
+            }
+        }
+        if let Some(r) = p.flush(20 * 100_000_000) { results.push(r) }
+        assert!(
+            results.iter().any(|r| r.tag == CodecId::Deflate),
+            "idle writes should pick Gzip, got {:?}",
+            results.iter().map(|r| r.tag).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn overwrite_returns_latest_data() {
+        let mut p = pipeline();
+        let v1 = text_block(1);
+        let v2 = random_block(77);
+        p.write(0, 4096, &v1);
+        p.flush(1);
+        p.write(2, 4096, &v2);
+        p.flush(3);
+        assert_eq!(p.read(4, 4096, 4096).unwrap(), v2);
+    }
+
+    #[test]
+    fn partial_read_of_merged_run() {
+        let mut p = pipeline();
+        let a = text_block(11);
+        let b = text_block(12);
+        p.write(0, 0, &a);
+        p.write(1, 4096, &b);
+        p.flush(2);
+        // Read only the second block of the two-block run.
+        assert_eq!(p.read(3, 4096, 4096).unwrap(), b);
+    }
+
+    #[test]
+    fn multi_block_write_round_trip() {
+        let mut p = pipeline();
+        let mut big = text_block(20);
+        big.extend(text_block(21));
+        big.extend(random_block(5));
+        big.extend(text_block(22));
+        p.write(0, 16384, &big);
+        p.flush(1);
+        assert_eq!(p.read(2, 16384, big.len() as u64).unwrap(), big);
+    }
+
+    #[test]
+    #[should_panic(expected = "4 KiB aligned")]
+    fn unaligned_write_rejected() {
+        let mut p = pipeline();
+        p.write(0, 100, &text_block(0));
+    }
+
+    #[test]
+    fn unaligned_read_errors() {
+        let mut p = pipeline();
+        assert!(matches!(p.read(0, 100, 4096), Err(ReadError::Unaligned)));
+        assert!(matches!(p.read(0, 0, 100), Err(ReadError::Unaligned)));
+    }
+
+    #[test]
+    fn precompressed_hint_skips_compression_of_compressible_data() {
+        let mut p = pipeline();
+        p.set_hint(0, 8192, FileTypeHint::Precompressed);
+        let data = text_block(40); // would normally compress well
+        p.write(0, 0, &data);
+        let r = p.flush(1).unwrap();
+        assert_eq!(r.tag, CodecId::None, "hint must veto compression");
+        assert_eq!(p.read(2, 0, 4096).unwrap(), data);
+    }
+
+    #[test]
+    fn database_hint_caps_codec_at_fast_tier() {
+        let mut p = pipeline();
+        p.set_hint(0, 4096, FileTypeHint::Database);
+        // Slow writes → ladder would pick the strong codec; the hint caps it.
+        p.write(0, 0, &text_block(41));
+        let r = p.flush(100_000_000).unwrap();
+        assert_eq!(r.tag, CodecId::Lzf, "database hint caps at Lzf, got {:?}", r.tag);
+    }
+
+    #[test]
+    fn unhinted_ranges_unaffected() {
+        let mut p = pipeline();
+        p.set_hint(1 << 20, 4096, FileTypeHint::Precompressed);
+        p.write(0, 0, &text_block(42));
+        let r = p.flush(100_000_000).unwrap();
+        assert_ne!(r.tag, CodecId::None, "hint elsewhere must not leak");
+    }
+
+    #[test]
+    fn corrupted_device_image_detected_by_checksum() {
+        let mut p = pipeline();
+        let data = text_block(33);
+        p.write(0, 0, &data);
+        p.flush(1);
+        // Flip one byte of the stored payload behind the pipeline's back.
+        p.device[0] ^= 0x01;
+        match p.read(2, 0, 4096) {
+            Err(ReadError::ChecksumMismatch { run_start }) => assert_eq!(run_start, 0),
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_overwrite_of_merged_run_reads_fresh_data() {
+        // Regression: block 1's entry must win over the older merged run
+        // (blocks 0..3) that still covers its address range.
+        let mut p = pipeline();
+        let old: Vec<Vec<u8>> = (0..4).map(|i| text_block(50 + i)).collect();
+        for (i, blockdata) in old.iter().enumerate() {
+            p.write(i as u64, i as u64 * 4096, blockdata);
+        }
+        p.flush(10); // one merged 4-block run
+        let fresh = random_block(4242);
+        p.write(20, 4096, &fresh); // overwrite only block 1
+        p.flush(30);
+        // A read spanning the whole range must mix old and new correctly.
+        let got = p.read(40, 0, 4 * 4096).unwrap();
+        assert_eq!(&got[..4096], &old[0][..], "block 0 from the old run");
+        assert_eq!(&got[4096..8192], &fresh[..], "block 1 must be the overwrite");
+        assert_eq!(&got[8192..12288], &old[2][..], "block 2 from the old run");
+        assert_eq!(&got[12288..], &old[3][..], "block 3 from the old run");
+    }
+
+    #[test]
+    fn mapping_tags_recorded() {
+        let mut p = pipeline();
+        p.write(0, 0, &text_block(1));
+        let r = p.flush(1).unwrap();
+        assert_ne!(r.tag, CodecId::None, "slow text write should compress");
+        assert!(r.payload_bytes < 4096);
+        assert!(r.allocated_bytes <= 4096);
+    }
+}

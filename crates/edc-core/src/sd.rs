@@ -1,0 +1,268 @@
+//! The Sequentiality Detector (paper §III-E, Fig. 7).
+//!
+//! Compressing each 4 KiB write on arrival forfeits the better ratio (and
+//! lower per-byte cost) of compressing a larger unit, so EDC buffers
+//! contiguous writes and compresses them as one merged block. The buffer
+//! flushes when:
+//!
+//! * a **read** arrives (Fig. 7, order 4: reads break write contiguity),
+//! * a **non-contiguous write** arrives (the new write starts a new buffer),
+//! * the merge buffer reaches its size cap, or
+//! * the oldest buffered write exceeds the flush timeout — the paper's
+//!   prototype flushes only on the first two events, which is fine for
+//!   bursty traces but would leave the last writes of a burst waiting
+//!   until the next request; the timeout bounds that wait and is
+//!   configurable (set it huge to reproduce the strict paper behaviour).
+
+/// Sequentiality-detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdConfig {
+    /// Maximum merged size in 4 KiB blocks (default 16 = 64 KiB, matching
+    /// the Bzip2-class block size and typical merge windows).
+    pub max_merge_blocks: u32,
+    /// Flush the buffer when its oldest write is this old (ns).
+    pub timeout_ns: u64,
+}
+
+impl Default for SdConfig {
+    fn default() -> Self {
+        SdConfig { max_merge_blocks: 16, timeout_ns: 500_000 }
+    }
+}
+
+/// A merged run of contiguous writes, ready to compress as one unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergedRun {
+    /// First 4 KiB logical block.
+    pub start_block: u64,
+    /// Length in blocks.
+    pub blocks: u32,
+    /// Arrival time of each merged request (for latency accounting: every
+    /// one of them completes when the run is flushed to flash).
+    pub arrivals_ns: Vec<u64>,
+}
+
+impl MergedRun {
+    /// Merged payload size in bytes.
+    pub fn bytes(&self) -> u64 {
+        u64::from(self.blocks) * 4096
+    }
+
+    /// Arrival of the oldest merged request.
+    pub fn oldest_arrival_ns(&self) -> u64 {
+        self.arrivals_ns.iter().copied().min().unwrap_or(0)
+    }
+}
+
+/// The Sequentiality Detector.
+///
+/// ```
+/// use edc_core::{SequentialityDetector, SdConfig};
+///
+/// let mut sd = SequentialityDetector::new(SdConfig::default());
+/// assert!(sd.on_write(10, 1, 0).is_none()); // buffered
+/// assert!(sd.on_write(11, 1, 1).is_none()); // contiguous: merged
+/// let run = sd.on_write(99, 1, 2).unwrap(); // jump flushes the buffer
+/// assert_eq!((run.start_block, run.blocks), (10, 2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SequentialityDetector {
+    config: SdConfig,
+    current: Option<MergedRun>,
+    /// Total writes observed / writes merged into an existing buffer.
+    observed: u64,
+    merged: u64,
+}
+
+impl SequentialityDetector {
+    /// Create a detector.
+    pub fn new(config: SdConfig) -> Self {
+        assert!(config.max_merge_blocks >= 1);
+        SequentialityDetector { config, ..Default::default() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SdConfig {
+        &self.config
+    }
+
+    /// Fraction of writes that were merged into a previously buffered run.
+    pub fn merge_rate(&self) -> f64 {
+        if self.observed == 0 {
+            return 0.0;
+        }
+        self.merged as f64 / self.observed as f64
+    }
+
+    /// A write of `span_blocks` blocks starting at `start_block` arrives.
+    /// Returns the *previous* buffer if this write flushed it (non-
+    /// contiguous, or the merge would exceed the cap). The new write always
+    /// ends up buffered (possibly merged into the surviving buffer).
+    pub fn on_write(&mut self, start_block: u64, span_blocks: u32, arrival_ns: u64) -> Option<MergedRun> {
+        assert!(span_blocks >= 1);
+        self.observed += 1;
+        match self.current.take() {
+            None => {
+                self.current = Some(MergedRun {
+                    start_block,
+                    blocks: span_blocks,
+                    arrivals_ns: vec![arrival_ns],
+                });
+                None
+            }
+            Some(mut run) => {
+                let contiguous = start_block == run.start_block + u64::from(run.blocks);
+                let fits = run.blocks + span_blocks <= self.config.max_merge_blocks;
+                if contiguous && fits {
+                    run.blocks += span_blocks;
+                    run.arrivals_ns.push(arrival_ns);
+                    self.merged += 1;
+                    self.current = Some(run);
+                    None
+                } else {
+                    self.current = Some(MergedRun {
+                        start_block,
+                        blocks: span_blocks,
+                        arrivals_ns: vec![arrival_ns],
+                    });
+                    Some(run)
+                }
+            }
+        }
+    }
+
+    /// A read arrives: flush any buffer (reads break write sequentiality).
+    pub fn on_read(&mut self) -> Option<MergedRun> {
+        self.current.take()
+    }
+
+    /// If the buffered run has exceeded the timeout at `now_ns`, take it
+    /// together with the time at which the flush is deemed to happen
+    /// (`oldest arrival + timeout`, which may be earlier than `now_ns`).
+    pub fn take_expired(&mut self, now_ns: u64) -> Option<(MergedRun, u64)> {
+        let deadline = self.current.as_ref()?.oldest_arrival_ns() + self.config.timeout_ns;
+        if now_ns >= deadline {
+            Some((self.current.take().expect("checked above"), deadline))
+        } else {
+            None
+        }
+    }
+
+    /// End of workload: surrender any remaining buffer.
+    pub fn drain(&mut self) -> Option<MergedRun> {
+        self.current.take()
+    }
+
+    /// Is a run currently buffered?
+    pub fn has_pending(&self) -> bool {
+        self.current.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sd() -> SequentialityDetector {
+        SequentialityDetector::new(SdConfig::default())
+    }
+
+    #[test]
+    fn figure7_scenario() {
+        // Order: A1 A2 A3 (seq) B1 B2 (seq elsewhere) C1 D1 — per Fig. 7(b).
+        let mut d = sd();
+        assert_eq!(d.on_write(10, 1, 0), None); // A1: wait
+        assert_eq!(d.on_write(11, 1, 1), None); // A2: merge
+        assert_eq!(d.on_write(12, 1, 2), None); // A3: merge
+        let a = d.on_write(50, 1, 3).expect("B1 flushes A1-3"); // compress A1-3
+        assert_eq!(a.start_block, 10);
+        assert_eq!(a.blocks, 3);
+        assert_eq!(a.arrivals_ns, vec![0, 1, 2]);
+        assert_eq!(d.on_write(51, 1, 4), None); // B2: merge
+        let b = d.on_write(90, 1, 5).expect("C1 flushes B1-2");
+        assert_eq!((b.start_block, b.blocks), (50, 2));
+        let c = d.on_write(130, 1, 6).expect("D1 flushes C1");
+        assert_eq!((c.start_block, c.blocks), (90, 1));
+        let dd = d.drain().expect("D1 remains");
+        assert_eq!((dd.start_block, dd.blocks), (130, 1));
+    }
+
+    #[test]
+    fn read_flushes_buffer() {
+        let mut d = sd();
+        d.on_write(0, 1, 0);
+        d.on_write(1, 1, 1);
+        let run = d.on_read().expect("read flushes");
+        assert_eq!(run.blocks, 2);
+        assert!(!d.has_pending());
+        assert_eq!(d.on_read(), None);
+    }
+
+    #[test]
+    fn merge_cap_enforced() {
+        let mut d = SequentialityDetector::new(SdConfig { max_merge_blocks: 4, timeout_ns: u64::MAX });
+        for i in 0..4 {
+            assert_eq!(d.on_write(i, 1, i), None, "block {i} should merge");
+        }
+        // Fifth contiguous write exceeds the cap: previous run flushes.
+        let run = d.on_write(4, 1, 4).expect("cap flush");
+        assert_eq!(run.blocks, 4);
+        assert!(d.has_pending());
+    }
+
+    #[test]
+    fn multi_block_writes_merge() {
+        let mut d = sd();
+        assert_eq!(d.on_write(0, 4, 0), None);
+        assert_eq!(d.on_write(4, 4, 1), None);
+        let run = d.drain().unwrap();
+        assert_eq!(run.blocks, 8);
+        assert_eq!(run.bytes(), 8 * 4096);
+    }
+
+    #[test]
+    fn overlapping_write_is_not_contiguous() {
+        let mut d = sd();
+        d.on_write(0, 4, 0);
+        // Overwrite of block 2 is not an append: flushes.
+        let run = d.on_write(2, 1, 1);
+        assert!(run.is_some());
+    }
+
+    #[test]
+    fn backward_write_is_not_contiguous() {
+        let mut d = sd();
+        d.on_write(10, 1, 0);
+        assert!(d.on_write(9, 1, 1).is_some());
+    }
+
+    #[test]
+    fn timeout_expiry() {
+        let mut d = SequentialityDetector::new(SdConfig { max_merge_blocks: 16, timeout_ns: 1000 });
+        d.on_write(0, 1, 5000);
+        assert!(d.take_expired(5500).is_none(), "not yet expired");
+        let (run, at) = d.take_expired(7000).expect("expired");
+        assert_eq!(run.blocks, 1);
+        assert_eq!(at, 6000, "flush backdated to arrival + timeout");
+        assert!(!d.has_pending());
+    }
+
+    #[test]
+    fn merge_rate_accounting() {
+        let mut d = sd();
+        d.on_write(0, 1, 0);
+        d.on_write(1, 1, 1);
+        d.on_write(2, 1, 2);
+        d.on_write(100, 1, 3);
+        // 4 observed, 2 merged.
+        assert!((d.merge_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_detector_drains_nothing() {
+        let mut d = sd();
+        assert_eq!(d.drain(), None);
+        assert_eq!(d.take_expired(u64::MAX), None);
+        assert_eq!(d.merge_rate(), 0.0);
+    }
+}

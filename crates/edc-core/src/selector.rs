@@ -1,0 +1,199 @@
+//! The elastic algorithm selector (paper §III-D, Fig. 6).
+//!
+//! EDC "sets several calculated-IOPS thresholds for different compression
+//! algorithms": intensity below the lowest threshold selects the strongest
+//! codec; each higher band selects a faster one; above the highest
+//! threshold compression is skipped entirely. The paper's evaluated ladder
+//! uses Gzip in idle periods and Lzf in busy periods (§IV-B: "EDC uses
+//! both the Gzip and Lzf compression algorithms during different periods").
+
+use edc_compress::CodecId;
+
+/// One rung of the ladder: use `codec` while intensity is ≤ `max_calc_iops`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderRung {
+    /// Upper calculated-IOPS bound (inclusive) for this rung.
+    pub max_calc_iops: f64,
+    /// Codec applied within the band.
+    pub codec: CodecId,
+}
+
+/// Threshold-ladder configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectorConfig {
+    /// Rungs in ascending `max_calc_iops` order. Intensity above the last
+    /// rung selects [`CodecId::None`] (skip compression — "if the I/O
+    /// intensity exceeds the highest calculated-IOPS threshold, EDC will
+    /// skip the compression function").
+    pub rungs: Vec<LadderRung>,
+}
+
+impl SelectorConfig {
+    /// The paper's two-algorithm ladder: Gzip while calculated IOPS ≤
+    /// `gzip_below`, Lzf while ≤ `skip_above`, nothing beyond.
+    pub fn two_level(gzip_below: f64, skip_above: f64) -> Self {
+        assert!(gzip_below < skip_above, "bands must be ordered");
+        SelectorConfig {
+            rungs: vec![
+                LadderRung { max_calc_iops: gzip_below, codec: CodecId::Deflate },
+                LadderRung { max_calc_iops: skip_above, codec: CodecId::Lzf },
+            ],
+        }
+    }
+
+    /// Default ladder used throughout the experiments: Gzip under 1 200
+    /// calculated IOPS, Lzf up to 4 000, write-through beyond. The skip
+    /// rung sits near the simulated device's saturation point, matching
+    /// the paper's rule that only intensities "exceeding the highest
+    /// calculated-IOPS threshold" bypass compression; the Gzip rung covers
+    /// idle and moderate periods so the strong codec carries a meaningful
+    /// share of the data (the paper finds ≈ 20 % Gzip the best balance).
+    ///
+    /// (The knee values are configurable; Fig. 12 sweeps the Gzip/Lzf
+    /// boundary.)
+    pub fn paper_default() -> Self {
+        Self::two_level(1200.0, 4000.0)
+    }
+
+    /// A three-level "deep idle" ladder (DESIGN.md ablation 4): Bzip2 when
+    /// nearly idle, then Gzip, then Lzf, then write-through.
+    pub fn three_level(bzip2_below: f64, gzip_below: f64, skip_above: f64) -> Self {
+        assert!(bzip2_below < gzip_below && gzip_below < skip_above);
+        SelectorConfig {
+            rungs: vec![
+                LadderRung { max_calc_iops: bzip2_below, codec: CodecId::Bwt },
+                LadderRung { max_calc_iops: gzip_below, codec: CodecId::Deflate },
+                LadderRung { max_calc_iops: skip_above, codec: CodecId::Lzf },
+            ],
+        }
+    }
+
+    /// Validate ordering.
+    pub fn validate(&self) {
+        assert!(!self.rungs.is_empty(), "ladder needs at least one rung");
+        for w in self.rungs.windows(2) {
+            assert!(
+                w[0].max_calc_iops < w[1].max_calc_iops,
+                "ladder thresholds must be strictly ascending"
+            );
+        }
+    }
+}
+
+impl Default for SelectorConfig {
+    fn default() -> Self {
+        SelectorConfig::paper_default()
+    }
+}
+
+/// The selector: maps current intensity to a codec.
+///
+/// ```
+/// use edc_core::AlgorithmSelector;
+/// use edc_compress::CodecId;
+///
+/// let s = AlgorithmSelector::default(); // paper ladder: Gzip / Lzf / skip
+/// assert_eq!(s.select(50.0), CodecId::Deflate);  // idle → strong codec
+/// assert_eq!(s.select(2500.0), CodecId::Lzf);    // busy → fast codec
+/// assert_eq!(s.select(50_000.0), CodecId::None); // burst → skip
+/// ```
+#[derive(Debug, Clone)]
+pub struct AlgorithmSelector {
+    config: SelectorConfig,
+}
+
+impl AlgorithmSelector {
+    /// Build from a validated config.
+    pub fn new(config: SelectorConfig) -> Self {
+        config.validate();
+        AlgorithmSelector { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SelectorConfig {
+        &self.config
+    }
+
+    /// Select the codec for the given calculated IOPS.
+    pub fn select(&self, calc_iops: f64) -> CodecId {
+        for rung in &self.config.rungs {
+            if calc_iops <= rung.max_calc_iops {
+                return rung.codec;
+            }
+        }
+        CodecId::None
+    }
+}
+
+impl Default for AlgorithmSelector {
+    fn default() -> Self {
+        Self::new(SelectorConfig::paper_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_band_mapping() {
+        let s = AlgorithmSelector::default();
+        assert_eq!(s.select(0.0), CodecId::Deflate); // idle → strong codec
+        assert_eq!(s.select(1200.0), CodecId::Deflate); // inclusive bound
+        assert_eq!(s.select(1201.0), CodecId::Lzf);
+        assert_eq!(s.select(4000.0), CodecId::Lzf);
+        assert_eq!(s.select(4001.0), CodecId::None); // burst → skip
+        assert_eq!(s.select(1e9), CodecId::None);
+    }
+
+    #[test]
+    fn three_level_ladder() {
+        let s = AlgorithmSelector::new(SelectorConfig::three_level(50.0, 300.0, 1500.0));
+        assert_eq!(s.select(10.0), CodecId::Bwt);
+        assert_eq!(s.select(100.0), CodecId::Deflate);
+        assert_eq!(s.select(1000.0), CodecId::Lzf);
+        assert_eq!(s.select(2000.0), CodecId::None);
+    }
+
+    #[test]
+    fn monotonicity_weaker_codecs_at_higher_intensity() {
+        // Increasing intensity must never select a *stronger* codec.
+        let strength = |c: CodecId| match c {
+            CodecId::Bwt => 3,
+            CodecId::Deflate => 2,
+            CodecId::Lzf | CodecId::Lz4 => 1,
+            CodecId::None => 0,
+        };
+        let s = AlgorithmSelector::default();
+        let mut prev = i32::MAX;
+        for iops in [0.0, 50.0, 150.0, 400.0, 900.0, 1200.0, 3000.0, 1e6] {
+            let cur = strength(s.select(iops));
+            assert!(cur <= prev, "strength rose at {iops} calc-IOPS");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unordered_ladder_rejected() {
+        let cfg = SelectorConfig {
+            rungs: vec![
+                LadderRung { max_calc_iops: 500.0, codec: CodecId::Deflate },
+                LadderRung { max_calc_iops: 100.0, codec: CodecId::Lzf },
+            ],
+        };
+        AlgorithmSelector::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rung")]
+    fn empty_ladder_rejected() {
+        AlgorithmSelector::new(SelectorConfig { rungs: vec![] });
+    }
+
+    #[test]
+    fn two_level_constructor_enforces_order() {
+        let cfg = SelectorConfig::two_level(10.0, 20.0);
+        assert_eq!(cfg.rungs.len(), 2);
+    }
+}

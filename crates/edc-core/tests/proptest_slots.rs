@@ -1,0 +1,66 @@
+//! Property test for the slot store's central safety invariant: no two
+//! live slots ever overlap in device space. (A violation of this is
+//! exactly the aliasing bug the pipeline's checksums once caught — see
+//! `SlotStore::release_block_ref`.)
+
+use edc_core::SlotStore;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate a run of (bytes, blocks).
+    Alloc { size_class: u8, blocks: u8 },
+    /// Drop one block reference from the i-th oldest live run.
+    Release { pick: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..6, 1u8..9).prop_map(|(size_class, blocks)| Op::Alloc { size_class, blocks }),
+        (any::<u8>()).prop_map(|pick| Op::Release { pick }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn live_slots_never_overlap(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let mut store = SlotStore::new(64 << 20);
+        // Live runs we still hold references to: (offset, bytes, refs_left).
+        let mut live: Vec<(u64, u64, u32)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc { size_class, blocks } => {
+                    let bytes = 1024u64 << size_class; // 1 KiB .. 32 KiB
+                    let blocks = u32::from(blocks);
+                    let off = store.alloc_run(bytes, blocks);
+                    // Invariant: the new slot must not overlap any live slot.
+                    for &(o, b, _) in &live {
+                        prop_assert!(
+                            off + bytes <= o || o + b <= off,
+                            "slot [{off}, {}) overlaps live [{o}, {})",
+                            off + bytes,
+                            o + b
+                        );
+                    }
+                    live.push((off, bytes, blocks));
+                }
+                Op::Release { pick } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let i = usize::from(pick) % live.len();
+                    store.release_block_ref(live[i].0);
+                    live[i].2 -= 1;
+                    if live[i].2 == 0 {
+                        live.remove(i);
+                    }
+                }
+            }
+        }
+        // Live-byte accounting must match what we still hold.
+        let held: u64 = live.iter().map(|&(_, b, _)| b).sum();
+        prop_assert_eq!(store.live_bytes(), held);
+    }
+}

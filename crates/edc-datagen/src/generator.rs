@@ -1,0 +1,374 @@
+//! Block-content generation by class and weighted mixture.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A family of block contents with a characteristic compressibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockClass {
+    /// All-zero block (freshly trimmed space, sparse files). Extreme ratio.
+    Zero,
+    /// Natural-language-like prose from a word-bigram chain. Gzip ≈ 2–3×.
+    Text,
+    /// Source-code-like lines: keywords, identifiers, indentation. High ratio.
+    Code,
+    /// Structured binary records: mixed counters, enums, zero padding. Medium.
+    Binary,
+    /// Already-compressed media (JPEG/MP4-like): random with thin headers.
+    /// Effectively incompressible.
+    Media,
+    /// Uniform random bytes. Incompressible; worst case for any codec.
+    Random,
+}
+
+impl BlockClass {
+    /// All classes, in a stable order.
+    pub const ALL: [BlockClass; 6] = [
+        BlockClass::Zero,
+        BlockClass::Text,
+        BlockClass::Code,
+        BlockClass::Binary,
+        BlockClass::Media,
+        BlockClass::Random,
+    ];
+
+    /// Whether a sampling estimator should flag this class as a
+    /// write-through candidate.
+    pub fn is_incompressible(self) -> bool {
+        matches!(self, BlockClass::Media | BlockClass::Random)
+    }
+}
+
+/// A weighted mixture of block classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataMix {
+    weights: Vec<(BlockClass, f64)>,
+    total: f64,
+}
+
+impl DataMix {
+    /// Build a mix from `(class, weight)` pairs. Weights need not sum to 1.
+    ///
+    /// # Panics
+    /// Panics if empty or any weight is non-positive.
+    pub fn new(weights: Vec<(BlockClass, f64)>) -> Self {
+        assert!(!weights.is_empty(), "mix needs at least one class");
+        assert!(weights.iter().all(|&(_, w)| w > 0.0), "weights must be positive");
+        let total = weights.iter().map(|&(_, w)| w).sum();
+        DataMix { weights, total }
+    }
+
+    /// A single-class mix.
+    pub fn pure(class: BlockClass) -> Self {
+        DataMix::new(vec![(class, 1.0)])
+    }
+
+    /// The skewed "primary storage" mix from the measurements the paper
+    /// cites (§I): roughly 31 % of chunks incompressible, the rest split
+    /// across compressible families with a tail of near-empty blocks.
+    pub fn primary_storage() -> Self {
+        DataMix::new(vec![
+            (BlockClass::Zero, 0.06),
+            (BlockClass::Text, 0.22),
+            (BlockClass::Code, 0.16),
+            (BlockClass::Binary, 0.25),
+            (BlockClass::Media, 0.19),
+            (BlockClass::Random, 0.12),
+        ])
+    }
+
+    /// An OLTP-leaning mix: database pages are structured binary with
+    /// embedded text, few media blobs.
+    pub fn oltp() -> Self {
+        DataMix::new(vec![
+            (BlockClass::Zero, 0.05),
+            (BlockClass::Text, 0.15),
+            (BlockClass::Binary, 0.55),
+            (BlockClass::Media, 0.10),
+            (BlockClass::Random, 0.15),
+        ])
+    }
+
+    /// Fraction of weight on incompressible classes.
+    pub fn incompressible_fraction(&self) -> f64 {
+        self.weights
+            .iter()
+            .filter(|(c, _)| c.is_incompressible())
+            .map(|&(_, w)| w)
+            .sum::<f64>()
+            / self.total
+    }
+
+    /// Sample a class.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> BlockClass {
+        let mut x = rng.random::<f64>() * self.total;
+        for &(class, w) in &self.weights {
+            if x < w {
+                return class;
+            }
+            x -= w;
+        }
+        self.weights.last().expect("non-empty").0
+    }
+}
+
+/// Deterministic, seeded block-content generator.
+#[derive(Debug, Clone)]
+pub struct ContentGenerator {
+    rng: StdRng,
+    mix: DataMix,
+}
+
+/// Vocabulary for [`BlockClass::Text`] blocks.
+const WORDS: &[&str] = &[
+    "the", "of", "and", "to", "in", "is", "that", "it", "was", "for", "on", "are", "with",
+    "as", "system", "storage", "data", "flash", "request", "block", "write", "read", "time",
+    "latency", "queue", "device", "page", "compression", "ratio", "workload", "trace",
+    "performance", "space", "efficiency", "intensity", "monitor", "buffer", "schedule",
+    "application", "server", "financial", "transaction", "record", "update", "period",
+];
+
+/// Keyword pool for [`BlockClass::Code`] blocks.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "for", "while", "return", "struct", "static", "const", "int", "void",
+    "char", "unsigned", "sizeof", "NULL", "break", "continue", "switch", "case", "typedef",
+];
+
+impl ContentGenerator {
+    /// Create a generator with a seed and a class mixture.
+    pub fn new(seed: u64, mix: DataMix) -> Self {
+        ContentGenerator { rng: StdRng::seed_from_u64(seed), mix }
+    }
+
+    /// Create a single-class generator.
+    pub fn pure(seed: u64, class: BlockClass) -> Self {
+        Self::new(seed, DataMix::pure(class))
+    }
+
+    /// The active mixture.
+    pub fn mix(&self) -> &DataMix {
+        &self.mix
+    }
+
+    /// Generate one block of `len` bytes; the class is sampled from the mix.
+    /// Returns the class actually used alongside the bytes.
+    pub fn block(&mut self, len: usize) -> (BlockClass, Vec<u8>) {
+        let class = self.mix.sample(&mut self.rng);
+        (class, self.block_of(class, len))
+    }
+
+    /// Generate one block of `len` bytes of a specific class.
+    pub fn block_of(&mut self, class: BlockClass, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        match class {
+            BlockClass::Zero => out.resize(len, 0),
+            BlockClass::Text => self.fill_text(&mut out, len),
+            BlockClass::Code => self.fill_code(&mut out, len),
+            BlockClass::Binary => self.fill_binary(&mut out, len),
+            BlockClass::Media => self.fill_media(&mut out, len),
+            BlockClass::Random => {
+                out.resize(len, 0);
+                self.rng.fill_bytes(&mut out);
+            }
+        }
+        debug_assert_eq!(out.len(), len);
+        out
+    }
+
+    /// Prose: words drawn with a strong recency bias (re-use of the last few
+    /// words approximates bigram structure), sentence punctuation.
+    fn fill_text(&mut self, out: &mut Vec<u8>, len: usize) {
+        let mut recent: Vec<&str> = Vec::with_capacity(8);
+        let mut since_period = 0usize;
+        while out.len() < len {
+            let reuse = !recent.is_empty() && self.rng.random::<f64>() < 0.35;
+            let word = if reuse {
+                recent[self.rng.random_range(0..recent.len())]
+            } else {
+                WORDS[self.rng.random_range(0..WORDS.len())]
+            };
+            if recent.len() == 8 {
+                recent.remove(0);
+            }
+            recent.push(word);
+            out.extend_from_slice(word.as_bytes());
+            since_period += 1;
+            if since_period > 8 && self.rng.random::<f64>() < 0.2 {
+                out.extend_from_slice(b". ");
+                since_period = 0;
+            } else {
+                out.push(b' ');
+            }
+        }
+        out.truncate(len);
+    }
+
+    /// Source code: indented lines of keywords, identifiers and operators.
+    fn fill_code(&mut self, out: &mut Vec<u8>, len: usize) {
+        let idents = ["req", "buf", "len", "dev", "ctx", "ret", "flags", "offset", "page_idx"];
+        let mut depth = 1usize;
+        while out.len() < len {
+            for _ in 0..depth {
+                out.extend_from_slice(b"    ");
+            }
+            let kw = KEYWORDS[self.rng.random_range(0..KEYWORDS.len())];
+            let a = idents[self.rng.random_range(0..idents.len())];
+            let b = idents[self.rng.random_range(0..idents.len())];
+            match self.rng.random_range(0..4u32) {
+                0 => {
+                    out.extend_from_slice(kw.as_bytes());
+                    out.extend_from_slice(b" (");
+                    out.extend_from_slice(a.as_bytes());
+                    out.extend_from_slice(b" < ");
+                    out.extend_from_slice(b.as_bytes());
+                    out.extend_from_slice(b") {\n");
+                    depth = (depth + 1).min(4);
+                }
+                1 => {
+                    out.extend_from_slice(a.as_bytes());
+                    out.extend_from_slice(b" = ");
+                    out.extend_from_slice(b.as_bytes());
+                    let n = self.rng.random_range(0..4096u32);
+                    out.extend_from_slice(format!(" + {n};\n").as_bytes());
+                }
+                2 => {
+                    out.extend_from_slice(b"}\n");
+                    depth = depth.saturating_sub(1).max(1);
+                }
+                _ => {
+                    out.extend_from_slice(b"return ");
+                    out.extend_from_slice(a.as_bytes());
+                    out.extend_from_slice(b";\n");
+                }
+            }
+        }
+        out.truncate(len);
+    }
+
+    /// Structured binary: fixed-layout records — id counter, small enums,
+    /// timestamps with small deltas, zero padding. Compresses ~2× like real
+    /// database/index pages.
+    fn fill_binary(&mut self, out: &mut Vec<u8>, len: usize) {
+        let mut id = self.rng.random_range(0..1_000_000u64);
+        let mut ts = 1_400_000_000u64 + self.rng.random_range(0..10_000_000);
+        while out.len() < len {
+            id += self.rng.random_range(1..4u64);
+            ts += self.rng.random_range(0..1000u64);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&ts.to_le_bytes());
+            out.push(self.rng.random_range(0..6u8)); // status enum
+            out.push(0);
+            out.extend_from_slice(&(self.rng.random_range(0..10_000u32)).to_le_bytes());
+            out.extend_from_slice(&[0u8; 10]); // reserved/padding
+        }
+        out.truncate(len);
+    }
+
+    /// Media: random body with sparse structured marker bytes, like the
+    /// entropy-coded payload of JPEG/video containers.
+    fn fill_media(&mut self, out: &mut Vec<u8>, len: usize) {
+        out.resize(len, 0);
+        self.rng.fill_bytes(out);
+        // Sprinkle marker sequences every ~2 KiB (segment headers).
+        let mut pos = 0usize;
+        while pos + 4 <= len {
+            out[pos] = 0xFF;
+            out[pos + 1] = 0xD8 + (self.rng.random_range(0..8u8));
+            pos += 1500 + self.rng.random_range(0..1000usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_have_requested_length() {
+        let mut g = ContentGenerator::new(1, DataMix::primary_storage());
+        for len in [0usize, 1, 511, 4096, 65536] {
+            let (_, b) = g.block(len);
+            assert_eq!(b.len(), len);
+        }
+    }
+
+    #[test]
+    fn every_class_generates() {
+        let mut g = ContentGenerator::pure(2, BlockClass::Zero);
+        for class in BlockClass::ALL {
+            let b = g.block_of(class, 4096);
+            assert_eq!(b.len(), 4096);
+        }
+    }
+
+    #[test]
+    fn zero_blocks_are_zero() {
+        let mut g = ContentGenerator::pure(3, BlockClass::Zero);
+        assert!(g.block_of(BlockClass::Zero, 8192).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn text_is_ascii_words() {
+        let mut g = ContentGenerator::pure(4, BlockClass::Text);
+        let b = g.block_of(BlockClass::Text, 4096);
+        assert!(b.iter().all(|&c| c.is_ascii_lowercase() || c == b' ' || c == b'.'));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = ContentGenerator::new(42, DataMix::primary_storage());
+        let mut b = ContentGenerator::new(42, DataMix::primary_storage());
+        for _ in 0..20 {
+            assert_eq!(a.block(4096), b.block(4096));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ContentGenerator::pure(1, BlockClass::Random);
+        let mut b = ContentGenerator::pure(2, BlockClass::Random);
+        assert_ne!(a.block_of(BlockClass::Random, 4096), b.block_of(BlockClass::Random, 4096));
+    }
+
+    #[test]
+    fn mix_sampling_respects_weights() {
+        let mix = DataMix::new(vec![(BlockClass::Zero, 9.0), (BlockClass::Random, 1.0)]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let zeros = (0..10_000).filter(|_| mix.sample(&mut rng) == BlockClass::Zero).count();
+        assert!((8500..9500).contains(&zeros), "got {zeros} zeros out of 10000");
+    }
+
+    #[test]
+    fn primary_storage_mix_is_about_31pct_incompressible() {
+        let f = DataMix::primary_storage().incompressible_fraction();
+        assert!((0.25..0.40).contains(&f), "incompressible fraction {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn non_positive_weight_rejected() {
+        let _ = DataMix::new(vec![(BlockClass::Zero, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_mix_rejected() {
+        let _ = DataMix::new(vec![]);
+    }
+
+    #[test]
+    fn media_blocks_are_high_entropy() {
+        let mut g = ContentGenerator::pure(5, BlockClass::Media);
+        let b = g.block_of(BlockClass::Media, 4096);
+        let distinct = b.iter().collect::<std::collections::HashSet<_>>().len();
+        assert!(distinct > 200, "media must look random, {distinct} distinct bytes");
+    }
+
+    #[test]
+    fn binary_blocks_have_zero_padding() {
+        let mut g = ContentGenerator::pure(6, BlockClass::Binary);
+        let b = g.block_of(BlockClass::Binary, 4096);
+        let zeros = b.iter().filter(|&&x| x == 0).count();
+        assert!(zeros > b.len() / 5, "expected padding zeros, got {zeros}");
+    }
+}

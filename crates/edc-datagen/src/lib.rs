@@ -1,0 +1,35 @@
+//! # edc-datagen
+//!
+//! SDGen-equivalent synthetic content generation for the EDC reproduction.
+//!
+//! The traces the paper replays (SPC financial, MSR Cambridge) carry **no
+//! payload bytes**, so the authors used SDGen (Gracia-Tinedo et al.,
+//! FAST'15) to synthesize block contents whose *compressibility* — ratio,
+//! compression time, heterogeneity — mimics data sampled from real
+//! applications. This crate plays that role:
+//!
+//! * [`BlockClass`] — content families with distinct compressibility
+//!   (zero-filled, prose text, source code, structured binary records,
+//!   already-compressed media, random),
+//! * [`DataMix`] — a weighted mixture of classes, with presets matching the
+//!   skewed distribution published measurements report (≈31 % of chunks
+//!   incompressible, half the chunks providing most of the savings —
+//!   El-Shimi et al., ATC'12, cited in the paper's §I),
+//! * [`ContentGenerator`] — deterministic, seeded block producer,
+//! * [`corpus`] — the two evaluation datasets of the paper's Fig. 2
+//!   ("Linux source files", "Mozilla Firefox files") as synthetic look-alikes,
+//! * [`ratio_dial`] — generate blocks hitting a *target* compressed
+//!   fraction, SDGen's headline capability.
+//!
+//! Everything is seeded (`rand::StdRng`), so every experiment that consumes
+//! generated content is exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod generator;
+pub mod ratio_dial;
+
+pub use generator::{BlockClass, ContentGenerator, DataMix};
+pub use ratio_dial::RatioDial;

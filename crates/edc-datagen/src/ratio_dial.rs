@@ -1,0 +1,127 @@
+//! Target-ratio content generation — SDGen's headline capability.
+//!
+//! SDGen "creates data with variable compression ratio" matching samples
+//! from real applications. [`RatioDial`] does the equivalent analytically:
+//! a block is built from an incompressible random span of `p·len` bytes
+//! followed by a trivially compressible filler, so its compressed fraction
+//! under an LZ codec is ≈ `p` plus a small framing overhead.
+//! [`RatioDial::calibrated`] closes the loop by bisecting `p` against a
+//! real codec until the achieved fraction matches the target.
+
+use edc_compress::Codec;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Generates blocks with a chosen compressed/original fraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioDial {
+    /// Fraction of each block filled with incompressible bytes (0.0–1.0).
+    random_fraction: f64,
+}
+
+impl RatioDial {
+    /// Dial set directly to a random-byte fraction (≈ the compressed
+    /// fraction an LZ codec will achieve).
+    pub fn new(random_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&random_fraction), "fraction must be in [0,1]");
+        RatioDial { random_fraction }
+    }
+
+    /// The configured random fraction.
+    pub fn random_fraction(&self) -> f64 {
+        self.random_fraction
+    }
+
+    /// Generate one block of `len` bytes.
+    pub fn generate(&self, seed: u64, len: usize) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_random = ((len as f64) * self.random_fraction).round() as usize;
+        let n_random = n_random.min(len);
+        let mut out = vec![0u8; len];
+        rng.fill_bytes(&mut out[..n_random]);
+        // Filler: a short repeating phrase — compresses to almost nothing.
+        const FILLER: &[u8] = b"edc filler block content ";
+        for (i, slot) in out[n_random..].iter_mut().enumerate() {
+            *slot = FILLER[i % FILLER.len()];
+        }
+        out
+    }
+
+    /// Bisect the dial until `codec` compresses generated blocks to within
+    /// `tol` of `target_fraction` (compressed/original).
+    pub fn calibrated(codec: &dyn Codec, target_fraction: f64, len: usize, tol: f64) -> Self {
+        assert!((0.0..=1.0).contains(&target_fraction));
+        assert!(len > 0 && tol > 0.0);
+        let measure = |p: f64| -> f64 {
+            let block = RatioDial::new(p).generate(0xD1A1, len);
+            codec.compress(&block).len() as f64 / len as f64
+        };
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        for _ in 0..32 {
+            let mid = (lo + hi) / 2.0;
+            let got = measure(mid);
+            if (got - target_fraction).abs() <= tol {
+                return RatioDial::new(mid);
+            }
+            if got < target_fraction {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        RatioDial::new((lo + hi) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edc_compress::{codec_by_id, CodecId};
+
+    #[test]
+    fn extremes() {
+        let d0 = RatioDial::new(0.0).generate(1, 4096);
+        let d1 = RatioDial::new(1.0).generate(1, 4096);
+        let lzf = codec_by_id(CodecId::Lzf).unwrap();
+        let f0 = lzf.compress(&d0).len() as f64 / 4096.0;
+        let f1 = lzf.compress(&d1).len() as f64 / 4096.0;
+        assert!(f0 < 0.1, "pure filler must compress hard, got {f0}");
+        assert!(f1 > 0.9, "pure random must not compress, got {f1}");
+    }
+
+    #[test]
+    fn fraction_tracks_dial_monotonically() {
+        let lzf = codec_by_id(CodecId::Lzf).unwrap();
+        let mut prev = -1.0f64;
+        for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let b = RatioDial::new(p).generate(7, 8192);
+            let f = lzf.compress(&b).len() as f64 / 8192.0;
+            assert!(f > prev, "fraction must increase with the dial");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn calibration_hits_target() {
+        let lzf = codec_by_id(CodecId::Lzf).unwrap();
+        for target in [0.3, 0.5, 0.7] {
+            let dial = RatioDial::calibrated(lzf, target, 8192, 0.02);
+            let b = dial.generate(99, 8192);
+            let got = lzf.compress(&b).len() as f64 / 8192.0;
+            assert!((got - target).abs() < 0.05, "target {target}, got {got}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = RatioDial::new(0.4);
+        assert_eq!(d.generate(5, 4096), d.generate(5, 4096));
+        assert_ne!(d.generate(5, 4096), d.generate(6, 4096));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0,1]")]
+    fn out_of_range_dial_rejected() {
+        let _ = RatioDial::new(1.5);
+    }
+}

@@ -1,0 +1,170 @@
+//! SSD geometry and timing configuration.
+
+/// Size of the allocation sector: the FTL maps and allocates in units of
+/// 1 KiB, which is 25 % of a 4 KiB logical block — the smallest quantum
+/// EDC's allocator uses (paper Fig. 5), so compressed blocks consume
+/// physical space at exactly the paper's granularity.
+pub const SECTOR_BYTES: u64 = 1024;
+
+/// NAND + interface timing parameters.
+///
+/// Defaults approximate a 2009-era SLC SATA SSD (Intel X25-E class): reads
+/// around 35 µs for 4 KiB, writes a few times slower per byte, erases in
+/// the millisecond range, and a transfer path of a few ns/byte — producing
+/// the linear response-vs-size behaviour of the paper's Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NandTiming {
+    /// Fixed command/firmware overhead per read request (ns).
+    pub read_overhead_ns: u64,
+    /// Fixed command/firmware overhead per write request (ns).
+    pub write_overhead_ns: u64,
+    /// Per-byte cost of the read path: sensing + transfer (ns/byte).
+    pub read_ns_per_byte: f64,
+    /// Per-byte cost of the write path: transfer + program, amortized over
+    /// internal channel parallelism (ns/byte).
+    pub write_ns_per_byte: f64,
+    /// Block erase latency (ns).
+    pub erase_ns: u64,
+    /// Per-byte cost of GC migration copies (internal read+program, no host
+    /// transfer) (ns/byte).
+    pub migrate_ns_per_byte: f64,
+}
+
+impl Default for NandTiming {
+    fn default() -> Self {
+        NandTiming {
+            read_overhead_ns: 25_000,
+            write_overhead_ns: 50_000,
+            read_ns_per_byte: 3.0,
+            write_ns_per_byte: 10.0,
+            erase_ns: 1_500_000,
+            migrate_ns_per_byte: 12.0,
+        }
+    }
+}
+
+/// Full device configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsdConfig {
+    /// Logical (exported) capacity in bytes. Must be a multiple of the
+    /// block size.
+    pub logical_bytes: u64,
+    /// Physical over-provisioning as a fraction of logical capacity
+    /// (e.g. 0.10 = 10 % spare area).
+    pub overprovision: f64,
+    /// Sectors per erase block. With 1 KiB sectors, 256 gives the 64–128 KB
+    /// erase blocks §II-A describes (we use 256 KiB-class blocks).
+    pub sectors_per_block: u32,
+    /// Free-block low-watermark at which GC starts, in blocks.
+    pub gc_low_watermark: u32,
+    /// Static wear-leveling threshold: when the spread between the most-
+    /// and least-erased block exceeds this, GC picks the least-erased
+    /// (cold) block as its victim so its data migrates and the block
+    /// rejoins the erase rotation. `0` disables wear leveling (the
+    /// default; greedy GC alone already wears evenly under the paper's
+    /// workloads — see `edc-flash::wear` tests).
+    pub wear_level_threshold: u32,
+    /// Timing parameters.
+    pub timing: NandTiming,
+}
+
+impl Default for SsdConfig {
+    fn default() -> Self {
+        SsdConfig {
+            logical_bytes: 1 << 30, // 1 GiB keeps experiments fast but GC-active
+            overprovision: 0.10,
+            sectors_per_block: 256,
+            gc_low_watermark: 8,
+            wear_level_threshold: 0,
+            timing: NandTiming::default(),
+        }
+    }
+}
+
+impl SsdConfig {
+    /// Bytes per erase block.
+    pub fn block_bytes(&self) -> u64 {
+        u64::from(self.sectors_per_block) * SECTOR_BYTES
+    }
+
+    /// Number of logical sectors exported.
+    pub fn logical_sectors(&self) -> u64 {
+        self.logical_bytes / SECTOR_BYTES
+    }
+
+    /// Number of physical blocks (logical + over-provisioned space).
+    pub fn physical_blocks(&self) -> u32 {
+        let physical_bytes = (self.logical_bytes as f64 * (1.0 + self.overprovision)) as u64;
+        (physical_bytes / self.block_bytes()) as u32
+    }
+
+    /// Validate invariants; panics with a clear message on misconfiguration.
+    pub fn validate(&self) {
+        assert!(self.logical_bytes > 0, "capacity must be positive");
+        assert_eq!(
+            self.logical_bytes % self.block_bytes(),
+            0,
+            "logical capacity must be a whole number of blocks"
+        );
+        assert!(self.overprovision > 0.0, "need spare area for out-of-place updates");
+        assert!(self.sectors_per_block > 0);
+        assert!(
+            self.physical_blocks() > self.gc_low_watermark + 1,
+            "device too small for the GC watermark"
+        );
+        let spare_blocks = self.physical_blocks() - (self.logical_bytes / self.block_bytes()) as u32;
+        assert!(
+            spare_blocks > self.gc_low_watermark,
+            "over-provisioning ({spare_blocks} blocks) must exceed the GC watermark"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        SsdConfig::default().validate();
+    }
+
+    #[test]
+    fn physical_blocks_include_overprovisioning() {
+        let cfg = SsdConfig::default();
+        let logical_blocks = (cfg.logical_bytes / cfg.block_bytes()) as u32;
+        assert!(cfg.physical_blocks() > logical_blocks);
+        let spare = cfg.physical_blocks() - logical_blocks;
+        assert!((spare as f64 / logical_blocks as f64 - 0.10).abs() < 0.01);
+    }
+
+    #[test]
+    fn block_bytes_matches_sector_math() {
+        let cfg = SsdConfig::default();
+        assert_eq!(cfg.block_bytes(), 256 * 1024);
+        assert_eq!(cfg.logical_sectors(), (1 << 30) / 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of blocks")]
+    fn misaligned_capacity_rejected() {
+        let cfg = SsdConfig { logical_bytes: (1 << 30) + 1024, ..SsdConfig::default() };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "spare area")]
+    fn zero_overprovision_rejected() {
+        let cfg = SsdConfig { overprovision: 0.0, ..SsdConfig::default() };
+        cfg.validate();
+    }
+
+    #[test]
+    fn default_timing_write_slower_than_read() {
+        let t = NandTiming::default();
+        assert!(t.write_ns_per_byte > t.read_ns_per_byte);
+        // 4 KiB read ≈ 37 µs — the X25-E ballpark.
+        let read_4k = t.read_overhead_ns as f64 + 4096.0 * t.read_ns_per_byte;
+        assert!((30_000.0..80_000.0).contains(&read_4k));
+    }
+}

@@ -1,0 +1,214 @@
+//! HDD device model — the paper's §VI future work #2 ("conduct more
+//! experiments on HDD-based ... storage systems").
+//!
+//! A deterministic single-actuator disk: service time is command overhead
+//! plus a seek whose duration grows with the distance from the current
+//! head position (short seeks are settle-dominated, long seeks approach
+//! the full-stroke time), plus fixed average rotational latency, plus
+//! transfer at the media rate. Sequential I/O therefore streams at media
+//! speed while random I/O pays milliseconds per request — the regime in
+//! which inline compression behaves very differently from flash (bytes
+//! saved matter little; the seek dominates).
+
+use crate::ssd::{Completion, DeviceStats, IoKind};
+
+/// HDD timing parameters. Defaults approximate a 7 200 rpm SATA disk of
+/// the paper's era.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HddTiming {
+    /// Fixed command overhead (ns).
+    pub overhead_ns: u64,
+    /// Minimum (track-to-track) seek (ns).
+    pub seek_min_ns: u64,
+    /// Full-stroke seek (ns).
+    pub seek_max_ns: u64,
+    /// Average rotational latency (ns) — half a revolution.
+    pub rotation_ns: u64,
+    /// Media transfer rate (ns per byte).
+    pub transfer_ns_per_byte: f64,
+}
+
+impl Default for HddTiming {
+    fn default() -> Self {
+        HddTiming {
+            overhead_ns: 100_000,        // 0.1 ms controller/queue overhead
+            seek_min_ns: 500_000,        // 0.5 ms track-to-track
+            seek_max_ns: 15_000_000,     // 15 ms full stroke
+            rotation_ns: 4_170_000,      // 7200 rpm → 8.33 ms/rev, avg half
+            transfer_ns_per_byte: 8.0,   // ~125 MB/s media rate
+        }
+    }
+}
+
+/// A simulated hard disk drive.
+#[derive(Debug, Clone)]
+pub struct HddDevice {
+    logical_bytes: u64,
+    timing: HddTiming,
+    /// Current head position (byte offset; proxy for cylinder).
+    head: u64,
+    busy_until: u64,
+    stats: DeviceStats,
+}
+
+impl HddDevice {
+    /// Create a disk of `logical_bytes` capacity.
+    pub fn new(logical_bytes: u64, timing: HddTiming) -> Self {
+        assert!(logical_bytes > 0);
+        HddDevice { logical_bytes, timing, head: 0, busy_until: 0, stats: DeviceStats::default() }
+    }
+
+    /// Exported capacity in bytes.
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical_bytes
+    }
+
+    /// Earliest time a new request could start service.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Seek time from the current head position to `offset`: settle time
+    /// plus a square-root distance profile (the standard seek model —
+    /// acceleration-limited short seeks, velocity-limited long ones).
+    fn seek_ns(&self, offset: u64) -> u64 {
+        if offset == self.head {
+            return 0;
+        }
+        let dist = offset.abs_diff(self.head) as f64 / self.logical_bytes as f64;
+        let span = (self.timing.seek_max_ns - self.timing.seek_min_ns) as f64;
+        self.timing.seek_min_ns + (span * dist.sqrt()) as u64
+    }
+
+    /// Submit an I/O; same contract as [`crate::SsdDevice::submit`].
+    pub fn submit(&mut self, now_ns: u64, kind: IoKind, offset: u64, len: u32) -> Completion {
+        assert!(len > 0, "zero-length I/O");
+        let offset = offset % self.logical_bytes;
+        let len = u64::from(len).min(self.logical_bytes - offset);
+        // Sequential continuation (head already at the target) skips both
+        // seek and rotation.
+        let positioning = if offset == self.head {
+            0
+        } else {
+            self.seek_ns(offset) + self.timing.rotation_ns
+        };
+        let service = self.timing.overhead_ns
+            + positioning
+            + (len as f64 * self.timing.transfer_ns_per_byte) as u64;
+        let start_ns = now_ns.max(self.busy_until);
+        let finish_ns = start_ns + service;
+        self.busy_until = finish_ns;
+        self.head = offset + len;
+        self.stats.busy_ns += service;
+        match kind {
+            IoKind::Read => {
+                self.stats.reads += 1;
+                self.stats.bytes_read += len;
+            }
+            IoKind::Write => {
+                self.stats.writes += 1;
+                self.stats.bytes_written += len;
+            }
+        }
+        Completion { start_ns, finish_ns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> HddDevice {
+        HddDevice::new(1 << 30, HddTiming::default())
+    }
+
+    #[test]
+    fn sequential_io_streams_at_media_rate() {
+        let mut d = disk();
+        // Position the head, then stream.
+        d.submit(0, IoKind::Read, 0, 65536);
+        let now = d.busy_until();
+        let c = d.submit(now, IoKind::Read, 65536, 65536);
+        let service = c.finish_ns - c.start_ns;
+        let expected = d.timing.overhead_ns + (65536.0 * d.timing.transfer_ns_per_byte) as u64;
+        assert_eq!(service, expected, "no seek/rotation for sequential I/O");
+    }
+
+    #[test]
+    fn random_io_pays_seek_and_rotation() {
+        let mut d = disk();
+        d.submit(0, IoKind::Read, 0, 4096);
+        let now = d.busy_until();
+        let c = d.submit(now, IoKind::Read, 512 << 20, 4096);
+        let service = c.finish_ns - c.start_ns;
+        assert!(
+            service > d.timing.rotation_ns + d.timing.seek_min_ns,
+            "random read must pay positioning, got {service}"
+        );
+    }
+
+    #[test]
+    fn longer_seeks_cost_more() {
+        let mut near = disk();
+        near.submit(0, IoKind::Read, 0, 4096);
+        let c_near = near.submit(near.busy_until(), IoKind::Read, 1 << 20, 4096);
+        let mut far = disk();
+        far.submit(0, IoKind::Read, 0, 4096);
+        let c_far = far.submit(far.busy_until(), IoKind::Read, 900 << 20, 4096);
+        assert!(
+            c_far.finish_ns - c_far.start_ns > c_near.finish_ns - c_near.start_ns,
+            "far seek must cost more"
+        );
+    }
+
+    #[test]
+    fn seek_profile_is_bounded() {
+        let d = disk();
+        assert_eq!(d.seek_ns(0), 0);
+        let full = d.seek_ns(d.logical_bytes() - 1);
+        assert!(full <= d.timing.seek_max_ns + 1000);
+        assert!(full >= d.timing.seek_min_ns);
+    }
+
+    #[test]
+    fn random_4k_is_milliseconds_vs_ssd_microseconds() {
+        // The motivating contrast: an HDD random 4 KiB I/O costs ~10 ms,
+        // three orders above the simulated SSD's ~37 µs.
+        let mut d = disk();
+        d.submit(0, IoKind::Read, 0, 4096);
+        let c = d.submit(d.busy_until(), IoKind::Read, 700 << 20, 4096);
+        let ms = (c.finish_ns - c.start_ns) as f64 / 1e6;
+        assert!((4.0..25.0).contains(&ms), "random 4 KiB read {ms} ms");
+    }
+
+    #[test]
+    fn queueing_serializes() {
+        let mut d = disk();
+        let a = d.submit(100, IoKind::Write, 0, 4096);
+        let b = d.submit(100, IoKind::Write, 8 << 20, 4096);
+        assert_eq!(b.start_ns, a.finish_ns);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = disk();
+        d.submit(0, IoKind::Write, 0, 4096);
+        d.submit(0, IoKind::Read, 1 << 20, 8192);
+        let s = d.stats();
+        assert_eq!((s.writes, s.reads), (1, 1));
+        assert_eq!(s.bytes_written, 4096);
+        assert_eq!(s.bytes_read, 8192);
+    }
+
+    #[test]
+    fn offsets_wrap() {
+        let mut d = disk();
+        let c = d.submit(0, IoKind::Read, (1 << 30) + 4096, 4096);
+        assert!(c.finish_ns > 0);
+    }
+}

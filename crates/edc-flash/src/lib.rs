@@ -1,0 +1,47 @@
+//! # edc-flash
+//!
+//! NAND-flash SSD simulator and RAIS (Redundant Array of Independent SSDs)
+//! substrate for the EDC reproduction.
+//!
+//! The paper evaluates EDC on real Intel X25-E SATA SSDs (single device and
+//! a software RAIS5 of five). This crate replaces that hardware with a
+//! simulator that reproduces the two device properties the paper's §II-A
+//! identifies as the foundation of the EDC design:
+//!
+//! 1. **Response time grows linearly with request size** (Fig. 1): both
+//!    reads and writes are dominated by electronic transfer, so the service
+//!    model charges a fixed command overhead plus per-byte transfer and
+//!    per-byte program/read cost.
+//! 2. **Total bytes written drive garbage collection and wear**: the FTL is
+//!    log-structured with out-of-place updates; when free blocks run low a
+//!    greedy collector migrates valid data and erases victims, stalling the
+//!    device and consuming endurance. Writing less (i.e., compressing)
+//!    directly reduces GC frequency and erase counts.
+//!
+//! ## Layout
+//!
+//! * [`config`] — geometry and timing parameters ([`SsdConfig`] defaults
+//!   approximate a 2009-era SLC SATA device like the X25-E),
+//! * [`ftl`] — sector-mapped flash translation layer with greedy GC and
+//!   per-block wear accounting,
+//! * [`ssd`] — [`SsdDevice`]: the timing front-end that services byte-
+//!   addressed reads/writes and reports [`DeviceStats`],
+//! * [`rais`] — [`RaisArray`]: RAIS0/RAIS5 striping with parity over N
+//!   simulated devices (the paper's Fig. 11 platform).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod ftl;
+pub mod hdd;
+pub mod rais;
+pub mod ssd;
+pub mod wear;
+
+pub use config::{NandTiming, SsdConfig};
+pub use ftl::{Ftl, FtlStats};
+pub use hdd::{HddDevice, HddTiming};
+pub use rais::{RaisArray, RaisLevel};
+pub use ssd::{DeviceStats, IoKind, SsdDevice};
+pub use wear::WearStats;

@@ -1,0 +1,402 @@
+//! RAIS — Redundant Array of Independent SSDs (the paper's §IV-B term) —
+//! striping simulated devices into one logical volume.
+//!
+//! * **RAIS0** stripes data across all `N` devices.
+//! * **RAIS5** stripes data across `N-1` devices per row with rotating
+//!   parity; partial-chunk writes pay the classic small-write penalty
+//!   (read old data, read old parity, write data, write parity), while
+//!   full-row writes compute parity in memory and pay one parity write.
+//!
+//! Sub-I/Os to different devices proceed in parallel (each device has its
+//! own service chain); the array completion is the slowest leg — so the
+//! array preserves the single-device trend of Fig. 10, which is what
+//! Fig. 11 demonstrates.
+
+use crate::config::SsdConfig;
+use crate::ftl::FtlStats;
+use crate::ssd::{Completion, DeviceStats, IoKind, SsdDevice};
+
+/// Supported array levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaisLevel {
+    /// Striping, no redundancy.
+    Rais0,
+    /// Rotating parity (RAID-5 analogue). Requires ≥ 3 devices.
+    Rais5,
+}
+
+/// An array of simulated SSDs.
+#[derive(Debug, Clone)]
+pub struct RaisArray {
+    level: RaisLevel,
+    devices: Vec<SsdDevice>,
+    /// Stripe unit (chunk) in bytes.
+    chunk: u64,
+}
+
+impl RaisArray {
+    /// Build an array of `n` identical devices.
+    ///
+    /// # Panics
+    /// Panics if `n` is too small for the level or `chunk` is not
+    /// sector-aligned.
+    pub fn new(level: RaisLevel, n: usize, cfg: SsdConfig, chunk: u64) -> Self {
+        match level {
+            RaisLevel::Rais0 => assert!(n >= 2, "RAIS0 needs at least 2 devices"),
+            RaisLevel::Rais5 => assert!(n >= 3, "RAIS5 needs at least 3 devices"),
+        }
+        assert!(chunk > 0 && chunk.is_multiple_of(4096), "chunk must be a multiple of 4 KiB");
+        let devices = (0..n).map(|_| SsdDevice::new(cfg)).collect();
+        RaisArray { level, devices, chunk }
+    }
+
+    /// Number of member devices.
+    pub fn width(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Array level.
+    pub fn level(&self) -> RaisLevel {
+        self.level
+    }
+
+    /// Data devices per stripe row.
+    fn data_width(&self) -> u64 {
+        match self.level {
+            RaisLevel::Rais0 => self.devices.len() as u64,
+            RaisLevel::Rais5 => self.devices.len() as u64 - 1,
+        }
+    }
+
+    /// Exported logical capacity in bytes.
+    pub fn logical_bytes(&self) -> u64 {
+        self.data_width() * self.devices[0].logical_bytes()
+    }
+
+    /// Aggregate host statistics over all members.
+    pub fn stats(&self) -> DeviceStats {
+        self.devices.iter().fold(DeviceStats::default(), |mut acc, d| {
+            let s = d.stats();
+            acc.reads += s.reads;
+            acc.writes += s.writes;
+            acc.bytes_read += s.bytes_read;
+            acc.bytes_written += s.bytes_written;
+            acc.busy_ns += s.busy_ns;
+            acc.gc_stall_ns += s.gc_stall_ns;
+            acc
+        })
+    }
+
+    /// Aggregate FTL statistics over all members.
+    pub fn ftl_stats(&self) -> FtlStats {
+        self.devices.iter().fold(FtlStats::default(), |mut acc, d| {
+            let s = d.ftl_stats();
+            acc.user_sectors_written += s.user_sectors_written;
+            acc.migrated_sectors += s.migrated_sectors;
+            acc.erases += s.erases;
+            acc.gc_runs += s.gc_runs;
+            acc
+        })
+    }
+
+    /// Access a member device (for inspection in tests/reports).
+    pub fn device(&self, i: usize) -> &SsdDevice {
+        &self.devices[i]
+    }
+
+    /// Precondition every member.
+    pub fn precondition(&mut self, fraction: f64) {
+        for d in &mut self.devices {
+            d.precondition(fraction);
+        }
+    }
+
+    /// Locate a data chunk: `(device index, device byte offset)` for global
+    /// chunk index `ci`.
+    fn locate(&self, ci: u64) -> (usize, u64) {
+        let n = self.devices.len() as u64;
+        match self.level {
+            RaisLevel::Rais0 => {
+                let dev = (ci % n) as usize;
+                let row = ci / n;
+                (dev, row * self.chunk)
+            }
+            RaisLevel::Rais5 => {
+                let dw = n - 1;
+                let row = ci / dw;
+                let pos = ci % dw;
+                let parity_dev = (row % n) as usize;
+                let dev = if (pos as usize) < parity_dev { pos as usize } else { pos as usize + 1 };
+                (dev, row * self.chunk)
+            }
+        }
+    }
+
+    /// Parity device and offset for a stripe row.
+    fn parity_of(&self, row: u64) -> (usize, u64) {
+        let n = self.devices.len() as u64;
+        ((row % n) as usize, row * self.chunk)
+    }
+
+    /// Submit one host I/O at `now_ns`; returns the array-level completion
+    /// (the slowest sub-I/O).
+    pub fn submit(&mut self, now_ns: u64, kind: IoKind, offset: u64, len: u32) -> Completion {
+        assert!(len > 0, "zero-length I/O");
+        let offset = offset % self.logical_bytes();
+        let len = u64::from(len).min(self.logical_bytes() - offset);
+        let mut span = Span { start_ns: u64::MAX, finish_ns: 0 };
+
+        match (self.level, kind) {
+            (_, IoKind::Read) | (RaisLevel::Rais0, IoKind::Write) => {
+                // Straight striping: split across chunks.
+                let mut pos = offset;
+                let end = offset + len;
+                while pos < end {
+                    let ci = pos / self.chunk;
+                    let within = pos % self.chunk;
+                    let take = (self.chunk - within).min(end - pos);
+                    let (dev, dev_off) = self.locate(ci);
+                    span.track(self.devices[dev].submit(now_ns, kind, dev_off + within, take as u32));
+                    pos += take;
+                }
+            }
+            (RaisLevel::Rais5, IoKind::Write) => {
+                let dw = self.data_width();
+                let row_bytes = dw * self.chunk;
+                let mut pos = offset;
+                let end = offset + len;
+                while pos < end {
+                    let row = pos / row_bytes;
+                    let row_start = row * row_bytes;
+                    let row_end = row_start + row_bytes;
+                    let seg_end = end.min(row_end);
+                    let full_row = pos == row_start && seg_end == row_end;
+                    let (pdev, poff) = self.parity_of(row);
+                    if full_row {
+                        // Full-stripe write: data chunks + one parity chunk,
+                        // computed in memory.
+                        for k in 0..dw {
+                            let ci = row * dw + k;
+                            let (dev, dev_off) = self.locate(ci);
+                            span.track(self.devices[dev].submit(
+                                now_ns,
+                                IoKind::Write,
+                                dev_off,
+                                self.chunk as u32,
+                            ));
+                        }
+                        span.track(self.devices[pdev].submit(
+                            now_ns,
+                            IoKind::Write,
+                            poff,
+                            self.chunk as u32,
+                        ));
+                    } else {
+                        // Partial row: per touched chunk, read-modify-write
+                        // of data and parity.
+                        let mut p = pos;
+                        while p < seg_end {
+                            let ci = p / self.chunk;
+                            let within = p % self.chunk;
+                            let take = (self.chunk - within).min(seg_end - p);
+                            let (dev, dev_off) = self.locate(ci);
+                            // Read old data, read old parity (parallel).
+                            let r1 = self.devices[dev].submit(
+                                now_ns,
+                                IoKind::Read,
+                                dev_off + within,
+                                take as u32,
+                            );
+                            let r2 = self.devices[pdev].submit(
+                                now_ns,
+                                IoKind::Read,
+                                poff + within,
+                                take as u32,
+                            );
+                            let ready = r1.finish_ns.max(r2.finish_ns);
+                            // Write new data and new parity once both reads
+                            // are in.
+                            span.track(self.devices[dev].submit(
+                                ready,
+                                IoKind::Write,
+                                dev_off + within,
+                                take as u32,
+                            ));
+                            span.track(self.devices[pdev].submit(
+                                ready,
+                                IoKind::Write,
+                                poff + within,
+                                take as u32,
+                            ));
+                            span.track(r1);
+                            span.track(r2);
+                            p += take;
+                        }
+                    }
+                    pos = seg_end;
+                }
+            }
+        }
+        Completion { start_ns: span.start_ns, finish_ns: span.finish_ns }
+    }
+}
+
+/// Min-start / max-finish accumulator over parallel sub-I/Os.
+struct Span {
+    start_ns: u64,
+    finish_ns: u64,
+}
+
+impl Span {
+    fn track(&mut self, c: Completion) {
+        self.start_ns = self.start_ns.min(c.start_ns);
+        self.finish_ns = self.finish_ns.max(c.finish_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member_cfg() -> SsdConfig {
+        SsdConfig {
+            logical_bytes: 16 << 20,
+            overprovision: 0.25,
+            sectors_per_block: 64,
+            gc_low_watermark: 3,
+            ..SsdConfig::default()
+        }
+    }
+
+    fn rais5() -> RaisArray {
+        RaisArray::new(RaisLevel::Rais5, 5, member_cfg(), 65536)
+    }
+
+    fn rais0() -> RaisArray {
+        RaisArray::new(RaisLevel::Rais0, 5, member_cfg(), 65536)
+    }
+
+    #[test]
+    fn capacities() {
+        assert_eq!(rais0().logical_bytes(), 5 * (16 << 20));
+        assert_eq!(rais5().logical_bytes(), 4 * (16 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn rais5_needs_three_devices() {
+        let _ = RaisArray::new(RaisLevel::Rais5, 2, member_cfg(), 65536);
+    }
+
+    #[test]
+    fn rais0_spreads_chunks_round_robin() {
+        let mut a = rais0();
+        // Write 5 chunks: each device must receive exactly one.
+        for i in 0..5u64 {
+            a.submit(0, IoKind::Write, i * 65536, 65536);
+        }
+        for d in 0..5 {
+            assert_eq!(a.device(d).stats().writes, 1, "device {d}");
+        }
+    }
+
+    #[test]
+    fn rais5_rotates_parity() {
+        let mut a = rais5();
+        // Full-row writes across 5 rows: every device must see both data
+        // and parity roles, i.e. 5 writes per row × 5 rows spread evenly.
+        let row_bytes = 4 * 65536;
+        for r in 0..5u64 {
+            a.submit(0, IoKind::Write, r * row_bytes, row_bytes as u32);
+        }
+        for d in 0..5 {
+            assert_eq!(a.device(d).stats().writes, 5, "device {d}");
+        }
+    }
+
+    #[test]
+    fn rais5_small_write_penalty() {
+        // A 4 KiB write on RAIS5 costs 2 reads + 2 writes; on RAIS0 just 1
+        // write. RAIS5 latency must be visibly higher.
+        let mut a5 = rais5();
+        let mut a0 = rais0();
+        let c5 = a5.submit(0, IoKind::Write, 0, 4096);
+        let c0 = a0.submit(0, IoKind::Write, 0, 4096);
+        assert!(
+            c5.finish_ns > c0.finish_ns,
+            "RAIS5 {} !> RAIS0 {}",
+            c5.finish_ns,
+            c0.finish_ns
+        );
+        // And it must have touched exactly two devices with 1R+1W each.
+        let s = a5.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 2);
+    }
+
+    #[test]
+    fn full_stripe_write_avoids_rmw() {
+        let mut a = rais5();
+        let row_bytes = 4 * 65536u32;
+        let c = a.submit(0, IoKind::Write, 0, row_bytes);
+        let s = a.stats();
+        assert_eq!(s.reads, 0, "full-stripe write must not read");
+        assert_eq!(s.writes, 5, "4 data + 1 parity");
+        assert!(c.finish_ns > 0);
+    }
+
+    #[test]
+    fn reads_never_touch_parity() {
+        let mut a = rais5();
+        a.submit(0, IoKind::Read, 0, 4 * 65536);
+        assert_eq!(a.stats().reads, 4);
+        assert_eq!(a.stats().writes, 0);
+    }
+
+    #[test]
+    fn parallel_legs_overlap() {
+        // A 4-chunk read lands on 4 devices in parallel: array latency must
+        // be far less than the sum of four serial chunk reads.
+        let mut a = rais0();
+        let c = a.submit(0, IoKind::Read, 0, 4 * 65536);
+        let mut single = rais0();
+        let one = single.submit(0, IoKind::Read, 0, 65536);
+        let serial_estimate = 4 * (one.finish_ns - one.start_ns);
+        assert!(
+            c.finish_ns - c.start_ns < serial_estimate / 2,
+            "array read {} vs serial {}",
+            c.finish_ns - c.start_ns,
+            serial_estimate
+        );
+    }
+
+    #[test]
+    fn array_preserves_linear_size_scaling() {
+        // Within one chunk the single-device linearity passes through.
+        let mut a = rais0();
+        let c1 = a.submit(a.device(0).busy_until(), IoKind::Read, 0, 4096);
+        let t1 = c1.finish_ns - c1.start_ns;
+        let now = (0..5).map(|i| a.device(i).busy_until()).max().unwrap();
+        let c2 = a.submit(now, IoKind::Read, 0, 32768);
+        let t2 = c2.finish_ns - c2.start_ns;
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn offsets_wrap_at_array_capacity() {
+        let mut a = rais0();
+        let cap = a.logical_bytes();
+        let c = a.submit(0, IoKind::Write, cap + 8192, 4096);
+        assert!(c.finish_ns > 0);
+        assert_eq!(a.stats().writes, 1);
+    }
+
+    #[test]
+    fn aggregate_stats_sum_members() {
+        let mut a = rais0();
+        a.submit(0, IoKind::Write, 0, 65536 * 3);
+        let s = a.stats();
+        assert_eq!(s.writes, 3);
+        assert_eq!(s.bytes_written, 65536 * 3);
+    }
+}

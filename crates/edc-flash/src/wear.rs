@@ -1,0 +1,198 @@
+//! Wear analysis and endurance projection.
+//!
+//! The paper's third design objective is reliability: "the number of block
+//! erase cycles \[is\] significantly reduced, which improves the system
+//! reliability accordingly" (§III-A), and §VI lists endurance evaluation
+//! as future work. This module turns the FTL's per-block erase counters
+//! into the endurance measures that work needs: distribution statistics,
+//! a wear-evenness index, and a projected device lifetime under the
+//! observed write rate.
+
+/// Summary of a device's wear state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearStats {
+    /// Number of erase blocks.
+    pub blocks: usize,
+    /// Total erases performed.
+    pub total_erases: u64,
+    /// Mean erases per block.
+    pub mean: f64,
+    /// Maximum erases on any block (the lifetime-limiting figure).
+    pub max: u32,
+    /// Standard deviation of per-block erase counts.
+    pub std_dev: f64,
+    /// Gini coefficient of the erase distribution (0 = perfectly even
+    /// wear, → 1 = all wear concentrated on few blocks).
+    pub gini: f64,
+}
+
+impl WearStats {
+    /// Compute statistics from per-block erase counts.
+    pub fn from_counts(counts: &[u32]) -> Self {
+        let n = counts.len();
+        if n == 0 {
+            return WearStats {
+                blocks: 0,
+                total_erases: 0,
+                mean: 0.0,
+                max: 0,
+                std_dev: 0.0,
+                gini: 0.0,
+            };
+        }
+        let total: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+        let mean = total as f64 / n as f64;
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let var =
+            counts.iter().map(|&c| (f64::from(c) - mean).powi(2)).sum::<f64>() / n as f64;
+        // Gini via the sorted-rank formula.
+        let gini = if total == 0 {
+            0.0
+        } else {
+            let mut sorted: Vec<u32> = counts.to_vec();
+            sorted.sort_unstable();
+            let weighted: f64 = sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (2.0 * (i as f64 + 1.0) - n as f64 - 1.0) * f64::from(c))
+                .sum();
+            weighted / (n as f64 * total as f64)
+        };
+        WearStats { blocks: n, total_erases: total, mean, max, std_dev: var.sqrt(), gini }
+    }
+
+    /// Projected fraction of rated endurance consumed, given a per-block
+    /// program/erase limit (e.g. 100 000 for SLC, 3 000 for TLC).
+    pub fn endurance_consumed(&self, pe_limit: u32) -> f64 {
+        assert!(pe_limit > 0);
+        f64::from(self.max) / f64::from(pe_limit)
+    }
+
+    /// Projected device lifetime in days: how long until the *most-worn*
+    /// block reaches `pe_limit`, if wear continues at the observed
+    /// `erases-per-simulated-second` rate over `elapsed_s`.
+    ///
+    /// Returns `f64::INFINITY` when no wear was observed.
+    pub fn projected_lifetime_days(&self, pe_limit: u32, elapsed_s: f64) -> f64 {
+        assert!(pe_limit > 0 && elapsed_s > 0.0);
+        if self.max == 0 {
+            return f64::INFINITY;
+        }
+        let max_rate_per_s = f64::from(self.max) / elapsed_s;
+        let remaining = f64::from(pe_limit.saturating_sub(self.max));
+        remaining / max_rate_per_s / 86_400.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SsdConfig;
+    use crate::ssd::{IoKind, SsdDevice};
+
+    #[test]
+    fn empty_and_zero_wear() {
+        let s = WearStats::from_counts(&[]);
+        assert_eq!(s.blocks, 0);
+        let s = WearStats::from_counts(&[0, 0, 0]);
+        assert_eq!(s.total_erases, 0);
+        assert_eq!(s.gini, 0.0);
+        assert_eq!(s.projected_lifetime_days(1000, 60.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn uniform_wear_has_zero_gini() {
+        let s = WearStats::from_counts(&[5; 100]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.std_dev, 0.0);
+        assert!(s.gini.abs() < 1e-12, "gini {}", s.gini);
+    }
+
+    #[test]
+    fn concentrated_wear_has_high_gini() {
+        let mut counts = vec![0u32; 100];
+        counts[0] = 1000;
+        let s = WearStats::from_counts(&counts);
+        assert!(s.gini > 0.95, "gini {}", s.gini);
+        assert_eq!(s.max, 1000);
+    }
+
+    #[test]
+    fn gini_orders_distributions() {
+        let even = WearStats::from_counts(&[10, 10, 10, 10]);
+        let mild = WearStats::from_counts(&[5, 10, 10, 15]);
+        let skew = WearStats::from_counts(&[0, 0, 10, 30]);
+        assert!(even.gini < mild.gini);
+        assert!(mild.gini < skew.gini);
+    }
+
+    #[test]
+    fn endurance_and_lifetime_math() {
+        let s = WearStats::from_counts(&[10, 20, 30]);
+        assert!((s.endurance_consumed(100) - 0.30).abs() < 1e-12);
+        // max=30 erases in 60 s → 0.5/s; 70 remaining → 140 s ≈ 0.00162 days.
+        let days = s.projected_lifetime_days(100, 60.0);
+        assert!((days - 140.0 / 86_400.0).abs() < 1e-9, "days {days}");
+    }
+
+    #[test]
+    fn log_structured_ftl_wears_evenly() {
+        // The FTL's round-robin free-list reuse must keep the Gini low even
+        // under random overwrites.
+        let cfg = SsdConfig {
+            logical_bytes: 16 << 20,
+            overprovision: 0.25,
+            sectors_per_block: 64,
+            gc_low_watermark: 3,
+            ..SsdConfig::default()
+        };
+        let mut dev = SsdDevice::new(cfg);
+        dev.precondition(1.0);
+        let mut x = 77u64;
+        let mut now = 0;
+        for _ in 0..30_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let offset = (x % (dev.logical_bytes() / 4096)) * 4096;
+            let c = dev.submit(now, IoKind::Write, offset, 4096);
+            now = c.finish_ns;
+        }
+        let s = WearStats::from_counts(dev.erase_counts());
+        assert!(s.total_erases > 100, "need real wear, got {}", s.total_erases);
+        assert!(s.gini < 0.5, "wear too uneven: gini {}", s.gini);
+    }
+
+    #[test]
+    fn fewer_bytes_written_project_longer_lifetime() {
+        let run = |len: u32| -> f64 {
+            let cfg = SsdConfig {
+                logical_bytes: 16 << 20,
+                overprovision: 0.25,
+                sectors_per_block: 64,
+                gc_low_watermark: 3,
+                ..SsdConfig::default()
+            };
+            let mut dev = SsdDevice::new(cfg);
+            dev.precondition(1.0);
+            let mut x = 5u64;
+            let mut now = 0;
+            for _ in 0..20_000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let offset = (x % (dev.logical_bytes() / 4096)) * 4096;
+                let c = dev.submit(now, IoKind::Write, offset, len);
+                now = c.finish_ns;
+            }
+            WearStats::from_counts(dev.erase_counts()).projected_lifetime_days(100_000, 60.0)
+        };
+        let full = run(4096);
+        let compressed = run(2048);
+        assert!(
+            compressed > full,
+            "half-size writes must project longer life: {compressed} vs {full}"
+        );
+    }
+}

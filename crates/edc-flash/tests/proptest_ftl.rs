@@ -1,0 +1,110 @@
+//! Property tests: the FTL's mapping invariants must survive arbitrary
+//! write sequences, and the device's accounting must stay consistent.
+
+use edc_flash::{Ftl, IoKind, SsdConfig, SsdDevice};
+use proptest::prelude::*;
+
+fn tiny_cfg() -> SsdConfig {
+    SsdConfig {
+        logical_bytes: 2 << 20, // 2 MiB: GC constantly active
+        overprovision: 0.25,
+        sectors_per_block: 32,
+        gc_low_watermark: 2,
+        ..SsdConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After any sequence of writes, the map/rmap/valid-counter/free-list
+    /// invariants hold and every written sector is still readable.
+    #[test]
+    fn ftl_invariants_under_arbitrary_writes(
+        ops in proptest::collection::vec((0u64..2048, 1u64..16), 1..400)
+    ) {
+        let cfg = tiny_cfg();
+        let mut ftl = Ftl::new(&cfg);
+        let cap = ftl.logical_sectors();
+        let mut written = vec![false; cap as usize];
+        for (lsn, count) in ops {
+            let lsn = lsn % cap;
+            let count = count.min(cap - lsn);
+            ftl.write(lsn, count);
+            for l in lsn..lsn + count {
+                written[l as usize] = true;
+            }
+        }
+        ftl.verify_integrity();
+        for (l, &w) in written.iter().enumerate() {
+            prop_assert_eq!(ftl.is_mapped(l as u64), w, "lsn {}", l);
+        }
+        prop_assert!(ftl.stats().write_amplification() >= 1.0);
+    }
+
+    /// GC never loses data: overwrite-heavy workloads keep exactly one
+    /// valid copy per logical sector.
+    #[test]
+    fn gc_preserves_exactly_one_copy(
+        seed in any::<u64>(),
+        rounds in 3usize..6, // ≥3 rounds guarantees the free list drains into GC
+    ) {
+        let cfg = tiny_cfg();
+        let mut ftl = Ftl::new(&cfg);
+        let cap = ftl.logical_sectors();
+        let mut x = seed | 1;
+        for _ in 0..rounds {
+            for _ in 0..cap {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ftl.write(x % cap, 1);
+            }
+        }
+        ftl.verify_integrity();
+        prop_assert!(ftl.stats().erases > 0, "workload must trigger GC");
+    }
+
+    /// Device completions are causal and monotone: start ≥ submit,
+    /// finish > start, and the busy chain never goes backwards.
+    #[test]
+    fn device_time_is_causal(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..4096, 1u32..9, 0u64..1000), 1..200)
+    ) {
+        let mut dev = SsdDevice::new(tiny_cfg());
+        let mut now = 0u64;
+        let mut last_finish = 0u64;
+        for (is_read, block, len_blocks, gap_us) in ops {
+            now += gap_us * 1000;
+            let kind = if is_read { IoKind::Read } else { IoKind::Write };
+            let offset = (block % (dev.logical_bytes() / 4096)) * 4096;
+            let c = dev.submit(now, kind, offset, len_blocks * 4096);
+            prop_assert!(c.start_ns >= now);
+            prop_assert!(c.finish_ns > c.start_ns);
+            prop_assert!(c.finish_ns >= last_finish, "busy chain went backwards");
+            last_finish = c.finish_ns;
+        }
+        let s = dev.stats();
+        prop_assert!(s.busy_ns > 0);
+        prop_assert!(s.busy_ns <= last_finish);
+    }
+
+    /// Byte accounting: host byte counters equal the sum of submitted
+    /// lengths (after tail clipping).
+    #[test]
+    fn device_byte_accounting(
+        writes in proptest::collection::vec((0u64..500, 1u32..5), 1..100)
+    ) {
+        let mut dev = SsdDevice::new(tiny_cfg());
+        let mut expect = 0u64;
+        for (block, len_blocks) in writes {
+            let offset = (block % (dev.logical_bytes() / 4096)) * 4096;
+            let len = u64::from(len_blocks) * 4096;
+            let clipped = len.min(dev.logical_bytes() - offset);
+            expect += clipped;
+            dev.submit(0, IoKind::Write, offset, len as u32);
+        }
+        prop_assert_eq!(dev.stats().bytes_written, expect);
+    }
+}

@@ -1,0 +1,138 @@
+//! CPU worker pool for (de)compression jobs.
+//!
+//! A storage appliance runs its compression engine on a handful of cores.
+//! [`CpuPool`] models them as `k` servers: a job ready at time `t` starts
+//! on the worker that frees up first, at `max(t, worker_free)`. Jobs are
+//! never preempted or split. With `k = 1` this degenerates to the single
+//! in-line compression thread of the paper's prototype.
+
+/// Pool of identical CPU workers.
+///
+/// ```
+/// use edc_sim::CpuPool;
+///
+/// let mut pool = CpuPool::new(2);
+/// let (_, f1) = pool.schedule(0, 100);
+/// let (s2, _) = pool.schedule(0, 100); // second worker: parallel
+/// let (s3, _) = pool.schedule(0, 100); // third job waits
+/// assert_eq!((f1, s2, s3), (100, 0, 100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuPool {
+    /// Per-worker earliest-free time (ns).
+    free_at: Vec<u64>,
+    /// Total busy nanoseconds across workers.
+    busy_ns: u64,
+}
+
+impl CpuPool {
+    /// Create a pool of `workers` cores (≥ 1).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        CpuPool { free_at: vec![0; workers], busy_ns: 0 }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Schedule a job that becomes ready at `ready_ns` and runs for
+    /// `duration_ns`; returns `(start_ns, finish_ns)`.
+    ///
+    /// Zero-duration jobs return immediately without occupying a worker.
+    pub fn schedule(&mut self, ready_ns: u64, duration_ns: u64) -> (u64, u64) {
+        if duration_ns == 0 {
+            return (ready_ns, ready_ns);
+        }
+        // Earliest-free worker; ties resolved by index for determinism.
+        let (idx, &free) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &t)| (t, i))
+            .expect("pool is non-empty");
+        let start = ready_ns.max(free);
+        let finish = start + duration_ns;
+        self.free_at[idx] = finish;
+        self.busy_ns += duration_ns;
+        (start, finish)
+    }
+
+    /// Earliest time any worker is free.
+    pub fn earliest_free(&self) -> u64 {
+        self.free_at.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Total CPU-busy nanoseconds consumed so far.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_serializes() {
+        let mut p = CpuPool::new(1);
+        let (s1, f1) = p.schedule(0, 100);
+        let (s2, f2) = p.schedule(0, 100);
+        assert_eq!((s1, f1), (0, 100));
+        assert_eq!((s2, f2), (100, 200));
+    }
+
+    #[test]
+    fn two_workers_run_in_parallel() {
+        let mut p = CpuPool::new(2);
+        let (_, f1) = p.schedule(0, 100);
+        let (s2, f2) = p.schedule(0, 100);
+        assert_eq!(f1, 100);
+        assert_eq!((s2, f2), (0, 100));
+        // Third job waits for the earliest finisher.
+        let (s3, _) = p.schedule(0, 50);
+        assert_eq!(s3, 100);
+    }
+
+    #[test]
+    fn idle_worker_starts_at_ready_time() {
+        let mut p = CpuPool::new(1);
+        let (s, f) = p.schedule(5000, 10);
+        assert_eq!((s, f), (5000, 5010));
+    }
+
+    #[test]
+    fn zero_duration_jobs_are_free() {
+        let mut p = CpuPool::new(1);
+        p.schedule(0, 100);
+        let (s, f) = p.schedule(0, 0);
+        assert_eq!((s, f), (0, 0)); // does not queue behind the busy worker
+        assert_eq!(p.busy_ns(), 100);
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut p = CpuPool::new(4);
+        for i in 0..10 {
+            p.schedule(i * 10, 7);
+        }
+        assert_eq!(p.busy_ns(), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = CpuPool::new(0);
+    }
+
+    #[test]
+    fn earliest_free_tracks_pool_state() {
+        let mut p = CpuPool::new(2);
+        assert_eq!(p.earliest_free(), 0);
+        p.schedule(0, 100);
+        assert_eq!(p.earliest_free(), 0); // second worker idle
+        p.schedule(0, 300);
+        assert_eq!(p.earliest_free(), 100);
+    }
+}

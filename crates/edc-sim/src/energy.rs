@@ -1,0 +1,172 @@
+//! Energy accounting — the paper's §VI future work #3: "investigate EDC's
+//! impact on system energy consumption, given its dichotomy of
+//! compression/decompression that consumes additional energy and data
+//! reduction that decreases data movement and thus energy consumption."
+//!
+//! The model charges: CPU energy for the (de)compression workers' busy
+//! time, flash transfer energy per byte moved, erase energy per GC erase,
+//! and device background power over the replay horizon. All inputs come
+//! from the deterministic replay statistics, so energy numbers are as
+//! reproducible as the latency numbers.
+
+use crate::replay::ReplayReport;
+
+/// Energy-model coefficients. Defaults approximate a 2010s Xeon core plus
+/// an SLC SATA SSD (ballpark figures from device datasheets; the *shape* —
+/// CPU vs data movement — is what the experiment compares).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Power of one busy compression core (W).
+    pub cpu_active_w: f64,
+    /// Flash read energy (nJ per byte transferred).
+    pub read_nj_per_byte: f64,
+    /// Flash program energy (nJ per byte written).
+    pub write_nj_per_byte: f64,
+    /// Erase energy per block (µJ).
+    pub erase_uj: f64,
+    /// Device background power while busy (controller + interface, W).
+    pub device_active_w: f64,
+    /// Device idle power (W).
+    pub device_idle_w: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            cpu_active_w: 15.0,
+            read_nj_per_byte: 0.6,
+            write_nj_per_byte: 2.0,
+            erase_uj: 260.0,
+            device_active_w: 2.4,
+            device_idle_w: 0.6,
+        }
+    }
+}
+
+/// Energy consumed over one replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Compression/decompression CPU energy (J).
+    pub cpu_j: f64,
+    /// Flash data-movement energy (J).
+    pub transfer_j: f64,
+    /// GC erase energy (J).
+    pub erase_j: f64,
+    /// Device busy/idle background energy (J).
+    pub background_j: f64,
+}
+
+impl EnergyReport {
+    /// Total energy (J).
+    pub fn total_j(&self) -> f64 {
+        self.cpu_j + self.transfer_j + self.erase_j + self.background_j
+    }
+
+    /// Energy per logical gigabyte moved (J/GB); `logical_bytes` is the
+    /// host-visible traffic (reads + writes before compression).
+    pub fn j_per_gb(&self, logical_bytes: u64) -> f64 {
+        if logical_bytes == 0 {
+            return 0.0;
+        }
+        self.total_j() / (logical_bytes as f64 / 1e9)
+    }
+}
+
+impl EnergyModel {
+    /// Assess the energy of a finished replay. `duration_ns` is the replay
+    /// horizon (for background power).
+    pub fn assess(&self, report: &ReplayReport, duration_ns: u64) -> EnergyReport {
+        let cpu_j = report.cpu_busy_ns as f64 / 1e9 * self.cpu_active_w;
+        let transfer_j = (report.device.bytes_read as f64 * self.read_nj_per_byte
+            + report.device.bytes_written as f64 * self.write_nj_per_byte
+            // GC migrations move data internally too (1 KiB sectors).
+            + report.ftl.migrated_sectors as f64
+                * 1024.0
+                * (self.read_nj_per_byte + self.write_nj_per_byte))
+            / 1e9;
+        let erase_j = report.ftl.erases as f64 * self.erase_uj / 1e6;
+        let busy_s = (report.device.busy_ns.min(duration_ns)) as f64 / 1e9;
+        let idle_s = (duration_ns as f64 / 1e9 - busy_s).max(0.0);
+        let background_j = busy_s * self.device_active_w + idle_s * self.device_idle_w;
+        EnergyReport { cpu_j, transfer_j, erase_j, background_j }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::LatencySummary;
+    use crate::replay::SpaceReport;
+    use edc_flash::{DeviceStats, FtlStats, WearStats};
+
+    fn report(bytes_written: u64, erases: u64, cpu_busy_ns: u64, busy_ns: u64) -> ReplayReport {
+        ReplayReport {
+            scheme: "x".into(),
+            trace: "y".into(),
+            reads: LatencySummary::default(),
+            writes: LatencySummary::default(),
+            overall: LatencySummary::default(),
+            space: SpaceReport { logical_bytes: bytes_written, physical_bytes: bytes_written },
+            device: DeviceStats { bytes_written, busy_ns, ..DeviceStats::default() },
+            ftl: FtlStats { erases, ..FtlStats::default() },
+            wear: WearStats::from_counts(&[]),
+            cpu_busy_ns,
+            timeline: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn component_accounting() {
+        let m = EnergyModel::default();
+        let r = report(1_000_000_000, 100, 2_000_000_000, 1_000_000_000);
+        let e = m.assess(&r, 10_000_000_000);
+        // CPU: 2 s × 15 W = 30 J.
+        assert!((e.cpu_j - 30.0).abs() < 1e-9);
+        // Transfer: 1 GB × 2 nJ/B = 2 J.
+        assert!((e.transfer_j - 2.0).abs() < 1e-9);
+        // Erase: 100 × 260 µJ = 0.026 J.
+        assert!((e.erase_j - 0.026).abs() < 1e-12);
+        // Background: 1 s busy × 2.4 + 9 s idle × 0.6 = 7.8 J.
+        assert!((e.background_j - 7.8).abs() < 1e-9);
+        assert!((e.total_j() - 39.826).abs() < 1e-9);
+    }
+
+    #[test]
+    fn j_per_gb_normalization() {
+        let e = EnergyReport { cpu_j: 5.0, transfer_j: 3.0, erase_j: 1.0, background_j: 1.0 };
+        assert!((e.j_per_gb(2_000_000_000) - 5.0).abs() < 1e-12);
+        assert_eq!(e.j_per_gb(0), 0.0);
+    }
+
+    #[test]
+    fn less_data_written_costs_less_transfer_energy() {
+        let m = EnergyModel::default();
+        let full = m.assess(&report(1_000_000_000, 50, 0, 0), 1_000_000_000);
+        let half = m.assess(&report(500_000_000, 25, 0, 0), 1_000_000_000);
+        assert!(half.transfer_j < full.transfer_j);
+        assert!(half.erase_j < full.erase_j);
+    }
+
+    #[test]
+    fn compression_cpu_energy_can_outweigh_savings() {
+        // The dichotomy the paper calls out: heavy CPU (Bzip2-style) can
+        // cost more energy than the data-movement it saves.
+        let m = EnergyModel::default();
+        let native = m.assess(&report(1_000_000_000, 100, 0, 0), 1_000_000_000);
+        let heavy = m.assess(
+            &report(500_000_000, 50, 120_000_000_000, 0), // 120 s of CPU
+            1_000_000_000,
+        );
+        assert!(heavy.total_j() > native.total_j());
+    }
+
+    #[test]
+    fn busy_time_clamped_to_duration() {
+        let m = EnergyModel::default();
+        // Device busy longer than the horizon (queue drained after the
+        // last arrival): background energy must not go negative.
+        let e = m.assess(&report(0, 0, 0, 50_000_000_000), 1_000_000_000);
+        assert!(e.background_j > 0.0);
+        assert!((e.background_j - 2.4).abs() < 1e-9);
+    }
+}

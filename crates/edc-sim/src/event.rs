@@ -1,0 +1,132 @@
+//! Deterministic time-ordered event queue.
+//!
+//! A thin wrapper over a binary heap keyed by `(time, sequence)`: events at
+//! equal times pop in insertion order, which keeps simulations that
+//! enqueue simultaneous events fully deterministic across runs and
+//! platforms.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered queue of `T` events with FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    time_ns: u64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_ns == other.time_ns && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time_ns, self.seq).cmp(&(other.time_ns, other.seq))
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedule `payload` at absolute time `time_ns`.
+    pub fn push(&mut self, time_ns: u64, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time_ns, seq, payload }));
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.time_ns, e.payload))
+    }
+
+    /// Time of the next event without popping.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.time_ns)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(10, 1);
+        q.push(5, 0);
+        assert_eq!(q.pop(), Some((5, 0)));
+        q.push(7, 2);
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.pop(), Some((7, 2)));
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        q.push(1, ());
+        q.push(2, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! # edc-sim
+//!
+//! Discrete-event simulation engine for the EDC reproduction.
+//!
+//! The paper's evaluation replays block traces against a prototype running
+//! on real SSDs; this crate replays the same traces against the simulated
+//! devices of `edc-flash`, charging CPU time for (de)compression from the
+//! deterministic cost model of `edc-compress`. Everything is exact-integer
+//! nanosecond arithmetic with no wall-clock dependence, so every
+//! experiment reproduces bit-for-bit.
+//!
+//! ## Pieces
+//!
+//! * [`event`] — a deterministic time-ordered event queue (FIFO
+//!   tie-breaking), the engine's core.
+//! * [`cpu`] — [`CpuPool`]: a pool of compression workers; jobs start on
+//!   the earliest-free worker, modelling the multi-core compression engine
+//!   of a storage appliance.
+//! * [`storage`] — [`Storage`]: a uniform front over a single
+//!   [`SsdDevice`](edc_flash::SsdDevice) or a [`RaisArray`](edc_flash::RaisArray)
+//!   (the paper's Fig. 10 vs Fig. 11 platforms).
+//! * [`metrics`] — latency/throughput accounting ([`LatencySummary`] etc.).
+//! * [`replay`] — the trace-replay driver: feeds a
+//!   [`replay::StorageScheme`] implementation (Native,
+//!   fixed compression, EDC — all in `edc-core`) and produces a
+//!   [`replay::ReplayReport`] with the measures the paper
+//!   plots: average response time, compression ratio, and the composite
+//!   ratio/time metric of Fig. 9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod energy;
+pub mod event;
+pub mod metrics;
+pub mod replay;
+pub mod storage;
+
+pub use cpu::CpuPool;
+pub use energy::{EnergyModel, EnergyReport};
+pub use event::EventQueue;
+pub use metrics::{LatencyRecorder, LatencySummary};
+pub use replay::{ReplayReport, SpaceReport, StorageScheme, TimelinePoint};
+pub use storage::Storage;

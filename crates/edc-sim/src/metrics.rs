@@ -1,0 +1,144 @@
+//! Latency and throughput accounting.
+
+/// Collects latency samples and summarizes them.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_ns: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// Create an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, latency_ns: u64) {
+        self.samples_ns.push(latency_ns);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Summarize. Sorts internally on first call after new samples.
+    pub fn summary(&mut self) -> LatencySummary {
+        if self.samples_ns.is_empty() {
+            return LatencySummary::default();
+        }
+        if !self.sorted {
+            self.samples_ns.sort_unstable();
+            self.sorted = true;
+        }
+        let n = self.samples_ns.len();
+        let total: u128 = self.samples_ns.iter().map(|&s| u128::from(s)).sum();
+        let pct = |p: f64| -> u64 {
+            let idx = ((n as f64 - 1.0) * p).round() as usize;
+            self.samples_ns[idx.min(n - 1)]
+        };
+        LatencySummary {
+            count: n as u64,
+            mean_ns: (total / n as u128) as u64,
+            p50_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            p99_ns: pct(0.99),
+            max_ns: self.samples_ns[n - 1],
+        }
+    }
+}
+
+/// Summary statistics over a set of latencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean (ns).
+    pub mean_ns: u64,
+    /// Median (ns).
+    pub p50_ns: u64,
+    /// 95th percentile (ns).
+    pub p95_ns: u64,
+    /// 99th percentile (ns).
+    pub p99_ns: u64,
+    /// Maximum (ns).
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Mean in milliseconds (the unit the paper's figures use).
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_ns as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let mut r = LatencyRecorder::new();
+        assert_eq!(r.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut r = LatencyRecorder::new();
+        r.record(42);
+        let s = r.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean_ns, 42);
+        assert_eq!(s.p50_ns, 42);
+        assert_eq!(s.p99_ns, 42);
+        assert_eq!(s.max_ns, 42);
+    }
+
+    #[test]
+    fn summary_of_uniform_range() {
+        let mut r = LatencyRecorder::new();
+        for v in 1..=100u64 {
+            r.record(v);
+        }
+        let s = r.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.mean_ns, 50); // (5050 / 100) truncated
+        assert_eq!(s.p50_ns, 51); // index round(99*0.5)=50 -> value 51
+        assert_eq!(s.p95_ns, 95);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+    }
+
+    #[test]
+    fn records_after_summary_are_included() {
+        let mut r = LatencyRecorder::new();
+        r.record(10);
+        let _ = r.summary();
+        r.record(1000);
+        let s = r.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max_ns, 1000);
+    }
+
+    #[test]
+    fn mean_ms_conversion() {
+        let s = LatencySummary { mean_ns: 2_500_000, ..LatencySummary::default() };
+        assert!((s.mean_ms() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        let vals = [5u64, 1, 9, 3, 7];
+        for &v in &vals {
+            a.record(v);
+        }
+        for &v in vals.iter().rev() {
+            b.record(v);
+        }
+        assert_eq!(a.summary(), b.summary());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the simulation engine: the event queue must behave
+//! like a stable sort, the CPU pool like a work-conserving k-server.
+
+use edc_sim::{CpuPool, EventQueue, LatencyRecorder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// EventQueue pops exactly the stable sort of its input.
+    #[test]
+    fn event_queue_is_stable_sort(times in proptest::collection::vec(0u64..1000, 0..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i);
+        }
+        let mut expect: Vec<(u64, usize)> = times.iter().copied().zip(0..).collect();
+        expect.sort_by_key(|&(t, i)| (t, i)); // stable by construction
+        let mut got = Vec::new();
+        while let Some(e) = q.pop() {
+            got.push(e);
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// CPU pool: jobs never start before ready, always run exactly their
+    /// duration, and the pool is work-conserving (total busy time equals
+    /// the sum of durations).
+    #[test]
+    fn cpu_pool_is_work_conserving(
+        workers in 1usize..6,
+        jobs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..200),
+    ) {
+        let mut pool = CpuPool::new(workers);
+        let mut total = 0u64;
+        for &(ready, dur) in &jobs {
+            let (start, finish) = pool.schedule(ready, dur);
+            prop_assert!(start >= ready);
+            prop_assert_eq!(finish - start, dur);
+            total += dur;
+        }
+        prop_assert_eq!(pool.busy_ns(), total);
+    }
+
+    /// More workers never hurt: the makespan with k+1 workers is at most
+    /// the makespan with k workers for the same job sequence.
+    #[test]
+    fn more_workers_never_increase_makespan(
+        jobs in proptest::collection::vec((0u64..5_000, 1u64..300), 1..100),
+    ) {
+        let makespan = |k: usize| -> u64 {
+            let mut pool = CpuPool::new(k);
+            jobs.iter().map(|&(r, d)| pool.schedule(r, d).1).max().unwrap_or(0)
+        };
+        let m1 = makespan(1);
+        let m2 = makespan(2);
+        let m4 = makespan(4);
+        prop_assert!(m2 <= m1);
+        prop_assert!(m4 <= m2);
+    }
+
+    /// Latency summaries are order-invariant and internally consistent
+    /// (p50 ≤ p95 ≤ p99 ≤ max, mean within [min, max]).
+    #[test]
+    fn latency_summary_consistency(samples in proptest::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut rec = LatencyRecorder::new();
+        for &s in &samples {
+            rec.record(s);
+        }
+        let sum = rec.summary();
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        prop_assert_eq!(sum.count, samples.len() as u64);
+        prop_assert!(sum.p50_ns <= sum.p95_ns);
+        prop_assert!(sum.p95_ns <= sum.p99_ns);
+        prop_assert!(sum.p99_ns <= sum.max_ns);
+        prop_assert_eq!(sum.max_ns, max);
+        prop_assert!(sum.mean_ns >= min && sum.mean_ns <= max);
+    }
+}

@@ -1,0 +1,148 @@
+//! `trace-tool` — generate, inspect and convert block-I/O traces.
+//!
+//! ```text
+//! trace-tool gen fin1 60 42 --format spc -o fin1.spc   # synthesize
+//! trace-tool stats fin1.spc --format spc               # Table II row
+//! trace-tool convert fin1.spc spc msr -o fin1.msr      # format conversion
+//! ```
+
+use edc_trace::stats::WorkloadStats;
+use edc_trace::writer::{to_msr, to_spc};
+use edc_trace::{msr, spc, Trace, TracePreset};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  trace-tool gen <fin1|fin2|usr0|prxy0> <duration_s> <seed> [--format spc|msr] [-o FILE]\n  trace-tool stats <FILE> [--format spc|msr]\n  trace-tool convert <FILE> <spc|msr> <spc|msr> [-o FILE]\n  trace-tool slice <FILE> <from_s> <to_s> [--format spc|msr] [-o FILE]\n  trace-tool scale <FILE> <factor> [--format spc|msr] [-o FILE]"
+    );
+    exit(2);
+}
+
+fn preset(name: &str) -> TracePreset {
+    match name.to_ascii_lowercase().as_str() {
+        "fin1" => TracePreset::Fin1,
+        "fin2" => TracePreset::Fin2,
+        "usr0" | "usr_0" => TracePreset::Usr0,
+        "prxy0" | "prxy_0" => TracePreset::Prxy0,
+        other => {
+            eprintln!("unknown preset {other:?} (fin1|fin2|usr0|prxy0)");
+            exit(2);
+        }
+    }
+}
+
+fn parse_trace(path: &str, format: &str) -> Trace {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("reading {path}: {e}");
+        exit(1);
+    });
+    let result = match format {
+        "spc" => spc::parse(path, &text, None).map_err(|e| e.to_string()),
+        "msr" => msr::parse(path, &text, None).map_err(|e| e.to_string()),
+        other => {
+            eprintln!("unknown format {other:?} (spc|msr)");
+            exit(2);
+        }
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("parsing {path}: {e}");
+        exit(1);
+    })
+}
+
+fn serialize(trace: &Trace, format: &str) -> String {
+    match format {
+        "spc" => to_spc(trace),
+        "msr" => to_msr(trace, &trace.name.replace(|c: char| !c.is_ascii_alphanumeric(), "_")),
+        other => {
+            eprintln!("unknown format {other:?} (spc|msr)");
+            exit(2);
+        }
+    }
+}
+
+fn emit(text: &str, out: Option<&String>) {
+    match out {
+        Some(path) => std::fs::write(path, text).unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            exit(1);
+        }),
+        None => print!("{text}"),
+    }
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))
+}
+
+fn print_stats(trace: &Trace) {
+    let s = WorkloadStats::from_trace(trace);
+    println!("trace:               {}", s.name);
+    println!("requests:            {}", s.requests);
+    println!("write fraction:      {:.1}%", s.write_fraction * 100.0);
+    println!("read fraction:       {:.1}%", s.read_fraction * 100.0);
+    println!("avg request size:    {:.2} KiB", s.avg_request_kib);
+    println!("duration:            {:.1} s", s.duration_s);
+    println!("avg IOPS:            {:.1}", s.avg_iops);
+    println!("avg calculated IOPS: {:.1} (4 KiB page-units/s)", s.avg_calculated_iops);
+    println!("burstiness:          {:.1}x peak-to-mean", s.burstiness);
+    println!("idle seconds:        {:.1}%", s.idle_fraction * 100.0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "gen" => {
+            if args.len() < 4 {
+                usage();
+            }
+            let p = preset(&args[1]);
+            let duration: f64 = args[2].parse().unwrap_or_else(|_| usage());
+            let seed: u64 = args[3].parse().unwrap_or_else(|_| usage());
+            let format = flag(&args, "--format").map_or("spc", String::as_str).to_string();
+            let trace = p.generate(duration, seed);
+            eprintln!("# generated {} requests", trace.requests.len());
+            emit(&serialize(&trace, &format), flag(&args, "-o"));
+        }
+        "stats" => {
+            if args.len() < 2 {
+                usage();
+            }
+            let format = flag(&args, "--format").map_or("spc", String::as_str).to_string();
+            let trace = parse_trace(&args[1], &format);
+            print_stats(&trace);
+        }
+        "convert" => {
+            if args.len() < 4 {
+                usage();
+            }
+            let trace = parse_trace(&args[1], &args[2]);
+            emit(&serialize(&trace, &args[3]), flag(&args, "-o"));
+        }
+        "slice" => {
+            if args.len() < 4 {
+                usage();
+            }
+            let format = flag(&args, "--format").map_or("spc", String::as_str).to_string();
+            let trace = parse_trace(&args[1], &format);
+            let from: f64 = args[2].parse().unwrap_or_else(|_| usage());
+            let to: f64 = args[3].parse().unwrap_or_else(|_| usage());
+            let sliced = trace.slice(from, to);
+            eprintln!("# {} requests in [{from}s, {to}s)", sliced.requests.len());
+            emit(&serialize(&sliced, &format), flag(&args, "-o"));
+        }
+        "scale" => {
+            if args.len() < 3 {
+                usage();
+            }
+            let format = flag(&args, "--format").map_or("spc", String::as_str).to_string();
+            let trace = parse_trace(&args[1], &format);
+            let factor: f64 = args[2].parse().unwrap_or_else(|_| usage());
+            let scaled = trace.scale_rate(factor);
+            eprintln!("# duration {:.2}s -> {:.2}s", trace.duration_ns() as f64 / 1e9, scaled.duration_ns() as f64 / 1e9);
+            emit(&serialize(&scaled, &format), flag(&args, "-o"));
+        }
+        _ => usage(),
+    }
+}

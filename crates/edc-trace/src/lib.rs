@@ -1,0 +1,239 @@
+//! # edc-trace
+//!
+//! Block-I/O trace infrastructure for the EDC reproduction.
+//!
+//! The paper replays four traces: two OLTP traces from the Storage
+//! Performance Council ("Fin1", "Fin2", collected at a large financial
+//! institution) and two enterprise volumes from Microsoft Research
+//! Cambridge ("Usr_0", "Prxy_0"). This crate provides:
+//!
+//! * [`Request`]/[`Trace`] — the in-memory trace model every other crate
+//!   consumes,
+//! * [`spc`] — parser for the UMass/SPC financial trace format,
+//! * [`msr`] — parser for the MSR Cambridge (SNIA IOTTA) CSV format,
+//! * [`synth`] — seeded synthetic workload generators with ON/OFF
+//!   burstiness, including presets that match the published
+//!   characteristics of the four paper traces (read/write mix, request
+//!   sizes, intensity) — used because the original trace files are not
+//!   redistributable,
+//! * [`stats`] — workload characterization (the paper's Table II) and
+//!   per-second intensity series (Fig. 3),
+//! * [`writer`] — serializers back to the SPC/MSR text formats.
+//!
+//! Offsets and sizes are bytes; times are nanoseconds from trace start.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod msr;
+pub mod spc;
+pub mod stats;
+pub mod synth;
+pub mod writer;
+
+pub use stats::{IntensityPoint, WorkloadStats};
+pub use synth::{SynthConfig, TracePreset};
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpType {
+    /// Read request.
+    Read,
+    /// Write request.
+    Write,
+}
+
+/// One block-level I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Arrival time in nanoseconds from trace start.
+    pub arrival_ns: u64,
+    /// Operation type.
+    pub op: OpType,
+    /// Byte offset on the volume.
+    pub offset: u64,
+    /// Request length in bytes (> 0).
+    pub len: u32,
+}
+
+impl Request {
+    /// The paper's *calculated IOPS* unit: number of 4 KiB pages this
+    /// request counts as (`ceil(len / 4096)`, minimum 1). Paper §III-D.
+    pub fn page_units(&self) -> u32 {
+        self.len.div_ceil(4096).max(1)
+    }
+
+    /// First 4 KiB logical block touched.
+    pub fn first_block(&self) -> u64 {
+        self.offset / 4096
+    }
+
+    /// Number of 4 KiB logical blocks touched (by span, accounting for
+    /// offset alignment).
+    pub fn block_span(&self) -> u64 {
+        if self.len == 0 {
+            return 0;
+        }
+        let first = self.offset / 4096;
+        let last = (self.offset + u64::from(self.len) - 1) / 4096;
+        last - first + 1
+    }
+}
+
+/// An ordered sequence of requests plus provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Display name ("Fin1", "Usr_0", ...).
+    pub name: String,
+    /// Requests in non-decreasing arrival order.
+    pub requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Build a trace, sorting requests by arrival time if needed.
+    pub fn new(name: impl Into<String>, mut requests: Vec<Request>) -> Self {
+        if !requests.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns) {
+            requests.sort_by_key(|r| r.arrival_ns);
+        }
+        Trace { name: name.into(), requests }
+    }
+
+    /// Trace duration: arrival of the last request.
+    pub fn duration_ns(&self) -> u64 {
+        self.requests.last().map_or(0, |r| r.arrival_ns)
+    }
+
+    /// Total bytes moved (reads + writes).
+    pub fn total_bytes(&self) -> u64 {
+        self.requests.iter().map(|r| u64::from(r.len)).sum()
+    }
+
+    /// Truncate to the first `n` requests (for quick experiments).
+    pub fn take(mut self, n: usize) -> Self {
+        self.requests.truncate(n);
+        self
+    }
+
+    /// Extract the sub-trace arriving in `[from_s, to_s)`, rebased so the
+    /// window start becomes t = 0.
+    pub fn slice(&self, from_s: f64, to_s: f64) -> Trace {
+        assert!(from_s >= 0.0 && to_s > from_s, "invalid window");
+        let from_ns = (from_s * 1e9) as u64;
+        let to_ns = (to_s * 1e9) as u64;
+        let requests = self
+            .requests
+            .iter()
+            .filter(|r| r.arrival_ns >= from_ns && r.arrival_ns < to_ns)
+            .map(|r| Request { arrival_ns: r.arrival_ns - from_ns, ..*r })
+            .collect();
+        Trace { name: format!("{}[{from_s}s..{to_s}s]", self.name), requests }
+    }
+
+    /// Merge several traces into one interleaved workload (multi-volume
+    /// consolidation): requests keep their arrival times and are re-sorted.
+    pub fn merge(name: impl Into<String>, traces: &[&Trace]) -> Trace {
+        let mut requests: Vec<Request> =
+            traces.iter().flat_map(|t| t.requests.iter().copied()).collect();
+        requests.sort_by_key(|r| r.arrival_ns);
+        Trace { name: name.into(), requests }
+    }
+
+    /// Speed the trace up (`factor` > 1) or slow it down (`factor` < 1) by
+    /// scaling inter-arrival times — the standard trace-acceleration knob
+    /// for sensitivity studies.
+    pub fn scale_rate(&self, factor: f64) -> Trace {
+        assert!(factor > 0.0, "factor must be positive");
+        let requests = self
+            .requests
+            .iter()
+            .map(|r| Request { arrival_ns: (r.arrival_ns as f64 / factor) as u64, ..*r })
+            .collect();
+        Trace { name: format!("{}x{factor}", self.name), requests }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(at: u64, len: u32) -> Request {
+        Request { arrival_ns: at, op: OpType::Write, offset: 0, len }
+    }
+
+    #[test]
+    fn page_units_follow_paper_rule() {
+        // "one 8KB request is traded as two 4KB requests" (§III-D)
+        assert_eq!(req(0, 8192).page_units(), 2);
+        assert_eq!(req(0, 4096).page_units(), 1);
+        assert_eq!(req(0, 4097).page_units(), 2);
+        assert_eq!(req(0, 1).page_units(), 1);
+        assert_eq!(req(0, 65536).page_units(), 16);
+    }
+
+    #[test]
+    fn block_span_accounts_for_alignment() {
+        let r = Request { arrival_ns: 0, op: OpType::Read, offset: 4000, len: 200 };
+        // Crosses the 4096 boundary: blocks 0 and 1.
+        assert_eq!(r.block_span(), 2);
+        let aligned = Request { arrival_ns: 0, op: OpType::Read, offset: 8192, len: 4096 };
+        assert_eq!(aligned.block_span(), 1);
+        let zero = Request { arrival_ns: 0, op: OpType::Read, offset: 8192, len: 0 };
+        assert_eq!(zero.block_span(), 0);
+    }
+
+    #[test]
+    fn trace_sorts_out_of_order_input() {
+        let t = Trace::new("t", vec![req(50, 1), req(10, 1), req(30, 1)]);
+        let arrivals: Vec<u64> = t.requests.iter().map(|r| r.arrival_ns).collect();
+        assert_eq!(arrivals, vec![10, 30, 50]);
+        assert_eq!(t.duration_ns(), 50);
+    }
+
+    #[test]
+    fn trace_accumulators() {
+        let t = Trace::new("t", vec![req(0, 4096), req(1, 8192)]);
+        assert_eq!(t.total_bytes(), 12288);
+        assert_eq!(t.take(1).requests.len(), 1);
+    }
+
+    #[test]
+    fn slice_window_rebases() {
+        let t = Trace::new(
+            "t",
+            vec![req(500_000_000, 1), req(1_500_000_000, 1), req(2_500_000_000, 1)],
+        );
+        let s = t.slice(1.0, 2.0);
+        assert_eq!(s.requests.len(), 1);
+        assert_eq!(s.requests[0].arrival_ns, 500_000_000);
+        // Window edges: inclusive start, exclusive end.
+        assert_eq!(t.slice(0.5, 1.5).requests.len(), 1);
+        assert_eq!(t.slice(0.5, 1.6).requests.len(), 2);
+        assert!(t.slice(3.0, 4.0).requests.is_empty());
+    }
+
+    #[test]
+    fn merge_interleaves_by_arrival() {
+        let a = Trace::new("a", vec![req(10, 1), req(30, 1)]);
+        let b = Trace::new("b", vec![req(20, 1), req(40, 1)]);
+        let m = Trace::merge("ab", &[&a, &b]);
+        let arrivals: Vec<u64> = m.requests.iter().map(|r| r.arrival_ns).collect();
+        assert_eq!(arrivals, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn scale_rate_compresses_time() {
+        let t = Trace::new("t", vec![req(1000, 1), req(2000, 1)]);
+        let fast = t.scale_rate(2.0);
+        assert_eq!(fast.requests[0].arrival_ns, 500);
+        assert_eq!(fast.requests[1].arrival_ns, 1000);
+        let slow = t.scale_rate(0.5);
+        assert_eq!(slow.requests[1].arrival_ns, 4000);
+        assert_eq!(slow.duration_ns(), 2 * t.duration_ns());
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be positive")]
+    fn zero_scale_rejected() {
+        let _ = Trace::new("t", vec![]).scale_rate(0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Parser for the MSR Cambridge block-I/O trace format (SNIA IOTTA
+//! repository; "Usr_0"/"Prxy_0" in the paper).
+//!
+//! Each line is
+//! `Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime`:
+//!
+//! * `Timestamp` — Windows filetime (100 ns ticks since 1601),
+//! * `Hostname` — e.g. `usr`, `prxy`,
+//! * `DiskNumber` — volume index on that host,
+//! * `Type` — `Read`/`Write` (case-insensitive),
+//! * `Offset` — byte offset,
+//! * `Size` — bytes,
+//! * `ResponseTime` — device response time in 100 ns ticks (ignored here;
+//!   the simulator produces its own service times).
+//!
+//! Timestamps are rebased so the first kept request arrives at t = 0.
+
+use crate::{OpType, Request, Trace};
+use std::fmt;
+
+/// Error from parsing an MSR trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsrParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for MsrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MSR trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for MsrParseError {}
+
+/// Parse MSR trace text, keeping only `disk_filter` (`None` = all disks).
+pub fn parse(name: &str, text: &str, disk_filter: Option<u32>) -> Result<Trace, MsrParseError> {
+    let mut raw: Vec<(u64, Request)> = Vec::new();
+    for (idx, line_text) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = line_text.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let err = |reason: &str| MsrParseError { line, reason: reason.to_string() };
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() < 6 {
+            return Err(err("expected at least 6 comma-separated fields"));
+        }
+        let ticks: u64 = fields[0].parse().map_err(|_| err("bad timestamp"))?;
+        let disk: u32 = fields[2].parse().map_err(|_| err("bad disk number"))?;
+        let op = match fields[3].to_ascii_lowercase().as_str() {
+            "read" => OpType::Read,
+            "write" => OpType::Write,
+            other => return Err(err(&format!("bad type {other:?}"))),
+        };
+        let offset: u64 = fields[4].parse().map_err(|_| err("bad offset"))?;
+        let size: u64 = fields[5].parse().map_err(|_| err("bad size"))?;
+        if size == 0 {
+            return Err(err("zero-size request"));
+        }
+        let size: u32 = size.try_into().map_err(|_| err("size exceeds u32"))?;
+        if disk_filter.is_some_and(|want| want != disk) {
+            continue;
+        }
+        raw.push((ticks, Request { arrival_ns: 0, op, offset, len: size }));
+    }
+    // Rebase filetime ticks (100 ns) to nanoseconds from trace start.
+    let base = raw.iter().map(|&(t, _)| t).min().unwrap_or(0);
+    let requests = raw
+        .into_iter()
+        .map(|(t, mut r)| {
+            r.arrival_ns = (t - base) * 100;
+            r
+        })
+        .collect();
+    Ok(Trace::new(name, requests))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+128166372003061629,usr,0,Read,7014609920,24576,41286
+128166372016382155,usr,0,Write,2657792000,4096,543
+128166372026382155,usr,1,Read,3056,8192,1000
+128166372036382155,usr,0,write,2657796096,4096,600
+";
+
+    #[test]
+    fn parses_and_rebases() {
+        let t = parse("Usr_0", SAMPLE, None).unwrap();
+        assert_eq!(t.requests.len(), 4);
+        assert_eq!(t.requests[0].arrival_ns, 0);
+        // Second line: (128166372016382155 - ...03061629) * 100 ns
+        let expect = (128166372016382155u64 - 128166372003061629) * 100;
+        assert_eq!(t.requests[1].arrival_ns, expect);
+    }
+
+    #[test]
+    fn field_conversion() {
+        let t = parse("Usr_0", SAMPLE, None).unwrap();
+        let r = t.requests[0];
+        assert_eq!(r.op, OpType::Read);
+        assert_eq!(r.offset, 7014609920);
+        assert_eq!(r.len, 24576);
+    }
+
+    #[test]
+    fn case_insensitive_type() {
+        let t = parse("Usr_0", SAMPLE, None).unwrap();
+        assert_eq!(t.requests[3].op, OpType::Write);
+    }
+
+    #[test]
+    fn disk_filter() {
+        let t = parse("Usr_0", SAMPLE, Some(0)).unwrap();
+        assert_eq!(t.requests.len(), 3);
+        let t1 = parse("Usr_0", SAMPLE, Some(1)).unwrap();
+        assert_eq!(t1.requests.len(), 1);
+    }
+
+    #[test]
+    fn short_line_rejected() {
+        let err = parse("x", "123,usr,0,Read,100", None).unwrap_err();
+        assert!(err.reason.contains("6 comma-separated"));
+    }
+
+    #[test]
+    fn bad_type_rejected() {
+        assert!(parse("x", "1,usr,0,Trim,0,512,1", None).is_err());
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        assert!(parse("x", "1,usr,0,Read,0,0,1", None).is_err());
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let t = parse("x", "", None).unwrap();
+        assert!(t.requests.is_empty());
+    }
+
+    #[test]
+    fn response_time_field_optional_and_ignored() {
+        let t = parse("x", "1000,usr,0,Read,0,512", None).unwrap();
+        assert_eq!(t.requests.len(), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Parser for the UMass Trace Repository / Storage Performance Council
+//! financial trace format ("Fin1"/"Fin2" in the paper).
+//!
+//! Each line is `ASU,LBA,Size,Opcode,Timestamp[,...]`:
+//!
+//! * `ASU` — application-specific unit (volume id), used for filtering,
+//! * `LBA` — logical block address in 512-byte sectors,
+//! * `Size` — request size in bytes,
+//! * `Opcode` — `r`/`R` read, `w`/`W` write,
+//! * `Timestamp` — seconds from trace start, fractional.
+//!
+//! Trailing fields and blank/comment (`#`) lines are ignored.
+
+use crate::{OpType, Request, Trace};
+use std::fmt;
+
+/// Sector size used by the LBA field.
+pub const SECTOR: u64 = 512;
+
+/// Error from parsing an SPC trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpcParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for SpcParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SPC trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for SpcParseError {}
+
+/// Parse SPC trace text. `asu_filter`: keep only this ASU (`None` = all).
+///
+/// ```
+/// let text = "0,128,4096,w,0.5\n1,256,8192,r,0.75\n";
+/// let trace = edc_trace::spc::parse("Fin1", text, None).unwrap();
+/// assert_eq!(trace.requests.len(), 2);
+/// assert_eq!(trace.requests[0].offset, 128 * 512); // LBA is in sectors
+/// ```
+pub fn parse(name: &str, text: &str, asu_filter: Option<u32>) -> Result<Trace, SpcParseError> {
+    let mut requests = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split(',').map(str::trim);
+        let err = |reason: &str| SpcParseError { line, reason: reason.to_string() };
+        let asu: u32 = fields
+            .next()
+            .ok_or_else(|| err("missing ASU"))?
+            .parse()
+            .map_err(|_| err("bad ASU"))?;
+        let lba: u64 = fields
+            .next()
+            .ok_or_else(|| err("missing LBA"))?
+            .parse()
+            .map_err(|_| err("bad LBA"))?;
+        let size: u32 = fields
+            .next()
+            .ok_or_else(|| err("missing size"))?
+            .parse()
+            .map_err(|_| err("bad size"))?;
+        let op = match fields.next().ok_or_else(|| err("missing opcode"))? {
+            "r" | "R" => OpType::Read,
+            "w" | "W" => OpType::Write,
+            other => return Err(err(&format!("bad opcode {other:?}"))),
+        };
+        let ts: f64 = fields
+            .next()
+            .ok_or_else(|| err("missing timestamp"))?
+            .parse()
+            .map_err(|_| err("bad timestamp"))?;
+        if ts < 0.0 {
+            return Err(err("negative timestamp"));
+        }
+        if size == 0 {
+            return Err(err("zero-size request"));
+        }
+        if asu_filter.is_some_and(|want| want != asu) {
+            continue;
+        }
+        requests.push(Request {
+            arrival_ns: (ts * 1e9) as u64,
+            op,
+            offset: lba * SECTOR,
+            len: size,
+        });
+    }
+    Ok(Trace::new(name, requests))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# UMass financial trace sample
+0,20941264,8192,W,0.000000
+0,20939840,8192,w,0.011413
+1,3209056,4096,r,0.026214
+0,20939968,12288,R,0.042382
+
+2,1024,512,w,1.5
+";
+
+    #[test]
+    fn parses_all_lines() {
+        let t = parse("Fin1", SAMPLE, None).unwrap();
+        assert_eq!(t.requests.len(), 5);
+        assert_eq!(t.name, "Fin1");
+    }
+
+    #[test]
+    fn field_conversion() {
+        let t = parse("Fin1", SAMPLE, None).unwrap();
+        let r = t.requests[0];
+        assert_eq!(r.arrival_ns, 0);
+        assert_eq!(r.op, OpType::Write);
+        assert_eq!(r.offset, 20941264 * SECTOR);
+        assert_eq!(r.len, 8192);
+        let r2 = t.requests[2];
+        assert_eq!(r2.op, OpType::Read);
+        assert_eq!(r2.arrival_ns, 26_214_000);
+    }
+
+    #[test]
+    fn asu_filter() {
+        let t = parse("Fin1", SAMPLE, Some(0)).unwrap();
+        assert_eq!(t.requests.len(), 3);
+        assert!(t.requests.iter().all(|r| r.offset >= 20939840 * SECTOR));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let t = parse("x", "# only a comment\n\n", None).unwrap();
+        assert!(t.requests.is_empty());
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let err = parse("x", "0,1,512,q,0.0", None).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("opcode"));
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        assert!(parse("x", "0,abc,512,r,0.0", None).is_err());
+        assert!(parse("x", "0,1,512,r,notanumber", None).is_err());
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let err = parse("x", "0,1,0,r,0.0", None).unwrap_err();
+        assert!(err.reason.contains("zero-size"));
+    }
+
+    #[test]
+    fn negative_timestamp_rejected() {
+        assert!(parse("x", "0,1,512,r,-1.0", None).is_err());
+    }
+
+    #[test]
+    fn out_of_order_timestamps_sorted() {
+        let text = "0,1,512,r,2.0\n0,2,512,r,1.0\n";
+        let t = parse("x", text, None).unwrap();
+        assert!(t.requests[0].arrival_ns < t.requests[1].arrival_ns);
+    }
+}

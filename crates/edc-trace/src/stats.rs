@@ -1,0 +1,205 @@
+//! Workload characterization: the paper's Table II and the intensity
+//! time-series behind Fig. 3.
+
+use crate::{OpType, Request, Trace};
+
+/// Aggregate workload characteristics (one row of the paper's Table II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadStats {
+    /// Trace name.
+    pub name: String,
+    /// Number of requests.
+    pub requests: usize,
+    /// Fraction of read requests (0–1).
+    pub read_fraction: f64,
+    /// Fraction of write requests (0–1).
+    pub write_fraction: f64,
+    /// Mean request size in KiB.
+    pub avg_request_kib: f64,
+    /// Trace duration in seconds.
+    pub duration_s: f64,
+    /// Mean raw IOPS (requests per second).
+    pub avg_iops: f64,
+    /// Mean *calculated* IOPS (4 KiB page-units per second — the paper's
+    /// I/O-intensity metric, §III-D).
+    pub avg_calculated_iops: f64,
+    /// Peak-to-mean ratio of per-second arrival counts (burstiness).
+    pub burstiness: f64,
+    /// Fraction of whole seconds with fewer than 10 % of the mean arrivals
+    /// (idleness).
+    pub idle_fraction: f64,
+}
+
+impl WorkloadStats {
+    /// Compute statistics for a trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let n = trace.requests.len();
+        if n == 0 {
+            return WorkloadStats {
+                name: trace.name.clone(),
+                requests: 0,
+                read_fraction: 0.0,
+                write_fraction: 0.0,
+                avg_request_kib: 0.0,
+                duration_s: 0.0,
+                avg_iops: 0.0,
+                avg_calculated_iops: 0.0,
+                burstiness: 0.0,
+                idle_fraction: 0.0,
+            };
+        }
+        let reads = trace.requests.iter().filter(|r| r.op == OpType::Read).count();
+        let total_bytes: u64 = trace.requests.iter().map(|r| u64::from(r.len)).sum();
+        let total_pages: u64 = trace.requests.iter().map(|r| u64::from(r.page_units())).sum();
+        let duration_s = (trace.duration_ns() as f64 / 1e9).max(1e-9);
+        let series = intensity_series(&trace.requests, 1.0);
+        let mean_per_s = n as f64 / series.len().max(1) as f64;
+        let peak = series.iter().map(|p| p.raw_iops).fold(0.0f64, f64::max);
+        let idle = series.iter().filter(|p| p.raw_iops < 0.1 * mean_per_s).count();
+        WorkloadStats {
+            name: trace.name.clone(),
+            requests: n,
+            read_fraction: reads as f64 / n as f64,
+            write_fraction: (n - reads) as f64 / n as f64,
+            avg_request_kib: total_bytes as f64 / n as f64 / 1024.0,
+            duration_s,
+            avg_iops: n as f64 / duration_s,
+            avg_calculated_iops: total_pages as f64 / duration_s,
+            burstiness: if mean_per_s > 0.0 { peak / mean_per_s } else { 0.0 },
+            idle_fraction: idle as f64 / series.len().max(1) as f64,
+        }
+    }
+}
+
+/// One bucket of the intensity time series (Fig. 3's y-axis values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntensityPoint {
+    /// Bucket start time in seconds.
+    pub t_s: f64,
+    /// Raw requests per second in this bucket.
+    pub raw_iops: f64,
+    /// Calculated (4 KiB page-unit) IOPS in this bucket.
+    pub calculated_iops: f64,
+}
+
+/// Bucket arrivals into windows of `bucket_s` seconds.
+pub fn intensity_series(requests: &[Request], bucket_s: f64) -> Vec<IntensityPoint> {
+    assert!(bucket_s > 0.0);
+    let Some(last) = requests.last() else {
+        return Vec::new();
+    };
+    let bucket_ns = (bucket_s * 1e9) as u64;
+    let buckets = (last.arrival_ns / bucket_ns + 1) as usize;
+    let mut raw = vec![0u64; buckets];
+    let mut pages = vec![0u64; buckets];
+    for r in requests {
+        let b = (r.arrival_ns / bucket_ns) as usize;
+        raw[b] += 1;
+        pages[b] += u64::from(r.page_units());
+    }
+    raw.iter()
+        .zip(pages.iter())
+        .enumerate()
+        .map(|(i, (&r, &p))| IntensityPoint {
+            t_s: i as f64 * bucket_s,
+            raw_iops: r as f64 / bucket_s,
+            calculated_iops: p as f64 / bucket_s,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::TracePreset;
+
+    fn mk(at_s: f64, op: OpType, len: u32) -> Request {
+        Request { arrival_ns: (at_s * 1e9) as u64, op, offset: 0, len }
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = WorkloadStats::from_trace(&Trace::new("e", vec![]));
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.avg_iops, 0.0);
+    }
+
+    #[test]
+    fn basic_fractions() {
+        let t = Trace::new(
+            "t",
+            vec![
+                mk(0.0, OpType::Read, 4096),
+                mk(0.5, OpType::Write, 8192),
+                mk(1.0, OpType::Write, 4096),
+                mk(2.0, OpType::Write, 16384),
+            ],
+        );
+        let s = WorkloadStats::from_trace(&t);
+        assert_eq!(s.requests, 4);
+        assert!((s.read_fraction - 0.25).abs() < 1e-9);
+        assert!((s.write_fraction - 0.75).abs() < 1e-9);
+        assert!((s.avg_request_kib - 8.0).abs() < 1e-9); // (4+8+4+16)/4 KiB
+        assert!((s.duration_s - 2.0).abs() < 1e-9);
+        assert!((s.avg_iops - 2.0).abs() < 1e-9);
+        // pages: 1+2+1+4 = 8 over 2 s
+        assert!((s.avg_calculated_iops - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intensity_series_buckets() {
+        let t = vec![
+            mk(0.1, OpType::Read, 4096),
+            mk(0.2, OpType::Read, 8192),
+            mk(2.5, OpType::Write, 4096),
+        ];
+        let s = intensity_series(&t, 1.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].raw_iops, 2.0);
+        assert_eq!(s[0].calculated_iops, 3.0);
+        assert_eq!(s[1].raw_iops, 0.0);
+        assert_eq!(s[2].raw_iops, 1.0);
+        assert_eq!(s[0].t_s, 0.0);
+        assert_eq!(s[2].t_s, 2.0);
+    }
+
+    #[test]
+    fn sub_second_buckets() {
+        let t = vec![mk(0.0, OpType::Read, 4096), mk(0.3, OpType::Read, 4096)];
+        let s = intensity_series(&t, 0.25);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].raw_iops, 4.0); // 1 request / 0.25 s
+    }
+
+    #[test]
+    fn empty_series() {
+        assert!(intensity_series(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn presets_match_table2_characteristics() {
+        // The synthetic presets must reproduce the qualitative Table II:
+        // Fin1/Prxy_0 write-heavy, Fin2 read-heavy, Usr_0 big requests.
+        let stats: Vec<WorkloadStats> = TracePreset::ALL
+            .iter()
+            .map(|p| WorkloadStats::from_trace(&p.generate(120.0, 42)))
+            .collect();
+        let by_name = |n: &str| stats.iter().find(|s| s.name == n).unwrap();
+        assert!(by_name("Fin1").write_fraction > 0.7);
+        assert!(by_name("Fin2").read_fraction > 0.75);
+        assert!(by_name("Prxy_0").write_fraction > 0.9);
+        assert!(by_name("Usr_0").avg_request_kib > 15.0);
+        assert!(by_name("Fin1").avg_request_kib < 8.0);
+    }
+
+    #[test]
+    fn presets_are_bursty_and_idle() {
+        for p in TracePreset::ALL {
+            let s = WorkloadStats::from_trace(&p.generate(180.0, 9));
+            assert!(s.burstiness > 1.5, "{}: burstiness {}", s.name, s.burstiness);
+        }
+        // The enterprise volume shows pronounced idleness (Fig. 3b).
+        let usr = WorkloadStats::from_trace(&TracePreset::Usr0.generate(180.0, 9));
+        assert!(usr.idle_fraction > 0.2, "Usr_0 idle fraction {}", usr.idle_fraction);
+    }
+}

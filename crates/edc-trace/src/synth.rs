@@ -1,0 +1,401 @@
+//! Seeded synthetic workload generation with ON/OFF burstiness.
+//!
+//! The original Fin1/Fin2 (SPC) and Usr_0/Prxy_0 (MSR Cambridge) trace
+//! files are not redistributable, so the reproduction generates synthetic
+//! traces matching their published gross characteristics: read/write mix,
+//! request-size distribution, average intensity, and — critical for EDC —
+//! the alternation of bursty and idle periods that Fig. 3 of the paper
+//! shows (Golding et al.'s "idleness is not sloth" behaviour, Riska &
+//! Riedel's enterprise measurements).
+//!
+//! The arrival process is a two-state Markov-modulated Poisson process:
+//! exponentially distributed ON (burst) and OFF (idle) phases, each with
+//! its own Poisson arrival rate. Addresses follow a sequential-run model —
+//! with probability `seq_prob` a request continues where the previous one
+//! ended (which exercises EDC's Sequentiality Detector), otherwise it jumps
+//! uniformly. Real trace files, when available, can be parsed with
+//! [`crate::spc`]/[`crate::msr`] instead; everything downstream consumes
+//! the same [`Trace`] type.
+
+use crate::{OpType, Request, Trace};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration of the synthetic workload generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthConfig {
+    /// Trace length in seconds.
+    pub duration_s: f64,
+    /// Poisson arrival rate during bursts (requests/s).
+    pub on_rate: f64,
+    /// Poisson arrival rate during idle phases (requests/s, may be 0).
+    pub off_rate: f64,
+    /// Mean burst duration (s), exponentially distributed.
+    pub mean_on_s: f64,
+    /// Mean idle duration (s), exponentially distributed.
+    pub mean_off_s: f64,
+    /// Fraction of requests that are reads.
+    pub read_fraction: f64,
+    /// Request-size distribution as `(bytes, weight)` pairs.
+    pub size_dist: Vec<(u32, f64)>,
+    /// Probability that a write continues sequentially after the previous
+    /// request (drives the Sequentiality Detector's merge opportunities).
+    pub seq_prob: f64,
+    /// Addressable volume size in bytes.
+    pub volume_bytes: u64,
+    /// Mean arrival-batch size (geometric, ≥ 1). Upper layers (DRAM
+    /// buffering, I/O schedulers) cluster requests, so "the I/Os seen at
+    /// the lower level are usually bursty and clustered" (paper §II-C):
+    /// each Poisson arrival event emits a whole batch of back-to-back
+    /// requests. The request *rate* stays `on_rate`/`off_rate`; only the
+    /// clustering changes.
+    pub batch_mean: f64,
+}
+
+impl SynthConfig {
+    /// Mean request size implied by `size_dist`, in bytes.
+    pub fn mean_request_bytes(&self) -> f64 {
+        let total_w: f64 = self.size_dist.iter().map(|&(_, w)| w).sum();
+        self.size_dist.iter().map(|&(s, w)| f64::from(s) * w).sum::<f64>() / total_w
+    }
+
+    /// Long-run average arrival rate (requests/s) implied by the ON/OFF
+    /// phase parameters.
+    pub fn mean_rate(&self) -> f64 {
+        let cycle = self.mean_on_s + self.mean_off_s;
+        (self.on_rate * self.mean_on_s + self.off_rate * self.mean_off_s) / cycle
+    }
+
+    /// Generate the trace.
+    pub fn generate(&self, name: &str, seed: u64) -> Trace {
+        assert!(self.duration_s > 0.0 && self.on_rate > 0.0);
+        assert!(self.mean_on_s > 0.0 && self.mean_off_s >= 0.0);
+        assert!((0.0..=1.0).contains(&self.read_fraction));
+        assert!((0.0..=1.0).contains(&self.seq_prob));
+        assert!(!self.size_dist.is_empty());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut requests = Vec::new();
+        let horizon = self.duration_s;
+        let mut t = 0.0f64; // seconds
+        let mut burst = true;
+        let mut next_seq_offset: u64 = 0;
+        // Exponential sample with mean `m`.
+        let exp = move |rng: &mut StdRng, m: f64| -> f64 {
+            if m <= 0.0 {
+                return 0.0;
+            }
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            -u.ln() * m
+        };
+        let batch_mean = self.batch_mean.max(1.0);
+        while t < horizon {
+            let (rate, mean_phase) =
+                if burst { (self.on_rate, self.mean_on_s) } else { (self.off_rate, self.mean_off_s) };
+            let phase_len = exp(&mut rng, mean_phase);
+            let phase_end = (t + phase_len).min(horizon);
+            if rate > 0.0 {
+                // Batch arrivals: events fire at rate / batch_mean, each
+                // carrying a geometric number of back-to-back requests.
+                let event_rate = rate / batch_mean;
+                loop {
+                    let gap = exp(&mut rng, 1.0 / event_rate);
+                    if t + gap >= phase_end {
+                        break;
+                    }
+                    t += gap;
+                    let mut batch = 1usize;
+                    while batch_mean > 1.0 && rng.random::<f64>() < 1.0 - 1.0 / batch_mean {
+                        batch += 1;
+                        if batch >= 64 {
+                            break;
+                        }
+                    }
+                    for _ in 0..batch {
+                        requests.push(self.one_request(&mut rng, t, &mut next_seq_offset));
+                    }
+                }
+            }
+            t = phase_end;
+            burst = !burst;
+        }
+        Trace::new(name, requests)
+    }
+
+    fn one_request(&self, rng: &mut StdRng, t_s: f64, next_seq: &mut u64) -> Request {
+        let op = if rng.random::<f64>() < self.read_fraction { OpType::Read } else { OpType::Write };
+        let len = self.sample_size(rng);
+        // A sequential chain that would run past the volume end restarts
+        // with a fresh jump (real workloads wrap at file/extent ends).
+        let sequential = *next_seq > 0
+            && *next_seq + u64::from(len) <= self.volume_bytes
+            && rng.random::<f64>() < self.seq_prob;
+        let offset = if sequential {
+            *next_seq
+        } else {
+            // 4 KiB-aligned uniform jump, leaving room for the request.
+            let max_block = (self.volume_bytes.saturating_sub(u64::from(len))) / 4096;
+            rng.random_range(0..=max_block) * 4096
+        };
+        *next_seq = offset + u64::from(len);
+        Request { arrival_ns: (t_s * 1e9) as u64, op, offset, len }
+    }
+
+    fn sample_size(&self, rng: &mut StdRng) -> u32 {
+        let total: f64 = self.size_dist.iter().map(|&(_, w)| w).sum();
+        let mut x = rng.random::<f64>() * total;
+        for &(s, w) in &self.size_dist {
+            if x < w {
+                return s;
+            }
+            x -= w;
+        }
+        self.size_dist.last().expect("non-empty").0
+    }
+}
+
+/// Presets matching the published characteristics of the paper's four
+/// evaluation traces (Table II): read/write mix, request sizes, mean
+/// intensity, burstiness.
+///
+/// ```
+/// use edc_trace::TracePreset;
+///
+/// let trace = TracePreset::Fin1.generate(10.0, 42); // 10 s, seeded
+/// assert!(!trace.requests.is_empty());
+/// assert_eq!(trace, TracePreset::Fin1.generate(10.0, 42)); // reproducible
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TracePreset {
+    /// SPC "Financial1": OLTP, write-dominated (~77 % writes), small
+    /// requests (~4 KiB), strongly bursty.
+    Fin1,
+    /// SPC "Financial2": OLTP, read-dominated (~82 % reads), small
+    /// requests, moderately bursty.
+    Fin2,
+    /// MSR Cambridge `usr_0`: home-directory volume, ~60 % writes, large
+    /// requests (tens of KiB), long idle stretches.
+    Usr0,
+    /// MSR Cambridge `prxy_0`: web-proxy volume, ~97 % writes, small
+    /// requests, sustained high intensity.
+    Prxy0,
+}
+
+impl TracePreset {
+    /// All four paper traces in figure order.
+    pub const ALL: [TracePreset; 4] =
+        [TracePreset::Fin1, TracePreset::Fin2, TracePreset::Usr0, TracePreset::Prxy0];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            TracePreset::Fin1 => "Fin1",
+            TracePreset::Fin2 => "Fin2",
+            TracePreset::Usr0 => "Usr_0",
+            TracePreset::Prxy0 => "Prxy_0",
+        }
+    }
+
+    /// The generator configuration for this preset with a given duration.
+    pub fn config(self, duration_s: f64) -> SynthConfig {
+        match self {
+            TracePreset::Fin1 => SynthConfig {
+                duration_s,
+                on_rate: 1600.0,
+                off_rate: 15.0,
+                mean_on_s: 1.0,
+                mean_off_s: 9.0,
+                read_fraction: 0.23,
+                size_dist: vec![(2048, 0.10), (4096, 0.70), (8192, 0.15), (16384, 0.05)],
+                seq_prob: 0.35,
+                volume_bytes: 16 << 30,
+                batch_mean: 4.0,
+            },
+            TracePreset::Fin2 => SynthConfig {
+                duration_s,
+                on_rate: 1400.0,
+                off_rate: 25.0,
+                mean_on_s: 1.5,
+                mean_off_s: 8.0,
+                read_fraction: 0.82,
+                size_dist: vec![(2048, 0.25), (4096, 0.60), (8192, 0.15)],
+                seq_prob: 0.25,
+                volume_bytes: 16 << 30,
+                batch_mean: 3.0,
+            },
+            TracePreset::Usr0 => SynthConfig {
+                duration_s,
+                on_rate: 450.0,
+                off_rate: 4.0,
+                mean_on_s: 2.0,
+                mean_off_s: 16.0,
+                read_fraction: 0.40,
+                size_dist: vec![(4096, 0.35), (8192, 0.15), (16384, 0.15), (32768, 0.20), (65536, 0.15)],
+                seq_prob: 0.55,
+                volume_bytes: 64 << 30,
+                batch_mean: 8.0,
+            },
+            TracePreset::Prxy0 => SynthConfig {
+                duration_s,
+                on_rate: 1500.0,
+                off_rate: 60.0,
+                mean_on_s: 2.0,
+                mean_off_s: 5.0,
+                read_fraction: 0.03,
+                size_dist: vec![(4096, 0.75), (8192, 0.20), (16384, 0.05)],
+                seq_prob: 0.50,
+                volume_bytes: 32 << 30,
+                batch_mean: 6.0,
+            },
+        }
+    }
+
+    /// Generate this preset's trace.
+    pub fn generate(self, duration_s: f64, seed: u64) -> Trace {
+        self.config(duration_s).generate(self.name(), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requests_in_order() {
+        let t = TracePreset::Fin1.generate(30.0, 1);
+        assert!(!t.requests.is_empty());
+        assert!(t.requests.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        assert!(t.duration_ns() <= 30_000_000_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TracePreset::Fin2.generate(20.0, 7);
+        let b = TracePreset::Fin2.generate(20.0, 7);
+        assert_eq!(a, b);
+        let c = TracePreset::Fin2.generate(20.0, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn read_fraction_approximates_preset() {
+        for (preset, want) in [
+            (TracePreset::Fin1, 0.23),
+            (TracePreset::Fin2, 0.82),
+            (TracePreset::Usr0, 0.40),
+            (TracePreset::Prxy0, 0.03),
+        ] {
+            let t = preset.generate(120.0, 3);
+            let reads =
+                t.requests.iter().filter(|r| r.op == OpType::Read).count() as f64;
+            let got = reads / t.requests.len() as f64;
+            assert!(
+                (got - want).abs() < 0.05,
+                "{}: read fraction {got:.3} vs {want}",
+                preset.name()
+            );
+        }
+    }
+
+    #[test]
+    fn mean_rate_matches_phase_math() {
+        let cfg = TracePreset::Fin1.config(1.0);
+        let expect = (1600.0 * 1.0 + 15.0 * 9.0) / 10.0;
+        assert!((cfg.mean_rate() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batching_preserves_mean_rate() {
+        // Long horizon so ON/OFF phase-sampling noise (~1/sqrt(phases))
+        // does not mask the comparison.
+        let mut cfg = TracePreset::Fin1.config(2400.0);
+        cfg.batch_mean = 1.0;
+        let unbatched = cfg.generate("x", 3).requests.len() as f64;
+        cfg.batch_mean = 6.0;
+        let batched = cfg.generate("x", 3).requests.len() as f64;
+        let rel = (batched - unbatched).abs() / unbatched;
+        assert!(rel < 0.15, "batching changed the rate by {:.0}%", rel * 100.0);
+    }
+
+    #[test]
+    fn batches_arrive_back_to_back() {
+        let t = TracePreset::Usr0.generate(60.0, 21);
+        let same_instant = t
+            .requests
+            .windows(2)
+            .filter(|w| w[0].arrival_ns == w[1].arrival_ns)
+            .count();
+        assert!(
+            same_instant as f64 / t.requests.len() as f64 > 0.5,
+            "batched preset must cluster arrivals, got {same_instant}/{}",
+            t.requests.len()
+        );
+    }
+
+    #[test]
+    fn long_run_intensity_approximates_mean_rate() {
+        let cfg = TracePreset::Prxy0.config(300.0);
+        let t = cfg.generate("Prxy_0", 5);
+        let got = t.requests.len() as f64 / 300.0;
+        let want = cfg.mean_rate();
+        assert!(
+            (got - want).abs() / want < 0.25,
+            "rate {got:.1} req/s vs expected {want:.1}"
+        );
+    }
+
+    #[test]
+    fn usr0_has_larger_requests_than_fin1() {
+        let usr = TracePreset::Usr0.config(1.0).mean_request_bytes();
+        let fin = TracePreset::Fin1.config(1.0).mean_request_bytes();
+        assert!(usr > 3.0 * fin, "usr {usr:.0} vs fin {fin:.0}");
+    }
+
+    #[test]
+    fn burstiness_visible_in_arrivals() {
+        // Split into 1 s buckets; a bursty trace must have both hot and
+        // near-idle seconds.
+        let t = TracePreset::Fin1.generate(120.0, 11);
+        let mut buckets = vec![0u32; 120];
+        for r in &t.requests {
+            let b = (r.arrival_ns / 1_000_000_000) as usize;
+            if b < buckets.len() {
+                buckets[b] += 1;
+            }
+        }
+        let max = *buckets.iter().max().unwrap();
+        let idle = buckets.iter().filter(|&&c| c < 30).count();
+        assert!(max > 400, "expected bursts, max bucket {max}");
+        assert!(idle > 20, "expected idle seconds, got {idle}");
+    }
+
+    #[test]
+    fn sequential_runs_exist() {
+        let t = TracePreset::Usr0.generate(60.0, 13);
+        let seq = t
+            .requests
+            .windows(2)
+            .filter(|w| w[1].offset == w[0].offset + u64::from(w[0].len))
+            .count();
+        assert!(
+            seq as f64 / t.requests.len() as f64 > 0.3,
+            "Usr_0 should be fairly sequential, got {seq}/{}",
+            t.requests.len()
+        );
+    }
+
+    #[test]
+    fn offsets_stay_in_volume() {
+        let cfg = TracePreset::Fin1.config(30.0);
+        let t = cfg.generate("Fin1", 17);
+        assert!(t
+            .requests
+            .iter()
+            .all(|r| r.offset + u64::from(r.len) <= cfg.volume_bytes + 65536));
+    }
+
+    #[test]
+    fn preset_names_match_paper() {
+        let names: Vec<&str> = TracePreset::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["Fin1", "Fin2", "Usr_0", "Prxy_0"]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for trace parsing/serialization and synthetic
+//! generation invariants.
+
+use edc_trace::writer::{to_msr, to_spc};
+use edc_trace::{msr, spc, OpType, Request, SynthConfig, Trace};
+use proptest::prelude::*;
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (0u64..1_000_000_000, any::<bool>(), 0u64..1_000_000, 1u32..64).prop_map(
+        |(at, read, block, len_blocks)| Request {
+            arrival_ns: at,
+            op: if read { OpType::Read } else { OpType::Write },
+            offset: block * 4096,
+            len: len_blocks * 512,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SPC text round-trips: write → parse preserves ops, offsets, sizes
+    /// (timestamps to µs precision).
+    #[test]
+    fn spc_round_trips(reqs in proptest::collection::vec(request_strategy(), 1..100)) {
+        let t = Trace::new("p", reqs);
+        let parsed = spc::parse("p", &to_spc(&t), None).unwrap();
+        prop_assert_eq!(parsed.requests.len(), t.requests.len());
+        for (a, b) in parsed.requests.iter().zip(&t.requests) {
+            prop_assert_eq!(a.op, b.op);
+            prop_assert_eq!(a.offset, b.offset / 512 * 512);
+            prop_assert_eq!(a.len, b.len);
+            prop_assert!((a.arrival_ns as i64 - b.arrival_ns as i64).abs() <= 1000);
+        }
+    }
+
+    /// MSR text round-trips (inter-arrival structure; the parser rebases).
+    #[test]
+    fn msr_round_trips(reqs in proptest::collection::vec(request_strategy(), 1..100)) {
+        let t = Trace::new("p", reqs);
+        let parsed = msr::parse("p", &to_msr(&t, "host"), None).unwrap();
+        prop_assert_eq!(parsed.requests.len(), t.requests.len());
+        let base_a = parsed.requests[0].arrival_ns as i64;
+        let base_b = t.requests[0].arrival_ns as i64;
+        for (a, b) in parsed.requests.iter().zip(&t.requests) {
+            prop_assert_eq!(a.op, b.op);
+            prop_assert_eq!(a.offset, b.offset);
+            prop_assert_eq!(a.len, b.len);
+            let da = a.arrival_ns as i64 - base_a;
+            let db = b.arrival_ns as i64 - base_b;
+            prop_assert!((da - db).abs() <= 100);
+        }
+    }
+
+    /// Synthetic generation invariants for arbitrary configurations:
+    /// ordered arrivals, in-volume offsets, sizes from the distribution,
+    /// determinism per seed.
+    #[test]
+    fn synth_invariants(
+        seed in any::<u64>(),
+        on_rate in 50.0f64..2000.0,
+        read_frac in 0.0f64..1.0,
+        seq_prob in 0.0f64..1.0,
+        batch in 1.0f64..8.0,
+    ) {
+        let cfg = SynthConfig {
+            duration_s: 5.0,
+            on_rate,
+            off_rate: 5.0,
+            mean_on_s: 1.0,
+            mean_off_s: 2.0,
+            read_fraction: read_frac,
+            size_dist: vec![(4096, 0.5), (8192, 0.3), (16384, 0.2)],
+            seq_prob,
+            volume_bytes: 1 << 30,
+            batch_mean: batch,
+        };
+        let a = cfg.generate("x", seed);
+        let b = cfg.generate("x", seed);
+        prop_assert_eq!(&a, &b, "same seed must reproduce");
+        prop_assert!(a.requests.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        for r in &a.requests {
+            prop_assert!(r.offset + u64::from(r.len) <= cfg.volume_bytes + 65536);
+            prop_assert!([4096u32, 8192, 16384].contains(&r.len));
+            prop_assert!(r.arrival_ns <= 5_000_000_000);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Compressibility explorer: the paper's §II-B measurement, interactive.
+//!
+//! Generates every content class `edc-datagen` produces, runs all four
+//! from-scratch codecs plus the sampling estimator over each, and prints
+//! ratio/speed/estimate side by side — the trade-off matrix that motivates
+//! elastic selection (paper Fig. 2), reproduced on your machine in a few
+//! seconds.
+//!
+//! ```text
+//! cargo run --release --example compressibility_explorer
+//! ```
+
+use edc::compress::{codec_by_id, CodecId, Estimator};
+use edc::datagen::{BlockClass, ContentGenerator, DataMix};
+use std::time::Instant;
+
+const BLOCK: usize = 64 * 1024;
+const BLOCKS_PER_CLASS: usize = 16;
+
+fn main() {
+    let mut generator = ContentGenerator::new(1234, DataMix::primary_storage());
+    let estimator = Estimator::default();
+
+    println!("per-class compression efficiency, {BLOCKS_PER_CLASS} x {BLOCK} B blocks\n");
+    println!(
+        "{:>10} {:>8} {:>9} {:>13} {:>13} {:>10}",
+        "class", "codec", "ratio", "comp_MB/s", "decomp_MB/s", "estimate"
+    );
+
+    for class in BlockClass::ALL {
+        let blocks: Vec<Vec<u8>> =
+            (0..BLOCKS_PER_CLASS).map(|_| generator.block_of(class, BLOCK)).collect();
+        let total: usize = blocks.iter().map(Vec::len).sum();
+        // What EDC's cheap sampling estimator thinks of this class.
+        let est: f64 = blocks.iter().map(|b| estimator.estimate(b).fraction).sum::<f64>()
+            / blocks.len() as f64;
+        for id in CodecId::ALL_CODECS {
+            let codec = codec_by_id(id).expect("real codec");
+            let t0 = Instant::now();
+            let streams: Vec<Vec<u8>> = blocks.iter().map(|b| codec.compress(b)).collect();
+            let comp_s = t0.elapsed().as_secs_f64();
+            let comp_total: usize = streams.iter().map(Vec::len).sum();
+            let t0 = Instant::now();
+            for (s, b) in streams.iter().zip(&blocks) {
+                let out = codec.decompress(s, b.len()).expect("round trip");
+                std::hint::black_box(&out);
+            }
+            let dec_s = t0.elapsed().as_secs_f64();
+            println!(
+                "{:>10} {:>8} {:>9.3} {:>13.1} {:>13.1} {:>10.3}",
+                format!("{class:?}"),
+                id.name(),
+                total as f64 / comp_total as f64,
+                total as f64 / 1e6 / comp_s,
+                total as f64 / 1e6 / dec_s,
+                est,
+            );
+        }
+        println!();
+    }
+    println!(
+        "estimate > 0.75 means EDC writes the block through uncompressed\n\
+         (the paper's write-through rule; note Media/Random land above it)"
+    );
+}

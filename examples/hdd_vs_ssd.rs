@@ -1,0 +1,60 @@
+//! HDD vs SSD under compression (paper §VI future work #2): the same
+//! workload and schemes on both device models, side by side.
+//!
+//! On flash, compression's byte savings shorten transfers and defer GC;
+//! on a disk, seeks dominate small random I/O and compression only adds
+//! CPU — except for EDC, which notices load and backs off.
+//!
+//! ```text
+//! cargo run --release --example hdd_vs_ssd
+//! ```
+
+use edc::compress::CodecId;
+use edc::core::{CalibrationConfig, ContentModel, EdcConfig, Policy, SimConfig, SimScheme};
+use edc::datagen::DataMix;
+use edc::flash::{HddTiming, SsdConfig};
+use edc::sim::replay::replay;
+use edc::sim::Storage;
+use edc::trace::TracePreset;
+use std::sync::Arc;
+
+fn main() {
+    println!("generating a 60 s Usr_0-like enterprise trace...");
+    let trace = TracePreset::Usr0.generate(60.0, 7);
+    println!("  {} requests, {:.1} MiB\n", trace.requests.len(), trace.total_bytes() as f64 / (1 << 20) as f64);
+
+    let content = Arc::new(ContentModel::calibrate(
+        DataMix::primary_storage(),
+        7,
+        CalibrationConfig::default(),
+    ));
+    let sim = SimConfig { cpu_workers: 1, ..SimConfig::default() };
+    let policies: [(&str, Policy); 4] = [
+        ("Native", Policy::Native),
+        ("Lzf", Policy::Fixed(CodecId::Lzf)),
+        ("Gzip", Policy::Fixed(CodecId::Deflate)),
+        ("EDC", Policy::Elastic(EdcConfig::default())),
+    ];
+
+    println!("{:>8} {:>16} {:>16} {:>10}", "scheme", "SSD resp (ms)", "HDD resp (ms)", "ratio");
+    for (name, policy) in policies {
+        let ssd = Storage::single(SsdConfig { logical_bytes: 256 << 20, ..SsdConfig::default() });
+        let hdd = Storage::hdd(256 << 20, HddTiming::default());
+        let mut s1 = SimScheme::new(policy.clone(), ssd, sim.clone(), content.clone());
+        let mut s2 = SimScheme::new(policy, hdd, sim.clone(), content.clone());
+        let r1 = replay(&trace, &mut s1);
+        let r2 = replay(&trace, &mut s2);
+        println!(
+            "{:>8} {:>16.3} {:>16.3} {:>10.3}",
+            name,
+            r1.mean_response_ms(),
+            r2.mean_response_ms(),
+            r1.space.compression_ratio(),
+        );
+    }
+    println!(
+        "\nnote how the fixed schemes' SSD gains evaporate on the HDD (seek-\n\
+         dominated service), while EDC adapts on both — the transfer the\n\
+         paper's future-work section anticipated."
+    );
+}

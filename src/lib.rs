@@ -1,0 +1,47 @@
+//! # edc — Elastic Data Compression for flash-based storage
+//!
+//! A from-scratch Rust reproduction of Mao, Jiang, Wu, Yang & Xi,
+//! *"Elastic Data Compression with Improved Performance and Space
+//! Efficiency for Flash-based Storage Systems"* (IPDPS 2017).
+//!
+//! EDC is a block-device-level compression layer that picks its
+//! compression algorithm *elastically*: strong, slow codecs while the
+//! system is idle; fast, weak codecs while it is busy; no compression at
+//! all for bursts and for incompressible data. This workspace implements
+//! the complete system and every substrate it needs:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`compress`] | Lzf-, Lz4-, Gzip(DEFLATE)- and Bzip2(BWT)-class codecs written from scratch, the sampling compressibility estimator, and the deterministic cost model |
+//! | [`datagen`] | SDGen-equivalent synthetic content with controllable compressibility |
+//! | [`trace`] | SPC/MSR trace parsers, synthetic bursty workload generators, workload statistics |
+//! | [`flash`] | NAND SSD simulator: page-mapped FTL, garbage collection, wear, RAIS arrays |
+//! | [`sim`] | discrete-event replay engine: event queue, CPU pool, latency accounting |
+//! | [`core`] | EDC itself — monitor, selector, sequentiality detector, quantized allocator, mapping table — plus the Native/fixed baselines, a real-bytes [`EdcPipeline`](core::pipeline::EdcPipeline), and a parallel compression engine |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use edc::core::pipeline::{EdcPipeline, PipelineConfig};
+//!
+//! // A 1 MiB EDC-compressed block store.
+//! let mut store = EdcPipeline::new(1 << 20, PipelineConfig::default());
+//! let block = vec![b'a'; 4096];
+//! store.write(0, 0, &block);           // buffered by the Sequentiality Detector
+//! store.flush(1_000);                  // compress + place
+//! assert_eq!(store.read(2_000, 0, 4096).unwrap(), block);
+//! assert!(store.compression_ratio() > 1.0);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/edc-bench` for the
+//! harness that regenerates every figure and table of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use edc_compress as compress;
+pub use edc_core as core;
+pub use edc_datagen as datagen;
+pub use edc_flash as flash;
+pub use edc_sim as sim;
+pub use edc_trace as trace;
