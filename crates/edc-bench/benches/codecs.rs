@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks of the four from-scratch codecs on the two
-//! Fig. 2 datasets — the measured numbers behind the `fig2` experiment and
-//! the calibration anchor for the cost model.
+//! Micro-benchmarks of the four from-scratch codecs on the two Fig. 2
+//! datasets — the measured numbers behind the `fig2` experiment and the
+//! calibration anchor for the cost model. Runs on the in-tree harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use edc_bench::Harness;
 use edc_compress::{codec_by_id, CodecId};
 use edc_datagen::corpus::{firefox_binary_like, linux_source_like, Corpus};
 use std::hint::black_box;
@@ -11,73 +11,51 @@ fn corpus_pair() -> [Corpus; 2] {
     [linux_source_like(7, 8, 65536), firefox_binary_like(7, 8, 65536)]
 }
 
-fn bench_compress(c: &mut Criterion) {
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 3 } else { 10 };
+    let mut h = Harness::new("codecs", samples);
     let corpora = corpus_pair();
-    let mut group = c.benchmark_group("compress");
-    group.sample_size(10);
+
     for corpus in &corpora {
-        group.throughput(Throughput::Bytes(corpus.total_bytes() as u64));
+        let total = corpus.total_bytes() as u64;
         for id in CodecId::ALL_CODECS {
             let codec = codec_by_id(id).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(id.name(), corpus.name),
-                corpus,
-                |b, corpus| {
-                    b.iter(|| {
-                        for block in &corpus.blocks {
-                            black_box(codec.compress(black_box(block)));
-                        }
-                    })
-                },
-            );
+            h.run_bytes(&format!("compress/{}/{}", id.name(), corpus.name), total, || {
+                for block in &corpus.blocks {
+                    black_box(codec.compress(black_box(block)));
+                }
+            });
         }
     }
-    group.finish();
-}
 
-fn bench_decompress(c: &mut Criterion) {
-    let corpora = corpus_pair();
-    let mut group = c.benchmark_group("decompress");
-    group.sample_size(10);
     for corpus in &corpora {
-        group.throughput(Throughput::Bytes(corpus.total_bytes() as u64));
+        let total = corpus.total_bytes() as u64;
         for id in CodecId::ALL_CODECS {
             let codec = codec_by_id(id).unwrap();
             let streams: Vec<(Vec<u8>, usize)> =
                 corpus.blocks.iter().map(|b| (codec.compress(b), b.len())).collect();
-            group.bench_with_input(
-                BenchmarkId::new(id.name(), corpus.name),
-                &streams,
-                |b, streams| {
-                    b.iter(|| {
-                        for (s, n) in streams {
-                            black_box(codec.decompress(black_box(s), *n).unwrap());
-                        }
-                    })
-                },
-            );
+            h.run_bytes(&format!("decompress/{}/{}", id.name(), corpus.name), total, || {
+                for (s, n) in &streams {
+                    black_box(codec.decompress(black_box(s), *n).unwrap());
+                }
+            });
         }
     }
-    group.finish();
-}
 
-fn bench_block_sizes(c: &mut Criterion) {
     // §III-E's premise: per-byte compression cost falls and ratio rises
     // with block size — the reason the SD merges before compressing.
     let corpus = linux_source_like(11, 1, 256 * 1024);
     let data = &corpus.blocks[0];
-    let mut group = c.benchmark_group("compress_by_block_size");
-    group.sample_size(10);
+    let codec = codec_by_id(CodecId::Deflate).unwrap();
     for size in [4096usize, 16384, 65536, 262144] {
         let slice = &data[..size];
-        group.throughput(Throughput::Bytes(size as u64));
-        let codec = codec_by_id(CodecId::Deflate).unwrap();
-        group.bench_with_input(BenchmarkId::new("Gzip", size), &slice, |b, s| {
-            b.iter(|| black_box(codec.compress(black_box(s))))
+        h.run_bytes(&format!("compress_by_block_size/Gzip/{size}"), size as u64, || {
+            black_box(codec.compress(black_box(slice)))
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_compress, bench_decompress, bench_block_sizes);
-criterion_main!(benches);
+    print!("{}", h.render());
+    let path = h.write_json(std::path::Path::new("results")).expect("write json");
+    eprintln!("# wrote {}", path.display());
+}

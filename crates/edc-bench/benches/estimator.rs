@@ -1,8 +1,9 @@
-//! Criterion benchmarks of the sampling compressibility estimator and the
-//! BWT pipeline stages — the estimator must be orders of magnitude cheaper
+//! Benchmarks of the sampling compressibility estimator and the BWT
+//! pipeline stages — the estimator must be orders of magnitude cheaper
 //! than compressing (it sits on EDC's write path for *every* block).
+//! Runs on the in-tree harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use edc_bench::Harness;
 use edc_compress::bwt::bwt_forward;
 use edc_compress::mtf::mtf_encode;
 use edc_compress::suffix::sort_rotations;
@@ -15,63 +16,45 @@ fn blocks_of(class: BlockClass, n: usize, len: usize) -> Vec<Vec<u8>> {
     (0..n).map(|_| g.block_of(class, len)).collect()
 }
 
-fn bench_estimator_vs_compression(c: &mut Criterion) {
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 3 } else { 10 };
+    let mut h = Harness::new("estimator", samples);
+
     let blocks = blocks_of(BlockClass::Text, 16, 4096);
-    let total: usize = blocks.iter().map(Vec::len).sum();
-    let mut group = c.benchmark_group("estimate_vs_compress_4k");
-    group.throughput(Throughput::Bytes(total as u64));
+    let total: u64 = blocks.iter().map(|b| b.len() as u64).sum();
     let estimator = Estimator::default();
-    group.bench_function("estimator", |b| {
-        b.iter(|| {
+    h.run_bytes("estimate_vs_compress_4k/estimator", total, || {
+        for block in &blocks {
+            black_box(estimator.estimate(black_box(block)));
+        }
+    });
+    let lzf = codec_by_id(CodecId::Lzf).unwrap();
+    h.run_bytes("estimate_vs_compress_4k/lzf_full_compress", total, || {
+        for block in &blocks {
+            black_box(lzf.compress(black_box(block)));
+        }
+    });
+
+    for class in [BlockClass::Text, BlockClass::Binary, BlockClass::Random] {
+        let blocks = blocks_of(class, 16, 4096);
+        h.run(&format!("estimator_by_class/{class:?}"), || {
             for block in &blocks {
                 black_box(estimator.estimate(black_box(block)));
             }
-        })
-    });
-    let lzf = codec_by_id(CodecId::Lzf).unwrap();
-    group.bench_function("lzf_full_compress", |b| {
-        b.iter(|| {
-            for block in &blocks {
-                black_box(lzf.compress(black_box(block)));
-            }
-        })
-    });
-    group.finish();
-}
-
-fn bench_estimator_by_class(c: &mut Criterion) {
-    let mut group = c.benchmark_group("estimator_by_class");
-    let estimator = Estimator::default();
-    for class in [BlockClass::Text, BlockClass::Binary, BlockClass::Random] {
-        let blocks = blocks_of(class, 16, 4096);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{class:?}")),
-            &blocks,
-            |b, blocks| {
-                b.iter(|| {
-                    for block in blocks {
-                        black_box(estimator.estimate(black_box(block)));
-                    }
-                })
-            },
-        );
+        });
     }
-    group.finish();
-}
 
-fn bench_bwt_stages(c: &mut Criterion) {
     let block = blocks_of(BlockClass::Text, 1, 65536).remove(0);
-    let mut group = c.benchmark_group("bwt_stages_64k");
-    group.sample_size(10);
-    group.throughput(Throughput::Bytes(block.len() as u64));
-    group.bench_function("sort_rotations", |b| {
-        b.iter(|| black_box(sort_rotations(black_box(&block))))
+    let len = block.len() as u64;
+    h.run_bytes("bwt_stages_64k/sort_rotations", len, || {
+        black_box(sort_rotations(black_box(&block)))
     });
-    group.bench_function("bwt_forward", |b| b.iter(|| black_box(bwt_forward(black_box(&block)))));
+    h.run_bytes("bwt_stages_64k/bwt_forward", len, || black_box(bwt_forward(black_box(&block))));
     let (last, _) = bwt_forward(&block);
-    group.bench_function("mtf_encode", |b| b.iter(|| black_box(mtf_encode(black_box(&last)))));
-    group.finish();
-}
+    h.run_bytes("bwt_stages_64k/mtf_encode", len, || black_box(mtf_encode(black_box(&last))));
 
-criterion_group!(benches, bench_estimator_vs_compression, bench_estimator_by_class, bench_bwt_stages);
-criterion_main!(benches);
+    print!("{}", h.render());
+    let path = h.write_json(std::path::Path::new("results")).expect("write json");
+    eprintln!("# wrote {}", path.display());
+}

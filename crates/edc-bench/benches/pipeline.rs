@@ -1,35 +1,38 @@
-//! Criterion benchmarks of the real-bytes EDC pipeline and the parallel
-//! compression engine (DESIGN.md ablation 5: worker scaling).
+//! Benchmarks of the real-bytes EDC pipeline and the parallel
+//! compression engine (DESIGN.md ablation 5: worker scaling), on the
+//! in-tree harness. (The dedicated serial-vs-batched comparison lives in
+//! the `bench-pipeline` subcommand of the `edc-bench` binary.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use edc_bench::Harness;
+use edc_compress::CodecId;
 use edc_core::parallel::{Job, ParallelCompressor};
 use edc_core::pipeline::{EdcPipeline, PipelineConfig};
-use edc_compress::CodecId;
 use edc_datagen::{ContentGenerator, DataMix};
 use std::hint::black_box;
 
-fn bench_pipeline_write(c: &mut Criterion) {
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 3 } else { 10 };
+    let mut h = Harness::new("pipeline_ops", samples);
+
     let mut generator = ContentGenerator::new(5, DataMix::primary_storage());
     let blocks: Vec<Vec<u8>> = (0..128).map(|_| generator.block(4096).1).collect();
     let total: u64 = blocks.iter().map(|b| b.len() as u64).sum();
-    let mut group = c.benchmark_group("edc_pipeline");
-    group.sample_size(10);
-    group.throughput(Throughput::Bytes(total));
-    group.bench_function("write_flush_128_blocks", |b| {
-        b.iter(|| {
-            let mut store = EdcPipeline::new(8 << 20, PipelineConfig::default());
-            let mut t = 0u64;
-            for (i, block) in blocks.iter().enumerate() {
-                // Alternate contiguity so the SD both merges and flushes.
-                let offset = if i % 5 == 0 { (i as u64 * 31 % 512) * 4096 } else { i as u64 * 4096 };
-                store.write(t, offset, black_box(block));
-                t += 10_000_000;
-            }
-            store.flush(t);
-            black_box(store.compression_ratio())
-        })
+
+    h.run_bytes("write_flush_128_blocks", total, || {
+        let mut store = EdcPipeline::new(8 << 20, PipelineConfig::default());
+        let mut t = 0u64;
+        for (i, block) in blocks.iter().enumerate() {
+            // Alternate contiguity so the SD both merges and flushes.
+            let offset = if i % 5 == 0 { (i as u64 * 31 % 512) * 4096 } else { i as u64 * 4096 };
+            store.write(t, offset, black_box(block));
+            t += 10_000_000;
+        }
+        store.flush(t);
+        black_box(store.compression_ratio())
     });
-    group.bench_function("read_back_128_blocks", |b| {
+
+    {
         let mut store = EdcPipeline::new(8 << 20, PipelineConfig::default());
         let mut t = 0u64;
         for (i, block) in blocks.iter().enumerate() {
@@ -37,32 +40,26 @@ fn bench_pipeline_write(c: &mut Criterion) {
             t += 10_000_000;
         }
         store.flush(t);
-        b.iter(|| {
+        h.run_bytes("read_back_128_blocks", total, || {
             for i in 0..blocks.len() as u64 {
                 black_box(store.read(t, i * 4096, 4096).unwrap());
             }
-        })
-    });
-    group.finish();
-}
-
-fn bench_parallel_scaling(c: &mut Criterion) {
-    let mut generator = ContentGenerator::new(9, DataMix::primary_storage());
-    let blocks: Vec<Vec<u8>> = (0..64).map(|_| generator.block(16384).1).collect();
-    let jobs: Vec<Job<'_>> =
-        blocks.iter().map(|d| Job { codec: CodecId::Deflate, data: d }).collect();
-    let total: u64 = blocks.iter().map(|b| b.len() as u64).sum();
-    let mut group = c.benchmark_group("parallel_compressor_scaling");
-    group.sample_size(10);
-    group.throughput(Throughput::Bytes(total));
-    for workers in [1usize, 2, 4, 8] {
-        let engine = ParallelCompressor::new(workers);
-        group.bench_with_input(BenchmarkId::from_parameter(workers), &jobs, |b, jobs| {
-            b.iter(|| black_box(engine.compress_batch(black_box(jobs))))
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_pipeline_write, bench_parallel_scaling);
-criterion_main!(benches);
+    let mut generator = ContentGenerator::new(9, DataMix::primary_storage());
+    let par_blocks: Vec<Vec<u8>> = (0..64).map(|_| generator.block(16384).1).collect();
+    let jobs: Vec<Job<'_>> =
+        par_blocks.iter().map(|d| Job { codec: CodecId::Deflate, data: d }).collect();
+    let par_total: u64 = par_blocks.iter().map(|b| b.len() as u64).sum();
+    for workers in [1usize, 2, 4, 8] {
+        let engine = ParallelCompressor::new(workers);
+        h.run_bytes(&format!("parallel_compress_{workers}workers"), par_total, || {
+            black_box(engine.compress_batch(black_box(&jobs)))
+        });
+    }
+
+    print!("{}", h.render());
+    let path = h.write_json(std::path::Path::new("results")).expect("write json");
+    eprintln!("# wrote {}", path.display());
+}

@@ -1,9 +1,9 @@
-//! Criterion benchmarks of the discrete-event simulator itself: replayed
-//! trace requests per second under each scheme, plus the raw device and
+//! Benchmarks of the discrete-event simulator itself: replayed trace
+//! requests per second under each scheme, plus the raw device and
 //! event-queue costs. (Simulation speed is what makes the full-figure
-//! harness regenerate in seconds.)
+//! harness regenerate in seconds.) Runs on the in-tree harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use edc_bench::Harness;
 use edc_core::{CalibrationConfig, ContentModel, EdcConfig, Policy, SimConfig, SimScheme};
 use edc_datagen::DataMix;
 use edc_flash::{IoKind, SsdConfig, SsdDevice};
@@ -13,84 +13,68 @@ use edc_trace::TracePreset;
 use std::hint::black_box;
 use std::sync::Arc;
 
-fn bench_replay_schemes(c: &mut Criterion) {
-    let trace = TracePreset::Fin1.generate(10.0, 4);
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 3 } else { 10 };
+    let mut h = Harness::new("replay", samples);
+
+    let trace = TracePreset::Fin1.generate(if quick { 2.0 } else { 10.0 }, 4);
     let content = Arc::new(ContentModel::calibrate(
         DataMix::primary_storage(),
         4,
         CalibrationConfig { samples: 1, small_bytes: 4096, large_bytes: 16384 },
     ));
-    let mut group = c.benchmark_group("replay_fin1_10s");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(trace.requests.len() as u64));
     let policies: [(&str, Policy); 3] = [
         ("native", Policy::Native),
         ("lzf", Policy::Fixed(edc_compress::CodecId::Lzf)),
         ("edc", Policy::Elastic(EdcConfig::default())),
     ];
-    for (name, policy) in policies {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, policy| {
-            b.iter(|| {
-                let storage =
-                    Storage::single(SsdConfig { logical_bytes: 64 << 20, ..SsdConfig::default() });
-                let mut scheme = SimScheme::new(
-                    policy.clone(),
-                    storage,
-                    SimConfig { cpu_workers: 1, precondition: 0.0, ..SimConfig::default() },
-                    content.clone(),
-                );
-                black_box(replay(&trace, &mut scheme))
-            })
+    for (name, policy) in &policies {
+        h.run(&format!("replay_fin1/{name}"), || {
+            let storage =
+                Storage::single(SsdConfig { logical_bytes: 64 << 20, ..SsdConfig::default() });
+            let mut scheme = SimScheme::new(
+                policy.clone(),
+                storage,
+                SimConfig { cpu_workers: 1, precondition: 0.0, ..SimConfig::default() },
+                content.clone(),
+            );
+            black_box(replay(&trace, &mut scheme))
         });
     }
-    group.finish();
-}
 
-fn bench_device(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ssd_device");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("10k_random_writes", |b| {
-        b.iter(|| {
-            let mut dev =
-                SsdDevice::new(SsdConfig { logical_bytes: 64 << 20, ..SsdConfig::default() });
-            let mut now = 0u64;
-            let mut x = 7u64;
-            for _ in 0..10_000 {
-                x ^= x << 13;
-                x ^= x >> 7;
-                x ^= x << 17;
-                let offset = (x % (dev.logical_bytes() / 4096)) * 4096;
-                let c = dev.submit(now, IoKind::Write, offset, 4096);
-                now = c.finish_ns;
-            }
-            black_box(dev.ftl_stats())
-        })
+    h.run("ssd_device/10k_random_writes", || {
+        let mut dev = SsdDevice::new(SsdConfig { logical_bytes: 64 << 20, ..SsdConfig::default() });
+        let mut now = 0u64;
+        let mut x = 7u64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let offset = (x % (dev.logical_bytes() / 4096)) * 4096;
+            let c = dev.submit(now, IoKind::Write, offset, 4096);
+            now = c.finish_ns;
+        }
+        black_box(dev.ftl_stats())
     });
-    group.finish();
-}
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_queue");
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("push_pop_100k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let mut x = 13u64;
-            for i in 0..100_000u64 {
-                x ^= x << 13;
-                x ^= x >> 7;
-                x ^= x << 17;
-                q.push(x % 1_000_000, i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        })
+    h.run("event_queue/push_pop_100k", || {
+        let mut q = EventQueue::new();
+        let mut x = 13u64;
+        for i in 0..100_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            q.push(x % 1_000_000, i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        black_box(sum)
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_replay_schemes, bench_device, bench_event_queue);
-criterion_main!(benches);
+    print!("{}", h.render());
+    let path = h.write_json(std::path::Path::new("results")).expect("write json");
+    eprintln!("# wrote {}", path.display());
+}

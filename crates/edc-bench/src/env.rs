@@ -176,9 +176,9 @@ impl ExperimentEnv {
     /// Replay the full scheme × trace matrix on `platform`.
     ///
     /// Cells are independent (each builds its own device and scheme), so
-    /// they run on a crossbeam-scoped worker pool; results are identical
-    /// to the sequential order by construction (pure functions of the
-    /// shared read-only environment).
+    /// they run on a `std::thread::scope` worker pool; results are
+    /// identical to the sequential order by construction (pure functions
+    /// of the shared read-only environment).
     pub fn run_matrix(&self, platform: Platform) -> Vec<MatrixCell> {
         let work: Vec<(SchemeKind, &'static str)> = self
             .trace_names()
@@ -191,26 +191,31 @@ impl ExperimentEnv {
             .min(n)
             .max(1);
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<Option<MatrixCell>>> =
-            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-        crossbeam::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let (kind, trace) = work[i];
-                    *slots[i].lock().expect("slot poisoned") =
-                        Some(self.run_cell(kind, trace, platform));
-                });
+        let mut slots: Vec<Option<MatrixCell>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let (kind, trace) = work[i];
+                            done.push((i, self.run_cell(kind, trace, platform)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, cell) in h.join().expect("matrix worker panicked") {
+                    slots[i] = Some(cell);
+                }
             }
-        })
-        .expect("matrix worker panicked");
-        slots
-            .into_iter()
-            .map(|m| m.into_inner().expect("slot poisoned").expect("cell computed"))
-            .collect()
+        });
+        slots.into_iter().map(|c| c.expect("cell computed")).collect()
     }
 }
 

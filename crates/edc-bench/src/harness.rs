@@ -1,0 +1,277 @@
+//! Dependency-free micro-benchmark harness.
+//!
+//! The workspace builds offline, so instead of `criterion` the in-tree
+//! benches use this: median-of-N wall-clock timing over
+//! [`std::time::Instant`], an optional per-iteration setup closure that
+//! stays outside the timed region, throughput derivation from a bytes
+//! count, and hand-rolled JSON output (no serde) for machine consumption
+//! under `results/`.
+//!
+//! ```
+//! use edc_bench::harness::Harness;
+//!
+//! let mut h = Harness::new("example", 5);
+//! h.run("sum", || (0..1000u64).sum::<u64>());
+//! println!("{}", h.render());
+//! ```
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Timing of one benchmark case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Case name.
+    pub name: String,
+    /// All wall-clock samples, ns, in run order.
+    pub samples_ns: Vec<u64>,
+    /// Median sample, ns — the headline number.
+    pub median_ns: u64,
+    /// Fastest sample, ns.
+    pub min_ns: u64,
+    /// Slowest sample, ns.
+    pub max_ns: u64,
+    /// Bytes processed per iteration, when the case declared them.
+    pub bytes_per_iter: Option<u64>,
+}
+
+impl CaseResult {
+    /// Throughput in MiB/s from the median sample (None without a bytes
+    /// count or with a zero-time median).
+    pub fn throughput_mib_s(&self) -> Option<f64> {
+        let bytes = self.bytes_per_iter?;
+        if self.median_ns == 0 {
+            return None;
+        }
+        Some(bytes as f64 / (1 << 20) as f64 / (self.median_ns as f64 * 1e-9))
+    }
+}
+
+/// A named collection of benchmark cases plus free-form scalar metrics.
+#[derive(Debug)]
+pub struct Harness {
+    /// Suite name (becomes the JSON `suite` field).
+    pub name: String,
+    samples: u32,
+    results: Vec<CaseResult>,
+    metrics: Vec<(String, f64)>,
+}
+
+impl Harness {
+    /// A suite taking `samples` timed samples per case (after one
+    /// untimed warm-up run). The median of the samples is reported.
+    pub fn new(name: &str, samples: u32) -> Self {
+        assert!(samples > 0, "at least one sample");
+        Harness { name: name.to_string(), samples, results: Vec::new(), metrics: Vec::new() }
+    }
+
+    /// Time `routine` without setup. Returns the recorded case.
+    pub fn run<T>(&mut self, name: &str, mut routine: impl FnMut() -> T) -> &CaseResult {
+        self.run_prepared(name, None, || (), |()| routine())
+    }
+
+    /// Time `routine` with a declared bytes-per-iteration count so the
+    /// report can show throughput.
+    pub fn run_bytes<T>(
+        &mut self,
+        name: &str,
+        bytes_per_iter: u64,
+        mut routine: impl FnMut() -> T,
+    ) -> &CaseResult {
+        self.run_prepared(name, Some(bytes_per_iter), || (), |()| routine())
+    }
+
+    /// Time `routine(state)` where `state = setup()` runs before every
+    /// sample, *outside* the timed region — the equivalent of criterion's
+    /// `iter_batched`. Use it when the routine consumes or mutates state
+    /// (e.g. a pipeline that must be rebuilt per sample).
+    pub fn run_prepared<S, T>(
+        &mut self,
+        name: &str,
+        bytes_per_iter: Option<u64>,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) -> &CaseResult {
+        // Warm-up: populate caches/allocators, untimed.
+        std::hint::black_box(routine(setup()));
+        let mut samples_ns = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let state = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(state));
+            samples_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+        let mut sorted = samples_ns.clone();
+        sorted.sort_unstable();
+        let case = CaseResult {
+            name: name.to_string(),
+            median_ns: sorted[sorted.len() / 2],
+            min_ns: sorted[0],
+            max_ns: sorted[sorted.len() - 1],
+            samples_ns,
+            bytes_per_iter,
+        };
+        self.results.push(case);
+        self.results.last().expect("just pushed")
+    }
+
+    /// Attach a derived scalar (a speedup, a hit rate) to the report.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_string(), value));
+    }
+
+    /// All recorded cases, in run order.
+    pub fn results(&self) -> &[CaseResult] {
+        &self.results
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!("== bench {} == (median of {} samples)\n", self.name, self.samples);
+        for r in &self.results {
+            out.push_str(&format!(
+                "  {:<40} median {:>12.3} ms  (min {:.3}, max {:.3})",
+                r.name,
+                r.median_ns as f64 / 1e6,
+                r.min_ns as f64 / 1e6,
+                r.max_ns as f64 / 1e6,
+            ));
+            if let Some(t) = r.throughput_mib_s() {
+                out.push_str(&format!("  {t:>8.1} MiB/s"));
+            }
+            out.push('\n');
+        }
+        for (k, v) in &self.metrics {
+            out.push_str(&format!("  {k:<40} {v:.4}\n"));
+        }
+        out
+    }
+
+    /// The report as a JSON document (hand-rolled; the workspace has no
+    /// serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"suite\": {},\n", json_str(&self.name)));
+        s.push_str(&format!("  \"samples_per_case\": {},\n", self.samples));
+        s.push_str("  \"cases\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str("    {");
+            s.push_str(&format!("\"name\": {}, ", json_str(&r.name)));
+            s.push_str(&format!("\"median_ns\": {}, ", r.median_ns));
+            s.push_str(&format!("\"min_ns\": {}, ", r.min_ns));
+            s.push_str(&format!("\"max_ns\": {}, ", r.max_ns));
+            if let Some(b) = r.bytes_per_iter {
+                s.push_str(&format!("\"bytes_per_iter\": {b}, "));
+            }
+            if let Some(t) = r.throughput_mib_s() {
+                s.push_str(&format!("\"throughput_mib_s\": {t:.3}, "));
+            }
+            s.push_str(&format!(
+                "\"samples_ns\": [{}]}}",
+                r.samples_ns.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
+            ));
+            s.push_str(if i + 1 == self.results.len() { "\n" } else { ",\n" });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{}: {}", json_str(k), json_num(*v)));
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Write the JSON report to `dir/BENCH_<name>.json`, creating `dir`.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// JSON string literal (the names used here never need exotic escapes,
+/// but quote/backslash/control handling keeps the output always valid).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number: finite floats as-is, non-finite as null (JSON has no NaN).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_requested_sample_count() {
+        let mut h = Harness::new("t", 7);
+        let r = h.run("noop", || 1 + 1);
+        assert_eq!(r.samples_ns.len(), 7);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+    }
+
+    #[test]
+    fn setup_runs_outside_timed_region() {
+        // Untestable directly without clock control; assert the plumbing:
+        // setup runs once per sample plus the warm-up.
+        let mut setups = 0u32;
+        let mut h = Harness::new("t", 3);
+        h.run_prepared("case", None, || setups += 1, |()| ());
+        assert_eq!(setups, 4);
+    }
+
+    #[test]
+    fn throughput_derives_from_bytes() {
+        let mut h = Harness::new("t", 3);
+        let r = h.run_bytes("copy", 1 << 20, || vec![0u8; 1 << 20]);
+        assert_eq!(r.bytes_per_iter, Some(1 << 20));
+        assert!(r.throughput_mib_s().unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut h = Harness::new("suite \"x\"", 2);
+        h.run("a", || ());
+        h.metric("speedup", 2.5);
+        h.metric("nan", f64::NAN);
+        let j = h.to_json();
+        assert!(j.contains("\"suite \\\"x\\\"\""));
+        assert!(j.contains("\"speedup\": 2.500000"));
+        assert!(j.contains("\"nan\": null"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn render_mentions_every_case() {
+        let mut h = Harness::new("t", 2);
+        h.run("alpha", || ());
+        h.run_bytes("beta", 4096, || ());
+        let text = h.render();
+        assert!(text.contains("alpha") && text.contains("beta"));
+        assert!(text.contains("MiB/s"));
+    }
+}

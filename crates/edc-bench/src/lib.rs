@@ -15,7 +15,9 @@
 
 pub mod env;
 pub mod experiments;
+pub mod harness;
 pub mod output;
 
 pub use env::ExperimentEnv;
+pub use harness::Harness;
 pub use output::Table;

@@ -7,14 +7,142 @@
 //! ```
 //!
 //! Subcommands: `fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12
-//! ablations all`. `--quick` shrinks trace durations for smoke runs;
-//! `--out DIR` sets the CSV directory (default `results/`).
+//! ablations bench-pipeline all`. `--quick` shrinks trace durations (and
+//! bench workloads) for smoke runs; `--out DIR` sets the output directory
+//! (default `results/`).
 
 use edc_bench::env::{ExperimentEnv, Platform};
 use edc_bench::experiments as ex;
-use edc_bench::Table;
-use std::path::PathBuf;
+use edc_bench::{Harness, Table};
+use edc_core::pipeline::{BatchWrite, EdcPipeline, PipelineConfig};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// Micro-benchmark of the batched multi-core write path against the
+/// serial one, plus the decompressed-run read cache. Writes
+/// `BENCH_pipeline.json` into the output directory.
+///
+/// The serial and batched pipelines receive the identical write sequence
+/// and their device images are asserted bit-identical — the parallel
+/// drain is a wall-clock optimization, never a semantic one.
+fn bench_pipeline(quick: bool, out_dir: &Path) {
+    const WORKERS: usize = 4;
+    let runs: usize = if quick { 64 } else { 256 };
+    let run_blocks: usize = 4; // 16 KiB per run
+    let samples = if quick { 3 } else { 7 };
+
+    // Compressible workload (Linux-source-like text) split into runs.
+    // Timestamps 100 ms apart keep calculated IOPS in the strong-codec
+    // band, where the compression fan-out matters most.
+    let corpus = edc_datagen::corpus::linux_source_like(11, runs, run_blocks * 4096);
+    let batch: Vec<BatchWrite<'_>> = corpus
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, data)| BatchWrite {
+            now_ns: i as u64 * 100_000_000,
+            // Stride leaves a gap between runs so none of them merge.
+            offset: (i * (run_blocks + 1) * 4096) as u64,
+            data,
+        })
+        .collect();
+    let device_bytes = ((runs + 1) * (run_blocks + 1) * 4096) as u64;
+    let end_ns = runs as u64 * 100_000_000;
+    let make = |workers: usize| {
+        EdcPipeline::new(device_bytes, PipelineConfig { workers, ..PipelineConfig::default() })
+    };
+    let total_bytes = corpus.total_bytes() as u64;
+
+    let mut h = Harness::new("pipeline", samples);
+    let serial_ns = h
+        .run_prepared("flush_serial_1worker", Some(total_bytes), || make(1), |mut p| {
+            for w in &batch {
+                p.write(w.now_ns, w.offset, w.data);
+            }
+            p.flush(end_ns);
+            p
+        })
+        .median_ns;
+    let batched_ns = h
+        .run_prepared(
+            &format!("flush_batched_{WORKERS}workers"),
+            Some(total_bytes),
+            || make(WORKERS),
+            |mut p| {
+                p.write_batch(&batch);
+                p.flush_all(end_ns);
+                p
+            },
+        )
+        .median_ns;
+
+    // Correctness gate: the batched multi-core store must be bit-identical
+    // to the serial one.
+    let mut serial = make(1);
+    for w in &batch {
+        serial.write(w.now_ns, w.offset, w.data);
+    }
+    serial.flush(end_ns);
+    let mut batched = make(WORKERS);
+    batched.write_batch(&batch);
+    batched.flush_all(end_ns);
+    assert_eq!(
+        serial.device_image(),
+        batched.device_image(),
+        "batched device image diverged from serial"
+    );
+    eprintln!("# bit-identical: serial and {WORKERS}-worker device images match");
+
+    // Read path: repeated reads of every run, served from the run cache
+    // after the first pass.
+    h.run_prepared(
+        "read_cached_two_passes",
+        Some(2 * total_bytes),
+        || {
+            let mut p = make(WORKERS);
+            p.write_batch(&batch);
+            p.flush_all(end_ns);
+            p
+        },
+        |mut p| {
+            for pass in 0..2u64 {
+                for w in &batch {
+                    p.read(end_ns + pass + 1, w.offset, w.data.len() as u64).expect("read");
+                }
+            }
+            p.cache_stats()
+        },
+    );
+    let mut probe = make(WORKERS);
+    probe.write_batch(&batch);
+    probe.flush_all(end_ns);
+    for pass in 0..2u64 {
+        for w in &batch {
+            probe.read(end_ns + pass + 1, w.offset, w.data.len() as u64).expect("read");
+        }
+    }
+    let cache = probe.cache_stats();
+
+    let speedup = serial_ns as f64 / batched_ns as f64;
+    let cpus = std::thread::available_parallelism().map_or(1, |c| c.get());
+    h.metric("speedup_batched_vs_serial", speedup);
+    h.metric("workers", WORKERS as f64);
+    h.metric("available_cpus", cpus as f64);
+    h.metric("runs", runs as f64);
+    h.metric("bit_identical", 1.0);
+    h.metric("read_cache_hit_rate", cache.hit_rate());
+    h.metric("read_cache_hits", cache.hits as f64);
+
+    print!("{}", h.render());
+    let path = h.write_json(out_dir).expect("writing BENCH_pipeline.json");
+    eprintln!("# wrote {}", path.display());
+    if cpus < WORKERS {
+        eprintln!(
+            "# note: only {cpus} CPU(s) available — the {WORKERS}-worker fan-out \
+             cannot show its speedup on this machine"
+        );
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +160,13 @@ fn main() {
         .find(|(i, a)| !a.starts_with("--") && Some(*i) != out_value_idx)
         .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "all".to_string());
+
+    // The pipeline micro-bench needs no trace environment; run it before
+    // the (expensive) ExperimentEnv construction.
+    if cmd == "bench-pipeline" {
+        bench_pipeline(quick, &out_dir);
+        return;
+    }
 
     let started = Instant::now();
     eprintln!("# edc-bench: building environment (quick={quick}) ...");
@@ -130,7 +265,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command {other:?}");
-            eprintln!("commands: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12 ablations future-work timeline mixed calibrate all");
+            eprintln!("commands: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12 ablations future-work timeline mixed calibrate bench-pipeline all");
             std::process::exit(2);
         }
     }

@@ -1,6 +1,6 @@
 //! Self-describing compressed frames.
 //!
-//! The [`Codec`] trait is deliberately minimal: EDC's mapping table stores
+//! The [`Codec`](crate::Codec) trait is deliberately minimal: EDC's mapping table stores
 //! the codec tag and original size itself, so streams carry neither. For
 //! standalone use — files on disk, network payloads, anything without an
 //! external mapping entry — this module wraps a stream in a small header:

@@ -191,6 +191,18 @@ pub trait Codec: Send + Sync {
     /// block uncompressed instead — see the 75 % rule in `edc-core`).
     fn compress(&self, input: &[u8]) -> Vec<u8>;
 
+    /// Compress `input` into a caller-owned buffer, clearing it first.
+    ///
+    /// The stream written is byte-identical to [`Codec::compress`]'s; the
+    /// point is allocation reuse — a hot write path hands the same scratch
+    /// `Vec` back on every call and amortizes the allocation away. The
+    /// default implementation delegates to `compress`; allocation-sensitive
+    /// codecs override it with a true in-place encoder.
+    fn compress_into(&self, input: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(&self.compress(input));
+    }
+
     /// Decompress a stream produced by [`Codec::compress`].
     ///
     /// `expected_len` is the original (uncompressed) size, which EDC always

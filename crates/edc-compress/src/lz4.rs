@@ -75,12 +75,19 @@ impl Codec for Lz4 {
     }
 
     fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 16);
+        self.compress_into(input, &mut out);
+        out
+    }
+
+    fn compress_into(&self, input: &[u8], out: &mut Vec<u8>) {
+        out.clear();
         let n = input.len();
-        let mut out = Vec::with_capacity(n / 2 + 16);
+        out.reserve(n / 2 + 16);
         if n < MIN_MATCH + 1 {
             // Single literal-only sequence.
-            emit_sequence(&mut out, input, 0, n, None);
-            return out;
+            emit_sequence(out, input, 0, n, None);
+            return;
         }
         SCRATCH.with(|cell| {
         let mut table = cell.borrow_mut();
@@ -105,7 +112,7 @@ impl Codec for Lz4 {
             while len < max_len && input[cand + len] == input[i + len] {
                 len += 1;
             }
-            emit_sequence(&mut out, input, lit_start, i, Some((i - cand, len)));
+            emit_sequence(out, input, lit_start, i, Some((i - cand, len)));
             let match_end = i + len;
             let insert_to = match_end.min(limit + 1);
             let mut j = i + 1;
@@ -120,9 +127,8 @@ impl Codec for Lz4 {
         // the decoder sees a well-formed final token when there are no
         // trailing literals and the stream is non-empty).
         if lit_start < n || out.is_empty() {
-            emit_sequence(&mut out, input, lit_start, n, None);
+            emit_sequence(out, input, lit_start, n, None);
         }
-        out
         })
     }
 

@@ -77,11 +77,18 @@ impl Codec for Lzf {
     }
 
     fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 16);
+        self.compress_into(input, &mut out);
+        out
+    }
+
+    fn compress_into(&self, input: &[u8], out: &mut Vec<u8>) {
+        out.clear();
         let n = input.len();
-        let mut out = Vec::with_capacity(n / 2 + 16);
+        out.reserve(n / 2 + 16);
         if n < MIN_MATCH + 1 {
-            push_literals(&mut out, input, 0, n);
-            return out;
+            push_literals(out, input, 0, n);
+            return;
         }
         // Single-probe hash table of candidate positions; usize::MAX =
         // empty. Thread-local so repeated calls do not re-allocate.
@@ -110,7 +117,7 @@ impl Codec for Lzf {
             while len < max_len && input[cand + len] == input[i + len] {
                 len += 1;
             }
-            push_literals(&mut out, input, lit_start, i);
+            push_literals(out, input, lit_start, i);
             let offset = i - cand - 1; // biased
             if len <= 8 {
                 out.push((((len - 2) as u8) << 5) | (offset >> 8) as u8);
@@ -131,8 +138,7 @@ impl Codec for Lzf {
             i = match_end;
             lit_start = i;
         }
-        push_literals(&mut out, input, lit_start, n);
-        out
+        push_literals(out, input, lit_start, n);
         })
     }
 

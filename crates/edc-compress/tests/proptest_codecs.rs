@@ -1,71 +1,90 @@
 //! Property-based tests: every codec must round-trip every input, reject
 //! mutated streams gracefully (error, never panic), and the BWT core must
-//! invert exactly.
+//! invert exactly. Runs on the in-tree harness (`edc_datagen::proptest`).
 
 use edc_compress::bwt::{bwt_forward, bwt_inverse};
 use edc_compress::{codec_by_id, CodecId, Estimator};
-use proptest::prelude::*;
+use edc_datagen::proptest::{block, cases, vec_u8};
 
-/// Inputs from a few distinct distributions: arbitrary bytes, small
-/// alphabets (lots of matches), and run-heavy data.
-fn block_strategy() -> impl Strategy<Value = Vec<u8>> {
-    prop_oneof![
-        proptest::collection::vec(any::<u8>(), 0..4096),
-        proptest::collection::vec(0u8..4, 0..4096),
-        (proptest::collection::vec((any::<u8>(), 1usize..64), 0..64)).prop_map(|runs| {
-            runs.into_iter().flat_map(|(b, n)| std::iter::repeat_n(b, n)).collect()
-        }),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lzf_round_trips(data in block_strategy()) {
+#[test]
+fn lzf_round_trips() {
+    cases(64).run("lzf_round_trips", |rng| {
+        let data = block(rng, 4096);
         let codec = codec_by_id(CodecId::Lzf).unwrap();
         let c = codec.compress(&data);
-        prop_assert_eq!(codec.decompress(&c, data.len()).unwrap(), data);
-    }
+        assert_eq!(codec.decompress(&c, data.len()).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn lz4_round_trips(data in block_strategy()) {
+#[test]
+fn lz4_round_trips() {
+    cases(64).run("lz4_round_trips", |rng| {
+        let data = block(rng, 4096);
         let codec = codec_by_id(CodecId::Lz4).unwrap();
         let c = codec.compress(&data);
-        prop_assert_eq!(codec.decompress(&c, data.len()).unwrap(), data);
-    }
+        assert_eq!(codec.decompress(&c, data.len()).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn deflate_round_trips(data in block_strategy()) {
+#[test]
+fn deflate_round_trips() {
+    cases(64).run("deflate_round_trips", |rng| {
+        let data = block(rng, 4096);
         let codec = codec_by_id(CodecId::Deflate).unwrap();
         let c = codec.compress(&data);
-        prop_assert_eq!(codec.decompress(&c, data.len()).unwrap(), data);
-    }
+        assert_eq!(codec.decompress(&c, data.len()).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn bwt_round_trips(data in block_strategy()) {
+#[test]
+fn bwt_round_trips() {
+    cases(64).run("bwt_round_trips", |rng| {
+        let data = block(rng, 4096);
         let codec = codec_by_id(CodecId::Bwt).unwrap();
         let c = codec.compress(&data);
-        prop_assert_eq!(codec.decompress(&c, data.len()).unwrap(), data);
-    }
+        assert_eq!(codec.decompress(&c, data.len()).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn bwt_transform_inverts(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+/// `compress_into` must produce byte-identical streams to `compress`,
+/// including when the scratch buffer is dirty from a previous, different
+/// input — the batched pipeline's bit-identical guarantee rests on this.
+#[test]
+fn compress_into_matches_compress() {
+    cases(64).run("compress_into_matches_compress", |rng| {
+        let data = block(rng, 4096);
+        let other = block(rng, 4096);
+        for id in CodecId::ALL_CODECS {
+            let codec = codec_by_id(id).unwrap();
+            let fresh = codec.compress(&data);
+            let mut reused = Vec::new();
+            codec.compress_into(&other, &mut reused); // dirty the buffer
+            codec.compress_into(&data, &mut reused);
+            assert_eq!(reused, fresh, "{id}: compress_into diverged from compress");
+        }
+    });
+}
+
+#[test]
+fn bwt_transform_inverts() {
+    cases(64).run("bwt_transform_inverts", |rng| {
+        let data = vec_u8(rng, 0, 2048);
         let (last, primary) = bwt_forward(&data);
-        prop_assert_eq!(last.len(), data.len());
-        prop_assert_eq!(bwt_inverse(&last, primary).unwrap(), data);
-    }
+        assert_eq!(last.len(), data.len());
+        assert_eq!(bwt_inverse(&last, primary).unwrap(), data);
+    });
+}
 
-    /// Corrupted streams must produce an error or wrong-but-bounded output,
-    /// never a panic. (Codecs validate sizes and references, not checksums,
-    /// so a bit flip may decode to different bytes of the same length —
-    /// EDC's mapping layer owns integrity.)
-    #[test]
-    fn mutated_streams_never_panic(
-        data in proptest::collection::vec(any::<u8>(), 1..1024),
-        flip_byte in any::<u8>(),
-        pos_seed in any::<usize>(),
-    ) {
+/// Corrupted streams must produce an error or wrong-but-bounded output,
+/// never a panic. (Codecs validate sizes and references, not checksums,
+/// so a bit flip may decode to different bytes of the same length —
+/// EDC's mapping layer owns integrity.)
+#[test]
+fn mutated_streams_never_panic() {
+    cases(64).run("mutated_streams_never_panic", |rng| {
+        let data = vec_u8(rng, 1, 1024);
+        let flip_byte = rng.next_u64() as u8;
+        let pos_seed = rng.next_u64() as usize;
         for id in CodecId::ALL_CODECS {
             let codec = codec_by_id(id).unwrap();
             let mut c = codec.compress(&data);
@@ -73,62 +92,69 @@ proptest! {
             c[pos] ^= flip_byte | 1; // guaranteed change
             let _ = codec.decompress(&c, data.len()); // must not panic
         }
-    }
+    });
+}
 
-    #[test]
-    fn truncated_streams_never_panic(
-        data in proptest::collection::vec(any::<u8>(), 1..1024),
-        keep_seed in any::<usize>(),
-    ) {
+#[test]
+fn truncated_streams_never_panic() {
+    cases(64).run("truncated_streams_never_panic", |rng| {
+        let data = vec_u8(rng, 1, 1024);
+        let keep_seed = rng.next_u64() as usize;
         for id in CodecId::ALL_CODECS {
             let codec = codec_by_id(id).unwrap();
             let c = codec.compress(&data);
             let keep = keep_seed % c.len();
             let _ = codec.decompress(&c[..keep], data.len()); // must not panic
         }
-    }
+    });
+}
 
-    /// The estimator's fraction must be a sane probe of the real Lzf ratio:
-    /// highly repetitive blocks estimate compressible, and the estimate is
-    /// always in a bounded range.
-    #[test]
-    fn estimator_fraction_bounded(data in block_strategy()) {
+/// The estimator's fraction must be a sane probe of the real Lzf ratio:
+/// highly repetitive blocks estimate compressible, and the estimate is
+/// always in a bounded range.
+#[test]
+fn estimator_fraction_bounded() {
+    cases(64).run("estimator_fraction_bounded", |rng| {
+        let data = block(rng, 4096);
         let est = Estimator::default().estimate(&data);
-        prop_assert!(est.fraction >= 0.0 && est.fraction <= 2.0);
-    }
+        assert!(est.fraction >= 0.0 && est.fraction <= 2.0);
+    });
+}
 
-    #[test]
-    fn estimator_flags_constant_blocks(byte in any::<u8>(), len in 64usize..4096) {
+#[test]
+fn estimator_flags_constant_blocks() {
+    cases(64).run("estimator_flags_constant_blocks", |rng| {
+        let byte = rng.next_u64() as u8;
+        let len = rng.range_usize(64, 4096);
         let data = vec![byte; len];
         let est = Estimator::default().estimate(&data);
-        prop_assert!(est.fraction < 0.25, "constant block estimated {}", est.fraction);
-    }
+        assert!(est.fraction < 0.25, "constant block estimated {}", est.fraction);
+    });
+}
 
-    /// Compressed-size monotonicity sanity: appending an identical copy of
-    /// the data must not *more than double* (plus slack) the compressed size
-    /// for LZ codecs — the second copy is one big match.
-    #[test]
-    fn lz_codecs_exploit_self_similarity(data in proptest::collection::vec(any::<u8>(), 64..512)) {
+/// Compressed-size monotonicity sanity: appending an identical copy of
+/// the data must not *more than double* (plus slack) the compressed size
+/// for LZ codecs — the second copy is one big match.
+#[test]
+fn lz_codecs_exploit_self_similarity() {
+    cases(64).run("lz_codecs_exploit_self_similarity", |rng| {
+        let data = vec_u8(rng, 64, 512);
         let doubled: Vec<u8> = data.iter().chain(data.iter()).copied().collect();
         for id in [CodecId::Lzf, CodecId::Lz4, CodecId::Deflate] {
             let codec = codec_by_id(id).unwrap();
             let single = codec.compress(&data).len();
             let both = codec.compress(&doubled).len();
-            prop_assert!(
-                both <= 2 * single + 64,
-                "{id}: doubled {both} vs single {single}"
-            );
+            assert!(both <= 2 * single + 64, "{id}: doubled {both} vs single {single}");
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Huffman length headers and frames built from arbitrary bits must
-    /// never panic the decoders (error paths only).
-    #[test]
-    fn random_bits_never_panic_decoders(bits in proptest::collection::vec(any::<u8>(), 0..512)) {
+/// Huffman length headers and frames built from arbitrary bits must
+/// never panic the decoders (error paths only).
+#[test]
+fn random_bits_never_panic_decoders() {
+    cases(128).run("random_bits_never_panic_decoders", |rng| {
+        let bits = vec_u8(rng, 0, 512);
         use edc_compress::bitio::BitReader;
         use edc_compress::huffman::read_lengths;
         let mut r = BitReader::new(&bits);
@@ -138,28 +164,26 @@ proptest! {
             let _ = codec.decompress(&bits, 4096); // may Err; must not panic
         }
         let _ = edc_compress::frame::decompress(&bits);
-    }
+    });
+}
 
-    /// Frames round-trip for arbitrary content and reject arbitrary
-    /// single-byte corruption anywhere in the frame.
-    #[test]
-    fn frames_round_trip_and_reject_corruption(
-        data in proptest::collection::vec(any::<u8>(), 0..2048),
-        pos_seed in any::<usize>(),
-        flip in 1u8..=255,
-    ) {
+/// Frames round-trip for arbitrary content and reject arbitrary
+/// single-byte corruption anywhere in the frame.
+#[test]
+fn frames_round_trip_and_reject_corruption() {
+    cases(128).run("frames_round_trip_and_reject_corruption", |rng| {
+        let data = vec_u8(rng, 0, 2048);
+        let pos_seed = rng.next_u64() as usize;
+        let flip = rng.range_u64(1, 256) as u8;
         let f = edc_compress::frame::compress(CodecId::Lz4, &data);
         let (codec, got) = edc_compress::frame::decompress(&f).unwrap();
-        prop_assert_eq!(codec, CodecId::Lz4);
-        prop_assert_eq!(&got, &data);
+        assert_eq!(codec, CodecId::Lz4);
+        assert_eq!(&got, &data);
         let mut bad = f.clone();
         let pos = pos_seed % bad.len();
         bad[pos] ^= flip;
-        // Any corruption must surface as an error or decode back to the
-        // original (the flip may hit a don't-care padding bit — but the
-        // header checksum makes that effectively impossible; assert Err
-        // except when the flip landed in the unused high bits of the
-        // version/tag fields never happens — so: must be Err).
-        prop_assert!(edc_compress::frame::decompress(&bad).is_err(), "flip at {} undetected", pos);
-    }
+        // Any corruption must surface as an error: the header checksum
+        // catches flips that the size/reference validation would miss.
+        assert!(edc_compress::frame::decompress(&bad).is_err(), "flip at {pos} undetected");
+    });
 }

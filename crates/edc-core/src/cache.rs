@@ -3,10 +3,14 @@
 //! Every storage controller fronts its media with DRAM; for a compressed
 //! store the natural cache unit is the *decompressed run* — a hit serves
 //! the read at memory speed and skips both the flash fetch and the
-//! decompression. The cache is LRU over run identities and is invalidated
-//! by overwrites. Disabled by default in the experiments (the paper's
-//! prototype does not describe one); the `ablate_cache` experiment
-//! quantifies what it would add.
+//! decompression. The cache is LRU keyed by run identity (`run_start`)
+//! and is invalidated by overwrites.
+//!
+//! The cache is generic over the cached value `V`. The simulator only
+//! models hit/miss behaviour and uses `RunCache<()>` (identities alone);
+//! the real write path ([`crate::pipeline::EdcPipeline`]) caches the
+//! actual decompressed run bytes with `RunCache<Vec<u8>>` so repeated
+//! reads of a hot run skip the device fetch and the decompressor.
 
 use std::collections::HashMap;
 
@@ -34,17 +38,25 @@ impl CacheStats {
     }
 }
 
-/// LRU cache over run identities (`run_start` block numbers).
+/// One resident run: its payload and last-use sequence number.
 #[derive(Debug, Clone)]
-pub struct RunCache {
-    /// run_start → last-use sequence number.
-    entries: HashMap<u64, u64>,
+struct Slot<V> {
+    value: V,
+    last_use: u64,
+}
+
+/// LRU cache over run identities (`run_start` block numbers), holding a
+/// value of type `V` per run — `()` for hit/miss simulation, decompressed
+/// bytes for the real read path.
+#[derive(Debug, Clone)]
+pub struct RunCache<V = ()> {
+    entries: HashMap<u64, Slot<V>>,
     capacity: usize,
     seq: u64,
     stats: CacheStats,
 }
 
-impl RunCache {
+impl<V> RunCache<V> {
     /// Create a cache holding up to `capacity` runs (0 disables caching).
     pub fn new(capacity: usize) -> Self {
         RunCache { entries: HashMap::new(), capacity, seq: 0, stats: CacheStats::default() }
@@ -60,39 +72,40 @@ impl RunCache {
         self.stats
     }
 
-    /// Look up a run; refreshes recency on hit.
-    pub fn lookup(&mut self, run_start: u64) -> bool {
+    /// Look up a run; refreshes recency and returns the cached value on a
+    /// hit.
+    pub fn lookup(&mut self, run_start: u64) -> Option<&V> {
         if self.capacity == 0 {
-            return false;
+            return None;
         }
         self.seq += 1;
         match self.entries.get_mut(&run_start) {
-            Some(last) => {
-                *last = self.seq;
+            Some(slot) => {
+                slot.last_use = self.seq;
                 self.stats.hits += 1;
-                true
+                Some(&slot.value)
             }
             None => {
                 self.stats.misses += 1;
-                false
+                None
             }
         }
     }
 
     /// Insert a run after a miss, evicting the least-recently-used entry
     /// when full.
-    pub fn insert(&mut self, run_start: u64) {
+    pub fn insert(&mut self, run_start: u64, value: V) {
         if self.capacity == 0 {
             return;
         }
         self.seq += 1;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&run_start) {
-            if let Some((&victim, _)) = self.entries.iter().min_by_key(|&(_, &s)| s) {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|&(_, s)| s.last_use) {
                 self.entries.remove(&victim);
                 self.stats.evictions += 1;
             }
         }
-        self.entries.insert(run_start, self.seq);
+        self.entries.insert(run_start, Slot { value, last_use: self.seq });
     }
 
     /// Drop a run on overwrite.
@@ -119,19 +132,19 @@ mod tests {
 
     #[test]
     fn disabled_cache_never_hits() {
-        let mut c = RunCache::new(0);
+        let mut c: RunCache = RunCache::new(0);
         assert!(!c.enabled());
-        c.insert(1);
-        assert!(!c.lookup(1));
+        c.insert(1, ());
+        assert!(c.lookup(1).is_none());
         assert_eq!(c.len(), 0);
     }
 
     #[test]
     fn hit_after_insert() {
-        let mut c = RunCache::new(4);
-        assert!(!c.lookup(7));
-        c.insert(7);
-        assert!(c.lookup(7));
+        let mut c: RunCache = RunCache::new(4);
+        assert!(c.lookup(7).is_none());
+        c.insert(7, ());
+        assert!(c.lookup(7).is_some());
         let s = c.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
@@ -139,23 +152,23 @@ mod tests {
 
     #[test]
     fn lru_eviction_order() {
-        let mut c = RunCache::new(2);
-        c.insert(1);
-        c.insert(2);
-        assert!(c.lookup(1)); // 1 is now most recent
-        c.insert(3); // evicts 2
-        assert!(c.lookup(1));
-        assert!(!c.lookup(2));
-        assert!(c.lookup(3));
+        let mut c: RunCache = RunCache::new(2);
+        c.insert(1, ());
+        c.insert(2, ());
+        assert!(c.lookup(1).is_some()); // 1 is now most recent
+        c.insert(3, ()); // evicts 2
+        assert!(c.lookup(1).is_some());
+        assert!(c.lookup(2).is_none());
+        assert!(c.lookup(3).is_some());
         assert_eq!(c.stats().evictions, 1);
     }
 
     #[test]
     fn invalidation_drops_entry() {
-        let mut c = RunCache::new(4);
-        c.insert(9);
+        let mut c: RunCache = RunCache::new(4);
+        c.insert(9, ());
         c.invalidate(9);
-        assert!(!c.lookup(9));
+        assert!(c.lookup(9).is_none());
         assert_eq!(c.stats().invalidations, 1);
         // Invalidating an absent run is a no-op.
         c.invalidate(9);
@@ -164,25 +177,36 @@ mod tests {
 
     #[test]
     fn capacity_respected() {
-        let mut c = RunCache::new(8);
+        let mut c: RunCache = RunCache::new(8);
         for i in 0..100 {
-            c.insert(i);
+            c.insert(i, ());
         }
         assert_eq!(c.len(), 8);
         assert_eq!(c.stats().evictions, 92);
         // The last 8 inserted survive.
         for i in 92..100 {
-            assert!(c.lookup(i), "run {i}");
+            assert!(c.lookup(i).is_some(), "run {i}");
         }
     }
 
     #[test]
     fn reinsert_refreshes_without_eviction() {
-        let mut c = RunCache::new(2);
-        c.insert(1);
-        c.insert(2);
-        c.insert(1); // refresh, not a third entry
+        let mut c: RunCache = RunCache::new(2);
+        c.insert(1, ());
+        c.insert(2, ());
+        c.insert(1, ()); // refresh, not a third entry
         assert_eq!(c.len(), 2);
         assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn cached_values_round_trip() {
+        let mut c: RunCache<Vec<u8>> = RunCache::new(2);
+        c.insert(5, vec![1, 2, 3]);
+        assert_eq!(c.lookup(5), Some(&vec![1, 2, 3]));
+        // Re-insert replaces the value.
+        c.insert(5, vec![9]);
+        assert_eq!(c.lookup(5), Some(&vec![9]));
+        assert_eq!(c.len(), 1);
     }
 }

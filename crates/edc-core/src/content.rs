@@ -89,9 +89,8 @@ impl ContentModel {
         // Estimate the class probability masses once: DataMix only exposes
         // RNG sampling, so draw a deterministic reference sample.
         let class_pmf = {
-            use rand::rngs::StdRng;
-            use rand::SeedableRng;
-            let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+            use edc_datagen::Rng64;
+            let mut rng = Rng64::seed_from_u64(0xC0FFEE);
             let mut counts = [0usize; 6];
             const DRAWS: usize = 65_536;
             for _ in 0..DRAWS {

@@ -7,12 +7,12 @@
 //! merged run it belongs to — a read of any block in the run fetches and
 //! decompresses the whole run.
 //!
-//! The table is sharded behind [`parking_lot::Mutex`]es so the parallel
+//! The table is sharded behind [`std::sync::Mutex`]es so the parallel
 //! compression engine ([`crate::parallel`]) can update it concurrently.
 
 use edc_compress::CodecId;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Number of shards (power of two).
 const SHARDS: usize = 16;
@@ -91,7 +91,7 @@ impl BlockMap {
 
     /// Look up a block.
     pub fn get(&self, block: u64) -> Option<MappingEntry> {
-        self.shard(block).lock().get(&block).copied()
+        self.shard(block).lock().expect("shard poisoned").get(&block).copied()
     }
 
     /// Insert entries for every block of a merged run; returns the evicted
@@ -99,7 +99,7 @@ impl BlockMap {
     pub fn insert_run(&self, entry: MappingEntry) -> Vec<MappingEntry> {
         let mut evicted = Vec::new();
         for b in entry.run_start..entry.run_start + u64::from(entry.run_blocks) {
-            if let Some(old) = self.shard(b).lock().insert(b, entry) {
+            if let Some(old) = self.shard(b).lock().expect("shard poisoned").insert(b, entry) {
                 evicted.push(old);
             }
         }
@@ -108,12 +108,12 @@ impl BlockMap {
 
     /// Remove one block's entry (invalidation).
     pub fn remove(&self, block: u64) -> Option<MappingEntry> {
-        self.shard(block).lock().remove(&block)
+        self.shard(block).lock().expect("shard poisoned").remove(&block)
     }
 
     /// Number of mapped blocks.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().expect("shard poisoned").len()).sum()
     }
 
     /// Whether the table is empty.

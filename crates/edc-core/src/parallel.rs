@@ -2,12 +2,11 @@
 //!
 //! A production inline-compression appliance compresses independent merged
 //! runs on several cores. [`ParallelCompressor`] does exactly that with
-//! `crossbeam` scoped threads over a shared atomic work index (simple
-//! self-scheduling — no channels, no per-job allocation beyond the output
-//! vector), preserving input order in the results. Compression is pure, so
-//! the parallel results are bit-identical to the serial ones.
+//! `std::thread::scope` workers over a shared atomic work index (simple
+//! self-scheduling — no channels, no locks, no per-job allocation beyond
+//! the output vector), preserving input order in the results. Compression
+//! is pure, so the parallel results are bit-identical to the serial ones.
 
-use crossbeam::thread;
 use edc_compress::{codec_by_id, CodecId, DecompressError};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -65,15 +64,12 @@ impl ParallelCompressor {
         let wrapped: Vec<Job<'_>> =
             jobs.iter().map(|&(codec, data, _)| Job { codec, data }).collect();
         let lens: Vec<usize> = jobs.iter().map(|&(_, _, n)| n).collect();
-        let mut idx = 0usize;
         // Reuse the generic runner; thread the expected length through by
         // index (jobs are processed by index, so pairing is exact).
-        let results = self.run_indexed(&wrapped, |i, codec, data| match codec_by_id(codec) {
+        self.run_indexed(&wrapped, |i, codec, data| match codec_by_id(codec) {
             None => Ok(data.to_vec()),
             Some(c) => c.decompress(data, lens[i]),
-        });
-        let _ = &mut idx;
-        results
+        })
     }
 
     fn run<F>(&self, jobs: &[Job<'_>], f: F) -> Vec<Vec<u8>>
@@ -84,8 +80,9 @@ impl ParallelCompressor {
     }
 
     /// Self-scheduling parallel map preserving job order: workers claim
-    /// indices from a shared atomic counter and scatter results into
-    /// per-index slots.
+    /// indices from a shared atomic counter, accumulate `(index, value)`
+    /// pairs privately, and the results are scattered into place after the
+    /// joins — no per-job lock traffic on the hot path.
     fn run_indexed<T, F>(&self, jobs: &[Job<'_>], f: F) -> Vec<T>
     where
         T: Send,
@@ -100,25 +97,30 @@ impl ParallelCompressor {
             return jobs.iter().enumerate().map(|(i, j)| f(i, j.codec, j.data)).collect();
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<Option<T>>> =
-            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-        thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let out = f(i, jobs[i].codec, jobs[i].data);
-                    *slots[i].lock().expect("slot poisoned") = Some(out);
-                });
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut done: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            done.push((i, f(i, jobs[i].codec, jobs[i].data)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, v) in h.join().expect("worker panicked") {
+                    results[i] = Some(v);
+                }
             }
-        })
-        .expect("worker panicked");
-        slots
-            .into_iter()
-            .map(|m| m.into_inner().expect("slot poisoned").expect("every index claimed"))
-            .collect()
+        });
+        results.into_iter().map(|v| v.expect("every index claimed")).collect()
     }
 }
 

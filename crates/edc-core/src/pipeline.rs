@@ -10,17 +10,48 @@
 //! via the mapping table, decompress according to the 3-bit tag, and
 //! return the original bytes.
 //!
+//! # Batched multi-core writes
+//!
+//! The write path is *batched*: each flush trigger **seals** a run —
+//! capturing the codec decision (hint, sampling estimate, intensity
+//! ladder) at that instant, exactly as the serial path would — and queues
+//! it. [`EdcPipeline::write_batch`] / [`EdcPipeline::flush_all`] then
+//! **drain** the queue: all sealed runs are compressed at once, fanned
+//! across `PipelineConfig::workers` threads into per-run reusable scratch
+//! buffers ([`edc_compress::Codec::compress_into`], so the steady state
+//! allocates nothing per run), and the results are applied — allocation,
+//! device write, mapping update — serially in seal order. Compression is
+//! a pure function, so the batched store is bit-identical to the serial
+//! one; only the wall-clock differs.
+//!
+//! Reads consult a decompressed-run LRU ([`crate::cache::RunCache`])
+//! keyed by the run's device offset; overwrites invalidate it. A hit
+//! serves the read from DRAM, skipping both the device fetch and the
+//! decompressor. Write-through runs bypass the cache entirely — their
+//! payload already lies uncompressed in the device image and is copied
+//! out directly.
+//!
 //! ```
-//! use edc_core::pipeline::{EdcPipeline, PipelineConfig};
+//! use edc_core::pipeline::{BatchWrite, EdcPipeline, PipelineConfig};
 //!
 //! let mut store = EdcPipeline::new(1 << 20, PipelineConfig::default());
 //! let block = vec![b'x'; 4096];
 //! store.write(0, 0, &block);
 //! store.flush(1_000_000); // or let the next read/non-contiguous write flush
 //! assert_eq!(store.read(2_000_000, 0, 4096).unwrap(), block);
+//!
+//! // Batched: hand over many writes at once; sealed runs compress in
+//! // parallel and the results come back in seal order.
+//! let batch: Vec<BatchWrite<'_>> = (0..4)
+//!     .map(|i| BatchWrite { now_ns: 3_000_000 + i, offset: (8 + 3 * i) * 4096, data: &block })
+//!     .collect();
+//! let results = store.write_batch(&batch);
+//! let tail = store.flush_all(4_000_000);
+//! assert_eq!(results.len() + tail.len(), 4);
 //! ```
 
 use crate::allocator::{AllocPolicy, AllocStats, QuantizedAllocator};
+use crate::cache::{CacheStats, RunCache};
 use crate::hints::{FileTypeHint, HintRegistry};
 use crate::mapping::{BlockMap, MappingEntry};
 use crate::monitor::WorkloadMonitor;
@@ -32,7 +63,7 @@ use edc_compress::{checksum64, codec_by_id, CodecId, DecompressError, Estimator,
 use edc_trace::{OpType, Request};
 
 /// Pipeline configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PipelineConfig {
     /// Threshold ladder (calculated IOPS → codec).
     pub selector: SelectorConfig,
@@ -42,6 +73,43 @@ pub struct PipelineConfig {
     pub estimator: EstimatorConfig,
     /// Allocation policy.
     pub alloc: AllocPolicy,
+    /// Worker threads compressing drained runs (1 = serial; results are
+    /// bit-identical either way).
+    pub workers: usize,
+    /// Decompressed-run read-cache capacity, in runs (0 disables it).
+    pub cache_runs: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            selector: SelectorConfig::default(),
+            sd: SdConfig::default(),
+            estimator: EstimatorConfig::default(),
+            alloc: AllocPolicy::default(),
+            workers: 1,
+            cache_runs: 64,
+        }
+    }
+}
+
+/// One write in a [`EdcPipeline::write_batch`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchWrite<'a> {
+    /// Arrival time, ns.
+    pub now_ns: u64,
+    /// Byte offset (4 KiB-aligned).
+    pub offset: u64,
+    /// Payload (whole 4 KiB blocks).
+    pub data: &'a [u8],
+}
+
+/// A run whose codec decision is made but whose compression is deferred
+/// to the next drain.
+struct SealedRun {
+    run: MergedRun,
+    bytes: Vec<u8>,
+    codec: CodecId,
 }
 
 /// What happened to a flushed run.
@@ -102,6 +170,13 @@ pub struct EdcPipeline {
     device: Vec<u8>,
     /// Bytes of the run currently buffered in the SD.
     pending: Vec<u8>,
+    /// Runs sealed (codec decided) but not yet compressed/stored. Lives
+    /// only within a single public call: every entry point drains it.
+    sealed: Vec<SealedRun>,
+    /// Reusable compression output buffers, one per in-flight drain job.
+    scratch: Vec<Vec<u8>>,
+    /// Decompressed-run LRU, keyed by device offset (unique per live run).
+    cache: RunCache<Vec<u8>>,
     /// File-type semantic hints (paper §VI future work #1).
     hints: HintRegistry,
     logical_written: u64,
@@ -121,6 +196,9 @@ impl EdcPipeline {
             map: BlockMap::new(),
             device: vec![0; capacity_bytes as usize],
             pending: Vec::new(),
+            sealed: Vec::new(),
+            scratch: Vec::new(),
+            cache: RunCache::new(config.cache_runs),
             hints: HintRegistry::new(),
             monitor: WorkloadMonitor::default(),
             logical_written: 0,
@@ -133,24 +211,36 @@ impl EdcPipeline {
     /// at time `now_ns`. Returns the result of any run this write flushed;
     /// the written data itself is buffered until a flush trigger.
     pub fn write(&mut self, now_ns: u64, offset: u64, data: &[u8]) -> Option<WriteResult> {
-        assert!(offset.is_multiple_of(BLOCK_BYTES), "offset must be 4 KiB aligned");
-        assert!(!data.is_empty() && (data.len() as u64).is_multiple_of(BLOCK_BYTES), "data must be whole blocks");
-        let start = offset / BLOCK_BYTES;
-        let blocks = (data.len() as u64 / BLOCK_BYTES) as u32;
-        self.monitor.record(&Request {
-            arrival_ns: now_ns,
-            op: OpType::Write,
-            offset,
-            len: data.len() as u32,
-        });
-        self.logical_written += data.len() as u64;
-        let flushed = self.sd.on_write(start, blocks, now_ns);
-        let result = flushed.map(|run| {
-            let bytes = std::mem::take(&mut self.pending);
-            self.process_run(now_ns, run, bytes)
-        });
-        self.pending.extend_from_slice(data);
-        result
+        self.write_batch(&[BatchWrite { now_ns, offset, data }]).pop()
+    }
+
+    /// Accept a batch of writes at once. Runs sealed during the batch are
+    /// compressed together at the end, fanned across
+    /// [`PipelineConfig::workers`] threads; results come back in seal
+    /// order and are bit-identical to issuing the same writes serially.
+    pub fn write_batch(&mut self, writes: &[BatchWrite<'_>]) -> Vec<WriteResult> {
+        for w in writes {
+            assert!(w.offset.is_multiple_of(BLOCK_BYTES), "offset must be 4 KiB aligned");
+            assert!(
+                !w.data.is_empty() && (w.data.len() as u64).is_multiple_of(BLOCK_BYTES),
+                "data must be whole blocks"
+            );
+            let start = w.offset / BLOCK_BYTES;
+            let blocks = (w.data.len() as u64 / BLOCK_BYTES) as u32;
+            self.monitor.record(&Request {
+                arrival_ns: w.now_ns,
+                op: OpType::Write,
+                offset: w.offset,
+                len: w.data.len() as u32,
+            });
+            self.logical_written += w.data.len() as u64;
+            if let Some(run) = self.sd.on_write(start, blocks, w.now_ns) {
+                let bytes = std::mem::take(&mut self.pending);
+                self.seal_run(w.now_ns, run, bytes);
+            }
+            self.pending.extend_from_slice(w.data);
+        }
+        self.drain_sealed()
     }
 
     /// Register a file-type hint for the byte range `[offset, offset+len)`
@@ -164,9 +254,18 @@ impl EdcPipeline {
 
     /// Force-flush the buffered run (timeout, shutdown).
     pub fn flush(&mut self, now_ns: u64) -> Option<WriteResult> {
-        let run = self.sd.drain()?;
-        let bytes = std::mem::take(&mut self.pending);
-        Some(self.process_run(now_ns, run, bytes))
+        self.flush_all(now_ns).pop()
+    }
+
+    /// Drain everything: the run buffered in the sequentiality detector
+    /// (if any) plus all sealed-but-unstored runs, compressing across the
+    /// configured workers. Returns one result per stored run, in order.
+    pub fn flush_all(&mut self, now_ns: u64) -> Vec<WriteResult> {
+        if let Some(run) = self.sd.drain() {
+            let bytes = std::mem::take(&mut self.pending);
+            self.seal_run(now_ns, run, bytes);
+        }
+        self.drain_sealed()
     }
 
     /// Read `len` bytes at `offset` (both 4 KiB-aligned). Unwritten blocks
@@ -185,55 +284,92 @@ impl EdcPipeline {
         if self.sd.has_pending() {
             let run = self.sd.on_read().expect("pending checked");
             let bytes = std::mem::take(&mut self.pending);
-            self.process_run(now_ns, run, bytes);
+            self.seal_run(now_ns, run, bytes);
         }
+        self.drain_sealed();
         let mut out = vec![0u8; len as usize];
         let start = offset / BLOCK_BYTES;
         let blocks = len / BLOCK_BYTES;
+        let bb = BLOCK_BYTES as usize;
         // Walk block by block, consulting each block's OWN mapping entry —
         // a neighbouring block may belong to an older run that still covers
         // this block's address range, and copying from that run would
-        // resurrect superseded data. Decompressed runs are memoized across
-        // consecutive blocks to avoid re-decoding shared runs.
-        let mut cached_off = u64::MAX;
-        let mut cached_start = 0u64;
-        let mut cached_run: Vec<u8> = Vec::new();
+        // resurrect superseded data.
+        //
+        // Write-through runs are copied straight out of the device image
+        // (their payload IS the raw bytes — no decompression, no cache).
+        // Compressed runs are served from the decompressed-run LRU when
+        // possible; when the cache is disabled, a local memo still avoids
+        // re-decoding a run shared by consecutive blocks.
+        let mut verified_off = u64::MAX; // write-through run already checksummed
+        let mut local_off = u64::MAX; // run held in `local_run` (cache disabled)
+        let mut local_run: Vec<u8> = Vec::new();
         for b in start..start + blocks {
             let Some(entry) = self.map.get(b) else {
                 continue;
             };
-            if entry.device_offset != cached_off {
-                cached_run = self.load_run(&entry)?;
-                cached_off = entry.device_offset;
-                cached_start = entry.run_start;
-            }
-            let src = ((b - cached_start) * BLOCK_BYTES) as usize;
+            let src = ((b - entry.run_start) * BLOCK_BYTES) as usize;
             let dst = ((b - start) * BLOCK_BYTES) as usize;
-            out[dst..dst + BLOCK_BYTES as usize]
-                .copy_from_slice(&cached_run[src..src + BLOCK_BYTES as usize]);
+            if entry.tag == CodecId::None {
+                if verified_off != entry.device_offset {
+                    self.verify_checksum(&entry)?;
+                    verified_off = entry.device_offset;
+                }
+                let at = entry.device_offset as usize + src;
+                out[dst..dst + bb].copy_from_slice(&self.device[at..at + bb]);
+                continue;
+            }
+            if local_off == entry.device_offset {
+                out[dst..dst + bb].copy_from_slice(&local_run[src..src + bb]);
+                continue;
+            }
+            if let Some(run) = self.cache.lookup(entry.device_offset) {
+                out[dst..dst + bb].copy_from_slice(&run[src..src + bb]);
+                continue;
+            }
+            let run = self.decompress_run(&entry)?;
+            out[dst..dst + bb].copy_from_slice(&run[src..src + bb]);
+            if self.cache.enabled() {
+                self.cache.insert(entry.device_offset, run);
+                local_off = u64::MAX;
+            } else {
+                local_off = entry.device_offset;
+                local_run = run;
+            }
         }
         Ok(out)
     }
 
-    /// Verify and decompress (or copy) a run's payload from the device
-    /// image. The checksum catches silent corruption that would otherwise
-    /// decode "successfully" to wrong bytes.
-    fn load_run(&self, entry: &MappingEntry) -> Result<Vec<u8>, ReadError> {
+    /// Check a stored payload against its mapping-entry checksum. Catches
+    /// silent corruption that would otherwise decode "successfully" to
+    /// wrong bytes (or, written through, be returned verbatim).
+    fn verify_checksum(&self, entry: &MappingEntry) -> Result<(), ReadError> {
         let off = entry.device_offset as usize;
         let payload = &self.device[off..off + entry.compressed_bytes as usize];
         if checksum64(payload, entry.run_start) != entry.checksum {
             return Err(ReadError::ChecksumMismatch { run_start: entry.run_start });
         }
-        let original = (u64::from(entry.run_blocks) * BLOCK_BYTES) as usize;
-        match codec_by_id(entry.tag) {
-            None => Ok(payload.to_vec()),
-            Some(codec) => codec.decompress(payload, original).map_err(ReadError::Corrupt),
-        }
+        Ok(())
     }
 
-    /// The decision core: hint → estimate → select → compress → allocate →
-    /// store.
-    fn process_run(&mut self, now_ns: u64, run: MergedRun, bytes: Vec<u8>) -> WriteResult {
+    /// Verify and decompress a compressed run's payload from the device
+    /// image. Callers handle `CodecId::None` themselves (the payload is
+    /// the raw data; copying it out wholesale would be a wasted
+    /// allocation).
+    fn decompress_run(&self, entry: &MappingEntry) -> Result<Vec<u8>, ReadError> {
+        self.verify_checksum(entry)?;
+        let off = entry.device_offset as usize;
+        let payload = &self.device[off..off + entry.compressed_bytes as usize];
+        let original = (u64::from(entry.run_blocks) * BLOCK_BYTES) as usize;
+        let codec = codec_by_id(entry.tag).expect("caller handles write-through");
+        codec.decompress(payload, original).map_err(ReadError::Corrupt)
+    }
+
+    /// The decision half of the pipeline: hint → estimate → select. Runs
+    /// at the moment the flush trigger fires, against the monitor state of
+    /// that instant, so the chosen codec is exactly the serial path's.
+    /// Compression itself is deferred to the drain.
+    fn seal_run(&mut self, now_ns: u64, run: MergedRun, bytes: Vec<u8>) {
         debug_assert_eq!(bytes.len() as u64, run.bytes(), "SD buffer out of sync");
         let hint = self.hints.lookup(run.start_block);
         // 0. A semantic hint can settle the question without sampling.
@@ -247,47 +383,115 @@ impl EdcPipeline {
             let choice = self.selector.select(self.monitor.calculated_iops(now_ns));
             hint.map_or(choice, |h| h.constrain(choice))
         };
-        // 3. Real compression.
-        let compressed = codec_by_id(codec).map(|c| c.compress(&bytes));
-        let comp_len = compressed.as_ref().map_or(bytes.len(), Vec::len) as u64;
-        // 4. Quantized allocation (with the 75 % fallback).
-        let prev = self
-            .map
-            .get(run.start_block)
-            .filter(|e| e.run_start == run.start_block && e.run_blocks == run.blocks);
-        let placement =
-            self.allocator.place(bytes.len() as u64, comp_len, prev.map(|e| e.stored_bytes));
-        let (tag, payload) = if placement.compressed {
-            (codec, compressed.expect("compressed placement implies a codec"))
-        } else {
-            (CodecId::None, bytes)
-        };
-        // 5. Slot allocation + device write. The slot is referenced by
-        // every block of the run and frees only when all are superseded.
-        let device_offset = self.slots.alloc_run(placement.allocated_bytes, run.blocks);
-        let off = device_offset as usize;
-        self.device[off..off + payload.len()].copy_from_slice(&payload);
-        self.physical_written += placement.allocated_bytes;
-        // 6. Mapping update; release superseded runs.
-        let entry = MappingEntry {
-            tag,
-            run_start: run.start_block,
-            run_blocks: run.blocks,
-            device_offset,
-            stored_bytes: placement.allocated_bytes,
-            compressed_bytes: payload.len() as u64,
-            checksum: checksum64(&payload, run.start_block),
-        };
-        for old in self.map.insert_run(entry) {
-            self.slots.release_block_ref(old.device_offset);
+        self.sealed.push(SealedRun { run, bytes, codec });
+    }
+
+    /// The storage half: compress every sealed run (parallel when
+    /// configured), then allocate + store + map serially in seal order.
+    fn drain_sealed(&mut self) -> Vec<WriteResult> {
+        if self.sealed.is_empty() {
+            return Vec::new();
         }
-        WriteResult {
-            start_block: run.start_block,
-            blocks: run.blocks,
-            tag,
-            payload_bytes: payload.len() as u64,
-            allocated_bytes: placement.allocated_bytes,
+        let sealed = std::mem::take(&mut self.sealed);
+        // Phase 1: compression, the CPU-heavy pure part, fanned across
+        // workers. Each job writes into a scratch buffer recycled from
+        // previous drains, so the steady state performs no output
+        // allocations at all.
+        let n_jobs = sealed.iter().filter(|s| s.codec != CodecId::None).count();
+        while self.scratch.len() < n_jobs {
+            self.scratch.push(Vec::new());
         }
+        let mut bufs = self.scratch.split_off(self.scratch.len() - n_jobs);
+        {
+            let mut work: Vec<(CodecId, &[u8], &mut Vec<u8>)> = sealed
+                .iter()
+                .filter(|s| s.codec != CodecId::None)
+                .zip(bufs.iter_mut())
+                .map(|(s, buf)| (s.codec, s.bytes.as_slice(), buf))
+                .collect();
+            let workers = self.config.workers.max(1).min(work.len());
+            if workers <= 1 {
+                for (codec, data, out) in work.iter_mut() {
+                    codec_by_id(*codec).expect("sealed with a real codec").compress_into(data, out);
+                }
+            } else {
+                // Contiguous chunks keep the scatter trivially
+                // order-preserving: every job owns its own output buffer.
+                let per_worker = work.len().div_ceil(workers);
+                std::thread::scope(|scope| {
+                    for part in work.chunks_mut(per_worker) {
+                        scope.spawn(move || {
+                            for (codec, data, out) in part.iter_mut() {
+                                codec_by_id(*codec)
+                                    .expect("sealed with a real codec")
+                                    .compress_into(data, out);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+        // Phase 2: allocation, device write, mapping — stateful, applied
+        // serially in seal order, which makes the whole drain equivalent
+        // to processing each run at its seal point.
+        let mut results = Vec::with_capacity(sealed.len());
+        let mut buf_idx = 0usize;
+        for s in &sealed {
+            let comp = if s.codec == CodecId::None {
+                None
+            } else {
+                let b = &bufs[buf_idx];
+                buf_idx += 1;
+                Some(b)
+            };
+            let comp_len = comp.map_or(s.bytes.len(), |b| b.len()) as u64;
+            // Quantized allocation (with the 75 % fallback).
+            let prev = self
+                .map
+                .get(s.run.start_block)
+                .filter(|e| e.run_start == s.run.start_block && e.run_blocks == s.run.blocks);
+            let placement =
+                self.allocator.place(s.bytes.len() as u64, comp_len, prev.map(|e| e.stored_bytes));
+            let (tag, payload): (CodecId, &[u8]) = if placement.compressed {
+                (s.codec, comp.expect("compressed placement implies a codec"))
+            } else {
+                (CodecId::None, &s.bytes)
+            };
+            // Slot allocation + device write. The slot is referenced by
+            // every block of the run and frees only when all are superseded.
+            let device_offset = self.slots.alloc_run(placement.allocated_bytes, s.run.blocks);
+            let off = device_offset as usize;
+            self.device[off..off + payload.len()].copy_from_slice(payload);
+            self.physical_written += placement.allocated_bytes;
+            // Mapping update; release superseded runs and drop their
+            // cached decompressions — a later read must never see them.
+            let entry = MappingEntry {
+                tag,
+                run_start: s.run.start_block,
+                run_blocks: s.run.blocks,
+                device_offset,
+                stored_bytes: placement.allocated_bytes,
+                compressed_bytes: payload.len() as u64,
+                checksum: checksum64(payload, s.run.start_block),
+            };
+            for old in self.map.insert_run(entry) {
+                self.slots.release_block_ref(old.device_offset);
+                self.cache.invalidate(old.device_offset);
+            }
+            results.push(WriteResult {
+                start_block: s.run.start_block,
+                blocks: s.run.blocks,
+                tag,
+                payload_bytes: payload.len() as u64,
+                allocated_bytes: placement.allocated_bytes,
+            });
+        }
+        // Return the scratch buffers (capacity intact) for the next drain.
+        self.scratch.extend(bufs.into_iter().map(|mut b| {
+            b.clear();
+            b
+        }));
+        results
     }
 
     /// Cumulative logical bytes accepted.
@@ -311,6 +515,18 @@ impl EdcPipeline {
     /// Allocator statistics.
     pub fn alloc_stats(&self) -> AllocStats {
         self.allocator.stats()
+    }
+
+    /// Decompressed-run read-cache statistics (all zeroes when disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The raw device image. Two pipelines fed the same writes must hold
+    /// identical images regardless of worker count — benchmarks and tests
+    /// assert the batched path against the serial one with this.
+    pub fn device_image(&self) -> &[u8] {
+        &self.device
     }
 
     /// The active configuration.
@@ -568,5 +784,125 @@ mod tests {
         assert_ne!(r.tag, CodecId::None, "slow text write should compress");
         assert!(r.payload_bytes < 4096);
         assert!(r.allocated_bytes <= 4096);
+    }
+
+    #[test]
+    fn write_batch_flushes_multiple_runs() {
+        let mut p = pipeline();
+        let blocks: Vec<Vec<u8>> = (0..8).map(|i| text_block(60 + i)).collect();
+        // Non-contiguous offsets: every write after the first seals the
+        // previous single-block run.
+        let batch: Vec<BatchWrite<'_>> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, data)| BatchWrite {
+                now_ns: i as u64,
+                offset: (i as u64 * 3) * 4096,
+                data,
+            })
+            .collect();
+        let mut results = p.write_batch(&batch);
+        results.extend(p.flush_all(100));
+        assert_eq!(results.len(), 8);
+        for (i, data) in blocks.iter().enumerate() {
+            assert_eq!(&p.read(200 + i as u64, (i as u64 * 3) * 4096, 4096).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn batched_multicore_store_is_bit_identical_to_serial() {
+        let make = |workers: usize| {
+            EdcPipeline::new(8 << 20, PipelineConfig { workers, ..PipelineConfig::default() })
+        };
+        let blocks: Vec<Vec<u8>> = (0..64)
+            .map(|i| if i % 5 == 4 { random_block(i) } else { text_block(i as u8) })
+            .collect();
+        let batch: Vec<BatchWrite<'_>> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, data)| BatchWrite {
+                now_ns: i as u64 * 1000,
+                offset: (i as u64 * 3) * 4096,
+                data,
+            })
+            .collect();
+
+        // Serial reference: one write at a time, one worker.
+        let mut serial = make(1);
+        for w in &batch {
+            serial.write(w.now_ns, w.offset, w.data);
+        }
+        serial.flush(1_000_000);
+
+        // Batched, four workers, one call.
+        let mut batched = make(4);
+        batched.write_batch(&batch);
+        batched.flush_all(1_000_000);
+
+        assert_eq!(serial.device, batched.device, "device images must be bit-identical");
+        assert_eq!(serial.physical_written(), batched.physical_written());
+        assert_eq!(serial.logical_written(), batched.logical_written());
+    }
+
+    #[test]
+    fn repeated_reads_hit_run_cache() {
+        let mut p = pipeline();
+        let data = text_block(70);
+        p.write(0, 0, &data);
+        p.flush(1);
+        assert_eq!(p.read(2, 0, 4096).unwrap(), data); // miss, fills cache
+        assert_eq!(p.read(3, 0, 4096).unwrap(), data); // hit
+        let s = p.cache_stats();
+        assert!(s.hits > 0, "second read must be served from cache, stats {s:?}");
+        assert!(s.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn partial_overwrite_invalidates_cached_run() {
+        // Mirror of partial_overwrite_of_merged_run_reads_fresh_data with
+        // the read cache active: the overwrite must drop the cached
+        // decompressed run so later reads never see stale block 1 bytes.
+        let mut p = pipeline();
+        assert!(p.config().cache_runs > 0, "cache enabled by default");
+        let old: Vec<Vec<u8>> = (0..4).map(|i| text_block(80 + i)).collect();
+        for (i, blockdata) in old.iter().enumerate() {
+            p.write(i as u64, i as u64 * 4096, blockdata);
+        }
+        p.flush(10); // one merged 4-block run
+        // Populate the cache with the merged run's decompression.
+        let first = p.read(20, 0, 4 * 4096).unwrap();
+        assert_eq!(&first[4096..8192], &old[1][..]);
+        assert!(p.cache_stats().misses > 0, "first read fills the cache");
+        let fresh = random_block(777);
+        p.write(30, 4096, &fresh); // overwrite only block 1
+        p.flush(40);
+        assert!(
+            p.cache_stats().invalidations > 0,
+            "overwrite must invalidate the cached run, stats {:?}",
+            p.cache_stats()
+        );
+        let got = p.read(50, 0, 4 * 4096).unwrap();
+        assert_eq!(&got[..4096], &old[0][..], "block 0 from the old run");
+        assert_eq!(&got[4096..8192], &fresh[..], "block 1 must be the overwrite");
+        assert_eq!(&got[8192..12288], &old[2][..], "block 2 from the old run");
+        assert_eq!(&got[12288..], &old[3][..], "block 3 from the old run");
+    }
+
+    #[test]
+    fn disabled_cache_reads_still_correct() {
+        let mut p = EdcPipeline::new(
+            4 << 20,
+            PipelineConfig { cache_runs: 0, ..PipelineConfig::default() },
+        );
+        let a = text_block(90);
+        let b = text_block(91);
+        p.write(0, 0, &a);
+        p.write(1, 4096, &b);
+        p.flush(2);
+        let got = p.read(3, 0, 8192).unwrap();
+        assert_eq!(&got[..4096], &a[..]);
+        assert_eq!(&got[4096..], &b[..]);
+        let s = p.cache_stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "disabled cache records nothing");
     }
 }

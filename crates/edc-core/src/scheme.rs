@@ -519,7 +519,7 @@ impl SimScheme {
                         }
                     }
                     let needed_end = b + same;
-                    if self.cache.lookup(e.run_start) {
+                    if self.cache.lookup(e.run_start).is_some() {
                         // DRAM hit: served from the decompressed-run cache.
                         dev_done = dev_done.max(req.arrival_ns + CACHE_HIT_NS);
                         b = needed_end;
@@ -564,7 +564,7 @@ impl SimScheme {
                             .cost
                             .decompress_ns(e.tag, (out_blocks * BLOCK_BYTES) as usize);
                     }
-                    self.cache.insert(e.run_start);
+                    self.cache.insert(e.run_start, ());
                     b = needed_end;
                 }
             }

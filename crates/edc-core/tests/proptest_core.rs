@@ -1,58 +1,58 @@
 //! Property tests over EDC's decision components: allocator bounds, SD
 //! partitioning, monitor window behaviour, hint-registry consistency.
+//! Runs on the in-tree harness (`edc_datagen::proptest`).
 
 use edc_core::hints::{FileTypeHint, HintRegistry};
 use edc_core::{
     AllocPolicy, QuantizedAllocator, SdConfig, SequentialityDetector, WorkloadMonitor,
 };
+use edc_datagen::proptest::{cases, vec_of};
 use edc_trace::{OpType, Request};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Quantized placement always allocates at least the payload, never
-    /// more than the original, and lands on a 25 % quantum.
-    #[test]
-    fn quantized_placement_bounds(
-        blocks in 1u64..17,
-        comp in 1u64..70_000,
-    ) {
+/// Quantized placement always allocates at least the payload, never
+/// more than the original, and lands on a 25 % quantum.
+#[test]
+fn quantized_placement_bounds() {
+    cases(96).run("quantized_placement_bounds", |rng| {
+        let blocks = rng.range_u64(1, 17);
+        let comp = rng.range_u64(1, 70_000);
         let original = blocks * 4096;
         let comp = comp.min(original + 100); // include slightly-expanded case
         let a = QuantizedAllocator::new(AllocPolicy::Quantized);
         let p = a.quantum_for(original, comp);
-        prop_assert!(p.allocated_bytes <= original);
+        assert!(p.allocated_bytes <= original);
         if p.compressed {
-            prop_assert!(p.allocated_bytes >= comp);
+            assert!(p.allocated_bytes >= comp);
             let quarter = original.div_ceil(4);
-            prop_assert_eq!(p.allocated_bytes % quarter, 0, "not on a quantum");
+            assert_eq!(p.allocated_bytes % quarter, 0, "not on a quantum");
         } else {
-            prop_assert_eq!(p.allocated_bytes, original);
-            prop_assert!(comp > 3 * original.div_ceil(4), "write-through only above 75%");
+            assert_eq!(p.allocated_bytes, original);
+            assert!(comp > 3 * original.div_ceil(4), "write-through only above 75%");
         }
-    }
+    });
+}
 
-    /// Exact-fit never allocates more than quantized for the same input.
-    #[test]
-    fn exact_fit_never_exceeds_quantized(
-        blocks in 1u64..17,
-        comp in 1u64..70_000,
-    ) {
+/// Exact-fit never allocates more than quantized for the same input.
+#[test]
+fn exact_fit_never_exceeds_quantized() {
+    cases(96).run("exact_fit_never_exceeds_quantized", |rng| {
+        let blocks = rng.range_u64(1, 17);
+        let comp = rng.range_u64(1, 70_000);
         let original = blocks * 4096;
         let comp = comp.min(original);
         let q = QuantizedAllocator::new(AllocPolicy::Quantized).quantum_for(original, comp);
         let e = QuantizedAllocator::new(AllocPolicy::ExactFit).quantum_for(original, comp);
-        prop_assert!(e.allocated_bytes <= q.allocated_bytes);
-    }
+        assert!(e.allocated_bytes <= q.allocated_bytes);
+    });
+}
 
-    /// The SD partitions writes: every submitted block appears in exactly
-    /// one flushed run, in order, with the right arrival count.
-    #[test]
-    fn sd_partitions_writes(
-        ops in proptest::collection::vec((0u64..64, 1u32..4), 1..200),
-        cap in 2u32..32,
-    ) {
+/// The SD partitions writes: every submitted block appears in exactly
+/// one flushed run, in order, with the right arrival count.
+#[test]
+fn sd_partitions_writes() {
+    cases(96).run("sd_partitions_writes", |rng| {
+        let ops = vec_of(rng, 1, 200, |r| (r.below(64), 1 + r.below(3) as u32));
+        let cap = rng.range_u64(2, 32) as u32;
         let mut sd = SequentialityDetector::new(SdConfig {
             max_merge_blocks: cap,
             timeout_ns: u64::MAX,
@@ -72,21 +72,24 @@ proptest! {
         }
         let total_blocks: u64 = runs.iter().map(|r| u64::from(r.blocks)).sum();
         let total_reqs: usize = runs.iter().map(|r| r.arrivals_ns.len()).sum();
-        prop_assert_eq!(total_blocks, submitted_blocks, "blocks lost or duplicated");
-        prop_assert_eq!(total_reqs, submitted_reqs, "requests lost or duplicated");
+        assert_eq!(total_blocks, submitted_blocks, "blocks lost or duplicated");
+        assert_eq!(total_reqs, submitted_reqs, "requests lost or duplicated");
         for run in &runs {
-            prop_assert!(run.blocks <= cap + 3, "run exceeds cap by more than one request span");
+            assert!(run.blocks <= cap + 3, "run exceeds cap by more than one request span");
             // Arrivals within a run are ordered.
-            prop_assert!(run.arrivals_ns.windows(2).all(|w| w[0] <= w[1]));
+            assert!(run.arrivals_ns.windows(2).all(|w| w[0] <= w[1]));
         }
-    }
+    });
+}
 
-    /// The monitor's reading is bounded by the page-units fed in, and
-    /// evicting the window empties it.
-    #[test]
-    fn monitor_window_bounds(
-        reqs in proptest::collection::vec((0u64..2_000_000_000u64, 1u32..65_536), 1..100)
-    ) {
+/// The monitor's reading is bounded by the page-units fed in, and
+/// evicting the window empties it.
+#[test]
+fn monitor_window_bounds() {
+    cases(96).run("monitor_window_bounds", |rng| {
+        let reqs = vec_of(rng, 1, 100, |r| {
+            (r.below(2_000_000_000), 1 + r.below(65_535) as u32)
+        });
         let mut m = WorkloadMonitor::new(1_000_000_000);
         let mut sorted = reqs;
         sorted.sort_by_key(|&(t, _)| t);
@@ -99,18 +102,21 @@ proptest! {
             last_t = t;
         }
         let now_reading = m.calculated_iops(last_t);
-        prop_assert!(now_reading <= total_pages as f64 + 1e-9);
-        prop_assert!(now_reading >= 0.0);
+        assert!(now_reading <= total_pages as f64 + 1e-9);
+        assert!(now_reading >= 0.0);
         // Far in the future the window must be empty.
-        prop_assert_eq!(m.calculated_iops(last_t + 10_000_000_000), 0.0);
-    }
+        assert_eq!(m.calculated_iops(last_t + 10_000_000_000), 0.0);
+    });
+}
 
-    /// The hint registry agrees with a naive per-block model under
-    /// arbitrary overlapping registrations.
-    #[test]
-    fn hint_registry_matches_naive_model(
-        sets in proptest::collection::vec((0u64..200, 1u64..50, 0u8..4), 1..40)
-    ) {
+/// The hint registry agrees with a naive per-block model under
+/// arbitrary overlapping registrations.
+#[test]
+fn hint_registry_matches_naive_model() {
+    cases(96).run("hint_registry_matches_naive_model", |rng| {
+        let sets = vec_of(rng, 1, 40, |r| {
+            (r.below(200), 1 + r.below(49), r.below(4) as u8)
+        });
         let hints = [
             FileTypeHint::Precompressed,
             FileTypeHint::Text,
@@ -127,7 +133,7 @@ proptest! {
             }
         }
         for b in 0..260u64 {
-            prop_assert_eq!(registry.lookup(b), naive[b as usize], "block {}", b);
+            assert_eq!(registry.lookup(b), naive[b as usize], "block {b}");
         }
-    }
+    });
 }

@@ -1,31 +1,32 @@
 //! Property test for the slot store's central safety invariant: no two
 //! live slots ever overlap in device space. (A violation of this is
 //! exactly the aliasing bug the pipeline's checksums once caught — see
-//! `SlotStore::release_block_ref`.)
+//! `SlotStore::release_block_ref`.) Runs on the in-tree harness.
 
 use edc_core::SlotStore;
-use proptest::prelude::*;
+use edc_datagen::proptest::{cases, vec_of};
+use edc_datagen::Rng64;
 
 #[derive(Debug, Clone)]
 enum Op {
     /// Allocate a run of (bytes, blocks).
     Alloc { size_class: u8, blocks: u8 },
-    /// Drop one block reference from the i-th oldest live run.
+    /// Drop one block reference from a live run.
     Release { pick: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..6, 1u8..9).prop_map(|(size_class, blocks)| Op::Alloc { size_class, blocks }),
-        (any::<u8>()).prop_map(|pick| Op::Release { pick }),
-    ]
+fn random_op(rng: &mut Rng64) -> Op {
+    if rng.chance(0.5) {
+        Op::Alloc { size_class: rng.below(6) as u8, blocks: 1 + rng.below(8) as u8 }
+    } else {
+        Op::Release { pick: rng.next_u64() as u8 }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn live_slots_never_overlap(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+#[test]
+fn live_slots_never_overlap() {
+    cases(64).run("live_slots_never_overlap", |rng| {
+        let ops = vec_of(rng, 1, 300, random_op);
         let mut store = SlotStore::new(64 << 20);
         // Live runs we still hold references to: (offset, bytes, refs_left).
         let mut live: Vec<(u64, u64, u32)> = Vec::new();
@@ -37,7 +38,7 @@ proptest! {
                     let off = store.alloc_run(bytes, blocks);
                     // Invariant: the new slot must not overlap any live slot.
                     for &(o, b, _) in &live {
-                        prop_assert!(
+                        assert!(
                             off + bytes <= o || o + b <= off,
                             "slot [{off}, {}) overlaps live [{o}, {})",
                             off + bytes,
@@ -61,6 +62,6 @@ proptest! {
         }
         // Live-byte accounting must match what we still hold.
         let held: u64 = live.iter().map(|&(_, b, _)| b).sum();
-        prop_assert_eq!(store.live_bytes(), held);
-    }
+        assert_eq!(store.live_bytes(), held);
+    });
 }

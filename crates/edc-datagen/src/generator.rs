@@ -1,7 +1,6 @@
 //! Block-content generation by class and weighted mixture.
 
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use crate::rng::Rng64;
 
 /// A family of block contents with a characteristic compressibility.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,8 +99,8 @@ impl DataMix {
     }
 
     /// Sample a class.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> BlockClass {
-        let mut x = rng.random::<f64>() * self.total;
+    pub fn sample(&self, rng: &mut Rng64) -> BlockClass {
+        let mut x = rng.f64() * self.total;
         for &(class, w) in &self.weights {
             if x < w {
                 return class;
@@ -115,7 +114,7 @@ impl DataMix {
 /// Deterministic, seeded block-content generator.
 #[derive(Debug, Clone)]
 pub struct ContentGenerator {
-    rng: StdRng,
+    rng: Rng64,
     mix: DataMix,
 }
 
@@ -137,7 +136,7 @@ const KEYWORDS: &[&str] = &[
 impl ContentGenerator {
     /// Create a generator with a seed and a class mixture.
     pub fn new(seed: u64, mix: DataMix) -> Self {
-        ContentGenerator { rng: StdRng::seed_from_u64(seed), mix }
+        ContentGenerator { rng: Rng64::seed_from_u64(seed), mix }
     }
 
     /// Create a single-class generator.
@@ -181,11 +180,11 @@ impl ContentGenerator {
         let mut recent: Vec<&str> = Vec::with_capacity(8);
         let mut since_period = 0usize;
         while out.len() < len {
-            let reuse = !recent.is_empty() && self.rng.random::<f64>() < 0.35;
+            let reuse = !recent.is_empty() && self.rng.chance(0.35);
             let word = if reuse {
-                recent[self.rng.random_range(0..recent.len())]
+                recent[self.rng.below_usize(recent.len())]
             } else {
-                WORDS[self.rng.random_range(0..WORDS.len())]
+                WORDS[self.rng.below_usize(WORDS.len())]
             };
             if recent.len() == 8 {
                 recent.remove(0);
@@ -193,7 +192,7 @@ impl ContentGenerator {
             recent.push(word);
             out.extend_from_slice(word.as_bytes());
             since_period += 1;
-            if since_period > 8 && self.rng.random::<f64>() < 0.2 {
+            if since_period > 8 && self.rng.chance(0.2) {
                 out.extend_from_slice(b". ");
                 since_period = 0;
             } else {
@@ -211,10 +210,10 @@ impl ContentGenerator {
             for _ in 0..depth {
                 out.extend_from_slice(b"    ");
             }
-            let kw = KEYWORDS[self.rng.random_range(0..KEYWORDS.len())];
-            let a = idents[self.rng.random_range(0..idents.len())];
-            let b = idents[self.rng.random_range(0..idents.len())];
-            match self.rng.random_range(0..4u32) {
+            let kw = KEYWORDS[self.rng.below_usize(KEYWORDS.len())];
+            let a = idents[self.rng.below_usize(idents.len())];
+            let b = idents[self.rng.below_usize(idents.len())];
+            match self.rng.below(4) {
                 0 => {
                     out.extend_from_slice(kw.as_bytes());
                     out.extend_from_slice(b" (");
@@ -228,7 +227,7 @@ impl ContentGenerator {
                     out.extend_from_slice(a.as_bytes());
                     out.extend_from_slice(b" = ");
                     out.extend_from_slice(b.as_bytes());
-                    let n = self.rng.random_range(0..4096u32);
+                    let n = self.rng.below(4096);
                     out.extend_from_slice(format!(" + {n};\n").as_bytes());
                 }
                 2 => {
@@ -249,16 +248,16 @@ impl ContentGenerator {
     /// timestamps with small deltas, zero padding. Compresses ~2× like real
     /// database/index pages.
     fn fill_binary(&mut self, out: &mut Vec<u8>, len: usize) {
-        let mut id = self.rng.random_range(0..1_000_000u64);
-        let mut ts = 1_400_000_000u64 + self.rng.random_range(0..10_000_000);
+        let mut id = self.rng.below(1_000_000);
+        let mut ts = 1_400_000_000u64 + self.rng.below(10_000_000);
         while out.len() < len {
-            id += self.rng.random_range(1..4u64);
-            ts += self.rng.random_range(0..1000u64);
+            id += self.rng.range_u64(1, 4);
+            ts += self.rng.below(1000);
             out.extend_from_slice(&id.to_le_bytes());
             out.extend_from_slice(&ts.to_le_bytes());
-            out.push(self.rng.random_range(0..6u8)); // status enum
+            out.push(self.rng.below(6) as u8); // status enum
             out.push(0);
-            out.extend_from_slice(&(self.rng.random_range(0..10_000u32)).to_le_bytes());
+            out.extend_from_slice(&(self.rng.below(10_000) as u32).to_le_bytes());
             out.extend_from_slice(&[0u8; 10]); // reserved/padding
         }
         out.truncate(len);
@@ -273,8 +272,8 @@ impl ContentGenerator {
         let mut pos = 0usize;
         while pos + 4 <= len {
             out[pos] = 0xFF;
-            out[pos + 1] = 0xD8 + (self.rng.random_range(0..8u8));
-            pos += 1500 + self.rng.random_range(0..1000usize);
+            out[pos + 1] = 0xD8 + self.rng.below(8) as u8;
+            pos += 1500 + self.rng.below_usize(1000);
         }
     }
 }
@@ -333,7 +332,7 @@ mod tests {
     #[test]
     fn mix_sampling_respects_weights() {
         let mix = DataMix::new(vec![(BlockClass::Zero, 9.0), (BlockClass::Random, 1.0)]);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::seed_from_u64(7);
         let zeros = (0..10_000).filter(|_| mix.sample(&mut rng) == BlockClass::Zero).count();
         assert!((8500..9500).contains(&zeros), "got {zeros} zeros out of 10000");
     }

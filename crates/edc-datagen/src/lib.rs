@@ -21,15 +21,21 @@
 //! * [`ratio_dial`] — generate blocks hitting a *target* compressed
 //!   fraction, SDGen's headline capability.
 //!
-//! Everything is seeded (`rand::StdRng`), so every experiment that consumes
-//! generated content is exactly reproducible.
+//! Everything is seeded via the in-tree [`rng::Rng64`] (the workspace has
+//! no external dependencies so it builds offline), so every experiment
+//! that consumes generated content is exactly reproducible. The [`proptest`]
+//! module hosts the shared randomized-property-test harness the per-crate
+//! test suites use for the same reason.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod corpus;
 pub mod generator;
+pub mod proptest;
 pub mod ratio_dial;
+pub mod rng;
 
 pub use generator::{BlockClass, ContentGenerator, DataMix};
 pub use ratio_dial::RatioDial;
+pub use rng::Rng64;

@@ -1,0 +1,166 @@
+//! Minimal in-tree property-test harness.
+//!
+//! The original test suites used the `proptest` crate; this module keeps
+//! their shape — N randomized cases per property, value generators over a
+//! seeded RNG — without the external dependency (the build must work
+//! offline). There is no shrinking: on failure the harness reports the
+//! case's seed, and `Property::seed` reruns exactly that case under a
+//! debugger.
+//!
+//! ```
+//! use edc_datagen::proptest::{cases, vec_u8};
+//!
+//! cases(64).run("round trip", |rng| {
+//!     let data = vec_u8(rng, 0, 4096);
+//!     assert_eq!(data.len(), data.clone().len());
+//! });
+//! ```
+
+use crate::rng::{splitmix64, Rng64};
+
+/// A property to be checked over many random cases.
+#[derive(Debug, Clone, Copy)]
+pub struct Property {
+    cases: u32,
+    seed: u64,
+}
+
+/// Start a property with `n` random cases (mirrors
+/// `ProptestConfig::with_cases`).
+pub fn cases(n: u32) -> Property {
+    Property { cases: n, seed: 0xEDC_5EED }
+}
+
+impl Property {
+    /// Override the master seed — paste a failing case's reported seed here
+    /// to replay just that input.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.cases = 1;
+        self
+    }
+
+    /// Run `f` once per case with an independent, deterministic RNG.
+    /// Panics inside `f` (failed assertions) are annotated with the case
+    /// seed and re-raised.
+    pub fn run<F: FnMut(&mut Rng64)>(self, name: &str, mut f: F) {
+        for case in 0..self.cases {
+            let case_seed = splitmix64(self.seed ^ (u64::from(case) << 32));
+            let mut rng = Rng64::seed_from_u64(case_seed);
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+            if let Err(payload) = result {
+                eprintln!(
+                    "property {name:?} failed on case {case}/{}; replay with \
+                     `cases(1).seed(0x{case_seed:X}).run(...)`",
+                    self.cases
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// A byte vector with length in `[min_len, max_len)` and arbitrary bytes.
+pub fn vec_u8(rng: &mut Rng64, min_len: usize, max_len: usize) -> Vec<u8> {
+    let len = rng.range_usize(min_len, max_len.max(min_len + 1));
+    let mut out = vec![0u8; len];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+/// A byte vector whose bytes come from the small alphabet `[0, alphabet)` —
+/// match-heavy input for LZ codecs.
+pub fn vec_u8_alphabet(rng: &mut Rng64, min_len: usize, max_len: usize, alphabet: u8) -> Vec<u8> {
+    let len = rng.range_usize(min_len, max_len.max(min_len + 1));
+    (0..len).map(|_| rng.below(u64::from(alphabet)) as u8).collect()
+}
+
+/// Run-heavy bytes: up to `max_runs` runs of a repeated byte, each
+/// `[1, max_run_len)` long.
+pub fn vec_u8_runs(rng: &mut Rng64, max_runs: usize, max_run_len: usize) -> Vec<u8> {
+    let runs = rng.below_usize(max_runs.max(1));
+    let mut out = Vec::new();
+    for _ in 0..runs {
+        let byte = rng.next_u64() as u8;
+        let n = rng.range_usize(1, max_run_len.max(2));
+        out.extend(std::iter::repeat_n(byte, n));
+    }
+    out
+}
+
+/// A generic vector with length in `[min_len, max_len)` built by `f`.
+pub fn vec_of<T>(
+    rng: &mut Rng64,
+    min_len: usize,
+    max_len: usize,
+    f: impl Fn(&mut Rng64) -> T,
+) -> Vec<T> {
+    let len = rng.range_usize(min_len, max_len.max(min_len + 1));
+    (0..len).map(|_| f(rng)).collect()
+}
+
+/// One of the three block distributions the codec properties use:
+/// arbitrary bytes, small alphabet, run-heavy.
+pub fn block(rng: &mut Rng64, max_len: usize) -> Vec<u8> {
+    match rng.below(3) {
+        0 => vec_u8(rng, 0, max_len),
+        1 => vec_u8_alphabet(rng, 0, max_len, 4),
+        _ => vec_u8_runs(rng, 64, 64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_case_count() {
+        let count = std::cell::Cell::new(0u32);
+        cases(17).run("count", |_| count.set(count.get() + 1));
+        assert_eq!(count.get(), 17);
+    }
+
+    #[test]
+    fn cases_draw_distinct_inputs() {
+        let mut lens = std::collections::HashSet::new();
+        cases(32).run("distinct", |rng| {
+            lens.insert(vec_u8(rng, 0, 4096).len());
+        });
+        assert!(lens.len() > 10, "cases must vary, got {} lengths", lens.len());
+    }
+
+    #[test]
+    fn failure_reports_and_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            cases(8).run("always fails", |_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn seed_replays_single_case() {
+        let mut first: Option<Vec<u8>> = None;
+        cases(1).seed(0xABCD).run("a", |rng| {
+            first = Some(vec_u8(rng, 0, 128));
+        });
+        let mut second: Option<Vec<u8>> = None;
+        cases(1).seed(0xABCD).run("b", |rng| {
+            second = Some(vec_u8(rng, 0, 128));
+        });
+        assert_eq!(first, second);
+        assert!(first.is_some());
+    }
+
+    #[test]
+    fn generators_respect_bounds() {
+        cases(64).run("bounds", |rng| {
+            let a = vec_u8(rng, 1, 100);
+            assert!((1..100).contains(&a.len()));
+            let b = vec_u8_alphabet(rng, 0, 50, 4);
+            assert!(b.iter().all(|&x| x < 4));
+            let c = vec_u8_runs(rng, 16, 32);
+            assert!(c.len() < 16 * 32);
+        });
+    }
+}

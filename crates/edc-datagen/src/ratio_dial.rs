@@ -8,9 +8,8 @@
 //! [`RatioDial::calibrated`] closes the loop by bisecting `p` against a
 //! real codec until the achieved fraction matches the target.
 
+use crate::rng::Rng64;
 use edc_compress::Codec;
-use rand::prelude::*;
-use rand::rngs::StdRng;
 
 /// Generates blocks with a chosen compressed/original fraction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,7 +33,7 @@ impl RatioDial {
 
     /// Generate one block of `len` bytes.
     pub fn generate(&self, seed: u64, len: usize) -> Vec<u8> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let n_random = ((len as f64) * self.random_fraction).round() as usize;
         let n_random = n_random.min(len);
         let mut out = vec![0u8; len];

@@ -1,8 +1,9 @@
 //! Property tests: the FTL's mapping invariants must survive arbitrary
 //! write sequences, and the device's accounting must stay consistent.
+//! Runs on the in-tree harness (`edc_datagen::proptest`).
 
+use edc_datagen::proptest::{cases, vec_of};
 use edc_flash::{Ftl, IoKind, SsdConfig, SsdDevice};
-use proptest::prelude::*;
 
 fn tiny_cfg() -> SsdConfig {
     SsdConfig {
@@ -14,15 +15,12 @@ fn tiny_cfg() -> SsdConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// After any sequence of writes, the map/rmap/valid-counter/free-list
-    /// invariants hold and every written sector is still readable.
-    #[test]
-    fn ftl_invariants_under_arbitrary_writes(
-        ops in proptest::collection::vec((0u64..2048, 1u64..16), 1..400)
-    ) {
+/// After any sequence of writes, the map/rmap/valid-counter/free-list
+/// invariants hold and every written sector is still readable.
+#[test]
+fn ftl_invariants_under_arbitrary_writes() {
+    cases(48).run("ftl_invariants_under_arbitrary_writes", |rng| {
+        let ops = vec_of(rng, 1, 400, |r| (r.below(2048), r.range_u64(1, 16)));
         let cfg = tiny_cfg();
         let mut ftl = Ftl::new(&cfg);
         let cap = ftl.logical_sectors();
@@ -37,18 +35,19 @@ proptest! {
         }
         ftl.verify_integrity();
         for (l, &w) in written.iter().enumerate() {
-            prop_assert_eq!(ftl.is_mapped(l as u64), w, "lsn {}", l);
+            assert_eq!(ftl.is_mapped(l as u64), w, "lsn {l}");
         }
-        prop_assert!(ftl.stats().write_amplification() >= 1.0);
-    }
+        assert!(ftl.stats().write_amplification() >= 1.0);
+    });
+}
 
-    /// GC never loses data: overwrite-heavy workloads keep exactly one
-    /// valid copy per logical sector.
-    #[test]
-    fn gc_preserves_exactly_one_copy(
-        seed in any::<u64>(),
-        rounds in 3usize..6, // ≥3 rounds guarantees the free list drains into GC
-    ) {
+/// GC never loses data: overwrite-heavy workloads keep exactly one
+/// valid copy per logical sector.
+#[test]
+fn gc_preserves_exactly_one_copy() {
+    cases(48).run("gc_preserves_exactly_one_copy", |rng| {
+        let seed = rng.next_u64();
+        let rounds = rng.range_usize(3, 6); // ≥3 rounds drains the free list into GC
         let cfg = tiny_cfg();
         let mut ftl = Ftl::new(&cfg);
         let cap = ftl.logical_sectors();
@@ -62,16 +61,18 @@ proptest! {
             }
         }
         ftl.verify_integrity();
-        prop_assert!(ftl.stats().erases > 0, "workload must trigger GC");
-    }
+        assert!(ftl.stats().erases > 0, "workload must trigger GC");
+    });
+}
 
-    /// Device completions are causal and monotone: start ≥ submit,
-    /// finish > start, and the busy chain never goes backwards.
-    #[test]
-    fn device_time_is_causal(
-        ops in proptest::collection::vec(
-            (any::<bool>(), 0u64..4096, 1u32..9, 0u64..1000), 1..200)
-    ) {
+/// Device completions are causal and monotone: start ≥ submit,
+/// finish > start, and the busy chain never goes backwards.
+#[test]
+fn device_time_is_causal() {
+    cases(48).run("device_time_is_causal", |rng| {
+        let ops = vec_of(rng, 1, 200, |r| {
+            (r.chance(0.5), r.below(4096), r.range_u64(1, 9) as u32, r.below(1000))
+        });
         let mut dev = SsdDevice::new(tiny_cfg());
         let mut now = 0u64;
         let mut last_finish = 0u64;
@@ -80,22 +81,23 @@ proptest! {
             let kind = if is_read { IoKind::Read } else { IoKind::Write };
             let offset = (block % (dev.logical_bytes() / 4096)) * 4096;
             let c = dev.submit(now, kind, offset, len_blocks * 4096);
-            prop_assert!(c.start_ns >= now);
-            prop_assert!(c.finish_ns > c.start_ns);
-            prop_assert!(c.finish_ns >= last_finish, "busy chain went backwards");
+            assert!(c.start_ns >= now);
+            assert!(c.finish_ns > c.start_ns);
+            assert!(c.finish_ns >= last_finish, "busy chain went backwards");
             last_finish = c.finish_ns;
         }
         let s = dev.stats();
-        prop_assert!(s.busy_ns > 0);
-        prop_assert!(s.busy_ns <= last_finish);
-    }
+        assert!(s.busy_ns > 0);
+        assert!(s.busy_ns <= last_finish);
+    });
+}
 
-    /// Byte accounting: host byte counters equal the sum of submitted
-    /// lengths (after tail clipping).
-    #[test]
-    fn device_byte_accounting(
-        writes in proptest::collection::vec((0u64..500, 1u32..5), 1..100)
-    ) {
+/// Byte accounting: host byte counters equal the sum of submitted
+/// lengths (after tail clipping).
+#[test]
+fn device_byte_accounting() {
+    cases(48).run("device_byte_accounting", |rng| {
+        let writes = vec_of(rng, 1, 100, |r| (r.below(500), r.range_u64(1, 5) as u32));
         let mut dev = SsdDevice::new(tiny_cfg());
         let mut expect = 0u64;
         for (block, len_blocks) in writes {
@@ -105,6 +107,6 @@ proptest! {
             expect += clipped;
             dev.submit(0, IoKind::Write, offset, len as u32);
         }
-        prop_assert_eq!(dev.stats().bytes_written, expect);
-    }
+        assert_eq!(dev.stats().bytes_written, expect);
+    });
 }

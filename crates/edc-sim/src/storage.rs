@@ -9,6 +9,9 @@ use edc_flash::{
 /// The storage backing a scheme: the paper evaluates a single SSD
 /// (Fig. 10) and a five-device RAIS5 (Fig. 11); an HDD backend covers the
 /// paper's §VI future-work experiments on disk-based systems.
+// A handful of Storage values exist per simulation; the variant size gap
+// (SsdDevice vs HddDevice) is not worth a Box indirection on the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Storage {
     /// One simulated SSD.

@@ -1,15 +1,15 @@
 //! Property tests for the simulation engine: the event queue must behave
 //! like a stable sort, the CPU pool like a work-conserving k-server.
+//! Runs on the in-tree harness (`edc_datagen::proptest`).
 
+use edc_datagen::proptest::{cases, vec_of};
 use edc_sim::{CpuPool, EventQueue, LatencyRecorder};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// EventQueue pops exactly the stable sort of its input.
-    #[test]
-    fn event_queue_is_stable_sort(times in proptest::collection::vec(0u64..1000, 0..300)) {
+/// EventQueue pops exactly the stable sort of its input.
+#[test]
+fn event_queue_is_stable_sort() {
+    cases(96).run("event_queue_is_stable_sort", |rng| {
+        let times = vec_of(rng, 0, 300, |r| r.below(1000));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(t, i);
@@ -20,34 +20,36 @@ proptest! {
         while let Some(e) = q.pop() {
             got.push(e);
         }
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    /// CPU pool: jobs never start before ready, always run exactly their
-    /// duration, and the pool is work-conserving (total busy time equals
-    /// the sum of durations).
-    #[test]
-    fn cpu_pool_is_work_conserving(
-        workers in 1usize..6,
-        jobs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..200),
-    ) {
+/// CPU pool: jobs never start before ready, always run exactly their
+/// duration, and the pool is work-conserving (total busy time equals
+/// the sum of durations).
+#[test]
+fn cpu_pool_is_work_conserving() {
+    cases(96).run("cpu_pool_is_work_conserving", |rng| {
+        let workers = rng.range_usize(1, 6);
+        let jobs = vec_of(rng, 1, 200, |r| (r.below(10_000), r.range_u64(1, 500)));
         let mut pool = CpuPool::new(workers);
         let mut total = 0u64;
         for &(ready, dur) in &jobs {
             let (start, finish) = pool.schedule(ready, dur);
-            prop_assert!(start >= ready);
-            prop_assert_eq!(finish - start, dur);
+            assert!(start >= ready);
+            assert_eq!(finish - start, dur);
             total += dur;
         }
-        prop_assert_eq!(pool.busy_ns(), total);
-    }
+        assert_eq!(pool.busy_ns(), total);
+    });
+}
 
-    /// More workers never hurt: the makespan with k+1 workers is at most
-    /// the makespan with k workers for the same job sequence.
-    #[test]
-    fn more_workers_never_increase_makespan(
-        jobs in proptest::collection::vec((0u64..5_000, 1u64..300), 1..100),
-    ) {
+/// More workers never hurt: the makespan with k+1 workers is at most
+/// the makespan with k workers for the same job sequence.
+#[test]
+fn more_workers_never_increase_makespan() {
+    cases(96).run("more_workers_never_increase_makespan", |rng| {
+        let jobs = vec_of(rng, 1, 100, |r| (r.below(5_000), r.range_u64(1, 300)));
         let makespan = |k: usize| -> u64 {
             let mut pool = CpuPool::new(k);
             jobs.iter().map(|&(r, d)| pool.schedule(r, d).1).max().unwrap_or(0)
@@ -55,14 +57,17 @@ proptest! {
         let m1 = makespan(1);
         let m2 = makespan(2);
         let m4 = makespan(4);
-        prop_assert!(m2 <= m1);
-        prop_assert!(m4 <= m2);
-    }
+        assert!(m2 <= m1);
+        assert!(m4 <= m2);
+    });
+}
 
-    /// Latency summaries are order-invariant and internally consistent
-    /// (p50 ≤ p95 ≤ p99 ≤ max, mean within [min, max]).
-    #[test]
-    fn latency_summary_consistency(samples in proptest::collection::vec(0u64..1_000_000, 1..500)) {
+/// Latency summaries are order-invariant and internally consistent
+/// (p50 ≤ p95 ≤ p99 ≤ max, mean within [min, max]).
+#[test]
+fn latency_summary_consistency() {
+    cases(96).run("latency_summary_consistency", |rng| {
+        let samples = vec_of(rng, 1, 500, |r| r.below(1_000_000));
         let mut rec = LatencyRecorder::new();
         for &s in &samples {
             rec.record(s);
@@ -70,11 +75,11 @@ proptest! {
         let sum = rec.summary();
         let min = *samples.iter().min().unwrap();
         let max = *samples.iter().max().unwrap();
-        prop_assert_eq!(sum.count, samples.len() as u64);
-        prop_assert!(sum.p50_ns <= sum.p95_ns);
-        prop_assert!(sum.p95_ns <= sum.p99_ns);
-        prop_assert!(sum.p99_ns <= sum.max_ns);
-        prop_assert_eq!(sum.max_ns, max);
-        prop_assert!(sum.mean_ns >= min && sum.mean_ns <= max);
-    }
+        assert_eq!(sum.count, samples.len() as u64);
+        assert!(sum.p50_ns <= sum.p95_ns);
+        assert!(sum.p95_ns <= sum.p99_ns);
+        assert!(sum.p99_ns <= sum.max_ns);
+        assert_eq!(sum.max_ns, max);
+        assert!(sum.mean_ns >= min && sum.mean_ns <= max);
+    });
 }

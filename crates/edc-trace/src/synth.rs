@@ -18,8 +18,7 @@
 //! the same [`Trace`] type.
 
 use crate::{OpType, Request, Trace};
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use edc_datagen::Rng64;
 
 /// Configuration of the synthetic workload generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,18 +72,18 @@ impl SynthConfig {
         assert!((0.0..=1.0).contains(&self.read_fraction));
         assert!((0.0..=1.0).contains(&self.seq_prob));
         assert!(!self.size_dist.is_empty());
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut requests = Vec::new();
         let horizon = self.duration_s;
         let mut t = 0.0f64; // seconds
         let mut burst = true;
         let mut next_seq_offset: u64 = 0;
         // Exponential sample with mean `m`.
-        let exp = move |rng: &mut StdRng, m: f64| -> f64 {
+        let exp = move |rng: &mut Rng64, m: f64| -> f64 {
             if m <= 0.0 {
                 return 0.0;
             }
-            let u: f64 = rng.random::<f64>().max(1e-12);
+            let u: f64 = rng.f64().max(1e-12);
             -u.ln() * m
         };
         let batch_mean = self.batch_mean.max(1.0);
@@ -104,7 +103,7 @@ impl SynthConfig {
                     }
                     t += gap;
                     let mut batch = 1usize;
-                    while batch_mean > 1.0 && rng.random::<f64>() < 1.0 - 1.0 / batch_mean {
+                    while batch_mean > 1.0 && rng.chance(1.0 - 1.0 / batch_mean) {
                         batch += 1;
                         if batch >= 64 {
                             break;
@@ -121,28 +120,28 @@ impl SynthConfig {
         Trace::new(name, requests)
     }
 
-    fn one_request(&self, rng: &mut StdRng, t_s: f64, next_seq: &mut u64) -> Request {
-        let op = if rng.random::<f64>() < self.read_fraction { OpType::Read } else { OpType::Write };
+    fn one_request(&self, rng: &mut Rng64, t_s: f64, next_seq: &mut u64) -> Request {
+        let op = if rng.chance(self.read_fraction) { OpType::Read } else { OpType::Write };
         let len = self.sample_size(rng);
         // A sequential chain that would run past the volume end restarts
         // with a fresh jump (real workloads wrap at file/extent ends).
         let sequential = *next_seq > 0
             && *next_seq + u64::from(len) <= self.volume_bytes
-            && rng.random::<f64>() < self.seq_prob;
+            && rng.chance(self.seq_prob);
         let offset = if sequential {
             *next_seq
         } else {
             // 4 KiB-aligned uniform jump, leaving room for the request.
             let max_block = (self.volume_bytes.saturating_sub(u64::from(len))) / 4096;
-            rng.random_range(0..=max_block) * 4096
+            rng.below(max_block + 1) * 4096
         };
         *next_seq = offset + u64::from(len);
         Request { arrival_ns: (t_s * 1e9) as u64, op, offset, len }
     }
 
-    fn sample_size(&self, rng: &mut StdRng) -> u32 {
+    fn sample_size(&self, rng: &mut Rng64) -> u32 {
         let total: f64 = self.size_dist.iter().map(|&(_, w)| w).sum();
-        let mut x = rng.random::<f64>() * total;
+        let mut x = rng.f64() * total;
         for &(s, w) in &self.size_dist {
             if x < w {
                 return s;

@@ -1,68 +1,71 @@
 //! Property tests for trace parsing/serialization and synthetic
-//! generation invariants.
+//! generation invariants. Runs on the in-tree harness
+//! (`edc_datagen::proptest`).
 
+use edc_datagen::proptest::{cases, vec_of};
+use edc_datagen::Rng64;
 use edc_trace::writer::{to_msr, to_spc};
 use edc_trace::{msr, spc, OpType, Request, SynthConfig, Trace};
-use proptest::prelude::*;
 
-fn request_strategy() -> impl Strategy<Value = Request> {
-    (0u64..1_000_000_000, any::<bool>(), 0u64..1_000_000, 1u32..64).prop_map(
-        |(at, read, block, len_blocks)| Request {
-            arrival_ns: at,
-            op: if read { OpType::Read } else { OpType::Write },
-            offset: block * 4096,
-            len: len_blocks * 512,
-        },
-    )
+fn random_request(rng: &mut Rng64) -> Request {
+    Request {
+        arrival_ns: rng.below(1_000_000_000),
+        op: if rng.chance(0.5) { OpType::Read } else { OpType::Write },
+        offset: rng.below(1_000_000) * 4096,
+        len: rng.range_u64(1, 64) as u32 * 512,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// SPC text round-trips: write → parse preserves ops, offsets, sizes
-    /// (timestamps to µs precision).
-    #[test]
-    fn spc_round_trips(reqs in proptest::collection::vec(request_strategy(), 1..100)) {
+/// SPC text round-trips: write → parse preserves ops, offsets, sizes
+/// (timestamps to µs precision).
+#[test]
+fn spc_round_trips() {
+    cases(48).run("spc_round_trips", |rng| {
+        let reqs = vec_of(rng, 1, 100, random_request);
         let t = Trace::new("p", reqs);
         let parsed = spc::parse("p", &to_spc(&t), None).unwrap();
-        prop_assert_eq!(parsed.requests.len(), t.requests.len());
+        assert_eq!(parsed.requests.len(), t.requests.len());
         for (a, b) in parsed.requests.iter().zip(&t.requests) {
-            prop_assert_eq!(a.op, b.op);
-            prop_assert_eq!(a.offset, b.offset / 512 * 512);
-            prop_assert_eq!(a.len, b.len);
-            prop_assert!((a.arrival_ns as i64 - b.arrival_ns as i64).abs() <= 1000);
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.offset, b.offset / 512 * 512);
+            assert_eq!(a.len, b.len);
+            assert!((a.arrival_ns as i64 - b.arrival_ns as i64).abs() <= 1000);
         }
-    }
+    });
+}
 
-    /// MSR text round-trips (inter-arrival structure; the parser rebases).
-    #[test]
-    fn msr_round_trips(reqs in proptest::collection::vec(request_strategy(), 1..100)) {
+/// MSR text round-trips (inter-arrival structure; the parser rebases).
+#[test]
+fn msr_round_trips() {
+    cases(48).run("msr_round_trips", |rng| {
+        let reqs = vec_of(rng, 1, 100, random_request);
         let t = Trace::new("p", reqs);
         let parsed = msr::parse("p", &to_msr(&t, "host"), None).unwrap();
-        prop_assert_eq!(parsed.requests.len(), t.requests.len());
+        assert_eq!(parsed.requests.len(), t.requests.len());
         let base_a = parsed.requests[0].arrival_ns as i64;
         let base_b = t.requests[0].arrival_ns as i64;
         for (a, b) in parsed.requests.iter().zip(&t.requests) {
-            prop_assert_eq!(a.op, b.op);
-            prop_assert_eq!(a.offset, b.offset);
-            prop_assert_eq!(a.len, b.len);
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.offset, b.offset);
+            assert_eq!(a.len, b.len);
             let da = a.arrival_ns as i64 - base_a;
             let db = b.arrival_ns as i64 - base_b;
-            prop_assert!((da - db).abs() <= 100);
+            assert!((da - db).abs() <= 100);
         }
-    }
+    });
+}
 
-    /// Synthetic generation invariants for arbitrary configurations:
-    /// ordered arrivals, in-volume offsets, sizes from the distribution,
-    /// determinism per seed.
-    #[test]
-    fn synth_invariants(
-        seed in any::<u64>(),
-        on_rate in 50.0f64..2000.0,
-        read_frac in 0.0f64..1.0,
-        seq_prob in 0.0f64..1.0,
-        batch in 1.0f64..8.0,
-    ) {
+/// Synthetic generation invariants for arbitrary configurations:
+/// ordered arrivals, in-volume offsets, sizes from the distribution,
+/// determinism per seed.
+#[test]
+fn synth_invariants() {
+    cases(48).run("synth_invariants", |rng| {
+        let seed = rng.next_u64();
+        let on_rate = 50.0 + rng.f64() * 1950.0;
+        let read_frac = rng.f64();
+        let seq_prob = rng.f64();
+        let batch = 1.0 + rng.f64() * 7.0;
         let cfg = SynthConfig {
             duration_s: 5.0,
             on_rate,
@@ -77,12 +80,12 @@ proptest! {
         };
         let a = cfg.generate("x", seed);
         let b = cfg.generate("x", seed);
-        prop_assert_eq!(&a, &b, "same seed must reproduce");
-        prop_assert!(a.requests.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        assert_eq!(&a, &b, "same seed must reproduce");
+        assert!(a.requests.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
         for r in &a.requests {
-            prop_assert!(r.offset + u64::from(r.len) <= cfg.volume_bytes + 65536);
-            prop_assert!([4096u32, 8192, 16384].contains(&r.len));
-            prop_assert!(r.arrival_ns <= 5_000_000_000);
+            assert!(r.offset + u64::from(r.len) <= cfg.volume_bytes + 65536);
+            assert!([4096u32, 8192, 16384].contains(&r.len));
+            assert!(r.arrival_ns <= 5_000_000_000);
         }
-    }
+    });
 }
