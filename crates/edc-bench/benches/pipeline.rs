@@ -25,10 +25,10 @@ fn main() {
         for (i, block) in blocks.iter().enumerate() {
             // Alternate contiguity so the SD both merges and flushes.
             let offset = if i % 5 == 0 { (i as u64 * 31 % 512) * 4096 } else { i as u64 * 4096 };
-            store.write(t, offset, black_box(block));
+            store.write(t, offset, black_box(block)).expect("write");
             t += 10_000_000;
         }
-        store.flush(t);
+        store.flush(t).expect("flush");
         black_box(store.compression_ratio())
     });
 
@@ -36,10 +36,10 @@ fn main() {
         let mut store = EdcPipeline::new(8 << 20, PipelineConfig::default());
         let mut t = 0u64;
         for (i, block) in blocks.iter().enumerate() {
-            store.write(t, i as u64 * 4096, block);
+            store.write(t, i as u64 * 4096, block).expect("write");
             t += 10_000_000;
         }
-        store.flush(t);
+        store.flush(t).expect("flush");
         h.run_bytes("read_back_128_blocks", total, || {
             for i in 0..blocks.len() as u64 {
                 black_box(store.read(t, i * 4096, 4096).unwrap());

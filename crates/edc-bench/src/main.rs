@@ -7,14 +7,17 @@
 //! ```
 //!
 //! Subcommands: `fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12
-//! ablations bench-pipeline all`. `--quick` shrinks trace durations (and
-//! bench workloads) for smoke runs; `--out DIR` sets the output directory
-//! (default `results/`).
+//! ablations bench-pipeline fault-campaign all`. `--quick` shrinks trace
+//! durations (and bench workloads) for smoke runs; `--smoke` does the same
+//! for `fault-campaign`; `--out DIR` sets the output directory (default
+//! `results/`).
 
 use edc_bench::env::{ExperimentEnv, Platform};
 use edc_bench::experiments as ex;
 use edc_bench::{Harness, Table};
+use edc_core::error::EdcError;
 use edc_core::pipeline::{BatchWrite, EdcPipeline, PipelineConfig};
+use edc_flash::{FaultError, FaultPlan, IoKind, SsdConfig, SsdDevice};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -57,9 +60,9 @@ fn bench_pipeline(quick: bool, out_dir: &Path) {
     let serial_ns = h
         .run_prepared("flush_serial_1worker", Some(total_bytes), || make(1), |mut p| {
             for w in &batch {
-                p.write(w.now_ns, w.offset, w.data);
+                p.write(w.now_ns, w.offset, w.data).expect("write");
             }
-            p.flush(end_ns);
+            p.flush(end_ns).expect("flush");
             p
         })
         .median_ns;
@@ -69,8 +72,8 @@ fn bench_pipeline(quick: bool, out_dir: &Path) {
             Some(total_bytes),
             || make(WORKERS),
             |mut p| {
-                p.write_batch(&batch);
-                p.flush_all(end_ns);
+                p.write_batch(&batch).expect("write_batch");
+                p.flush_all(end_ns).expect("flush_all");
                 p
             },
         )
@@ -80,12 +83,12 @@ fn bench_pipeline(quick: bool, out_dir: &Path) {
     // to the serial one.
     let mut serial = make(1);
     for w in &batch {
-        serial.write(w.now_ns, w.offset, w.data);
+        serial.write(w.now_ns, w.offset, w.data).expect("write");
     }
-    serial.flush(end_ns);
+    serial.flush(end_ns).expect("flush");
     let mut batched = make(WORKERS);
-    batched.write_batch(&batch);
-    batched.flush_all(end_ns);
+    batched.write_batch(&batch).expect("write_batch");
+    batched.flush_all(end_ns).expect("flush_all");
     assert_eq!(
         serial.device_image(),
         batched.device_image(),
@@ -100,8 +103,8 @@ fn bench_pipeline(quick: bool, out_dir: &Path) {
         Some(2 * total_bytes),
         || {
             let mut p = make(WORKERS);
-            p.write_batch(&batch);
-            p.flush_all(end_ns);
+            p.write_batch(&batch).expect("write_batch");
+            p.flush_all(end_ns).expect("flush_all");
             p
         },
         |mut p| {
@@ -114,8 +117,8 @@ fn bench_pipeline(quick: bool, out_dir: &Path) {
         },
     );
     let mut probe = make(WORKERS);
-    probe.write_batch(&batch);
-    probe.flush_all(end_ns);
+    probe.write_batch(&batch).expect("write_batch");
+    probe.flush_all(end_ns).expect("flush_all");
     for pass in 0..2u64 {
         for w in &batch {
             probe.read(end_ns + pass + 1, w.offset, w.data.len() as u64).expect("read");
@@ -144,6 +147,294 @@ fn bench_pipeline(quick: bool, out_dir: &Path) {
     }
 }
 
+/// A compressible 4 KiB block with deterministic per-tag content.
+fn campaign_text_block(tag: u64) -> Vec<u8> {
+    format!("edc fault campaign block {tag} elastic compression payload ")
+        .into_bytes()
+        .into_iter()
+        .cycle()
+        .take(4096)
+        .collect()
+}
+
+/// An incompressible 4 KiB block (xorshift noise).
+fn campaign_noise_block(seed: u64) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..4096)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 48) as u8
+        })
+        .collect()
+}
+
+/// One expected run in the fault campaign: `(offset, old_data, new_data)`.
+type CampaignRun = (u64, Option<Vec<u8>>, Vec<u8>);
+
+/// The campaign's pipeline workload: `runs` two-block runs (every fourth
+/// incompressible), one overwrite at the end. Returns the expected final
+/// contents as `(offset, old_data, new_data)` — `old_data` differs from
+/// `new_data` only for the overwritten range, so crash verification can
+/// accept either committed version.
+fn campaign_drive(p: &mut EdcPipeline, runs: u64) -> Result<Vec<CampaignRun>, EdcError> {
+    let mut expect: Vec<CampaignRun> = Vec::new();
+    for i in 0..runs {
+        let mut data = if i % 4 == 3 {
+            campaign_noise_block(i * 977 + 13)
+        } else {
+            campaign_text_block(i)
+        };
+        data.extend(campaign_text_block(i + 1000));
+        // Stride 3 leaves gaps so runs never merge with each other.
+        let offset = (i * 3) * 4096;
+        p.write(i, offset, &data)?;
+        expect.push((offset, None, data));
+    }
+    p.flush_all(runs)?;
+    // Overwrite the first run: crash verification must accept v1 or v2.
+    let mut v2 = campaign_text_block(7777);
+    v2.extend(campaign_text_block(8888));
+    p.write(runs + 10, 0, &v2)?;
+    p.flush_all(runs + 20)?;
+    let old = std::mem::replace(&mut expect[0].2, v2);
+    expect[0].1 = Some(old);
+    Ok(expect)
+}
+
+/// Verify post-recovery contents block by block. Every block must read as
+/// its expected data, its pre-overwrite data, or all zeroes (run never
+/// committed) — anything else is data loss. Returns (verified, lost).
+fn campaign_verify(
+    p: &mut EdcPipeline,
+    expect: &[CampaignRun],
+) -> (u64, u64) {
+    let zero = vec![0u8; 4096];
+    let (mut verified, mut lost) = (0u64, 0u64);
+    for (off, old, data) in expect {
+        for b in 0..(data.len() / 4096) as u64 {
+            let at = off + b * 4096;
+            let got = match p.read(1 << 40, at, 4096) {
+                Ok(g) => g,
+                Err(_) => {
+                    lost += 1;
+                    continue;
+                }
+            };
+            let lo = (b * 4096) as usize;
+            let want = &data[lo..lo + 4096];
+            let want_old = old.as_ref().map(|o| &o[lo..lo + 4096]);
+            if got == want || got == zero || want_old.is_some_and(|w| got == w) {
+                verified += 1;
+            } else {
+                lost += 1;
+            }
+        }
+    }
+    (verified, lost)
+}
+
+/// Fault-injection campaign: sweep a simulated power cut across every
+/// page-program index of a pipeline workload (recovering and verifying
+/// after each), then drive the raw SSD simulator through a fault-rate
+/// matrix. Writes `BENCH_faults.json`; exits non-zero if any journaled
+/// run loses data, or if any fault fires at zero fault rate.
+fn fault_campaign(smoke: bool, out_dir: &Path) {
+    let runs: u64 = if smoke { 10 } else { 48 };
+    let samples = if smoke { 3 } else { 5 };
+    let mk = || EdcPipeline::new(8 << 20, PipelineConfig::default());
+    let mut h = Harness::new("faults", samples);
+    let mut failures = 0u64;
+
+    // Baseline: zero fault rate must mean zero faults and zero loss.
+    let mut clean = mk();
+    let expect = campaign_drive(&mut clean, runs).expect("clean run cannot fault");
+    let total_programs = clean.programs();
+    let committed_runs = clean.journal_records();
+    let (clean_verified, clean_lost) = campaign_verify(&mut clean, &expect);
+    let stats = clean.fault_stats();
+    let clean_faults = stats.read_faults
+        + stats.program_faults
+        + stats.erase_faults
+        + stats.rot_pages
+        + stats.power_cuts;
+    if clean_lost > 0 || clean_faults > 0 {
+        eprintln!("# FAIL: zero fault rate produced loss={clean_lost} faults={clean_faults}");
+        failures += 1;
+    }
+    eprintln!(
+        "# clean run: {committed_runs} journaled runs, {total_programs} page programs, \
+         {clean_verified} blocks verified"
+    );
+
+    // Power-cut sweep: cut at EVERY page-program index, recover, verify.
+    let mut cuts = 0u64;
+    let mut recover_failures = 0u64;
+    let mut payload_mismatches = 0u64;
+    let mut replayed_total = 0u64;
+    let mut lost_total = 0u64;
+    let mut verified_total = 0u64;
+    let mut recovery_ns_sum = 0u128;
+    let mut recovery_ns_max = 0u128;
+    for cut in 0..total_programs {
+        let mut p = mk();
+        p.set_fault_plan(FaultPlan {
+            power_cut_after_programs: Some(cut),
+            ..FaultPlan::none()
+        });
+        match campaign_drive(&mut p, runs) {
+            Err(EdcError::Write(edc_core::error::WriteError::PowerCut { .. })) => {}
+            other => {
+                eprintln!("# FAIL: cut {cut} did not surface as PowerCut ({other:?})");
+                failures += 1;
+                continue;
+            }
+        }
+        let t0 = Instant::now();
+        let report = match p.recover() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("# FAIL: recovery after cut {cut}: {e}");
+                recover_failures += 1;
+                failures += 1;
+                continue;
+            }
+        };
+        let dt = t0.elapsed().as_nanos();
+        recovery_ns_sum += dt;
+        recovery_ns_max = recovery_ns_max.max(dt);
+        payload_mismatches += report.payload_mismatches;
+        replayed_total += report.replayed_runs;
+        let (v, l) = campaign_verify(&mut p, &expect);
+        verified_total += v;
+        lost_total += l;
+        cuts += 1;
+    }
+    if lost_total > 0 || payload_mismatches > 0 {
+        eprintln!(
+            "# FAIL: power-cut sweep lost {lost_total} blocks, \
+             {payload_mismatches} payload mismatches"
+        );
+        failures += 1;
+    }
+    eprintln!(
+        "# power-cut sweep: {cuts} cut points, {replayed_total} runs replayed, \
+         {verified_total} blocks verified, {lost_total} lost"
+    );
+
+    // Timed recovery at the midpoint cut (the representative case).
+    let mid = total_programs / 2;
+    h.run_prepared(
+        "recover_after_midpoint_cut",
+        None,
+        || {
+            let mut p = mk();
+            p.set_fault_plan(FaultPlan {
+                power_cut_after_programs: Some(mid),
+                ..FaultPlan::none()
+            });
+            let _ = campaign_drive(&mut p, runs);
+            p
+        },
+        |mut p| {
+            let report = p.recover().expect("recovery");
+            (report.replayed_runs, p)
+        },
+    );
+
+    // Device-level matrix: transient/program/erase fault rates against the
+    // raw SSD simulator, with a power cycle and an FTL integrity audit at
+    // the end of every cell.
+    let rates: &[f64] = if smoke { &[0.0, 0.01] } else { &[0.0, 0.001, 0.01, 0.05] };
+    let ops: u64 = if smoke { 2_000 } else { 20_000 };
+    for &rate in rates {
+        let mut dev = SsdDevice::new(SsdConfig { logical_bytes: 64 << 20, ..SsdConfig::default() });
+        dev.precondition(0.5);
+        dev.set_fault_plan(FaultPlan {
+            seed: 0xEDC + (rate * 1e6) as u64,
+            read_error_rate: rate,
+            program_error_rate: rate,
+            erase_error_rate: rate / 2.0,
+            ..FaultPlan::none()
+        });
+        let (mut read_errs, mut write_errs) = (0u64, 0u64);
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        for i in 0..ops {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let offset = (x % (64 << 20)) & !4095;
+            let kind = if i % 3 == 0 { IoKind::Read } else { IoKind::Write };
+            match dev.try_submit(i * 20_000, kind, offset, 4096) {
+                Ok(_) => {}
+                Err(FaultError::ReadFault) => read_errs += 1,
+                Err(FaultError::PowerCut { .. }) | Err(FaultError::PoweredOff) => {
+                    dev.power_cycle();
+                }
+                Err(_) => write_errs += 1,
+            }
+        }
+        if let Err(e) = dev.verify_integrity() {
+            eprintln!("# FAIL: FTL integrity after rate {rate}: {e}");
+            failures += 1;
+        }
+        // Power cycle and re-audit: volatile-state reset must not break
+        // the FTL's mapping invariants either.
+        dev.power_cycle();
+        if let Err(e) = dev.verify_integrity() {
+            eprintln!("# FAIL: FTL integrity after power cycle at rate {rate}: {e}");
+            failures += 1;
+        }
+        let fs = dev.fault_stats();
+        if rate == 0.0 && (read_errs + write_errs + fs.read_faults + fs.program_faults) > 0 {
+            eprintln!("# FAIL: faults fired at zero rate");
+            failures += 1;
+        }
+        let pct = (rate * 1e4) as u64; // basis points keep metric names stable
+        h.metric(&format!("device_read_errors_bp{pct}"), read_errs as f64);
+        h.metric(&format!("device_write_errors_bp{pct}"), write_errs as f64);
+        h.metric(&format!("device_injected_read_faults_bp{pct}"), fs.read_faults as f64);
+        h.metric(&format!("device_injected_program_faults_bp{pct}"), fs.program_faults as f64);
+        h.metric(&format!("device_injected_erase_faults_bp{pct}"), fs.erase_faults as f64);
+        h.metric(&format!("device_retired_blocks_bp{pct}"), dev.ftl_stats().retired_blocks as f64);
+        eprintln!(
+            "# device rate {rate}: injected {}/{}/{} read/program/erase faults, surfaced \
+             {read_errs} read + {write_errs} write errors, {} retired blocks, integrity ok",
+            fs.read_faults,
+            fs.program_faults,
+            fs.erase_faults,
+            dev.ftl_stats().retired_blocks
+        );
+    }
+
+    h.metric("cut_points", cuts as f64);
+    h.metric("committed_runs_clean", committed_runs as f64);
+    h.metric("page_programs_clean", total_programs as f64);
+    h.metric("recovered_runs_total", replayed_total as f64);
+    h.metric("recovered_cuts_pct", if total_programs == 0 { 100.0 } else {
+        100.0 * (total_programs - recover_failures) as f64 / total_programs as f64
+    });
+    h.metric("data_loss_blocks", lost_total as f64);
+    h.metric("data_loss_pct", if verified_total + lost_total == 0 { 0.0 } else {
+        100.0 * lost_total as f64 / (verified_total + lost_total) as f64
+    });
+    h.metric("payload_mismatches", payload_mismatches as f64);
+    h.metric("recovery_ns_mean", if cuts == 0 { 0.0 } else {
+        (recovery_ns_sum / u128::from(cuts)) as f64
+    });
+    h.metric("recovery_ns_max", recovery_ns_max as f64);
+
+    print!("{}", h.render());
+    let path = h.write_json(out_dir).expect("writing BENCH_faults.json");
+    eprintln!("# wrote {}", path.display());
+    if failures > 0 {
+        eprintln!("# fault campaign FAILED with {failures} violation(s)");
+        std::process::exit(1);
+    }
+    eprintln!("# fault campaign passed: zero data loss across {cuts} power-cut points");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -161,10 +452,16 @@ fn main() {
         .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "all".to_string());
 
-    // The pipeline micro-bench needs no trace environment; run it before
-    // the (expensive) ExperimentEnv construction.
+    // The pipeline micro-bench and fault campaign need no trace
+    // environment; run them before the (expensive) ExperimentEnv
+    // construction.
     if cmd == "bench-pipeline" {
         bench_pipeline(quick, &out_dir);
+        return;
+    }
+    if cmd == "fault-campaign" {
+        let smoke = quick || args.iter().any(|a| a == "--smoke");
+        fault_campaign(smoke, &out_dir);
         return;
     }
 
@@ -265,7 +562,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command {other:?}");
-            eprintln!("commands: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12 ablations future-work timeline mixed calibrate bench-pipeline all");
+            eprintln!("commands: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12 ablations future-work timeline mixed calibrate bench-pipeline fault-campaign all");
             std::process::exit(2);
         }
     }

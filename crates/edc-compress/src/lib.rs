@@ -209,23 +209,79 @@ pub trait Codec: Send + Sync {
     /// knows from its mapping entry; codecs use it to size the output buffer
     /// exactly and to validate stream integrity.
     fn decompress(&self, input: &[u8], expected_len: usize) -> Result<Vec<u8>, DecompressError>;
+
+    /// Decompress into a caller-owned buffer, clearing it first — the read-
+    /// path mirror of [`Codec::compress_into`]. The bytes produced are
+    /// identical to [`Codec::decompress`]'s; the point is allocation reuse
+    /// on hot read paths. The default delegates to `decompress`.
+    fn decompress_into(
+        &self,
+        input: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), DecompressError> {
+        let produced = self.decompress(input, expected_len)?;
+        out.clear();
+        out.extend_from_slice(&produced);
+        Ok(())
+    }
+}
+
+/// Error from a [`CodecRegistry`] lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The tag was [`CodecId::None`]: the data is stored uncompressed
+    /// (write-through) and there is no codec to run. Callers that can
+    /// serve raw bytes handle this variant explicitly; reaching a
+    /// decompressor with it is a logic error worth surfacing as data.
+    WriteThrough,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::WriteThrough => {
+                write!(f, "tag is CodecId::None: write-through data has no codec")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// The table of codec implementations, addressed by [`CodecId`].
+///
+/// Replaces ad-hoc `codec_by_id(...).expect(...)` call sites with a typed
+/// lookup: [`CodecRegistry::get`] returns [`CodecError::WriteThrough`] for
+/// [`CodecId::None`] instead of forcing every caller to re-derive why the
+/// `Option` is `None`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CodecRegistry;
+
+impl CodecRegistry {
+    /// Look up the codec for `id`; [`CodecId::None`] is a typed error.
+    pub fn get(id: CodecId) -> Result<&'static dyn Codec, CodecError> {
+        static LZF: Lzf = Lzf::new();
+        static LZ4: Lz4 = Lz4::new();
+        static DEFLATE: Deflate = Deflate::new();
+        static BWT: Bwt = Bwt::new();
+        match id {
+            CodecId::None => Err(CodecError::WriteThrough),
+            CodecId::Lzf => Ok(&LZF),
+            CodecId::Lz4 => Ok(&LZ4),
+            CodecId::Deflate => Ok(&DEFLATE),
+            CodecId::Bwt => Ok(&BWT),
+        }
+    }
 }
 
 /// Look up the codec implementation for a tag.
 ///
 /// Returns `None` for [`CodecId::None`] (write-through has no codec).
+/// Thin `Option` adapter over [`CodecRegistry::get`] for callers that
+/// treat write-through as an ordinary branch rather than an error.
 pub fn codec_by_id(id: CodecId) -> Option<&'static dyn Codec> {
-    static LZF: Lzf = Lzf::new();
-    static LZ4: Lz4 = Lz4::new();
-    static DEFLATE: Deflate = Deflate::new();
-    static BWT: Bwt = Bwt::new();
-    match id {
-        CodecId::None => None,
-        CodecId::Lzf => Some(&LZF),
-        CodecId::Lz4 => Some(&LZ4),
-        CodecId::Deflate => Some(&DEFLATE),
-        CodecId::Bwt => Some(&BWT),
-    }
+    CodecRegistry::get(id).ok()
 }
 
 /// Compression ratio of a (original, compressed) size pair, following the
@@ -279,6 +335,27 @@ mod tests {
             assert_eq!(codec.id(), id);
         }
         assert!(codec_by_id(CodecId::None).is_none());
+    }
+
+    #[test]
+    fn registry_types_the_write_through_case() {
+        for id in CodecId::ALL_CODECS {
+            assert_eq!(CodecRegistry::get(id).expect("codec must exist").id(), id);
+        }
+        assert_eq!(CodecRegistry::get(CodecId::None).err(), Some(CodecError::WriteThrough));
+        assert!(!CodecError::WriteThrough.to_string().is_empty());
+    }
+
+    #[test]
+    fn decompress_into_matches_decompress() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(6000).collect();
+        let mut out = vec![0xAAu8; 3]; // stale content must be cleared
+        for id in CodecId::ALL_CODECS {
+            let codec = CodecRegistry::get(id).unwrap();
+            let c = codec.compress(&data);
+            codec.decompress_into(&c, data.len(), &mut out).expect("round trip");
+            assert_eq!(out, data, "{id} decompress_into mismatch");
+        }
     }
 
     #[test]

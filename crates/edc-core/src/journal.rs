@@ -1,0 +1,251 @@
+//! Append-only mapping-table journal for crash recovery.
+//!
+//! The pipeline's mapping table ([`crate::mapping::BlockMap`]) is volatile:
+//! a power cut mid-flush would orphan every compressed run on the device.
+//! The journal is the durable record — each committed run appends one
+//! fixed-size, checksummed [`MappingEntry`] record, written *after* the
+//! run's payload pages so that a record's presence implies its payload is
+//! durable (classic write-ahead ordering, payload-then-commit).
+//!
+//! [`crate::pipeline::EdcPipeline::recover`] replays the journal in append
+//! order: later records supersede earlier ones exactly as the original
+//! `insert_run` calls did, so the rebuilt table equals the pre-crash table
+//! restricted to runs whose commit record landed. Replay stops at the
+//! first torn or corrupt record (a cut mid-append leaves a recognizable
+//! partial tail), and every record carries its own CRC so a damaged middle
+//! record cannot smuggle garbage into the rebuilt mapping.
+//!
+//! The journal models an on-flash structure but lives in memory here, like
+//! the pipeline's device image; what matters for the reproduction is the
+//! *ordering contract* between payload programs and the commit record,
+//! which the pipeline enforces against the simulated power-cut clock.
+
+use crate::mapping::MappingEntry;
+use core::fmt;
+use edc_compress::{checksum64, CodecId};
+
+/// Magic bytes opening every record.
+const MAGIC: [u8; 4] = *b"EDCJ";
+
+/// Serialized size of one journal record:
+/// magic(4) + seq(8) + tag(1) + run_start(8) + run_blocks(4) +
+/// device_offset(8) + stored_bytes(8) + compressed_bytes(8) +
+/// checksum(8) + record_crc(8).
+pub const RECORD_BYTES: usize = 65;
+
+/// A semantically impossible journal record — decoded cleanly (CRC valid)
+/// but describing a placement that cannot exist on the device. Unlike a
+/// torn tail this indicates real corruption or a logic bug, so recovery
+/// surfaces it instead of silently skipping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryError {
+    /// Sequence number of the offending record.
+    pub seq: u64,
+    /// What was impossible about it.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "journal record {} is invalid: {}", self.seq, self.reason)
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// What a journal replay produced.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Replay {
+    /// Decoded entries, in append order.
+    pub entries: Vec<MappingEntry>,
+    /// Records scanned, including the torn/corrupt one that stopped the
+    /// scan (if any).
+    pub scanned: u64,
+    /// Whether the scan stopped early at a torn or corrupt record.
+    pub torn_tail: bool,
+}
+
+/// The append-only journal of mapping-table insertions.
+#[derive(Debug, Clone, Default)]
+pub struct MappingJournal {
+    buf: Vec<u8>,
+    seq: u64,
+}
+
+impl MappingJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        MappingJournal::default()
+    }
+
+    /// Records appended so far.
+    pub fn records(&self) -> u64 {
+        self.seq
+    }
+
+    /// Journal size in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Append one committed run's mapping entry.
+    pub fn append(&mut self, entry: &MappingEntry) {
+        let start = self.buf.len();
+        self.buf.extend_from_slice(&MAGIC);
+        self.buf.extend_from_slice(&self.seq.to_le_bytes());
+        self.buf.push(entry.tag.tag());
+        self.buf.extend_from_slice(&entry.run_start.to_le_bytes());
+        self.buf.extend_from_slice(&entry.run_blocks.to_le_bytes());
+        self.buf.extend_from_slice(&entry.device_offset.to_le_bytes());
+        self.buf.extend_from_slice(&entry.stored_bytes.to_le_bytes());
+        self.buf.extend_from_slice(&entry.compressed_bytes.to_le_bytes());
+        self.buf.extend_from_slice(&entry.checksum.to_le_bytes());
+        let crc = checksum64(&self.buf[start..], self.seq);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        self.seq += 1;
+    }
+
+    /// Truncate the journal to its first `bytes` bytes — the test hook for
+    /// simulating a tear mid-record (a cut between the pipeline's payload
+    /// programs and commit record never produces one; a cut inside a real
+    /// device's journal page program would).
+    pub fn truncate_bytes(&mut self, bytes: usize) {
+        self.buf.truncate(bytes);
+        self.seq = (self.buf.len() / RECORD_BYTES) as u64;
+    }
+
+    /// Drop every record (a fresh device).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.seq = 0;
+    }
+
+    /// Decode the journal. Replay stops at the first record that is
+    /// incomplete, has bad magic, an out-of-order sequence number, an
+    /// invalid codec tag, or a CRC mismatch — everything before the stop
+    /// point is trustworthy, everything after is unreachable by
+    /// construction (records are appended strictly in order).
+    pub fn replay(&self) -> Replay {
+        let mut out = Replay::default();
+        let mut at = 0usize;
+        let mut seq = 0u64;
+        while at < self.buf.len() {
+            out.scanned += 1;
+            if self.buf.len() - at < RECORD_BYTES {
+                out.torn_tail = true;
+                break;
+            }
+            let rec = &self.buf[at..at + RECORD_BYTES];
+            let crc = u64::from_le_bytes(rec[RECORD_BYTES - 8..].try_into().expect("8 bytes"));
+            let tag = CodecId::from_tag(rec[12]);
+            let rec_seq = u64::from_le_bytes(rec[4..12].try_into().expect("8 bytes"));
+            let valid = rec[..4] == MAGIC
+                && rec_seq == seq
+                && tag.is_some()
+                && checksum64(&rec[..RECORD_BYTES - 8], seq) == crc;
+            if !valid {
+                out.torn_tail = true;
+                break;
+            }
+            let u64_at = |o: usize| u64::from_le_bytes(rec[o..o + 8].try_into().expect("8 bytes"));
+            out.entries.push(MappingEntry {
+                tag: tag.expect("validated above"),
+                run_start: u64_at(13),
+                run_blocks: u32::from_le_bytes(rec[21..25].try_into().expect("4 bytes")),
+                device_offset: u64_at(25),
+                stored_bytes: u64_at(33),
+                compressed_bytes: u64_at(41),
+                checksum: u64_at(49),
+            });
+            seq += 1;
+            at += RECORD_BYTES;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(i: u64) -> MappingEntry {
+        MappingEntry {
+            tag: if i.is_multiple_of(2) { CodecId::Lz4 } else { CodecId::None },
+            run_start: i * 7,
+            run_blocks: 1 + (i as u32 % 5),
+            device_offset: i * 4096,
+            stored_bytes: 2048,
+            compressed_bytes: 1500 + i,
+            checksum: i.wrapping_mul(0xDEAD_BEEF),
+        }
+    }
+
+    #[test]
+    fn round_trips_every_field() {
+        let mut j = MappingJournal::new();
+        let entries: Vec<MappingEntry> = (0..20).map(entry).collect();
+        for e in &entries {
+            j.append(e);
+        }
+        assert_eq!(j.records(), 20);
+        assert_eq!(j.len_bytes(), 20 * RECORD_BYTES);
+        let r = j.replay();
+        assert!(!r.torn_tail);
+        assert_eq!(r.scanned, 20);
+        assert_eq!(r.entries, entries);
+    }
+
+    #[test]
+    fn empty_journal_replays_empty() {
+        let r = MappingJournal::new().replay();
+        assert_eq!(r, Replay::default());
+    }
+
+    #[test]
+    fn torn_tail_detected_and_prefix_kept() {
+        let mut j = MappingJournal::new();
+        for i in 0..5 {
+            j.append(&entry(i));
+        }
+        // Tear mid-way through the last record.
+        j.truncate_bytes(4 * RECORD_BYTES + 17);
+        let r = j.replay();
+        assert!(r.torn_tail);
+        assert_eq!(r.entries.len(), 4);
+        assert_eq!(r.scanned, 5);
+        assert_eq!(r.entries, (0..4).map(entry).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay() {
+        let mut j = MappingJournal::new();
+        for i in 0..6 {
+            j.append(&entry(i));
+        }
+        // Flip one payload byte of record 3: its CRC no longer matches.
+        j.buf[3 * RECORD_BYTES + 20] ^= 0xFF;
+        let r = j.replay();
+        assert!(r.torn_tail);
+        assert_eq!(r.entries.len(), 3, "replay must stop before the damaged record");
+    }
+
+    #[test]
+    fn bad_magic_stops_replay() {
+        let mut j = MappingJournal::new();
+        j.append(&entry(0));
+        j.append(&entry(1));
+        j.buf[RECORD_BYTES] = b'X'; // wreck record 1's magic (and its CRC input)
+        let r = j.replay();
+        assert!(r.torn_tail);
+        assert_eq!(r.entries.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut j = MappingJournal::new();
+        j.append(&entry(0));
+        j.clear();
+        assert_eq!(j.records(), 0);
+        assert_eq!(j.replay(), Replay::default());
+    }
+}

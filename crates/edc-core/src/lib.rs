@@ -35,6 +35,13 @@
 //!   experiments, where content compressibility comes from a calibrated
 //!   [`content::ContentModel`] and CPU cost from the
 //!   deterministic cost model, so multi-hour traces replay in seconds.
+//!
+//! Every pipeline entry point is fallible, funnelling into the unified
+//! [`error::EdcError`]. Arm a seeded `edc_flash::FaultPlan` and the store
+//! injects read faults, bit rot and power cuts; committed runs are
+//! journaled ([`journal::MappingJournal`]) so
+//! [`pipeline::EdcPipeline::recover`] rebuilds the mapping table after a
+//! crash with zero data loss for journaled runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,8 +49,10 @@
 pub mod allocator;
 pub mod cache;
 pub mod content;
+pub mod error;
 pub mod feedback;
 pub mod hints;
+pub mod journal;
 pub mod mapping;
 pub mod monitor;
 pub mod parallel;
@@ -56,12 +65,14 @@ pub mod slots;
 pub use allocator::{AllocPolicy, AllocStats, QuantizedAllocator};
 pub use cache::{CacheStats, RunCache};
 pub use content::{CalibrationConfig, ContentModel};
+pub use error::{EdcError, WriteError};
 pub use feedback::{FeedbackConfig, FeedbackSelector};
 pub use hints::{FileTypeHint, HintRegistry};
+pub use journal::{MappingJournal, RecoveryError, Replay};
 pub use mapping::{BlockMap, MappingEntry};
 pub use monitor::WorkloadMonitor;
 pub use parallel::ParallelCompressor;
-pub use pipeline::{EdcPipeline, PipelineConfig, WriteResult};
+pub use pipeline::{EdcPipeline, PipelineConfig, ReadError, RecoveryReport, WriteResult};
 pub use scheme::{CodecUsage, EdcConfig, Policy, SimConfig, SimScheme, BLOCK_BYTES};
 pub use sd::{MergedRun, SdConfig, SequentialityDetector};
 pub use selector::{AlgorithmSelector, LadderRung, SelectorConfig};

@@ -31,36 +31,58 @@
 //! payload already lies uncompressed in the device image and is copied
 //! out directly.
 //!
+//! # Faults and crash recovery
+//!
+//! Every public entry point is fallible: failures come back as typed
+//! [`crate::error::EdcError`] values, never panics. Arm a seeded
+//! [`edc_flash::FaultPlan`] via [`PipelineConfig::fault`] (or
+//! [`EdcPipeline::set_fault_plan`]) and the store injects transient read
+//! faults (retried up to the plan's budget, then
+//! [`ReadError::Unrecoverable`]), persistent per-page bit rot (caught by
+//! the payload checksums), and a one-shot power cut after N page
+//! programs. Committed runs are journaled ([`crate::journal`]) with
+//! payload-then-commit ordering, so after a cut
+//! [`EdcPipeline::recover`] rebuilds the mapping table with zero data
+//! loss for every run whose commit record was durable.
+//!
 //! ```
 //! use edc_core::pipeline::{BatchWrite, EdcPipeline, PipelineConfig};
 //!
+//! # fn main() -> Result<(), edc_core::error::EdcError> {
 //! let mut store = EdcPipeline::new(1 << 20, PipelineConfig::default());
 //! let block = vec![b'x'; 4096];
-//! store.write(0, 0, &block);
-//! store.flush(1_000_000); // or let the next read/non-contiguous write flush
-//! assert_eq!(store.read(2_000_000, 0, 4096).unwrap(), block);
+//! store.write(0, 0, &block)?;
+//! store.flush(1_000_000)?; // or let the next read/non-contiguous write flush
+//! assert_eq!(store.read(2_000_000, 0, 4096)?, block);
 //!
 //! // Batched: hand over many writes at once; sealed runs compress in
 //! // parallel and the results come back in seal order.
 //! let batch: Vec<BatchWrite<'_>> = (0..4)
 //!     .map(|i| BatchWrite { now_ns: 3_000_000 + i, offset: (8 + 3 * i) * 4096, data: &block })
 //!     .collect();
-//! let results = store.write_batch(&batch);
-//! let tail = store.flush_all(4_000_000);
+//! let results = store.write_batch(&batch)?;
+//! let tail = store.flush_all(4_000_000)?;
 //! assert_eq!(results.len() + tail.len(), 4);
+//! # Ok(()) }
 //! ```
 
 use crate::allocator::{AllocPolicy, AllocStats, QuantizedAllocator};
 use crate::cache::{CacheStats, RunCache};
+use crate::error::{EdcError, WriteError};
 use crate::hints::{FileTypeHint, HintRegistry};
+use crate::journal::{MappingJournal, RecoveryError};
 use crate::mapping::{BlockMap, MappingEntry};
 use crate::monitor::WorkloadMonitor;
 use crate::scheme::BLOCK_BYTES;
 use crate::sd::{MergedRun, SdConfig, SequentialityDetector};
 use crate::selector::{AlgorithmSelector, SelectorConfig};
 use crate::slots::SlotStore;
-use edc_compress::{checksum64, codec_by_id, CodecId, DecompressError, Estimator, EstimatorConfig};
+use edc_compress::{
+    checksum64, Codec, CodecId, CodecRegistry, DecompressError, Estimator, EstimatorConfig,
+};
+use edc_flash::{FaultError, FaultPlan, FaultState, FaultStats};
 use edc_trace::{OpType, Request};
+use std::collections::HashMap;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -78,6 +100,8 @@ pub struct PipelineConfig {
     pub workers: usize,
     /// Decompressed-run read-cache capacity, in runs (0 disables it).
     pub cache_runs: usize,
+    /// Seeded fault-injection plan ([`FaultPlan::none`] by default).
+    pub fault: FaultPlan,
 }
 
 impl Default for PipelineConfig {
@@ -89,6 +113,7 @@ impl Default for PipelineConfig {
             alloc: AllocPolicy::default(),
             workers: 1,
             cache_runs: 64,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -140,6 +165,14 @@ pub enum ReadError {
     },
     /// Read is not 4 KiB-aligned.
     Unaligned,
+    /// Transient read faults exhausted the plan's retry budget.
+    Unrecoverable {
+        /// First logical block of the unreadable run.
+        run_start: u64,
+    },
+    /// The store is powered off after a simulated power cut; call
+    /// [`EdcPipeline::recover`] first.
+    Offline,
 }
 
 impl std::fmt::Display for ReadError {
@@ -150,11 +183,32 @@ impl std::fmt::Display for ReadError {
                 write!(f, "checksum mismatch in run starting at block {run_start}")
             }
             ReadError::Unaligned => write!(f, "read must be 4 KiB aligned"),
+            ReadError::Unrecoverable { run_start } => {
+                write!(f, "run starting at block {run_start} unreadable after retries")
+            }
+            ReadError::Offline => {
+                write!(f, "store is powered off after a power cut; recover() first")
+            }
         }
     }
 }
 
 impl std::error::Error for ReadError {}
+
+/// What [`EdcPipeline::recover`] reconstructed from the journal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Journal records scanned, including any torn/corrupt tail record.
+    pub scanned_records: u64,
+    /// Live runs restored into the mapping table.
+    pub replayed_runs: u64,
+    /// Journaled runs dropped because their payload no longer matched its
+    /// checksum (zero under the pipeline's payload-then-commit ordering
+    /// unless the image rotted after the crash).
+    pub payload_mismatches: u64,
+    /// Whether the journal ended in a torn or corrupt record.
+    pub torn_tail: bool,
+}
 
 /// An EDC-compressed block store over an in-memory device image.
 pub struct EdcPipeline {
@@ -179,6 +233,13 @@ pub struct EdcPipeline {
     cache: RunCache<Vec<u8>>,
     /// File-type semantic hints (paper §VI future work #1).
     hints: HintRegistry,
+    /// Durable record of committed mapping insertions, replayed by
+    /// [`EdcPipeline::recover`].
+    journal: MappingJournal,
+    /// Seeded fault-decision stream (inactive by default).
+    faults: FaultState,
+    /// Reads served raw despite a checksum mismatch (opt-in degradation).
+    degraded_reads: u64,
     logical_written: u64,
     physical_written: u64,
 }
@@ -200,6 +261,9 @@ impl EdcPipeline {
             scratch: Vec::new(),
             cache: RunCache::new(config.cache_runs),
             hints: HintRegistry::new(),
+            journal: MappingJournal::new(),
+            faults: FaultState::new(config.fault),
+            degraded_reads: 0,
             monitor: WorkloadMonitor::default(),
             logical_written: 0,
             physical_written: 0,
@@ -210,21 +274,33 @@ impl EdcPipeline {
     /// Write `data` (a multiple of 4 KiB) at byte `offset` (4 KiB-aligned)
     /// at time `now_ns`. Returns the result of any run this write flushed;
     /// the written data itself is buffered until a flush trigger.
-    pub fn write(&mut self, now_ns: u64, offset: u64, data: &[u8]) -> Option<WriteResult> {
-        self.write_batch(&[BatchWrite { now_ns, offset, data }]).pop()
+    pub fn write(
+        &mut self,
+        now_ns: u64,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<Option<WriteResult>, EdcError> {
+        Ok(self.write_batch(&[BatchWrite { now_ns, offset, data }])?.pop())
     }
 
     /// Accept a batch of writes at once. Runs sealed during the batch are
     /// compressed together at the end, fanned across
     /// [`PipelineConfig::workers`] threads; results come back in seal
     /// order and are bit-identical to issuing the same writes serially.
-    pub fn write_batch(&mut self, writes: &[BatchWrite<'_>]) -> Vec<WriteResult> {
+    ///
+    /// The whole batch is validated before any write is accepted, so an
+    /// alignment error leaves the store untouched.
+    pub fn write_batch(&mut self, writes: &[BatchWrite<'_>]) -> Result<Vec<WriteResult>, EdcError> {
+        self.check_powered()?;
         for w in writes {
-            assert!(w.offset.is_multiple_of(BLOCK_BYTES), "offset must be 4 KiB aligned");
-            assert!(
-                !w.data.is_empty() && (w.data.len() as u64).is_multiple_of(BLOCK_BYTES),
-                "data must be whole blocks"
-            );
+            if !w.offset.is_multiple_of(BLOCK_BYTES)
+                || w.data.is_empty()
+                || !(w.data.len() as u64).is_multiple_of(BLOCK_BYTES)
+            {
+                return Err(WriteError::Unaligned.into());
+            }
+        }
+        for w in writes {
             let start = w.offset / BLOCK_BYTES;
             let blocks = (w.data.len() as u64 / BLOCK_BYTES) as u32;
             self.monitor.record(&Request {
@@ -253,19 +329,30 @@ impl EdcPipeline {
     }
 
     /// Force-flush the buffered run (timeout, shutdown).
-    pub fn flush(&mut self, now_ns: u64) -> Option<WriteResult> {
-        self.flush_all(now_ns).pop()
+    pub fn flush(&mut self, now_ns: u64) -> Result<Option<WriteResult>, EdcError> {
+        Ok(self.flush_all(now_ns)?.pop())
     }
 
     /// Drain everything: the run buffered in the sequentiality detector
     /// (if any) plus all sealed-but-unstored runs, compressing across the
     /// configured workers. Returns one result per stored run, in order.
-    pub fn flush_all(&mut self, now_ns: u64) -> Vec<WriteResult> {
+    pub fn flush_all(&mut self, now_ns: u64) -> Result<Vec<WriteResult>, EdcError> {
+        self.check_powered()?;
         if let Some(run) = self.sd.drain() {
             let bytes = std::mem::take(&mut self.pending);
             self.seal_run(now_ns, run, bytes);
         }
         self.drain_sealed()
+    }
+
+    /// Typed guard used by every entry point: a store that lost power
+    /// rejects I/O until [`EdcPipeline::recover`] runs.
+    fn check_powered(&self) -> Result<(), EdcError> {
+        if self.faults.powered() {
+            Ok(())
+        } else {
+            Err(WriteError::Offline.into())
+        }
     }
 
     /// Read `len` bytes at `offset` (both 4 KiB-aligned). Unwritten blocks
@@ -274,6 +361,9 @@ impl EdcPipeline {
         if !offset.is_multiple_of(BLOCK_BYTES) || !len.is_multiple_of(BLOCK_BYTES) {
             return Err(ReadError::Unaligned);
         }
+        if !self.faults.powered() {
+            return Err(ReadError::Offline);
+        }
         self.monitor.record(&Request {
             arrival_ns: now_ns,
             op: OpType::Read,
@@ -281,12 +371,16 @@ impl EdcPipeline {
             len: len as u32,
         });
         // Reads break write sequentiality: flush first (paper §III-E).
-        if self.sd.has_pending() {
-            let run = self.sd.on_read().expect("pending checked");
+        if let Some(run) = self.sd.on_read() {
             let bytes = std::mem::take(&mut self.pending);
             self.seal_run(now_ns, run, bytes);
         }
-        self.drain_sealed();
+        // The only failure the read-triggered flush can hit is a power
+        // cut (codecs were validated at seal time), which leaves the
+        // store offline.
+        if self.drain_sealed().is_err() {
+            return Err(ReadError::Offline);
+        }
         let mut out = vec![0u8; len as usize];
         let start = offset / BLOCK_BYTES;
         let blocks = len / BLOCK_BYTES;
@@ -312,7 +406,17 @@ impl EdcPipeline {
             let dst = ((b - start) * BLOCK_BYTES) as usize;
             if entry.tag == CodecId::None {
                 if verified_off != entry.device_offset {
-                    self.verify_checksum(&entry)?;
+                    self.fault_device_access(&entry)?;
+                    if let Err(e) = self.verify_checksum(&entry) {
+                        // A write-through payload IS the raw data, so a
+                        // campaign may opt in to serving it despite the
+                        // mismatch instead of failing the read.
+                        if self.faults.plan().allow_degraded_reads {
+                            self.degraded_reads += 1;
+                        } else {
+                            return Err(e);
+                        }
+                    }
                     verified_off = entry.device_offset;
                 }
                 let at = entry.device_offset as usize + src;
@@ -340,6 +444,33 @@ impl EdcPipeline {
         Ok(out)
     }
 
+    /// Draw the fault plan's read-path decisions before touching the
+    /// device image at `entry`'s slot: transient read faults (retried up
+    /// to the plan's budget, then [`ReadError::Unrecoverable`]) and
+    /// persistent bit rot, flipped directly into the stored payload so
+    /// the checksum audit downstream catches it. Cache hits never get
+    /// here — decompressed runs live in DRAM.
+    fn fault_device_access(&mut self, entry: &MappingEntry) -> Result<(), ReadError> {
+        if !self.faults.plan().is_active() {
+            return Ok(());
+        }
+        let retries = self.faults.plan().read_retries;
+        let mut attempt = 0u32;
+        while self.faults.read_fault() {
+            if attempt >= retries {
+                return Err(ReadError::Unrecoverable { run_start: entry.run_start });
+            }
+            attempt += 1;
+        }
+        if let Some(bit) = self.faults.bit_rot() {
+            let bits = entry.compressed_bytes.max(1) * 8;
+            let bit = u64::from(bit) % bits;
+            let at = (entry.device_offset + bit / 8) as usize;
+            self.device[at] ^= 1 << (bit % 8);
+        }
+        Ok(())
+    }
+
     /// Check a stored payload against its mapping-entry checksum. Catches
     /// silent corruption that would otherwise decode "successfully" to
     /// wrong bytes (or, written through, be returned verbatim).
@@ -355,13 +486,19 @@ impl EdcPipeline {
     /// Verify and decompress a compressed run's payload from the device
     /// image. Callers handle `CodecId::None` themselves (the payload is
     /// the raw data; copying it out wholesale would be a wasted
-    /// allocation).
-    fn decompress_run(&self, entry: &MappingEntry) -> Result<Vec<u8>, ReadError> {
+    /// allocation). A compressed run's checksum mismatch is always a hard
+    /// error — unlike a write-through run there is no raw payload to
+    /// degrade to.
+    fn decompress_run(&mut self, entry: &MappingEntry) -> Result<Vec<u8>, ReadError> {
+        self.fault_device_access(entry)?;
         self.verify_checksum(entry)?;
         let off = entry.device_offset as usize;
         let payload = &self.device[off..off + entry.compressed_bytes as usize];
         let original = (u64::from(entry.run_blocks) * BLOCK_BYTES) as usize;
-        let codec = codec_by_id(entry.tag).expect("caller handles write-through");
+        // A `None` tag cannot reach here (the caller branched on it), but
+        // the typed path keeps this panic-free regardless.
+        let codec = CodecRegistry::get(entry.tag)
+            .map_err(|_| ReadError::Unrecoverable { run_start: entry.run_start })?;
         codec.decompress(payload, original).map_err(ReadError::Corrupt)
     }
 
@@ -387,10 +524,21 @@ impl EdcPipeline {
     }
 
     /// The storage half: compress every sealed run (parallel when
-    /// configured), then allocate + store + map serially in seal order.
-    fn drain_sealed(&mut self) -> Vec<WriteResult> {
+    /// configured), then allocate + program + journal + map serially in
+    /// seal order. Each run's payload pages are programmed against the
+    /// power-cut clock *before* its journal commit record, so a cut can
+    /// orphan a payload but never journal a run whose payload is missing.
+    fn drain_sealed(&mut self) -> Result<Vec<WriteResult>, EdcError> {
         if self.sealed.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
+        }
+        // Codec lookups are validated before the queue is consumed, so a
+        // (theoretically) bad tag surfaces as a typed error without
+        // dropping any queued run.
+        for s in &self.sealed {
+            if s.codec != CodecId::None {
+                CodecRegistry::get(s.codec)?;
+            }
         }
         let sealed = std::mem::take(&mut self.sealed);
         // Phase 1: compression, the CPU-heavy pure part, fanned across
@@ -403,16 +551,18 @@ impl EdcPipeline {
         }
         let mut bufs = self.scratch.split_off(self.scratch.len() - n_jobs);
         {
-            let mut work: Vec<(CodecId, &[u8], &mut Vec<u8>)> = sealed
+            let mut work: Vec<(&'static dyn Codec, &[u8], &mut Vec<u8>)> = sealed
                 .iter()
                 .filter(|s| s.codec != CodecId::None)
                 .zip(bufs.iter_mut())
-                .map(|(s, buf)| (s.codec, s.bytes.as_slice(), buf))
+                .filter_map(|(s, buf)| {
+                    CodecRegistry::get(s.codec).ok().map(|c| (c, s.bytes.as_slice(), buf))
+                })
                 .collect();
             let workers = self.config.workers.max(1).min(work.len());
             if workers <= 1 {
                 for (codec, data, out) in work.iter_mut() {
-                    codec_by_id(*codec).expect("sealed with a real codec").compress_into(data, out);
+                    codec.compress_into(data, out);
                 }
             } else {
                 // Contiguous chunks keep the scatter trivially
@@ -422,9 +572,7 @@ impl EdcPipeline {
                     for part in work.chunks_mut(per_worker) {
                         scope.spawn(move || {
                             for (codec, data, out) in part.iter_mut() {
-                                codec_by_id(*codec)
-                                    .expect("sealed with a real codec")
-                                    .compress_into(data, out);
+                                codec.compress_into(data, out);
                             }
                         });
                     }
@@ -452,19 +600,27 @@ impl EdcPipeline {
                 .filter(|e| e.run_start == s.run.start_block && e.run_blocks == s.run.blocks);
             let placement =
                 self.allocator.place(s.bytes.len() as u64, comp_len, prev.map(|e| e.stored_bytes));
-            let (tag, payload): (CodecId, &[u8]) = if placement.compressed {
-                (s.codec, comp.expect("compressed placement implies a codec"))
-            } else {
-                (CodecId::None, &s.bytes)
+            let (tag, payload): (CodecId, &[u8]) = match comp {
+                Some(b) if placement.compressed => (s.codec, b.as_slice()),
+                _ => (CodecId::None, &s.bytes),
             };
-            // Slot allocation + device write. The slot is referenced by
-            // every block of the run and frees only when all are superseded.
+            // Slot allocation + payload programming, page by page against
+            // the power-cut clock: a cut mid-run leaves a partial payload
+            // with no commit record, exactly what recovery expects. The
+            // slot is referenced by every block of the run and frees only
+            // when all are superseded.
             let device_offset = self.slots.alloc_run(placement.allocated_bytes, s.run.blocks);
             let off = device_offset as usize;
-            self.device[off..off + payload.len()].copy_from_slice(payload);
+            let bb = BLOCK_BYTES as usize;
+            for page in 0..payload.len().div_ceil(bb).max(1) {
+                if let Err(e) = self.faults.program_page() {
+                    return Err(fault_to_edc(e));
+                }
+                let lo = page * bb;
+                let hi = (lo + bb).min(payload.len());
+                self.device[off + lo..off + hi].copy_from_slice(&payload[lo..hi]);
+            }
             self.physical_written += placement.allocated_bytes;
-            // Mapping update; release superseded runs and drop their
-            // cached decompressions — a later read must never see them.
             let entry = MappingEntry {
                 tag,
                 run_start: s.run.start_block,
@@ -474,6 +630,15 @@ impl EdcPipeline {
                 compressed_bytes: payload.len() as u64,
                 checksum: checksum64(payload, s.run.start_block),
             };
+            // The commit point: one more page program for the journal
+            // record. A cut here drops the run (payload durable but
+            // unreferenced) — never the reverse.
+            if let Err(e) = self.faults.program_page() {
+                return Err(fault_to_edc(e));
+            }
+            self.journal.append(&entry);
+            // Mapping update; release superseded runs and drop their
+            // cached decompressions — a later read must never see them.
             for old in self.map.insert_run(entry) {
                 self.slots.release_block_ref(old.device_offset);
                 self.cache.invalidate(old.device_offset);
@@ -491,7 +656,122 @@ impl EdcPipeline {
             b.clear();
             b
         }));
-        results
+        Ok(results)
+    }
+
+    /// Rebuild the store's volatile state from the durable journal after
+    /// a (simulated) crash: restore power, reset the mapping table, slot
+    /// store, caches and buffers, replay every valid journal record in
+    /// append order, then audit each surviving run's payload against its
+    /// checksum. Runs whose commit record landed before the cut come back
+    /// with zero data loss; the run being stored at the instant of the
+    /// cut is dropped (its blocks read as before that write, or zero).
+    ///
+    /// Also valid on a healthy store: recovery then rebuilds exactly the
+    /// state it already had.
+    pub fn recover(&mut self) -> Result<RecoveryReport, RecoveryError> {
+        self.faults.power_cycle();
+        let capacity = self.device.len() as u64;
+        self.map = BlockMap::new();
+        self.slots = SlotStore::new(capacity);
+        self.cache = RunCache::new(self.config.cache_runs);
+        self.sd = SequentialityDetector::new(self.config.sd);
+        self.pending.clear();
+        self.sealed.clear();
+        let replay = self.journal.replay();
+        // Replay re-runs each committed insert_run, tracking which runs
+        // are still live (not fully superseded by a later record).
+        let mut live: HashMap<u64, MappingEntry> = HashMap::new();
+        for (seq, entry) in replay.entries.iter().enumerate() {
+            let seq = seq as u64;
+            if entry.run_blocks == 0 {
+                return Err(RecoveryError { seq, reason: "zero-length run" });
+            }
+            if entry.compressed_bytes > entry.stored_bytes {
+                return Err(RecoveryError { seq, reason: "payload exceeds its slot" });
+            }
+            if entry.stored_bytes == 0 || entry.device_offset + entry.stored_bytes > capacity {
+                return Err(RecoveryError { seq, reason: "slot beyond device" });
+            }
+            self.slots.adopt_run(entry.device_offset, entry.stored_bytes, entry.run_blocks);
+            live.insert(entry.device_offset, *entry);
+            for old in self.map.insert_run(*entry) {
+                if self.slots.release_block_ref(old.device_offset).is_some() {
+                    live.remove(&old.device_offset);
+                }
+            }
+        }
+        let mut report = RecoveryReport {
+            scanned_records: replay.scanned,
+            torn_tail: replay.torn_tail,
+            ..RecoveryReport::default()
+        };
+        // Audit: a journaled run's payload must still hash to its record's
+        // checksum. Payload-then-commit ordering guarantees it at crash
+        // time; rot or image damage after the crash can still break it,
+        // and such runs are dropped rather than served corrupt.
+        let mut survivors: Vec<MappingEntry> = live.into_values().collect();
+        survivors.sort_by_key(|e| e.device_offset);
+        for entry in survivors {
+            if self.verify_checksum(&entry).is_ok() {
+                report.replayed_runs += 1;
+            } else {
+                report.payload_mismatches += 1;
+                for b in entry.run_start..entry.run_start + u64::from(entry.run_blocks) {
+                    if self.map.get(b).is_some_and(|e| e.device_offset == entry.device_offset) {
+                        self.map.remove(b);
+                        self.slots.release_block_ref(entry.device_offset);
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Replace the fault plan, restarting the decision stream (campaigns
+    /// arm faults *after* preconditioning this way).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.config.fault = plan;
+        self.faults = FaultState::new(plan);
+    }
+
+    /// Injected-fault counters so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats()
+    }
+
+    /// Cumulative page programs — the power-cut clock position. A
+    /// campaign learns a workload's program count from a clean run, then
+    /// sweeps `power_cut_after_programs` across `0..programs()`.
+    pub fn programs(&self) -> u64 {
+        self.faults.programs()
+    }
+
+    /// Whether the (simulated) store currently has power.
+    pub fn powered(&self) -> bool {
+        self.faults.powered()
+    }
+
+    /// Reads served raw despite a checksum mismatch (only possible with
+    /// [`FaultPlan::allow_degraded_reads`]).
+    pub fn degraded_reads(&self) -> u64 {
+        self.degraded_reads
+    }
+
+    /// Committed runs journaled so far.
+    pub fn journal_records(&self) -> u64 {
+        self.journal.records()
+    }
+
+    /// Journal size in bytes.
+    pub fn journal_bytes(&self) -> usize {
+        self.journal.len_bytes()
+    }
+
+    /// Test hook: tear the journal to its first `bytes` bytes, simulating
+    /// a cut mid-way through a journal page program.
+    pub fn truncate_journal_bytes(&mut self, bytes: usize) {
+        self.journal.truncate_bytes(bytes);
     }
 
     /// Cumulative logical bytes accepted.
@@ -535,6 +815,17 @@ impl EdcPipeline {
     }
 }
 
+/// Map a flash-level fault surfacing on the pipeline's write path into
+/// the unified error: power loss and powered-off get their write-path
+/// types, anything else passes through as a raw fault.
+fn fault_to_edc(e: FaultError) -> EdcError {
+    match e {
+        FaultError::PowerCut { after_programs } => WriteError::PowerCut { after_programs }.into(),
+        FaultError::PoweredOff => WriteError::Offline.into(),
+        other => EdcError::Fault(other),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -568,8 +859,8 @@ mod tests {
     fn write_read_round_trip() {
         let mut p = pipeline();
         let data = text_block(1);
-        p.write(0, 0, &data);
-        p.flush(1_000);
+        p.write(0, 0, &data).unwrap();
+        p.flush(1_000).unwrap();
         assert_eq!(p.read(2_000, 0, 4096).unwrap(), data);
     }
 
@@ -577,7 +868,7 @@ mod tests {
     fn read_flushes_pending_writes() {
         let mut p = pipeline();
         let data = text_block(2);
-        p.write(0, 8192, &data);
+        p.write(0, 8192, &data).unwrap();
         // No explicit flush: the read must still see the data.
         assert_eq!(p.read(1_000, 8192, 4096).unwrap(), data);
     }
@@ -594,10 +885,10 @@ mod tests {
         let a = text_block(3);
         let b = text_block(4);
         let c = text_block(5);
-        assert!(p.write(0, 0, &a).is_none());
-        assert!(p.write(10, 4096, &b).is_none());
-        assert!(p.write(20, 8192, &c).is_none());
-        let r = p.flush(30).expect("flush merged run");
+        assert!(p.write(0, 0, &a).unwrap().is_none());
+        assert!(p.write(10, 4096, &b).unwrap().is_none());
+        assert!(p.write(20, 8192, &c).unwrap().is_none());
+        let r = p.flush(30).unwrap().expect("flush merged run");
         assert_eq!(r.blocks, 3);
         assert_eq!(r.start_block, 0);
         // Round trip across the merged run.
@@ -611,9 +902,9 @@ mod tests {
     fn compressible_data_is_compressed_and_saves_space() {
         let mut p = pipeline();
         for i in 0..32u64 {
-            p.write(i, i * 4096, &text_block(i as u8));
+            p.write(i, i * 4096, &text_block(i as u8)).unwrap();
         }
-        p.flush(100);
+        p.flush(100).unwrap();
         assert!(p.compression_ratio() > 1.5, "ratio {}", p.compression_ratio());
     }
 
@@ -621,8 +912,8 @@ mod tests {
     fn incompressible_data_written_through() {
         let mut p = pipeline();
         let r = {
-            p.write(0, 0, &random_block(42));
-            p.flush(1).unwrap()
+            p.write(0, 0, &random_block(42)).unwrap();
+            p.flush(1).unwrap().unwrap()
         };
         assert_eq!(r.tag, CodecId::None);
         assert_eq!(r.allocated_bytes, 4096);
@@ -637,7 +928,7 @@ mod tests {
         let mut last = None;
         for i in 0..6000u64 {
             let off = (i % 400) * 3 * 4096; // non-contiguous: flush each time
-            last = p.write(i * 50_000, off, &text_block(9)).or(last);
+            last = p.write(i * 50_000, off, &text_block(9)).unwrap().or(last);
         }
         let r = last.expect("flushes happened");
         assert_eq!(r.tag, CodecId::None, "burst writes must skip compression");
@@ -649,11 +940,11 @@ mod tests {
         // One write every 100 ms: ~10 calculated IOPS → Gzip band.
         let mut results = Vec::new();
         for i in 0..20u64 {
-            if let Some(r) = p.write(i * 100_000_000, (i * 5) * 4096, &text_block(7)) {
+            if let Some(r) = p.write(i * 100_000_000, (i * 5) * 4096, &text_block(7)).unwrap() {
                 results.push(r);
             }
         }
-        if let Some(r) = p.flush(20 * 100_000_000) { results.push(r) }
+        if let Some(r) = p.flush(20 * 100_000_000).unwrap() { results.push(r) }
         assert!(
             results.iter().any(|r| r.tag == CodecId::Deflate),
             "idle writes should pick Gzip, got {:?}",
@@ -666,10 +957,10 @@ mod tests {
         let mut p = pipeline();
         let v1 = text_block(1);
         let v2 = random_block(77);
-        p.write(0, 4096, &v1);
-        p.flush(1);
-        p.write(2, 4096, &v2);
-        p.flush(3);
+        p.write(0, 4096, &v1).unwrap();
+        p.flush(1).unwrap();
+        p.write(2, 4096, &v2).unwrap();
+        p.flush(3).unwrap();
         assert_eq!(p.read(4, 4096, 4096).unwrap(), v2);
     }
 
@@ -678,9 +969,9 @@ mod tests {
         let mut p = pipeline();
         let a = text_block(11);
         let b = text_block(12);
-        p.write(0, 0, &a);
-        p.write(1, 4096, &b);
-        p.flush(2);
+        p.write(0, 0, &a).unwrap();
+        p.write(1, 4096, &b).unwrap();
+        p.flush(2).unwrap();
         // Read only the second block of the two-block run.
         assert_eq!(p.read(3, 4096, 4096).unwrap(), b);
     }
@@ -692,16 +983,21 @@ mod tests {
         big.extend(text_block(21));
         big.extend(random_block(5));
         big.extend(text_block(22));
-        p.write(0, 16384, &big);
-        p.flush(1);
+        p.write(0, 16384, &big).unwrap();
+        p.flush(1).unwrap();
         assert_eq!(p.read(2, 16384, big.len() as u64).unwrap(), big);
     }
 
     #[test]
-    #[should_panic(expected = "4 KiB aligned")]
-    fn unaligned_write_rejected() {
+    fn unaligned_write_rejected_as_typed_error() {
         let mut p = pipeline();
-        p.write(0, 100, &text_block(0));
+        assert!(matches!(
+            p.write(0, 100, &text_block(0)),
+            Err(EdcError::Write(WriteError::Unaligned))
+        ));
+        // The whole batch is validated up front: nothing was accepted.
+        assert_eq!(p.logical_written(), 0);
+        p.write(1, 0, &text_block(0)).unwrap();
     }
 
     #[test]
@@ -716,8 +1012,8 @@ mod tests {
         let mut p = pipeline();
         p.set_hint(0, 8192, FileTypeHint::Precompressed);
         let data = text_block(40); // would normally compress well
-        p.write(0, 0, &data);
-        let r = p.flush(1).unwrap();
+        p.write(0, 0, &data).unwrap();
+        let r = p.flush(1).unwrap().unwrap();
         assert_eq!(r.tag, CodecId::None, "hint must veto compression");
         assert_eq!(p.read(2, 0, 4096).unwrap(), data);
     }
@@ -727,8 +1023,8 @@ mod tests {
         let mut p = pipeline();
         p.set_hint(0, 4096, FileTypeHint::Database);
         // Slow writes → ladder would pick the strong codec; the hint caps it.
-        p.write(0, 0, &text_block(41));
-        let r = p.flush(100_000_000).unwrap();
+        p.write(0, 0, &text_block(41)).unwrap();
+        let r = p.flush(100_000_000).unwrap().unwrap();
         assert_eq!(r.tag, CodecId::Lzf, "database hint caps at Lzf, got {:?}", r.tag);
     }
 
@@ -736,8 +1032,8 @@ mod tests {
     fn unhinted_ranges_unaffected() {
         let mut p = pipeline();
         p.set_hint(1 << 20, 4096, FileTypeHint::Precompressed);
-        p.write(0, 0, &text_block(42));
-        let r = p.flush(100_000_000).unwrap();
+        p.write(0, 0, &text_block(42)).unwrap();
+        let r = p.flush(100_000_000).unwrap().unwrap();
         assert_ne!(r.tag, CodecId::None, "hint elsewhere must not leak");
     }
 
@@ -745,8 +1041,8 @@ mod tests {
     fn corrupted_device_image_detected_by_checksum() {
         let mut p = pipeline();
         let data = text_block(33);
-        p.write(0, 0, &data);
-        p.flush(1);
+        p.write(0, 0, &data).unwrap();
+        p.flush(1).unwrap();
         // Flip one byte of the stored payload behind the pipeline's back.
         p.device[0] ^= 0x01;
         match p.read(2, 0, 4096) {
@@ -762,12 +1058,12 @@ mod tests {
         let mut p = pipeline();
         let old: Vec<Vec<u8>> = (0..4).map(|i| text_block(50 + i)).collect();
         for (i, blockdata) in old.iter().enumerate() {
-            p.write(i as u64, i as u64 * 4096, blockdata);
+            p.write(i as u64, i as u64 * 4096, blockdata).unwrap();
         }
-        p.flush(10); // one merged 4-block run
+        p.flush(10).unwrap(); // one merged 4-block run
         let fresh = random_block(4242);
-        p.write(20, 4096, &fresh); // overwrite only block 1
-        p.flush(30);
+        p.write(20, 4096, &fresh).unwrap(); // overwrite only block 1
+        p.flush(30).unwrap();
         // A read spanning the whole range must mix old and new correctly.
         let got = p.read(40, 0, 4 * 4096).unwrap();
         assert_eq!(&got[..4096], &old[0][..], "block 0 from the old run");
@@ -779,8 +1075,8 @@ mod tests {
     #[test]
     fn mapping_tags_recorded() {
         let mut p = pipeline();
-        p.write(0, 0, &text_block(1));
-        let r = p.flush(1).unwrap();
+        p.write(0, 0, &text_block(1)).unwrap();
+        let r = p.flush(1).unwrap().unwrap();
         assert_ne!(r.tag, CodecId::None, "slow text write should compress");
         assert!(r.payload_bytes < 4096);
         assert!(r.allocated_bytes <= 4096);
@@ -801,8 +1097,8 @@ mod tests {
                 data,
             })
             .collect();
-        let mut results = p.write_batch(&batch);
-        results.extend(p.flush_all(100));
+        let mut results = p.write_batch(&batch).unwrap();
+        results.extend(p.flush_all(100).unwrap());
         assert_eq!(results.len(), 8);
         for (i, data) in blocks.iter().enumerate() {
             assert_eq!(&p.read(200 + i as u64, (i as u64 * 3) * 4096, 4096).unwrap(), data);
@@ -830,14 +1126,14 @@ mod tests {
         // Serial reference: one write at a time, one worker.
         let mut serial = make(1);
         for w in &batch {
-            serial.write(w.now_ns, w.offset, w.data);
+            serial.write(w.now_ns, w.offset, w.data).unwrap();
         }
-        serial.flush(1_000_000);
+        serial.flush(1_000_000).unwrap();
 
         // Batched, four workers, one call.
         let mut batched = make(4);
-        batched.write_batch(&batch);
-        batched.flush_all(1_000_000);
+        batched.write_batch(&batch).unwrap();
+        batched.flush_all(1_000_000).unwrap();
 
         assert_eq!(serial.device, batched.device, "device images must be bit-identical");
         assert_eq!(serial.physical_written(), batched.physical_written());
@@ -848,8 +1144,8 @@ mod tests {
     fn repeated_reads_hit_run_cache() {
         let mut p = pipeline();
         let data = text_block(70);
-        p.write(0, 0, &data);
-        p.flush(1);
+        p.write(0, 0, &data).unwrap();
+        p.flush(1).unwrap();
         assert_eq!(p.read(2, 0, 4096).unwrap(), data); // miss, fills cache
         assert_eq!(p.read(3, 0, 4096).unwrap(), data); // hit
         let s = p.cache_stats();
@@ -866,16 +1162,16 @@ mod tests {
         assert!(p.config().cache_runs > 0, "cache enabled by default");
         let old: Vec<Vec<u8>> = (0..4).map(|i| text_block(80 + i)).collect();
         for (i, blockdata) in old.iter().enumerate() {
-            p.write(i as u64, i as u64 * 4096, blockdata);
+            p.write(i as u64, i as u64 * 4096, blockdata).unwrap();
         }
-        p.flush(10); // one merged 4-block run
+        p.flush(10).unwrap(); // one merged 4-block run
         // Populate the cache with the merged run's decompression.
         let first = p.read(20, 0, 4 * 4096).unwrap();
         assert_eq!(&first[4096..8192], &old[1][..]);
         assert!(p.cache_stats().misses > 0, "first read fills the cache");
         let fresh = random_block(777);
-        p.write(30, 4096, &fresh); // overwrite only block 1
-        p.flush(40);
+        p.write(30, 4096, &fresh).unwrap(); // overwrite only block 1
+        p.flush(40).unwrap();
         assert!(
             p.cache_stats().invalidations > 0,
             "overwrite must invalidate the cached run, stats {:?}",
@@ -896,13 +1192,257 @@ mod tests {
         );
         let a = text_block(90);
         let b = text_block(91);
-        p.write(0, 0, &a);
-        p.write(1, 4096, &b);
-        p.flush(2);
+        p.write(0, 0, &a).unwrap();
+        p.write(1, 4096, &b).unwrap();
+        p.flush(2).unwrap();
         let got = p.read(3, 0, 8192).unwrap();
         assert_eq!(&got[..4096], &a[..]);
         assert_eq!(&got[4096..], &b[..]);
         let s = p.cache_stats();
         assert_eq!((s.hits, s.misses), (0, 0), "disabled cache records nothing");
+    }
+
+    /// The smoke workload shared by the crash tests: a few merged runs, a
+    /// write-through run, and an overwrite. Returns (offset, data) pairs
+    /// describing the expected final contents.
+    fn crash_workload(p: &mut EdcPipeline) -> Vec<(u64, Vec<u8>)> {
+        let mut expect = Vec::new();
+        for i in 0..6u64 {
+            let data = text_block(i as u8);
+            p.write(i, (i * 3) * 4096, &data).unwrap();
+            expect.push(((i * 3) * 4096, data));
+        }
+        let rand = random_block(99);
+        p.write(10, 40 * 4096, &rand).unwrap();
+        expect.push((40 * 4096, rand));
+        p.flush_all(20).unwrap();
+        // Overwrite run 0 after the first flush.
+        let v2 = text_block(200);
+        p.write(30, 0, &v2).unwrap();
+        p.flush_all(40).unwrap();
+        expect[0] = (0, v2);
+        expect
+    }
+
+    #[test]
+    fn power_cut_at_every_program_recovers_with_zero_data_loss() {
+        // Learn the clean run's program count, then cut at every index.
+        let mut clean = pipeline();
+        crash_workload(&mut clean);
+        let total = clean.programs();
+        assert!(total > 8, "workload too small to exercise cuts ({total})");
+        for cut in 0..total {
+            let mut p = pipeline();
+            p.set_fault_plan(FaultPlan {
+                power_cut_after_programs: Some(cut),
+                ..FaultPlan::none()
+            });
+            let mut cut_err = None;
+            let expect = {
+                // Drive the same workload; the cut surfaces as a typed
+                // error somewhere along the way.
+                let mut run = || -> Result<Vec<(u64, Vec<u8>)>, EdcError> {
+                    let mut expect = Vec::new();
+                    for i in 0..6u64 {
+                        let data = text_block(i as u8);
+                        p.write(i, (i * 3) * 4096, &data)?;
+                        expect.push(((i * 3) * 4096, data));
+                    }
+                    let rand = random_block(99);
+                    p.write(10, 40 * 4096, &rand)?;
+                    expect.push((40 * 4096, rand));
+                    p.flush_all(20)?;
+                    let v2 = text_block(200);
+                    p.write(30, 0, &v2)?;
+                    p.flush_all(40)?;
+                    expect[0] = (0, v2);
+                    Ok(expect)
+                };
+                match run() {
+                    Ok(e) => e,
+                    Err(e) => {
+                        cut_err = Some(e);
+                        Vec::new()
+                    }
+                }
+            };
+            assert!(
+                expect.is_empty(),
+                "cut {cut}/{total} must interrupt the workload"
+            );
+            assert!(
+                matches!(cut_err, Some(EdcError::Write(WriteError::PowerCut { .. }))),
+                "cut {cut}: expected PowerCut, got {cut_err:?}"
+            );
+            // Store is offline until recovery.
+            assert!(matches!(p.read(50, 0, 4096), Err(ReadError::Offline)));
+            assert!(matches!(
+                p.write(50, 0, &text_block(0)),
+                Err(EdcError::Write(WriteError::Offline))
+            ));
+            let report = p.recover().expect("recovery succeeds at any cut point");
+            assert_eq!(
+                report.payload_mismatches, 0,
+                "cut {cut}: journaled runs must never lose payload"
+            );
+            assert!(!report.torn_tail, "commit-record granularity leaves no torn tail");
+            // Every journaled run reads back exactly; blocks whose run
+            // missed its commit read as never-written (zero) or their
+            // pre-overwrite contents — never garbage.
+            let clean_expect = {
+                let mut c = pipeline();
+                crash_workload(&mut c)
+            };
+            let old0 = text_block(0);
+            for (off, data) in &clean_expect {
+                let got = p.read(60, *off, 4096).expect("post-recovery read");
+                if *off == 0 {
+                    assert!(
+                        got == *data || got == old0 || got == vec![0u8; 4096],
+                        "cut {cut}: block 0 must be v2, v1 or unwritten"
+                    );
+                } else {
+                    assert!(
+                        got == *data || got == vec![0u8; 4096],
+                        "cut {cut}: offset {off} must be its data or unwritten"
+                    );
+                }
+            }
+            // The store accepts writes again.
+            p.write(70, 80 * 4096, &text_block(3)).unwrap();
+            p.flush_all(80).unwrap();
+        }
+    }
+
+    #[test]
+    fn recover_on_healthy_store_rebuilds_identical_state() {
+        let mut p = pipeline();
+        let expect = crash_workload(&mut p);
+        let report = p.recover().expect("recovery on a healthy store");
+        assert_eq!(report.payload_mismatches, 0);
+        assert_eq!(u64::from(report.torn_tail), 0);
+        assert!(report.replayed_runs > 0);
+        for (off, data) in &expect {
+            assert_eq!(&p.read(100, *off, 4096).unwrap(), data, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn torn_journal_tail_drops_only_the_torn_record() {
+        let mut p = pipeline();
+        let expect = crash_workload(&mut p);
+        // Tear mid-way through the final record (as a cut inside a real
+        // journal page program would).
+        p.truncate_journal_bytes(p.journal_bytes() - 10);
+        let report = p.recover().expect("recovery tolerates a torn tail");
+        assert!(report.torn_tail);
+        assert_eq!(report.payload_mismatches, 0);
+        // All but the torn run read back; the torn one reads old/zero.
+        for (off, data) in &expect[1..expect.len() - 1] {
+            let got = p.read(100, *off, 4096).unwrap();
+            assert!(got == *data || got == vec![0u8; 4096]);
+        }
+    }
+
+    #[test]
+    fn read_faults_surface_as_typed_errors_never_panic() {
+        // Cache disabled so every read touches the "device" and draws.
+        let mut p = EdcPipeline::new(
+            4 << 20,
+            PipelineConfig { cache_runs: 0, ..PipelineConfig::default() },
+        );
+        let data = text_block(5);
+        p.write(0, 0, &data).unwrap();
+        p.flush_all(1).unwrap();
+        p.set_fault_plan(FaultPlan {
+            seed: 7,
+            read_error_rate: 0.9,
+            read_retries: 1,
+            ..FaultPlan::none()
+        });
+        let mut errors = 0;
+        let mut oks = 0;
+        for i in 0..50u64 {
+            match p.read(10 + i, 0, 4096) {
+                Ok(got) => {
+                    assert_eq!(got, data);
+                    oks += 1;
+                }
+                Err(ReadError::Unrecoverable { run_start }) => {
+                    assert_eq!(run_start, 0);
+                    errors += 1;
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(errors > 0, "90 % fault rate with 1 retry must fail sometimes");
+        assert!(oks + errors == 50, "every read returns, typed either way");
+        assert!(p.fault_stats().read_faults > 0);
+    }
+
+    #[test]
+    fn bit_rot_is_caught_by_checksums() {
+        let mut p = EdcPipeline::new(
+            4 << 20,
+            PipelineConfig { cache_runs: 0, ..PipelineConfig::default() },
+        );
+        let data = text_block(9);
+        p.write(0, 0, &data).unwrap();
+        p.flush_all(1).unwrap();
+        p.set_fault_plan(FaultPlan { seed: 3, bit_rot_rate: 1.0, ..FaultPlan::none() });
+        // Every device access rots one stored bit; the checksum must catch
+        // it before the decompressor can return wrong bytes.
+        let mut mismatches = 0;
+        for i in 0..4u64 {
+            match p.read(10 + i, 0, 4096) {
+                Ok(got) => assert_eq!(got, data, "a served read must be correct"),
+                Err(ReadError::ChecksumMismatch { run_start }) => {
+                    assert_eq!(run_start, 0);
+                    mismatches += 1;
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(mismatches > 0, "persistent rot must eventually trip the checksum");
+        assert!(p.fault_stats().rot_pages > 0);
+    }
+
+    #[test]
+    fn degraded_reads_serve_raw_write_through_payload() {
+        let mut p = pipeline();
+        let data = random_block(123); // incompressible → write-through
+        p.write(0, 0, &data).unwrap();
+        let r = p.flush(1).unwrap().unwrap();
+        assert_eq!(r.tag, CodecId::None);
+        // Corrupt one stored byte behind the pipeline's back.
+        let entry = p.map.get(0).unwrap();
+        p.device[entry.device_offset as usize + 10] ^= 0xFF;
+        // Strict mode: hard error.
+        assert!(matches!(p.read(2, 0, 4096), Err(ReadError::ChecksumMismatch { .. })));
+        assert_eq!(p.degraded_reads(), 0);
+        // Degraded mode: serve the raw payload, count it.
+        p.set_fault_plan(FaultPlan { allow_degraded_reads: true, ..FaultPlan::none() });
+        let got = p.read(3, 0, 4096).unwrap();
+        assert_eq!(got.len(), 4096);
+        let mut diff = 0;
+        for (a, b) in got.iter().zip(data.iter()) {
+            if a != b {
+                diff += 1;
+            }
+        }
+        assert_eq!(diff, 1, "exactly the corrupted byte differs");
+        assert_eq!(p.degraded_reads(), 1);
+    }
+
+    #[test]
+    fn journal_grows_one_record_per_committed_run() {
+        let mut p = pipeline();
+        assert_eq!(p.journal_records(), 0);
+        crash_workload(&mut p);
+        assert!(p.journal_records() >= 8, "records {}", p.journal_records());
+        assert_eq!(
+            p.journal_bytes(),
+            p.journal_records() as usize * crate::journal::RECORD_BYTES
+        );
     }
 }

@@ -54,6 +54,23 @@ impl SlotStore {
         off
     }
 
+    /// Adopt a pre-existing slot at a fixed `offset` — the recovery path:
+    /// journal replay re-registers each surviving run exactly where the
+    /// pre-crash allocator placed it. The bump cursor advances past the
+    /// adopted slot, and any stale free-pool entry at this offset is
+    /// scrubbed (an earlier replayed run may have "freed" the slot that a
+    /// later run then legitimately reused).
+    pub fn adopt_run(&mut self, offset: u64, bytes: u64, blocks: u32) {
+        assert!(blocks > 0);
+        assert!(bytes > 0 && offset + bytes <= self.device_bytes, "adopted slot exceeds device");
+        if let Some(stack) = self.free.get_mut(&bytes) {
+            stack.retain(|&o| o != offset);
+        }
+        self.refs.insert(offset, (blocks, bytes));
+        self.live_bytes += bytes;
+        self.cursor = self.cursor.max(offset + bytes);
+    }
+
     /// Drop one block's reference to the slot at `offset` (the block's
     /// mapping entry was superseded). Returns `Some((offset, bytes))` when
     /// this was the last reference and the slot returned to the free pool.
@@ -200,5 +217,31 @@ mod tests {
     fn oversized_alloc_rejected() {
         let mut s = SlotStore::new(1024);
         let _ = s.alloc(2048);
+    }
+
+    #[test]
+    fn adopt_run_replays_placements() {
+        let mut s = SlotStore::new(1 << 20);
+        // Replay two runs at the offsets a pre-crash allocator chose.
+        s.adopt_run(4096, 2048, 2);
+        s.adopt_run(8192, 1024, 1);
+        assert_eq!(s.live_bytes(), 3072);
+        // Fresh allocations land past every adopted slot.
+        assert_eq!(s.alloc(1024), 9216);
+        // Adopted slots free normally once their references drop.
+        assert_eq!(s.release_block_ref(8192), Some((8192, 1024)));
+    }
+
+    #[test]
+    fn adopt_scrubs_stale_free_entry() {
+        // Replay order: run A at offset 0 is superseded (slot freed), then
+        // run B legitimately reuses offset 0. The free pool must not hand
+        // offset 0 out again while B lives.
+        let mut s = SlotStore::new(1 << 20);
+        s.adopt_run(0, 2048, 1);
+        s.release_block_ref(0); // A fully superseded → 0 enters the pool
+        s.adopt_run(0, 2048, 1); // B reuses the same offset
+        let next = s.alloc(2048);
+        assert_ne!(next, 0, "live adopted slot must not be reallocated");
     }
 }

@@ -1,5 +1,7 @@
 //! SSD geometry and timing configuration.
 
+use crate::fault::FaultPlan;
+
 /// Size of the allocation sector: the FTL maps and allocates in units of
 /// 1 KiB, which is 25 % of a 4 KiB logical block — the smallest quantum
 /// EDC's allocator uses (paper Fig. 5), so compressed blocks consume
@@ -66,6 +68,11 @@ pub struct SsdConfig {
     pub wear_level_threshold: u32,
     /// Timing parameters.
     pub timing: NandTiming,
+    /// Fault-injection plan ([`FaultPlan::none`] by default — no faults).
+    /// When active, use the fallible device entry points
+    /// (`SsdDevice::try_submit`, `Ftl::try_write`); the legacy infallible
+    /// wrappers panic if an injected fault actually fires.
+    pub fault: FaultPlan,
 }
 
 impl Default for SsdConfig {
@@ -77,6 +84,7 @@ impl Default for SsdConfig {
             gc_low_watermark: 8,
             wear_level_threshold: 0,
             timing: NandTiming::default(),
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -117,6 +125,7 @@ impl SsdConfig {
             spare_blocks > self.gc_low_watermark,
             "over-provisioning ({spare_blocks} blocks) must exceed the GC watermark"
         );
+        self.fault.validate();
     }
 }
 

@@ -1,0 +1,389 @@
+//! Deterministic fault injection for the simulated flash stack.
+//!
+//! Real NAND fails in structured ways: pages fail to program, blocks fail
+//! to erase, reads are disturbed into bit errors, and power can vanish
+//! between any two page programs. A [`FaultPlan`] describes *how often*
+//! each of those happens; a [`FaultState`] turns the plan into a
+//! deterministic, seeded stream of yes/no decisions so that every
+//! campaign run — and every failing test case — replays exactly.
+//!
+//! The plan is plain `Copy` data and rides inside
+//! [`crate::SsdConfig`] (device level) and the pipeline configuration in
+//! `edc-core` (store level). A plan with all rates at zero and no power
+//! cut is *inactive*: the fallible entry points become infallible and the
+//! legacy panicking wrappers stay safe to call.
+//!
+//! Decisions are drawn by hashing `(seed, draw counter)` through
+//! splitmix64, so they depend only on *how many* decisions were made
+//! before, never on wall-clock time or thread interleaving.
+
+use core::fmt;
+
+/// splitmix64 finalizer — the same mixer `edc-datagen` uses, duplicated
+/// here so `edc-flash` keeps zero dependencies.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A seeded description of the faults to inject.
+///
+/// All rates are probabilities in `[0, 1]` evaluated per opportunity
+/// (per read request, per page program, per block erase, per page
+/// fetched). `power_cut_after_programs` arms a one-shot power loss that
+/// fires when the cumulative page-program counter reaches the given
+/// value — "power cut after N page programs".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the decision stream. Two components given the same plan
+    /// draw identical fault sequences.
+    pub seed: u64,
+    /// Probability that a read attempt fails transiently (retry may
+    /// succeed).
+    pub read_error_rate: f64,
+    /// Probability that a page program fails (the page is scrapped and
+    /// the write retried on the next page).
+    pub program_error_rate: f64,
+    /// Probability that a block erase fails (the block is retired).
+    pub erase_error_rate: f64,
+    /// Probability, per page fetched, that a stored bit has rotted —
+    /// persistent corruption caught by checksums, not by retries.
+    pub bit_rot_rate: f64,
+    /// One-shot power loss after this many cumulative page programs.
+    pub power_cut_after_programs: Option<u64>,
+    /// Transient-read retry budget the degradation ladder may spend
+    /// before declaring a read unrecoverable.
+    pub read_retries: u32,
+    /// Allow serving a write-through run's raw payload even when its
+    /// checksum mismatches (best-effort degraded read instead of a hard
+    /// error). Off by default: silent corruption stays loud unless a
+    /// fault campaign opts in.
+    pub allow_degraded_reads: bool,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — the implicit default everywhere.
+    pub const fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            read_error_rate: 0.0,
+            program_error_rate: 0.0,
+            erase_error_rate: 0.0,
+            bit_rot_rate: 0.0,
+            power_cut_after_programs: None,
+            read_retries: 2,
+            allow_degraded_reads: false,
+        }
+    }
+
+    /// Whether any fault can ever fire under this plan.
+    pub fn is_active(&self) -> bool {
+        self.read_error_rate > 0.0
+            || self.program_error_rate > 0.0
+            || self.erase_error_rate > 0.0
+            || self.bit_rot_rate > 0.0
+            || self.power_cut_after_programs.is_some()
+    }
+
+    /// Panic with a clear message if any rate is outside `[0, 1]`.
+    pub fn validate(&self) {
+        for (name, rate) in [
+            ("read_error_rate", self.read_error_rate),
+            ("program_error_rate", self.program_error_rate),
+            ("erase_error_rate", self.erase_error_rate),
+            ("bit_rot_rate", self.bit_rot_rate),
+        ] {
+            assert!((0.0..=1.0).contains(&rate), "{name} must be in [0, 1], got {rate}");
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// A typed flash-level fault, surfaced by the fallible device entry
+/// points instead of a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultError {
+    /// A read attempt failed transiently (read disturb, interface CRC).
+    ReadFault,
+    /// A page program failed even after scrapping and retrying pages.
+    ProgramFault,
+    /// A block erase failed and the block was retired.
+    EraseFault,
+    /// Power was lost after the given cumulative page-program count.
+    PowerCut {
+        /// Page programs completed before the lights went out.
+        after_programs: u64,
+    },
+    /// The device is powered off (a power cut fired earlier); call
+    /// `power_cycle` before issuing more I/O.
+    PoweredOff,
+    /// Block retirement exhausted the spare area: no free block remains.
+    WornOut,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::ReadFault => write!(f, "transient read fault"),
+            FaultError::ProgramFault => write!(f, "page program fault"),
+            FaultError::EraseFault => write!(f, "block erase fault"),
+            FaultError::PowerCut { after_programs } => {
+                write!(f, "power cut after {after_programs} page programs")
+            }
+            FaultError::PoweredOff => write!(f, "device is powered off after a power cut"),
+            FaultError::WornOut => write!(f, "device worn out: spare blocks exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// Counters of faults actually injected/observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transient read faults fired.
+    pub read_faults: u64,
+    /// Page-program faults fired.
+    pub program_faults: u64,
+    /// Block-erase faults fired.
+    pub erase_faults: u64,
+    /// Pages whose fetch was served with a rotted bit.
+    pub rot_pages: u64,
+    /// Power cuts fired.
+    pub power_cuts: u64,
+}
+
+/// The live decision stream: a [`FaultPlan`] plus counters.
+///
+/// Decisions are pure functions of `(plan.seed, draws-so-far)`, so two
+/// states with the same plan walked through the same sequence of
+/// questions answer identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultState {
+    plan: FaultPlan,
+    /// Decisions drawn so far (the stream position).
+    draws: u64,
+    /// Cumulative page programs (the power-cut clock).
+    programs: u64,
+    powered: bool,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    /// Start a decision stream for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        plan.validate();
+        FaultState { plan, draws: 0, programs: 0, powered: true, stats: FaultStats::default() }
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Injected-fault counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Cumulative page programs (the power-cut clock position).
+    pub fn programs(&self) -> u64 {
+        self.programs
+    }
+
+    /// Whether the (simulated) device currently has power.
+    pub fn powered(&self) -> bool {
+        self.powered
+    }
+
+    /// Restore power after a cut. The one-shot power cut is disarmed —
+    /// the device stays up until a new plan arms another — and the
+    /// program clock restarts at zero.
+    pub fn power_cycle(&mut self) {
+        self.powered = true;
+        self.plan.power_cut_after_programs = None;
+        self.programs = 0;
+    }
+
+    /// Next decision in `[0, 1)`.
+    #[inline]
+    fn draw(&mut self) -> f64 {
+        let x = splitmix64(self.plan.seed ^ self.draws.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.draws += 1;
+        (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Should this read attempt fail transiently?
+    pub fn read_fault(&mut self) -> bool {
+        if self.plan.read_error_rate == 0.0 {
+            return false;
+        }
+        let hit = self.draw() < self.plan.read_error_rate;
+        if hit {
+            self.stats.read_faults += 1;
+        }
+        hit
+    }
+
+    /// Has this fetched page rotted? Returns a deterministic bit index to
+    /// flip when it has.
+    pub fn bit_rot(&mut self) -> Option<u32> {
+        if self.plan.bit_rot_rate == 0.0 {
+            return None;
+        }
+        if self.draw() < self.plan.bit_rot_rate {
+            self.stats.rot_pages += 1;
+            // A second draw picks which bit of the page rots.
+            let bit = (self.draw() * 32768.0) as u32; // 4 KiB = 32768 bits
+            Some(bit)
+        } else {
+            None
+        }
+    }
+
+    /// Should this page program fail?
+    pub fn program_fault(&mut self) -> bool {
+        if self.plan.program_error_rate == 0.0 {
+            return false;
+        }
+        let hit = self.draw() < self.plan.program_error_rate;
+        if hit {
+            self.stats.program_faults += 1;
+        }
+        hit
+    }
+
+    /// Should this block erase fail?
+    pub fn erase_fault(&mut self) -> bool {
+        if self.plan.erase_error_rate == 0.0 {
+            return false;
+        }
+        let hit = self.draw() < self.plan.erase_error_rate;
+        if hit {
+            self.stats.erase_faults += 1;
+        }
+        hit
+    }
+
+    /// Advance the power-cut clock by one page program. Returns the
+    /// power-cut error exactly when the armed budget is exhausted: the
+    /// program that *would* have been the `N+1`-th does not happen.
+    pub fn program_page(&mut self) -> Result<(), FaultError> {
+        if !self.powered {
+            return Err(FaultError::PoweredOff);
+        }
+        if let Some(cut) = self.plan.power_cut_after_programs {
+            if self.programs >= cut {
+                self.powered = false;
+                self.stats.power_cuts += 1;
+                return Err(FaultError::PowerCut { after_programs: self.programs });
+            }
+        }
+        self.programs += 1;
+        Ok(())
+    }
+
+    /// Error unless the device has power.
+    pub fn check_power(&self) -> Result<(), FaultError> {
+        if self.powered {
+            Ok(())
+        } else {
+            Err(FaultError::PoweredOff)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_plan_never_fires() {
+        let mut s = FaultState::new(FaultPlan::none());
+        for _ in 0..10_000 {
+            assert!(!s.read_fault());
+            assert!(!s.program_fault());
+            assert!(!s.erase_fault());
+            assert!(s.bit_rot().is_none());
+            assert!(s.program_page().is_ok());
+        }
+        assert_eq!(s.stats(), FaultStats::default());
+        assert!(!FaultPlan::none().is_active());
+    }
+
+    #[test]
+    fn decision_stream_is_deterministic() {
+        let plan = FaultPlan { seed: 42, read_error_rate: 0.3, ..FaultPlan::none() };
+        let mut a = FaultState::new(plan);
+        let mut b = FaultState::new(plan);
+        let seq_a: Vec<bool> = (0..1000).map(|_| a.read_fault()).collect();
+        let seq_b: Vec<bool> = (0..1000).map(|_| b.read_fault()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|&x| x) && seq_a.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let mk = |seed| FaultState::new(FaultPlan { seed, read_error_rate: 0.5, ..FaultPlan::none() });
+        let (mut a, mut b) = (mk(1), mk(2));
+        let seq_a: Vec<bool> = (0..256).map(|_| a.read_fault()).collect();
+        let seq_b: Vec<bool> = (0..256).map(|_| b.read_fault()).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let mut s = FaultState::new(FaultPlan {
+            seed: 7,
+            program_error_rate: 0.1,
+            ..FaultPlan::none()
+        });
+        let hits = (0..20_000).filter(|_| s.program_fault()).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((0.08..0.12).contains(&rate), "rate {rate}");
+        assert_eq!(s.stats().program_faults, hits as u64);
+    }
+
+    #[test]
+    fn power_cut_fires_exactly_once_at_budget() {
+        let mut s = FaultState::new(FaultPlan {
+            power_cut_after_programs: Some(3),
+            ..FaultPlan::none()
+        });
+        assert!(s.program_page().is_ok());
+        assert!(s.program_page().is_ok());
+        assert!(s.program_page().is_ok());
+        assert_eq!(s.program_page(), Err(FaultError::PowerCut { after_programs: 3 }));
+        assert!(!s.powered());
+        assert_eq!(s.program_page(), Err(FaultError::PoweredOff));
+        assert_eq!(s.check_power(), Err(FaultError::PoweredOff));
+        s.power_cycle();
+        assert!(s.powered());
+        // Disarmed: the clock restarts and no further cut fires.
+        for _ in 0..100 {
+            assert!(s.program_page().is_ok());
+        }
+        assert_eq!(s.stats().power_cuts, 1);
+    }
+
+    #[test]
+    fn bit_rot_reports_bit_index_in_page() {
+        let mut s = FaultState::new(FaultPlan { seed: 3, bit_rot_rate: 1.0, ..FaultPlan::none() });
+        let bit = s.bit_rot().expect("rate 1.0 must rot");
+        assert!(bit < 32768);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn invalid_rate_rejected() {
+        FaultState::new(FaultPlan { read_error_rate: 1.5, ..FaultPlan::none() });
+    }
+}

@@ -11,6 +11,8 @@
 //! endurance and tail latency in the paper's argument.
 
 use crate::config::{SsdConfig, SECTOR_BYTES};
+use crate::fault::{FaultError, FaultPlan, FaultState, FaultStats};
+use core::fmt;
 use std::collections::VecDeque;
 
 /// `rmap` marker: physical sector never written since erase.
@@ -33,6 +35,8 @@ pub struct FtlStats {
     pub gc_runs: u64,
     /// Sectors discarded via TRIM.
     pub trimmed_sectors: u64,
+    /// Blocks permanently retired after an erase fault.
+    pub retired_blocks: u64,
 }
 
 impl FtlStats {
@@ -69,12 +73,75 @@ pub struct Ftl {
     valid: Vec<u16>,
     /// Erase count per block (wear).
     erase_count: Vec<u32>,
+    /// Blocks retired after an erase fault (never reused, never victims).
+    retired: Vec<bool>,
     free_blocks: VecDeque<u32>,
     active_block: u32,
     /// Next sector index within the active block.
     write_ptr: u32,
     stats: FtlStats,
+    /// Seeded fault-decision stream (inactive by default).
+    faults: FaultState,
 }
+
+/// One violated FTL invariant, reported by [`Ftl::verify_integrity`]
+/// instead of a panic so callers (tests, the fault campaign) can treat a
+/// broken mapping as data rather than an abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// A mapped logical sector's reverse entry does not point back at it.
+    RmapMismatch {
+        /// The logical sector whose mapping is broken.
+        lsn: u64,
+        /// The physical sector its map entry names.
+        psn: u32,
+    },
+    /// A block's valid-sector counter disagrees with the reverse map.
+    ValidCountMismatch {
+        /// The block in question.
+        block: u32,
+        /// What the counter says.
+        recorded: u16,
+        /// What the reverse map actually holds.
+        actual: u16,
+    },
+    /// A block on the free list still holds valid data.
+    FreeBlockHoldsData {
+        /// The offending free-listed block.
+        block: u32,
+        /// Its (non-zero) valid counter.
+        valid: u16,
+    },
+    /// The total of per-block valid counters disagrees with the number of
+    /// mapped logical sectors.
+    ValidTotalMismatch {
+        /// Sum of valid counters.
+        valid: u64,
+        /// Mapped logical sectors.
+        mapped: u64,
+    },
+}
+
+impl fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrityError::RmapMismatch { lsn, psn } => {
+                write!(f, "rmap of psn {psn} does not point back at lsn {lsn}")
+            }
+            IntegrityError::ValidCountMismatch { block, recorded, actual } => {
+                write!(f, "valid counter of block {block}: recorded {recorded}, actual {actual}")
+            }
+            IntegrityError::FreeBlockHoldsData { block, valid } => {
+                write!(f, "free block {block} holds {valid} valid sectors")
+            }
+            IntegrityError::ValidTotalMismatch { valid, mapped } => {
+                write!(f, "{valid} valid sectors vs {mapped} mapped logical sectors")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {}
 
 impl Ftl {
     /// Build an empty (fully erased) FTL for `cfg`.
@@ -93,16 +160,36 @@ impl Ftl {
             rmap: vec![FREE; phys_sectors],
             valid: vec![0; blocks as usize],
             erase_count: vec![0; blocks as usize],
+            retired: vec![false; blocks as usize],
             free_blocks,
             active_block,
             write_ptr: 0,
             stats: FtlStats::default(),
+            faults: FaultState::new(cfg.fault),
         }
     }
 
     /// Cumulative statistics.
     pub fn stats(&self) -> FtlStats {
         self.stats
+    }
+
+    /// Injected-fault counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats()
+    }
+
+    /// The live fault-decision stream (the SSD front-end shares it so
+    /// device reads and FTL programs draw from one deterministic
+    /// sequence).
+    pub fn faults_mut(&mut self) -> &mut FaultState {
+        &mut self.faults
+    }
+
+    /// Replace the fault plan, restarting the decision stream. Lets a
+    /// campaign precondition a device fault-free, then arm faults.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = FaultState::new(plan);
     }
 
     /// Number of logical sectors exported.
@@ -129,23 +216,43 @@ impl Ftl {
     /// cost incurred.
     ///
     /// # Panics
-    /// Panics if the range exceeds the logical capacity.
+    /// Panics if the range exceeds the logical capacity, or if an
+    /// injected fault fires — arm a [`FaultPlan`] only together with the
+    /// fallible [`Ftl::try_write`].
     pub fn write(&mut self, lsn: u64, count: u64) -> WriteCharge {
+        self.try_write(lsn, count).expect("fault injected — use try_write with an armed FaultPlan")
+    }
+
+    /// Fallible write path: like [`Ftl::write`] but injected faults come
+    /// back as typed errors. Program faults are absorbed (the page is
+    /// scrapped and the next one tried); power cuts and spare-area
+    /// exhaustion abort mid-range, leaving the sectors already written
+    /// durable and the rest untouched — exactly what real NAND leaves
+    /// behind.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the logical capacity.
+    pub fn try_write(&mut self, lsn: u64, count: u64) -> Result<WriteCharge, FaultError> {
         assert!(
             lsn + count <= self.map.len() as u64,
             "write beyond logical capacity: lsn {lsn} + {count} > {}",
             self.map.len()
         );
+        self.faults.check_power()?;
         let mut charge = WriteCharge::default();
         for l in lsn..lsn + count {
+            // The power-cut clock ticks before any state changes: a cut
+            // between two sector programs leaves the earlier sectors
+            // durable and this one entirely unwritten.
+            self.faults.program_page()?;
+            let psn = self.allocate(&mut charge)?;
             self.invalidate(l);
-            let psn = self.allocate(&mut charge);
             self.map[l as usize] = psn;
             self.rmap[psn as usize] = l as u32;
             self.valid[(psn / self.sectors_per_block) as usize] += 1;
             self.stats.user_sectors_written += 1;
         }
-        charge
+        Ok(charge)
     }
 
     /// Read check: returns how many of the `count` sectors at `lsn` are
@@ -183,25 +290,42 @@ impl Ftl {
     }
 
     /// Allocate the next physical sector in the active block, rotating to a
-    /// fresh block (and running GC) as needed.
-    fn allocate(&mut self, charge: &mut WriteCharge) -> u32 {
-        if self.write_ptr == self.sectors_per_block {
-            // Active block full: grab the next free block.
-            self.maybe_gc(charge);
-            self.active_block =
-                self.free_blocks.pop_front().expect("free block must exist after GC");
-            self.write_ptr = 0;
+    /// fresh block (and running GC) as needed. Injected program faults are
+    /// absorbed here: the faulty page is scrapped (marked stale, reclaimed
+    /// at the next erase) and allocation moves on, as a real controller
+    /// does. Only spare-area exhaustion is fatal.
+    fn allocate(&mut self, charge: &mut WriteCharge) -> Result<u32, FaultError> {
+        loop {
+            if self.write_ptr == self.sectors_per_block {
+                // Active block full: grab the next free block.
+                self.maybe_gc(charge)?;
+                self.active_block =
+                    self.free_blocks.pop_front().ok_or(FaultError::WornOut)?;
+                self.write_ptr = 0;
+            }
+            let psn = self.active_block * self.sectors_per_block + self.write_ptr;
+            self.write_ptr += 1;
+            if self.faults.program_fault() {
+                // Scrapped page: stale until its block is erased.
+                self.rmap[psn as usize] = INVALID;
+                continue;
+            }
+            return Ok(psn);
         }
-        let psn = self.active_block * self.sectors_per_block + self.write_ptr;
-        self.write_ptr += 1;
-        psn
     }
 
     /// Run greedy GC until the free list is above the watermark.
-    fn maybe_gc(&mut self, charge: &mut WriteCharge) {
+    ///
+    /// Migration copies are controller-internal and intentionally do not
+    /// tick the power-cut clock or draw program faults — user-visible
+    /// fault semantics stay attached to host writes. Erase faults retire
+    /// the victim block permanently (it keeps its stale pages and never
+    /// rejoins the free list); a device that retires its whole spare area
+    /// reports [`FaultError::WornOut`].
+    fn maybe_gc(&mut self, charge: &mut WriteCharge) -> Result<(), FaultError> {
         while self.free_blocks.len() <= self.gc_low_watermark as usize {
             self.stats.gc_runs += 1;
-            let victim = self.pick_victim().expect("a victim block must exist");
+            let victim = self.pick_victim().ok_or(FaultError::WornOut)?;
             // Migrate valid sectors out of the victim.
             let base = victim * self.sectors_per_block;
             for s in 0..self.sectors_per_block {
@@ -213,10 +337,8 @@ impl Ftl {
                 debug_assert_eq!(self.map[owner as usize], psn, "map/rmap out of sync");
                 // Append to the log (active block cannot be the victim).
                 if self.write_ptr == self.sectors_per_block {
-                    self.active_block = self
-                        .free_blocks
-                        .pop_front()
-                        .expect("over-provisioning guarantees a free block during GC");
+                    self.active_block =
+                        self.free_blocks.pop_front().ok_or(FaultError::WornOut)?;
                     self.write_ptr = 0;
                 }
                 let new_psn = self.active_block * self.sectors_per_block + self.write_ptr;
@@ -230,6 +352,16 @@ impl Ftl {
                 charge.migrated_sectors += 1;
             }
             debug_assert_eq!(self.valid[victim as usize], 0);
+            if self.faults.erase_fault() {
+                // Erase failed: retire the block. Its pages stay marked
+                // stale so no invariant ever counts them as usable.
+                for s in 0..self.sectors_per_block {
+                    self.rmap[(base + s) as usize] = INVALID;
+                }
+                self.retired[victim as usize] = true;
+                self.stats.retired_blocks += 1;
+                continue;
+            }
             // Erase the victim.
             for s in 0..self.sectors_per_block {
                 self.rmap[(base + s) as usize] = FREE;
@@ -239,6 +371,7 @@ impl Ftl {
             charge.erases += 1;
             self.free_blocks.push_back(victim);
         }
+        Ok(())
     }
 
     /// Victim selection. Normally greedy (fewest valid sectors among full,
@@ -248,8 +381,11 @@ impl Ftl {
     /// rejoins the erase rotation.
     fn pick_victim(&self) -> Option<u32> {
         let free: std::collections::HashSet<u32> = self.free_blocks.iter().copied().collect();
-        let candidates =
-            || (0..self.valid.len() as u32).filter(|&b| b != self.active_block && !free.contains(&b));
+        let candidates = || {
+            (0..self.valid.len() as u32).filter(|&b| {
+                b != self.active_block && !free.contains(&b) && !self.retired[b as usize]
+            })
+        };
         if self.wear_level_threshold > 0 {
             let max = self.erase_count.iter().copied().max().unwrap_or(0);
             let coldest = candidates().min_by_key(|&b| self.erase_count[b as usize]);
@@ -268,22 +404,23 @@ impl Ftl {
         bytes.div_ceil(SECTOR_BYTES).max(1)
     }
 
-    /// Verify internal invariants; panics with a description on violation.
+    /// Verify internal invariants, reporting the first violation as a
+    /// typed [`IntegrityError`] instead of panicking.
     ///
     /// Checked: (1) every mapped logical sector's reverse entry points
     /// back at it, (2) per-block valid counters match the reverse map,
     /// (3) free-listed blocks hold no valid data, (4) total valid sectors
-    /// equal the number of mapped logical sectors. Intended for tests and
-    /// debugging; cost is O(physical sectors).
-    pub fn verify_integrity(&self) {
+    /// equal the number of mapped logical sectors. Intended for tests,
+    /// debugging, and post-recovery audits in the fault campaign; cost is
+    /// O(physical sectors).
+    pub fn verify_integrity(&self) -> Result<(), IntegrityError> {
         let mut mapped = 0u64;
         for (lsn, &psn) in self.map.iter().enumerate() {
             if psn != UNMAPPED {
                 mapped += 1;
-                assert_eq!(
-                    self.rmap[psn as usize], lsn as u32,
-                    "rmap of psn {psn} does not point back at lsn {lsn}"
-                );
+                if self.rmap[psn as usize] != lsn as u32 {
+                    return Err(IntegrityError::RmapMismatch { lsn: lsn as u64, psn });
+                }
             }
         }
         let mut total_valid = 0u64;
@@ -295,13 +432,27 @@ impl Ftl {
                     v != FREE && v != INVALID
                 })
                 .count() as u16;
-            assert_eq!(self.valid[b as usize], actual, "valid counter of block {b}");
+            if self.valid[b as usize] != actual {
+                return Err(IntegrityError::ValidCountMismatch {
+                    block: b,
+                    recorded: self.valid[b as usize],
+                    actual,
+                });
+            }
             total_valid += u64::from(actual);
         }
         for &b in &self.free_blocks {
-            assert_eq!(self.valid[b as usize], 0, "free block {b} holds valid data");
+            if self.valid[b as usize] != 0 {
+                return Err(IntegrityError::FreeBlockHoldsData {
+                    block: b,
+                    valid: self.valid[b as usize],
+                });
+            }
         }
-        assert_eq!(total_valid, mapped, "valid sectors vs mapped sectors");
+        if total_valid != mapped {
+            return Err(IntegrityError::ValidTotalMismatch { valid: total_valid, mapped });
+        }
+        Ok(())
     }
 }
 
@@ -518,7 +669,7 @@ mod tests {
         b.trim(0, 4);
         assert_eq!(b.read(0, 4), 0);
         assert_eq!(b.read(cap / 2, 4), 4);
-        b.verify_integrity();
+        b.verify_integrity().expect("integrity");
     }
 
     #[test]
@@ -527,7 +678,7 @@ mod tests {
         let mut ftl = Ftl::new(&cfg);
         assert_eq!(ftl.trim(0, 100), 0);
         assert_eq!(ftl.stats().trimmed_sectors, 0);
-        ftl.verify_integrity();
+        ftl.verify_integrity().expect("integrity");
     }
 
     #[test]
@@ -559,7 +710,7 @@ mod tests {
                 x ^= x << 17;
                 ftl.write(cap / 2 + x % (cap / 2), 1); // hot half only
             }
-            ftl.verify_integrity();
+            ftl.verify_integrity().expect("integrity");
             let max = ftl.erase_counts().iter().copied().max().unwrap();
             let min = ftl.erase_counts().iter().copied().min().unwrap();
             (max, min)
@@ -582,5 +733,91 @@ mod tests {
     fn waf_of_fresh_device_is_one() {
         let ftl = Ftl::new(&small_cfg());
         assert_eq!(ftl.stats().write_amplification(), 1.0);
+    }
+
+    #[test]
+    fn power_cut_aborts_write_and_preserves_integrity() {
+        let cfg = SsdConfig {
+            fault: FaultPlan { power_cut_after_programs: Some(10), ..FaultPlan::none() },
+            ..small_cfg()
+        };
+        let mut ftl = Ftl::new(&cfg);
+        // First 10 sector programs succeed, the 11th hits the cut.
+        let err = ftl.try_write(0, 20).unwrap_err();
+        assert_eq!(err, FaultError::PowerCut { after_programs: 10 });
+        assert_eq!(ftl.read(0, 10), 10, "sectors before the cut are durable");
+        assert_eq!(ftl.read(10, 10), 0, "sectors after the cut never landed");
+        // Everything else rejects until power is restored.
+        assert_eq!(ftl.try_write(10, 1).unwrap_err(), FaultError::PoweredOff);
+        ftl.verify_integrity().expect("cut must not corrupt the mapping");
+        ftl.faults_mut().power_cycle();
+        ftl.try_write(10, 10).expect("power restored");
+        assert_eq!(ftl.read(0, 20), 20);
+    }
+
+    #[test]
+    fn program_faults_scrap_pages_but_writes_succeed() {
+        let cfg = SsdConfig {
+            fault: FaultPlan { program_error_rate: 0.05, ..FaultPlan::none() },
+            ..small_cfg()
+        };
+        let mut ftl = Ftl::new(&cfg);
+        let cap = ftl.logical_sectors();
+        for round in 0..3u64 {
+            for l in 0..cap {
+                ftl.try_write(l, 1).expect("program faults are absorbed");
+            }
+            let _ = round;
+        }
+        assert!(ftl.fault_stats().program_faults > 0, "5% rate must fire over 3 fills");
+        assert_eq!(ftl.read(0, cap), cap);
+        ftl.verify_integrity().expect("scrapped pages must not break invariants");
+    }
+
+    #[test]
+    fn erase_faults_retire_blocks() {
+        let cfg = SsdConfig {
+            fault: FaultPlan { erase_error_rate: 0.10, ..FaultPlan::none() },
+            ..small_cfg()
+        };
+        let mut ftl = Ftl::new(&cfg);
+        let cap = ftl.logical_sectors();
+        let mut x = 7u64;
+        let mut worn_out = false;
+        'outer: for _ in 0..40 * cap {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            match ftl.try_write(x % cap, 1) {
+                Ok(_) => {}
+                Err(FaultError::WornOut) => {
+                    worn_out = true;
+                    break 'outer;
+                }
+                Err(e) => panic!("unexpected fault: {e}"),
+            }
+        }
+        assert!(ftl.stats().retired_blocks > 0, "10% erase-fault rate must retire blocks");
+        ftl.verify_integrity().expect("retired blocks must not break invariants");
+        // Either the device survived with degraded spare area, or it
+        // eventually wore out — both are legal ends; silent corruption is not.
+        let _ = worn_out;
+    }
+
+    #[test]
+    fn inactive_fault_plan_changes_nothing() {
+        let mut faulty = Ftl::new(&small_cfg());
+        let mut clean = Ftl::new(&small_cfg());
+        let cap = clean.logical_sectors();
+        let mut x = 3u64;
+        for _ in 0..5_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let lsn = x % cap;
+            assert_eq!(faulty.try_write(lsn, 1).unwrap(), clean.write(lsn, 1));
+        }
+        assert_eq!(faulty.stats(), clean.stats());
+        assert_eq!(faulty.fault_stats(), FaultStats::default());
     }
 }

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fault;
 pub mod ftl;
 pub mod hdd;
 pub mod rais;
@@ -40,7 +41,8 @@ pub mod ssd;
 pub mod wear;
 
 pub use config::{NandTiming, SsdConfig};
-pub use ftl::{Ftl, FtlStats};
+pub use fault::{FaultError, FaultPlan, FaultState, FaultStats};
+pub use ftl::{Ftl, FtlStats, IntegrityError};
 pub use hdd::{HddDevice, HddTiming};
 pub use rais::{RaisArray, RaisLevel};
 pub use ssd::{DeviceStats, IoKind, SsdDevice};

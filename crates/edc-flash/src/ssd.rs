@@ -10,7 +10,8 @@
 //! queue length increases in bursty periods" effect EDC exploits.
 
 use crate::config::{SsdConfig, SECTOR_BYTES};
-use crate::ftl::{Ftl, FtlStats};
+use crate::fault::{FaultError, FaultPlan, FaultState, FaultStats};
+use crate::ftl::{Ftl, FtlStats, IntegrityError};
 
 /// Read or write, at the device level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -116,10 +117,59 @@ impl SsdDevice {
         (offset % self.cfg.logical_bytes) / SECTOR_BYTES * SECTOR_BYTES
     }
 
+    /// Injected-fault counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.ftl.fault_stats()
+    }
+
+    /// The live fault-decision stream (for campaigns that need direct
+    /// access, e.g. to inspect the power-cut clock).
+    pub fn faults_mut(&mut self) -> &mut FaultState {
+        self.ftl.faults_mut()
+    }
+
+    /// Replace the fault plan, restarting the decision stream. Lets a
+    /// campaign precondition fault-free and then arm faults.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.cfg.fault = plan;
+        self.ftl.set_fault_plan(plan);
+    }
+
+    /// Restore power after a simulated cut (the one-shot cut is disarmed).
+    pub fn power_cycle(&mut self) {
+        self.ftl.faults_mut().power_cycle();
+    }
+
+    /// Check FTL invariants, returning the first violation as data.
+    pub fn verify_integrity(&self) -> Result<(), IntegrityError> {
+        self.ftl.verify_integrity()
+    }
+
     /// Submit an I/O at time `now_ns`. `offset`/`len` are bytes; the
     /// request must fit in the logical space after wrapping (the tail is
     /// clipped if it would run past the end of the volume).
+    ///
+    /// # Panics
+    /// Panics on zero-length I/O, or if an injected fault fires — arm a
+    /// [`FaultPlan`] only together with [`SsdDevice::try_submit`].
     pub fn submit(&mut self, now_ns: u64, kind: IoKind, offset: u64, len: u32) -> Completion {
+        self.try_submit(now_ns, kind, offset, len)
+            .expect("fault injected — use try_submit with an armed FaultPlan")
+    }
+
+    /// Fallible submit: like [`SsdDevice::submit`] but injected faults
+    /// come back as typed [`FaultError`]s. Transient read faults are
+    /// retried up to the plan's `read_retries` budget before
+    /// [`FaultError::ReadFault`] is returned; write-side faults follow
+    /// [`Ftl::try_write`] semantics (a power cut aborts mid-range leaving
+    /// completed sectors durable).
+    pub fn try_submit(
+        &mut self,
+        now_ns: u64,
+        kind: IoKind,
+        offset: u64,
+        len: u32,
+    ) -> Result<Completion, FaultError> {
         assert!(len > 0, "zero-length I/O");
         let offset = self.wrap_offset(offset);
         let max_len = self.cfg.logical_bytes - offset;
@@ -130,13 +180,23 @@ impl SsdDevice {
         let t = &self.cfg.timing;
         let service_ns = match kind {
             IoKind::Read => {
+                let faults = self.ftl.faults_mut();
+                faults.check_power()?;
+                let retries = faults.plan().read_retries;
+                let mut attempt = 0;
+                while faults.read_fault() {
+                    if attempt == retries {
+                        return Err(FaultError::ReadFault);
+                    }
+                    attempt += 1;
+                }
                 // Reads of unmapped space are served from the zero-fill fast
                 // path at the same transfer cost (controller returns zeroes).
                 let _ = self.ftl.read(lsn, sectors);
                 t.read_overhead_ns + (len as f64 * t.read_ns_per_byte) as u64
             }
             IoKind::Write => {
-                let charge = self.ftl.write(lsn, sectors);
+                let charge = self.ftl.try_write(lsn, sectors)?;
                 let base = t.write_overhead_ns + (len as f64 * t.write_ns_per_byte) as u64;
                 let gc = charge.erases * t.erase_ns
                     + (charge.migrated_sectors as f64 * SECTOR_BYTES as f64 * t.migrate_ns_per_byte)
@@ -160,7 +220,7 @@ impl SsdDevice {
                 self.stats.bytes_written += len;
             }
         }
-        Completion { start_ns, finish_ns }
+        Ok(Completion { start_ns, finish_ns })
     }
 
     /// TRIM `len` bytes at `offset`: unmap without writing. Costs only the
@@ -366,6 +426,49 @@ mod tests {
     }
 
     #[test]
+    fn read_faults_surface_after_retry_budget() {
+        let mut d = dev();
+        d.submit(0, IoKind::Write, 0, 4096);
+        // Every read attempt faults and no retry budget exists: typed error.
+        d.set_fault_plan(FaultPlan {
+            read_error_rate: 1.0,
+            read_retries: 0,
+            ..FaultPlan::none()
+        });
+        assert_eq!(d.try_submit(0, IoKind::Read, 0, 4096), Err(FaultError::ReadFault));
+        // A 50% rate with a generous budget always succeeds eventually.
+        d.set_fault_plan(FaultPlan {
+            seed: 1,
+            read_error_rate: 0.5,
+            read_retries: 40,
+            ..FaultPlan::none()
+        });
+        for _ in 0..50 {
+            d.try_submit(0, IoKind::Read, 0, 4096).expect("retries must absorb a 50% rate");
+        }
+        assert!(d.fault_stats().read_faults > 0, "50% over 50 reads must fire");
+    }
+
+    #[test]
+    fn power_cut_then_power_cycle_recovers_device() {
+        let mut d = dev();
+        d.set_fault_plan(FaultPlan {
+            power_cut_after_programs: Some(6),
+            ..FaultPlan::none()
+        });
+        // 4 KiB = 4 sectors: first write fits the budget, second hits the cut.
+        d.try_submit(0, IoKind::Write, 0, 4096).expect("within budget");
+        let err = d.try_submit(0, IoKind::Write, 8192, 4096).unwrap_err();
+        assert_eq!(err, FaultError::PowerCut { after_programs: 6 });
+        // Dead until power cycled — reads too.
+        assert_eq!(d.try_submit(0, IoKind::Read, 0, 4096), Err(FaultError::PoweredOff));
+        d.verify_integrity().expect("cut must not corrupt the FTL");
+        d.power_cycle();
+        d.try_submit(0, IoKind::Write, 8192, 4096).expect("restored");
+        d.verify_integrity().expect("integrity after recovery");
+    }
+
+    #[test]
     fn custom_timing_respected() {
         let cfg = SsdConfig {
             logical_bytes: 16 << 20,
@@ -381,6 +484,7 @@ mod tests {
                 erase_ns: 10_000,
                 migrate_ns_per_byte: 2.0,
             },
+            fault: FaultPlan::none(),
         };
         let mut d = SsdDevice::new(cfg);
         let c = d.submit(0, IoKind::Read, 0, 1000);

@@ -33,7 +33,7 @@ fn ftl_invariants_under_arbitrary_writes() {
                 written[l as usize] = true;
             }
         }
-        ftl.verify_integrity();
+        ftl.verify_integrity().expect("integrity");
         for (l, &w) in written.iter().enumerate() {
             assert_eq!(ftl.is_mapped(l as u64), w, "lsn {l}");
         }
@@ -60,7 +60,7 @@ fn gc_preserves_exactly_one_copy() {
                 ftl.write(x % cap, 1);
             }
         }
-        ftl.verify_integrity();
+        ftl.verify_integrity().expect("integrity");
         assert!(ftl.stats().erases > 0, "workload must trigger GC");
     });
 }

@@ -10,8 +10,9 @@
 //! cargo run --release --example compressibility_explorer
 //! ```
 
-use edc::compress::{codec_by_id, CodecId, Estimator};
+use edc::compress::{CodecRegistry, Estimator};
 use edc::datagen::{BlockClass, ContentGenerator, DataMix};
+use edc::prelude::*;
 use std::time::Instant;
 
 const BLOCK: usize = 64 * 1024;
@@ -35,7 +36,7 @@ fn main() {
         let est: f64 = blocks.iter().map(|b| estimator.estimate(b).fraction).sum::<f64>()
             / blocks.len() as f64;
         for id in CodecId::ALL_CODECS {
-            let codec = codec_by_id(id).expect("real codec");
+            let codec = CodecRegistry::get(id).expect("real codec");
             let t0 = Instant::now();
             let streams: Vec<Vec<u8>> = blocks.iter().map(|b| codec.compress(b)).collect();
             let comp_s = t0.elapsed().as_secs_f64();

@@ -9,10 +9,10 @@
 //! cargo run --release --example hdd_vs_ssd
 //! ```
 
-use edc::compress::CodecId;
 use edc::core::{CalibrationConfig, ContentModel, EdcConfig, Policy, SimConfig, SimScheme};
 use edc::datagen::DataMix;
-use edc::flash::{HddTiming, SsdConfig};
+use edc::flash::HddTiming;
+use edc::prelude::*;
 use edc::sim::replay::replay;
 use edc::sim::Storage;
 use edc::trace::TracePreset;

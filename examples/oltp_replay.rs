@@ -10,10 +10,9 @@
 //! cargo run --release --example oltp_replay
 //! ```
 
-use edc::compress::CodecId;
 use edc::core::{CalibrationConfig, ContentModel, EdcConfig, Policy, SimConfig, SimScheme};
 use edc::datagen::DataMix;
-use edc::flash::SsdConfig;
+use edc::prelude::*;
 use edc::sim::replay::replay;
 use edc::sim::Storage;
 use edc::trace::TracePreset;

@@ -9,11 +9,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use edc::compress::CodecId;
-use edc::core::pipeline::{EdcPipeline, PipelineConfig};
 use edc::datagen::{ContentGenerator, DataMix};
+use edc::prelude::*;
 
-fn main() {
+fn main() -> Result<(), EdcError> {
     // A 16 MiB device image with the paper-default configuration.
     let mut store = EdcPipeline::new(16 << 20, PipelineConfig::default());
     let mut generator = ContentGenerator::new(7, DataMix::primary_storage());
@@ -28,15 +27,15 @@ fn main() {
     for i in 0..64u64 {
         let (_, data) = generator.block(4096);
         originals.push((i, data.clone()));
-        let flushed = store.write(t_ns, i * 4096, &data);
+        let flushed = store.write(t_ns, i * 4096, &data)?;
         report(flushed);
         t_ns += 50_000_000;
     }
-    report(store.flush(t_ns));
+    report(store.flush(t_ns)?);
 
     // Read everything back and verify.
     for (i, data) in &originals {
-        let got = store.read(t_ns, i * 4096, 4096).expect("read back");
+        let got = store.read(t_ns, i * 4096, 4096)?;
         assert_eq!(&got, data, "block {i} corrupted");
     }
     println!("\nall 64 blocks verified byte-identical after decompression");
@@ -51,9 +50,10 @@ fn main() {
         "allocator: {} placements, {} written through (75% rule), {} B internal fragmentation",
         stats.placements, stats.write_through, stats.internal_frag_bytes
     );
+    Ok(())
 }
 
-fn report(result: Option<edc::core::pipeline::WriteResult>) {
+fn report(result: Option<WriteResult>) {
     if let Some(r) = result {
         let codec = match r.tag {
             CodecId::None => "store",

@@ -9,7 +9,8 @@
 //! cargo run --release --example rais_array
 //! ```
 
-use edc::flash::{IoKind, RaisArray, RaisLevel, SsdConfig};
+use edc::flash::{IoKind, RaisArray, RaisLevel};
+use edc::prelude::*;
 
 fn member() -> SsdConfig {
     SsdConfig { logical_bytes: 64 << 20, ..SsdConfig::default() }

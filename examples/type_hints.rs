@@ -8,10 +8,9 @@
 //! cargo run --release --example type_hints
 //! ```
 
-use edc::compress::CodecId;
 use edc::core::hints::FileTypeHint;
-use edc::core::pipeline::{EdcPipeline, PipelineConfig};
 use edc::datagen::{BlockClass, ContentGenerator, DataMix};
+use edc::prelude::*;
 
 /// A synthetic "volume layout": (extension, block range, content class).
 const LAYOUT: &[(&str, u64, u64, BlockClass)] = &[
@@ -39,7 +38,7 @@ fn run(with_hints: bool) -> (EdcPipeline, Vec<(&'static str, RangeOutcome)>) {
     }
     let mut outcomes: Vec<(&'static str, RangeOutcome)> =
         LAYOUT.iter().map(|&(ext, ..)| (ext, RangeOutcome::default())).collect();
-    let mut record = |r: &edc::core::pipeline::WriteResult| {
+    let mut record = |r: &WriteResult| {
         for (i, &(_, start, blocks, _)) in LAYOUT.iter().enumerate() {
             if r.start_block >= start && r.start_block < start + blocks {
                 let tag = match r.tag {
@@ -54,13 +53,13 @@ fn run(with_hints: bool) -> (EdcPipeline, Vec<(&'static str, RangeOutcome)>) {
     for &(_, start, blocks, class) in LAYOUT {
         for b in start..start + blocks {
             let data = generator.block_of(class, 4096);
-            if let Some(r) = store.write(t, b * 4096, &data) {
+            if let Some(r) = store.write(t, b * 4096, &data).expect("write") {
                 record(&r);
             }
             t += 20_000_000; // 50 writes/s: idle, ladder would pick Gzip
         }
     }
-    if let Some(r) = store.flush(t) {
+    if let Some(r) = store.flush(t).expect("flush") {
         record(&r);
     }
     (store, outcomes)

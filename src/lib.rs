@@ -22,16 +22,25 @@
 //! ## Quickstart
 //!
 //! ```
-//! use edc::core::pipeline::{EdcPipeline, PipelineConfig};
+//! use edc::prelude::*;
 //!
-//! // A 1 MiB EDC-compressed block store.
-//! let mut store = EdcPipeline::new(1 << 20, PipelineConfig::default());
-//! let block = vec![b'a'; 4096];
-//! store.write(0, 0, &block);           // buffered by the Sequentiality Detector
-//! store.flush(1_000);                  // compress + place
-//! assert_eq!(store.read(2_000, 0, 4096).unwrap(), block);
-//! assert!(store.compression_ratio() > 1.0);
+//! fn main() -> Result<(), EdcError> {
+//!     // A 1 MiB EDC-compressed block store.
+//!     let mut store = EdcPipeline::new(1 << 20, PipelineConfig::default());
+//!     let block = vec![b'a'; 4096];
+//!     store.write(0, 0, &block)?;          // buffered by the Sequentiality Detector
+//!     store.flush(1_000)?;                 // compress + place
+//!     assert_eq!(store.read(2_000, 0, 4096)?, block);
+//!     assert!(store.compression_ratio() > 1.0);
+//!     Ok(())
+//! }
 //! ```
+//!
+//! Every entry point is fallible: failures — including injected flash
+//! faults and simulated power cuts (see [`prelude::FaultPlan`]) — come
+//! back as typed [`prelude::EdcError`] values, and
+//! [`EdcPipeline::recover`](core::pipeline::EdcPipeline::recover) replays
+//! the mapping journal after a crash.
 //!
 //! See `examples/` for runnable scenarios and `crates/edc-bench` for the
 //! harness that regenerates every figure and table of the paper.
@@ -45,3 +54,22 @@ pub use edc_datagen as datagen;
 pub use edc_flash as flash;
 pub use edc_sim as sim;
 pub use edc_trace as trace;
+
+/// The one-line import for typical users: the pipeline, its
+/// configuration, the unified error, codec identifiers, fault plans and
+/// the device configuration.
+///
+/// ```
+/// use edc::prelude::*;
+///
+/// let mut store = EdcPipeline::new(1 << 20, PipelineConfig::default());
+/// assert!(store.read(0, 0, 4096).is_ok());
+/// ```
+pub mod prelude {
+    pub use edc_compress::CodecId;
+    pub use edc_core::error::EdcError;
+    pub use edc_core::pipeline::{
+        BatchWrite, EdcPipeline, PipelineConfig, ReadError, RecoveryReport, WriteResult,
+    };
+    pub use edc_flash::{FaultPlan, SsdConfig};
+}

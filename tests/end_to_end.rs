@@ -121,7 +121,7 @@ fn pipeline_stores_datagen_content_losslessly() {
         let offset = (i * 7 % 1500) * 4096;
         // Overwrites of earlier offsets are part of the test.
         written.retain(|(o, d)| o + d.len() as u64 <= offset || *o >= offset + data.len() as u64);
-        store.write(t, offset, &data);
+        store.write(t, offset, &data).expect("write");
         written.push((offset, data));
         t += 1_000_000;
         if i % 7 == 0 {
@@ -130,7 +130,7 @@ fn pipeline_stores_datagen_content_losslessly() {
             assert_eq!(store.read(t, o, d.len() as u64).unwrap(), d);
         }
     }
-    store.flush(t);
+    store.flush(t).expect("flush");
     for (o, d) in &written {
         assert_eq!(&store.read(t, *o, d.len() as u64).unwrap(), d, "offset {o}");
     }
@@ -146,10 +146,10 @@ fn pipeline_tags_match_real_codecs() {
     let mut generator = ContentGenerator::new(8, DataMix::primary_storage());
     let text = generator.block_of(BlockClass::Text, 4096);
     let noise = generator.block_of(BlockClass::Random, 4096);
-    store.write(0, 0, &text);
-    let r1 = store.flush(1).unwrap();
-    store.write(2, 8192, &noise);
-    let r2 = store.flush(3).unwrap();
+    store.write(0, 0, &text).unwrap();
+    let r1 = store.flush(1).unwrap().unwrap();
+    store.write(2, 8192, &noise).unwrap();
+    let r2 = store.flush(3).unwrap().unwrap();
     assert_ne!(r1.tag, CodecId::None, "text must compress");
     assert!(r1.payload_bytes < 4096);
     assert_eq!(r2.tag, CodecId::None, "noise must be written through");

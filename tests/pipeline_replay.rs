@@ -65,7 +65,7 @@ fn real_bytes_pipeline_survives_full_workload() {
                     data.extend(content_for(b, version));
                     shadow.insert(b, version);
                 }
-                store.write(req.arrival_ns, start_block * BLOCK, &data);
+                store.write(req.arrival_ns, start_block * BLOCK, &data).expect("write");
                 writes += 1;
             }
             OpType::Read => {
@@ -94,7 +94,7 @@ fn real_bytes_pipeline_survives_full_workload() {
             }
         }
     }
-    store.flush(u64::MAX / 2);
+    store.flush(u64::MAX / 2).expect("flush");
 
     // Final sweep: every shadowed block must decompress to its last write.
     // (Bounded to 1500 blocks; coverage is already random.)
