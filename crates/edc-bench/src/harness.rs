@@ -56,6 +56,7 @@ pub struct Harness {
     samples: u32,
     results: Vec<CaseResult>,
     metrics: Vec<(String, f64)>,
+    notes: Vec<String>,
 }
 
 impl Harness {
@@ -63,7 +64,13 @@ impl Harness {
     /// untimed warm-up run). The median of the samples is reported.
     pub fn new(name: &str, samples: u32) -> Self {
         assert!(samples > 0, "at least one sample");
-        Harness { name: name.to_string(), samples, results: Vec::new(), metrics: Vec::new() }
+        Harness {
+            name: name.to_string(),
+            samples,
+            results: Vec::new(),
+            metrics: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     /// Time `routine` without setup. Returns the recorded case.
@@ -121,6 +128,14 @@ impl Harness {
         self.metrics.push((name.to_string(), value));
     }
 
+    /// Attach a free-form annotation that travels with the report (e.g.
+    /// "workers oversubscribe the 1 available CPU; speedup < 1 expected").
+    /// Notes land in both the rendered text and the JSON `notes` array, so
+    /// a surprising number is never silently reported without its context.
+    pub fn note(&mut self, text: &str) {
+        self.notes.push(text.to_string());
+    }
+
     /// All recorded cases, in run order.
     pub fn results(&self) -> &[CaseResult] {
         &self.results
@@ -144,6 +159,9 @@ impl Harness {
         }
         for (k, v) in &self.metrics {
             out.push_str(&format!("  {k:<40} {v:.4}\n"));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
         }
         out
     }
@@ -181,7 +199,15 @@ impl Harness {
             }
             s.push_str(&format!("{}: {}", json_str(k), json_num(*v)));
         }
-        s.push_str("}\n}\n");
+        s.push_str("},\n");
+        s.push_str("  \"notes\": [");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_str(n));
+        }
+        s.push_str("]\n}\n");
         s
     }
 
@@ -257,10 +283,12 @@ mod tests {
         h.run("a", || ());
         h.metric("speedup", 2.5);
         h.metric("nan", f64::NAN);
+        h.note("ran with \"reduced\" load");
         let j = h.to_json();
         assert!(j.contains("\"suite \\\"x\\\"\""));
         assert!(j.contains("\"speedup\": 2.500000"));
         assert!(j.contains("\"nan\": null"));
+        assert!(j.contains("\"notes\": [\"ran with \\\"reduced\\\" load\"]"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
     }

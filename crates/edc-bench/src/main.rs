@@ -7,10 +7,10 @@
 //! ```
 //!
 //! Subcommands: `fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12
-//! ablations bench-pipeline fault-campaign all`. `--quick` shrinks trace
-//! durations (and bench workloads) for smoke runs; `--smoke` does the same
-//! for `fault-campaign`; `--out DIR` sets the output directory (default
-//! `results/`).
+//! ablations bench-pipeline bench-codecs fault-campaign all`. `--quick`
+//! shrinks trace durations (and bench workloads) for smoke runs; `--smoke`
+//! does the same for `bench-codecs` and `fault-campaign`; `--out DIR` sets
+//! the output directory (default `results/`).
 
 use edc_bench::env::{ExperimentEnv, Platform};
 use edc_bench::experiments as ex;
@@ -131,20 +131,140 @@ fn bench_pipeline(quick: bool, out_dir: &Path) {
     h.metric("speedup_batched_vs_serial", speedup);
     h.metric("workers", WORKERS as f64);
     h.metric("available_cpus", cpus as f64);
+    h.metric("oversubscribed", f64::from(cpus < WORKERS));
     h.metric("runs", runs as f64);
     h.metric("bit_identical", 1.0);
     h.metric("read_cache_hit_rate", cache.hit_rate());
     h.metric("read_cache_hits", cache.hits as f64);
+    // Annotate rather than silently report a sub-1 speedup: on a machine
+    // with fewer CPUs than workers the fan-out *cannot* win, and the
+    // number would otherwise read as a parallelism regression.
+    if cpus < WORKERS {
+        h.note(&format!(
+            "only {cpus} CPU(s) available for {WORKERS} workers — \
+             speedup_batched_vs_serial reflects oversubscription overhead, \
+             not a parallel-drain regression"
+        ));
+    }
 
     print!("{}", h.render());
     let path = h.write_json(out_dir).expect("writing BENCH_pipeline.json");
     eprintln!("# wrote {}", path.display());
-    if cpus < WORKERS {
-        eprintln!(
-            "# note: only {cpus} CPU(s) available — the {WORKERS}-worker fan-out \
-             cannot show its speedup on this machine"
-        );
+}
+
+/// Per-codec throughput and ratio sweep: every codec in the elastic
+/// ladder against every `edc-datagen` corpus class, compress and
+/// decompress, with the frozen pre-refactor encoders
+/// ([`edc_compress::baseline`]) timed by the same harness in the same run
+/// as the hot-path speedup baseline. Writes `BENCH_codecs.json`.
+fn bench_codecs(smoke: bool, out_dir: &Path) {
+    use edc_compress::{baseline, CodecId, CodecRegistry, CompressorState};
+    use edc_datagen::{BlockClass, ContentGenerator};
+
+    let samples = if smoke { 3 } else { 9 };
+    let n_blocks: usize = if smoke { 4 } else { 64 };
+    // The paper's flash-page unit and the selector's per-block granularity;
+    // this is the size the write path hands each codec. Merged-run-sized
+    // (16 KiB) throughput is measured separately in the baseline section.
+    let block_len: usize = 4 * 1024;
+
+    let mut h = Harness::new("codecs", samples);
+    let cpus = std::thread::available_parallelism().map_or(1, |c| c.get());
+    h.metric("available_cpus", cpus as f64);
+    h.metric("block_bytes", block_len as f64);
+    h.metric("blocks_per_class", n_blocks as f64);
+    if smoke {
+        h.note("smoke run: reduced block count and samples; absolute numbers are not comparable to full runs");
     }
+
+    for class in BlockClass::ALL {
+        let mut gen = ContentGenerator::pure(0xEDC, class);
+        let blocks: Vec<Vec<u8>> = (0..n_blocks).map(|_| gen.block_of(class, block_len)).collect();
+        let total: u64 = blocks.iter().map(|b| b.len() as u64).sum();
+        let cname = format!("{class:?}").to_lowercase();
+        for id in CodecId::ALL_CODECS {
+            let codec = CodecRegistry::get(id).expect("ladder codec");
+            let label = id.name().to_lowercase();
+            // Compress with a pooled state, as the pipeline's drain does.
+            let mut state = CompressorState::new();
+            let mut out = Vec::new();
+            h.run_bytes(&format!("compress/{label}/{cname}"), total, || {
+                for b in &blocks {
+                    codec.compress_with(&mut state, b, &mut out);
+                    std::hint::black_box(out.len());
+                }
+            });
+            let streams: Vec<Vec<u8>> = blocks.iter().map(|b| codec.compress(b)).collect();
+            let comp_total: u64 = streams.iter().map(|s| s.len() as u64).sum();
+            h.metric(&format!("ratio_{label}_{cname}"), total as f64 / comp_total.max(1) as f64);
+            let mut dec = Vec::new();
+            h.run_bytes(&format!("decompress/{label}/{cname}"), total, || {
+                for (s, b) in streams.iter().zip(&blocks) {
+                    codec.decompress_into(s, b.len(), &mut dec).expect("round trip");
+                    std::hint::black_box(dec.len());
+                }
+            });
+        }
+    }
+
+    // Pre-refactor baseline, same harness, same run, same text corpus —
+    // the honest denominator for the hot-path speedup claims. Bwt has no
+    // frozen baseline (its hot path was not refactored). The refactored
+    // encoder is re-timed here, back-to-back with its baseline, rather
+    // than reusing the sweep's number from minutes earlier: on shared
+    // machines throughput drifts over a run, and adjacency is what makes
+    // the before/after pair comparable. Both the block-sized (4 KiB, the
+    // write path's unit — where the eliminated per-call setup is a large
+    // share of the work) and the merged-run-sized (16 KiB) pairs are
+    // recorded; the speedup is size-dependent and both numbers are real.
+    for (len, suffix) in [(block_len, ""), (16 * 1024, "_run16k")] {
+        let mut gen = ContentGenerator::pure(0xEDC, BlockClass::Text);
+        let blocks: Vec<Vec<u8>> = (0..n_blocks).map(|_| gen.block_of(BlockClass::Text, len)).collect();
+        let total: u64 = blocks.iter().map(|b| b.len() as u64).sum();
+        for id in [CodecId::Lzf, CodecId::Lz4, CodecId::Deflate] {
+            let codec = CodecRegistry::get(id).expect("ladder codec");
+            let label = id.name().to_lowercase();
+            let pre = h
+                .run_bytes(&format!("compress_prerefactor{suffix}/{label}/text"), total, || {
+                    for b in &blocks {
+                        std::hint::black_box(baseline::compress(id, b).len());
+                    }
+                })
+                .throughput_mib_s()
+                .unwrap_or(0.0);
+            let mut state = CompressorState::new();
+            let mut out = Vec::new();
+            let live = h
+                .run_bytes(&format!("compress_refactored{suffix}/{label}/text"), total, || {
+                    for b in &blocks {
+                        codec.compress_with(&mut state, b, &mut out);
+                        std::hint::black_box(out.len());
+                    }
+                })
+                .throughput_mib_s()
+                .unwrap_or(0.0);
+            h.metric(&format!("prerefactor_compress_mib_s_{label}{suffix}"), pre);
+            h.metric(&format!("compress_mib_s_{label}{suffix}"), live);
+            let speedup = if pre > 0.0 { live / pre } else { 0.0 };
+            h.metric(&format!("compress_speedup_vs_prerefactor_{label}{suffix}"), speedup);
+            eprintln!(
+                "# {label}/{len}B: {pre:.1} -> {live:.1} MiB/s ({speedup:.2}x vs pre-refactor)"
+            );
+            if id == CodecId::Deflate && suffix.is_empty() && speedup < 2.0 {
+                h.note(&format!(
+                    "gzip hot-path speedup at the 4 KiB block size is {speedup:.2}x, short \
+                     of the 2x goal on this machine/run: with the bit-identical-stream \
+                     constraint the chain walk is unchanged algorithmically, so the gain \
+                     comes from eliminated per-call setup, word-wide extension and emit \
+                     batching only"
+                ));
+            }
+        }
+    }
+
+    print!("{}", h.render());
+    let path = h.write_json(out_dir).expect("writing BENCH_codecs.json");
+    eprintln!("# wrote {}", path.display());
 }
 
 /// A compressible 4 KiB block with deterministic per-tag content.
@@ -459,6 +579,11 @@ fn main() {
         bench_pipeline(quick, &out_dir);
         return;
     }
+    if cmd == "bench-codecs" {
+        let smoke = quick || args.iter().any(|a| a == "--smoke");
+        bench_codecs(smoke, &out_dir);
+        return;
+    }
     if cmd == "fault-campaign" {
         let smoke = quick || args.iter().any(|a| a == "--smoke");
         fault_campaign(smoke, &out_dir);
@@ -562,7 +687,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command {other:?}");
-            eprintln!("commands: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12 ablations future-work timeline mixed calibrate bench-pipeline fault-campaign all");
+            eprintln!("commands: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12 ablations future-work timeline mixed calibrate bench-pipeline bench-codecs fault-campaign all");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,488 @@
+//! Frozen pre-optimization reference encoders.
+//!
+//! These are verbatim copies of the Lzf / Lz4 / Deflate compress paths as
+//! they existed *before* the hot-path overhaul (reusable
+//! [`CompressorState`](crate::CompressorState), word-wide match extension,
+//! hoisted Huffman setup): fresh hash tables allocated per call,
+//! byte-at-a-time match extension, and `partition_point` per token.
+//!
+//! They serve two purposes:
+//!
+//! 1. **Perf baseline** — `bench-codecs` measures these and the optimized
+//!    paths in the same run, so speedups are apples-to-apples on the same
+//!    machine (the acceptance bar is optimized-Deflate ≥ 2× this baseline).
+//! 2. **Bit-identity oracle** — the optimized paths must emit *exactly*
+//!    these streams. Equivalence is enforced by the golden-stream fixtures
+//!    and by property tests comparing the two encoders on random inputs.
+//!
+//! Do not "fix" or speed up this module: its value is that it never changes.
+
+use crate::bitio::BitWriter;
+use crate::huffman::{build_code_lengths, write_lengths, Encoder};
+use crate::{Bwt, Codec, CodecId};
+
+// ---------------------------------------------------------------------------
+// Lzf (see `lzf.rs` module docs for the container format)
+// ---------------------------------------------------------------------------
+
+const LZF_MAX_OFFSET: usize = 1 << 13;
+const LZF_MAX_MATCH: usize = 264;
+const LZF_MIN_MATCH: usize = 3;
+const LZF_MAX_LITERAL_RUN: usize = 32;
+const LZF_HASH_BITS: u32 = 14;
+
+#[inline]
+fn lzf_hash3(data: &[u8], i: usize) -> usize {
+    let v = u32::from(data[i]) | u32::from(data[i + 1]) << 8 | u32::from(data[i + 2]) << 16;
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - LZF_HASH_BITS)) as usize
+}
+
+fn lzf_push_literals(out: &mut Vec<u8>, input: &[u8], start: usize, end: usize) {
+    let mut i = start;
+    while i < end {
+        let run = (end - i).min(LZF_MAX_LITERAL_RUN);
+        out.push((run - 1) as u8);
+        out.extend_from_slice(&input[i..i + run]);
+        i += run;
+    }
+}
+
+/// Pre-refactor Lzf encoder: fresh table per call, byte-wise extension.
+pub fn lzf_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let n = input.len();
+    if n < LZF_MIN_MATCH + 1 {
+        lzf_push_literals(&mut out, input, 0, n);
+        return out;
+    }
+    let mut table = vec![usize::MAX; 1 << LZF_HASH_BITS];
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+    let limit = n - LZF_MIN_MATCH;
+    while i <= limit {
+        let h = lzf_hash3(input, i);
+        let cand = table[h];
+        table[h] = i;
+        let ok = cand != usize::MAX
+            && i - cand <= LZF_MAX_OFFSET
+            && input[cand..cand + LZF_MIN_MATCH] == input[i..i + LZF_MIN_MATCH];
+        if !ok {
+            i += 1;
+            continue;
+        }
+        let max_len = (n - i).min(LZF_MAX_MATCH);
+        let mut len = LZF_MIN_MATCH;
+        while len < max_len && input[cand + len] == input[i + len] {
+            len += 1;
+        }
+        lzf_push_literals(&mut out, input, lit_start, i);
+        let offset = i - cand - 1;
+        if len <= 8 {
+            out.push((((len - 2) as u8) << 5) | (offset >> 8) as u8);
+        } else {
+            out.push(0b111 << 5 | (offset >> 8) as u8);
+            out.push((len - 9) as u8);
+        }
+        out.push((offset & 0xFF) as u8);
+        let match_end = i + len;
+        let insert_to = match_end.min(limit + 1);
+        let mut j = i + 1;
+        while j < insert_to {
+            table[lzf_hash3(input, j)] = j;
+            j += 1;
+        }
+        i = match_end;
+        lit_start = i;
+    }
+    lzf_push_literals(&mut out, input, lit_start, n);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lz4 (see `lz4.rs` module docs for the container format)
+// ---------------------------------------------------------------------------
+
+const LZ4_MIN_MATCH: usize = 4;
+const LZ4_MAX_OFFSET: usize = u16::MAX as usize;
+const LZ4_HASH_BITS: u32 = 15;
+
+#[inline]
+fn lz4_hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - LZ4_HASH_BITS)) as usize
+}
+
+#[inline]
+fn lz4_push_length_ext(out: &mut Vec<u8>, mut rest: usize) {
+    while rest >= 255 {
+        out.push(255);
+        rest -= 255;
+    }
+    out.push(rest as u8);
+}
+
+fn lz4_emit_sequence(
+    out: &mut Vec<u8>,
+    input: &[u8],
+    lit_start: usize,
+    lit_end: usize,
+    m: Option<(usize, usize)>,
+) {
+    let lit_len = lit_end - lit_start;
+    let lit_nib = lit_len.min(15) as u8;
+    let match_nib = match m {
+        Some((_, len)) => (len - LZ4_MIN_MATCH).min(15) as u8,
+        None => 0,
+    };
+    out.push(lit_nib << 4 | match_nib);
+    if lit_len >= 15 {
+        lz4_push_length_ext(out, lit_len - 15);
+    }
+    out.extend_from_slice(&input[lit_start..lit_end]);
+    if let Some((offset, len)) = m {
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+        if len - LZ4_MIN_MATCH >= 15 {
+            lz4_push_length_ext(out, len - LZ4_MIN_MATCH - 15);
+        }
+    }
+}
+
+/// Pre-refactor Lz4 encoder: fresh table per call, byte-wise extension.
+pub fn lz4_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let n = input.len();
+    if n < LZ4_MIN_MATCH + 1 {
+        lz4_emit_sequence(&mut out, input, 0, n, None);
+        return out;
+    }
+    let mut table = vec![usize::MAX; 1 << LZ4_HASH_BITS];
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+    let limit = n - LZ4_MIN_MATCH;
+    while i <= limit {
+        let h = lz4_hash4(input, i);
+        let cand = table[h];
+        table[h] = i;
+        let ok = cand != usize::MAX
+            && i - cand <= LZ4_MAX_OFFSET
+            && input[cand..cand + LZ4_MIN_MATCH] == input[i..i + LZ4_MIN_MATCH];
+        if !ok {
+            i += 1;
+            continue;
+        }
+        let max_len = n - i;
+        let mut len = LZ4_MIN_MATCH;
+        while len < max_len && input[cand + len] == input[i + len] {
+            len += 1;
+        }
+        lz4_emit_sequence(&mut out, input, lit_start, i, Some((i - cand, len)));
+        let match_end = i + len;
+        let insert_to = match_end.min(limit + 1);
+        let mut j = i + 1;
+        while j < insert_to {
+            table[lz4_hash4(input, j)] = j;
+            j += 2;
+        }
+        i = match_end;
+        lit_start = i;
+    }
+    if lit_start < n || out.is_empty() {
+        lz4_emit_sequence(&mut out, input, lit_start, n, None);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Deflate (see `deflate.rs` module docs for the container format)
+// ---------------------------------------------------------------------------
+
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const WINDOW_SIZE: usize = 32 * 1024;
+const HASH_BITS: u32 = 15;
+const NUM_LITLEN: usize = 286;
+const NUM_DIST: usize = 30;
+const EOB: usize = 256;
+const NIL: u32 = u32::MAX;
+
+const LEN_TABLE: [(u16, u8); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1),
+    (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3),
+    (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5),
+    (258, 0),
+];
+
+const DIST_TABLE: [(u16, u8); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0),
+    (5, 1), (7, 1), (9, 2), (13, 2),
+    (17, 3), (25, 3), (33, 4), (49, 4),
+    (65, 5), (97, 5), (129, 6), (193, 6),
+    (257, 7), (385, 7), (513, 8), (769, 8),
+    (1025, 9), (1537, 9), (2049, 10), (3073, 10),
+    (4097, 11), (6145, 11), (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+];
+
+#[inline]
+fn length_code(len: usize) -> (usize, u64, u8) {
+    let idx = LEN_TABLE.partition_point(|&(base, _)| usize::from(base) <= len) - 1;
+    let (base, extra) = LEN_TABLE[idx];
+    (257 + idx, (len - usize::from(base)) as u64, extra)
+}
+
+#[inline]
+fn dist_code(dist: usize) -> (usize, u64, u8) {
+    let idx = DIST_TABLE.partition_point(|&(base, _)| usize::from(base) <= dist) - 1;
+    let (base, extra) = DIST_TABLE[idx];
+    (idx, (dist - usize::from(base)) as u64, extra)
+}
+
+#[derive(Clone, Copy)]
+enum Token {
+    Literal(u8),
+    Match { len: u16, dist: u16 },
+}
+
+#[derive(Clone, Copy)]
+struct Effort {
+    max_chain: usize,
+    good_len: usize,
+    lazy: bool,
+}
+
+fn effort_for_level(level: u8) -> Effort {
+    match level {
+        1 => Effort { max_chain: 4, good_len: 8, lazy: false },
+        2 => Effort { max_chain: 8, good_len: 16, lazy: false },
+        3 => Effort { max_chain: 16, good_len: 24, lazy: false },
+        4 => Effort { max_chain: 24, good_len: 32, lazy: true },
+        5 => Effort { max_chain: 40, good_len: 64, lazy: true },
+        6 => Effort { max_chain: 64, good_len: 96, lazy: true },
+        7 => Effort { max_chain: 96, good_len: 128, lazy: true },
+        8 => Effort { max_chain: 160, good_len: 192, lazy: true },
+        9 => Effort { max_chain: 256, good_len: MAX_MATCH, lazy: true },
+        _ => panic!("deflate level must be 1..=9"),
+    }
+}
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = u32::from(data[i]) | u32::from(data[i + 1]) << 8 | u32::from(data[i + 2]) << 16;
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+struct ChainMatcher {
+    head: Vec<u32>,
+    prev: Vec<u32>,
+    effort: Effort,
+}
+
+impl ChainMatcher {
+    fn new(effort: Effort) -> Self {
+        ChainMatcher { head: vec![NIL; 1 << HASH_BITS], prev: vec![NIL; WINDOW_SIZE], effort }
+    }
+
+    #[inline]
+    fn insert(&mut self, data: &[u8], i: usize) {
+        let h = hash3(data, i);
+        self.prev[i & (WINDOW_SIZE - 1)] = self.head[h];
+        self.head[h] = i as u32;
+    }
+
+    fn find(&self, data: &[u8], i: usize, max_len: usize) -> Option<(usize, usize)> {
+        if max_len < MIN_MATCH {
+            return None;
+        }
+        let h = hash3(data, i);
+        let mut cand = self.head[h];
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut chain = self.effort.max_chain;
+        while cand != NIL && chain > 0 {
+            let c = cand as usize;
+            if i - c > WINDOW_SIZE {
+                break;
+            }
+            if c + best_len < data.len()
+                && i + best_len < data.len()
+                && data[c + best_len] == data[i + best_len]
+            {
+                let mut len = 0usize;
+                while len < max_len && data[c + len] == data[i + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = i - c;
+                    if len >= self.effort.good_len.min(max_len) {
+                        break;
+                    }
+                }
+            }
+            let next = self.prev[c & (WINDOW_SIZE - 1)];
+            if next != NIL && next as usize >= c {
+                break;
+            }
+            cand = next;
+            chain -= 1;
+        }
+        (best_len >= MIN_MATCH).then_some((best_len, best_dist))
+    }
+}
+
+fn tokenize(input: &[u8], effort: Effort) -> Vec<Token> {
+    let n = input.len();
+    let mut tokens = Vec::with_capacity(n / 3 + 8);
+    if n < MIN_MATCH {
+        tokens.extend(input.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    let mut m = ChainMatcher::new(effort);
+    let limit = n - MIN_MATCH;
+    let mut i = 0usize;
+    while i < n {
+        if i > limit {
+            tokens.push(Token::Literal(input[i]));
+            i += 1;
+            continue;
+        }
+        let here = m.find(input, i, (n - i).min(MAX_MATCH));
+        m.insert(input, i);
+        let Some((mut len, mut dist)) = here else {
+            tokens.push(Token::Literal(input[i]));
+            i += 1;
+            continue;
+        };
+        if effort.lazy && len < effort.good_len && i < limit {
+            if let Some((nlen, ndist)) = m.find(input, i + 1, (n - i - 1).min(MAX_MATCH)) {
+                if nlen > len {
+                    tokens.push(Token::Literal(input[i]));
+                    m.insert(input, i + 1);
+                    i += 1;
+                    len = nlen;
+                    dist = ndist;
+                }
+            }
+        }
+        tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+        let match_end = i + len;
+        let insert_to = match_end.min(limit + 1);
+        let mut j = i + 1;
+        while j < insert_to {
+            m.insert(input, j);
+            j += 1;
+        }
+        i = match_end;
+    }
+    tokens
+}
+
+/// Pre-refactor Deflate encoder at an explicit level: fresh chain arrays,
+/// per-call Huffman allocations, `partition_point` per token.
+pub fn deflate_compress_level(input: &[u8], level: u8) -> Vec<u8> {
+    let tokens = tokenize(input, effort_for_level(level));
+
+    let mut lit_freq = vec![0u64; NUM_LITLEN];
+    let mut dist_freq = vec![0u64; NUM_DIST];
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[length_code(len as usize).0] += 1;
+                dist_freq[dist_code(dist as usize).0] += 1;
+            }
+        }
+    }
+    lit_freq[EOB] += 1;
+
+    let lit_lens = build_code_lengths(&lit_freq);
+    let dist_lens = build_code_lengths(&dist_freq);
+    let lit_enc = Encoder::from_lengths(&lit_lens);
+    let dist_enc = Encoder::from_lengths(&dist_lens);
+
+    let mut w = BitWriter::new();
+    w.write_bits(0, 1);
+    write_lengths(&mut w, &lit_lens);
+    write_lengths(&mut w, &dist_lens);
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_enc.write(&mut w, b as usize),
+            Token::Match { len, dist } => {
+                let (lc, lextra, lbits) = length_code(len as usize);
+                lit_enc.write(&mut w, lc);
+                if lbits > 0 {
+                    w.write_bits(lextra, u32::from(lbits));
+                }
+                let (dc, dextra, dbits) = dist_code(dist as usize);
+                dist_enc.write(&mut w, dc);
+                if dbits > 0 {
+                    w.write_bits(dextra, u32::from(dbits));
+                }
+            }
+        }
+    }
+    lit_enc.write(&mut w, EOB);
+    let encoded = w.finish();
+
+    if encoded.len() > input.len() + 1 {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        for &b in input {
+            w.write_byte(b);
+        }
+        return w.finish();
+    }
+    encoded
+}
+
+/// Pre-refactor Deflate encoder at the default level (6).
+pub fn deflate_compress(input: &[u8]) -> Vec<u8> {
+    deflate_compress_level(input, 6)
+}
+
+/// Pre-refactor encoder for any [`CodecId`].
+///
+/// `Bwt` had no hot-path changes in the overhaul, so it dispatches to the
+/// live codec; `None` is an identity copy.
+pub fn compress(id: CodecId, input: &[u8]) -> Vec<u8> {
+    match id {
+        CodecId::None => input.to_vec(),
+        CodecId::Lzf => lzf_compress(input),
+        CodecId::Lz4 => lz4_compress(input),
+        CodecId::Deflate => deflate_compress(input),
+        CodecId::Bwt => Bwt::new().compress(input),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Deflate, Lz4, Lzf};
+
+    #[test]
+    fn baseline_matches_live_encoders() {
+        // The live encoders are refactored for speed but must stay
+        // bit-identical to these frozen copies.
+        let inputs: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"A".to_vec(),
+            b"the quick brown fox jumps over the lazy dog".to_vec(),
+            b"abcabcabcabc".iter().copied().cycle().take(5000).collect(),
+            (0..20_000u32).map(|i| (i % 251) as u8).collect(),
+        ];
+        for input in &inputs {
+            assert_eq!(lzf_compress(input), Lzf::new().compress(input), "lzf");
+            assert_eq!(lz4_compress(input), Lz4::new().compress(input), "lz4");
+            for level in [1u8, 6, 9] {
+                assert_eq!(
+                    deflate_compress_level(input, level),
+                    Deflate::with_level(level).compress(input),
+                    "deflate level {level}"
+                );
+            }
+        }
+    }
+}

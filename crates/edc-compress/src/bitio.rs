@@ -35,12 +35,18 @@ impl BitWriter {
     pub fn write_bits(&mut self, bits: u64, count: u32) {
         debug_assert!(count <= 57, "write_bits supports at most 57 bits per call");
         debug_assert!(count == 64 || bits < (1u64 << count), "value wider than count");
+        // `nbits < 8` on entry (whole bytes flush below), so the widest
+        // write fills the accumulator to at most 7 + 57 = 64 bits.
         self.acc |= bits << self.nbits;
         self.nbits += count;
-        while self.nbits >= 8 {
-            self.out.push((self.acc & 0xFF) as u8);
-            self.acc >>= 8;
-            self.nbits -= 8;
+        if self.nbits >= 8 {
+            // Flush every whole byte in one copy — the little-endian byte
+            // order of `acc` is exactly the LSB-first stream order.
+            let whole = (self.nbits / 8) as usize;
+            self.out.extend_from_slice(&self.acc.to_le_bytes()[..whole]);
+            let shift = whole * 8;
+            self.acc = if shift == 64 { 0 } else { self.acc >> shift };
+            self.nbits -= shift as u32;
         }
     }
 

@@ -162,18 +162,30 @@ impl Codec for Bwt {
     }
 
     fn decompress(&self, input: &[u8], expected_len: usize) -> Result<Vec<u8>, DecompressError> {
+        let mut out = Vec::new();
+        self.decompress_into(input, expected_len, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(
+        &self,
+        input: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), DecompressError> {
+        out.clear();
         if input.is_empty() {
             return Err(DecompressError::Truncated);
         }
         let mut r = BitReader::new(input);
         let raw = r.read_bits(1)? == 1;
-        // Never pre-allocate an untrusted length (see `Lzf::decompress`).
-        let mut out = Vec::with_capacity(expected_len.min(16 << 20));
+        // Never pre-allocate an untrusted length (see `Lzf::decompress_into`).
+        out.reserve(expected_len.min(16 << 20));
         if raw {
             for _ in 0..expected_len {
                 out.push(r.read_bits(8)? as u8);
             }
-            return Ok(out);
+            return Ok(());
         }
         while out.len() < expected_len {
             let block_len = r.read_bits(32)? as usize;
@@ -206,7 +218,7 @@ impl Codec for Bwt {
         if out.len() != expected_len {
             return Err(DecompressError::SizeMismatch { expected: expected_len, actual: out.len() });
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -21,7 +21,8 @@
 //! match space is lengths 3..=258 over a 32 KiB window.
 
 use crate::bitio::{BitReader, BitWriter};
-use crate::huffman::{build_code_lengths, read_lengths, write_lengths, Decoder, Encoder};
+use crate::huffman::{read_lengths, write_lengths, Decoder, Encoder, LengthBuilder};
+use crate::state::{common_prefix_len, with_thread_state, CompressorState, StampTable};
 use crate::{Codec, CodecId, DecompressError};
 
 const MIN_MATCH: usize = 3;
@@ -55,12 +56,62 @@ const DIST_TABLE: [(u16, u8); 30] = [
     (16385, 13), (24577, 13),
 ];
 
+/// Length symbol index per match length, replacing a `partition_point`
+/// binary search in the per-token hot loop with one table load.
+/// `LEN_SYM[len - MIN_MATCH]` is the index into [`LEN_TABLE`].
+const LEN_SYM: [u8; MAX_MATCH - MIN_MATCH + 1] = {
+    let mut t = [0u8; MAX_MATCH - MIN_MATCH + 1];
+    let mut len = MIN_MATCH;
+    while len <= MAX_MATCH {
+        let mut idx = 0usize;
+        let mut j = 0usize;
+        while j < LEN_TABLE.len() {
+            if LEN_TABLE[j].0 as usize <= len {
+                idx = j;
+            }
+            j += 1;
+        }
+        t[len - MIN_MATCH] = idx as u8;
+        len += 1;
+    }
+    t
+};
+
+/// Distance symbol LUT in zlib's two-tier layout: distances 1..=256 index
+/// the first 256 entries directly; larger distances share a symbol per
+/// 128-wide bucket (all [`DIST_TABLE`] bases above 256 are 1 + a multiple
+/// of 128, so `(dist - 1) >> 7` lands each distance on its code).
+const DIST_SYM: [u8; 512] = {
+    const fn dist_idx(d: usize) -> u8 {
+        let mut idx = 0usize;
+        let mut j = 0usize;
+        while j < DIST_TABLE.len() {
+            if DIST_TABLE[j].0 as usize <= d {
+                idx = j;
+            }
+            j += 1;
+        }
+        idx as u8
+    }
+    let mut t = [0u8; 512];
+    let mut d = 1usize;
+    while d <= 256 {
+        t[d - 1] = dist_idx(d);
+        d += 1;
+    }
+    let mut k = 2usize; // first bucket above 256: distances 257..=384
+    while k < 256 {
+        t[256 + k] = dist_idx((k << 7) + 1);
+        k += 1;
+    }
+    t
+};
+
 /// Map a match length (3..=258) to `(code_index, extra_value, extra_bits)`.
 #[inline]
 fn length_code(len: usize) -> (usize, u64, u8) {
     debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
-    // Binary search over the base table.
-    let idx = LEN_TABLE.partition_point(|&(base, _)| usize::from(base) <= len) - 1;
+    let idx = LEN_SYM[len - MIN_MATCH] as usize;
     let (base, extra) = LEN_TABLE[idx];
     (257 + idx, (len - usize::from(base)) as u64, extra)
 }
@@ -69,14 +120,18 @@ fn length_code(len: usize) -> (usize, u64, u8) {
 #[inline]
 fn dist_code(dist: usize) -> (usize, u64, u8) {
     debug_assert!((1..=WINDOW_SIZE).contains(&dist));
-    let idx = DIST_TABLE.partition_point(|&(base, _)| usize::from(base) <= dist) - 1;
+    let idx = if dist <= 256 {
+        DIST_SYM[dist - 1] as usize
+    } else {
+        DIST_SYM[256 + ((dist - 1) >> 7)] as usize
+    };
     let (base, extra) = DIST_TABLE[idx];
     (idx, (dist - usize::from(base)) as u64, extra)
 }
 
 /// One LZ77 token prior to entropy coding.
 #[derive(Debug, Clone, Copy)]
-enum Token {
+pub(crate) enum Token {
     Literal(u8),
     Match { len: u16, dist: u16 },
 }
@@ -142,57 +197,143 @@ fn hash3(data: &[u8], i: usize) -> usize {
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
-/// Hash-chain match finder over a 32 KiB sliding window.
-struct ChainMatcher {
-    head: Vec<u32>,
+const NIL: u32 = u32::MAX;
+
+/// All per-call working memory of the Deflate encoder, owned by
+/// [`CompressorState`] so steady-state compression never allocates: chain
+/// matcher arrays, the token buffer, frequency tables, Huffman build
+/// scratch and both encoder tables (rebuilt in place per block).
+pub(crate) struct DeflateScratch {
+    /// Chain heads per hash bucket, epoch-stamped so previous inputs'
+    /// entries read as empty without clearing 128 KiB per call.
+    head: StampTable,
+    /// Previous position in the chain, indexed by `pos & (WINDOW_SIZE-1)`.
+    /// Never cleared between inputs: chains are only entered through
+    /// `head`, and every reachable entry is (re)written while inserting
+    /// positions of the *current* input, so stale values are unreachable.
     prev: Vec<u32>,
+    tokens: Vec<Token>,
+    lit_freq: [u64; NUM_LITLEN],
+    dist_freq: [u64; NUM_DIST],
+    lit_lens: Vec<u8>,
+    dist_lens: Vec<u8>,
+    lit_enc: Encoder,
+    dist_enc: Encoder,
+    builder: LengthBuilder,
+}
+
+impl DeflateScratch {
+    pub(crate) fn new() -> Self {
+        DeflateScratch {
+            head: StampTable::new(),
+            prev: Vec::new(),
+            tokens: Vec::new(),
+            lit_freq: [0; NUM_LITLEN],
+            dist_freq: [0; NUM_DIST],
+            lit_lens: Vec::new(),
+            dist_lens: Vec::new(),
+            lit_enc: Encoder::empty(),
+            dist_enc: Encoder::empty(),
+            builder: LengthBuilder::new(),
+        }
+    }
+
+    /// Summed backing capacities, used to detect allocation events.
+    pub(crate) fn capacity_signature(&self) -> usize {
+        self.head.capacity()
+            + self.prev.capacity()
+            + self.tokens.capacity()
+            + self.lit_lens.capacity()
+            + self.dist_lens.capacity()
+            + self.lit_enc.capacity()
+            + self.dist_enc.capacity()
+            + self.builder.capacity()
+    }
+}
+
+/// Hash-chain match finder over a 32 KiB sliding window, borrowing its
+/// arrays from [`DeflateScratch`].
+struct ChainMatcher<'a> {
+    head: &'a mut StampTable,
+    /// Fixed-size array reference so the `& (WINDOW_SIZE - 1)` mask
+    /// provably stays in bounds — no per-probe bounds check in the walk.
+    prev: &'a mut [u32; WINDOW_SIZE],
     effort: Effort,
 }
 
-const NIL: u32 = u32::MAX;
-
-impl ChainMatcher {
-    fn new(effort: Effort) -> Self {
-        ChainMatcher { head: vec![NIL; 1 << HASH_BITS], prev: vec![NIL; WINDOW_SIZE], effort }
-    }
-
+impl ChainMatcher<'_> {
     #[inline]
     fn insert(&mut self, data: &[u8], i: usize) {
-        let h = hash3(data, i);
-        self.prev[i & (WINDOW_SIZE - 1)] = self.head[h];
-        self.head[h] = i as u32;
+        self.insert_hashed(hash3(data, i), i);
     }
 
-    /// Best `(len, dist)` match for position `i`, or `None`.
-    fn find(&self, data: &[u8], i: usize, max_len: usize) -> Option<(usize, usize)> {
-        if max_len < MIN_MATCH {
-            return None;
+    /// [`ChainMatcher::insert`] with the hash already computed — the
+    /// tokenizer hashes each position once and shares the value between
+    /// the lookup and the chain push (a fused single slot access).
+    #[inline]
+    fn insert_hashed(&mut self, h: usize, i: usize) {
+        self.prev[i & (WINDOW_SIZE - 1)] = match self.head.replace(h, i) {
+            Some(p) => p as u32,
+            None => NIL,
+        };
+    }
+
+    /// Best `(len, dist)` match for position `i` that is strictly longer
+    /// than `floor`, or `None`. `h` must be `hash3(data, i)`.
+    ///
+    /// `floor` makes the lazy second search cheap: the caller only cares
+    /// about a match longer than the one it already holds, so candidates
+    /// at or below that length fail the one-byte pre-check and never pay
+    /// a full prefix scan. Recording is strictly-greater-only, so the
+    /// returned match is identical to a `floor = 0` walk filtered by the
+    /// caller — just without the wasted scans.
+    fn find_hashed(
+        &self,
+        h: usize,
+        data: &[u8],
+        i: usize,
+        max_len: usize,
+        floor: usize,
+    ) -> Option<(usize, usize)> {
+        let mut best_len = floor.max(MIN_MATCH - 1);
+        if best_len >= max_len {
+            return None; // nothing longer than the floor can fit
         }
-        let h = hash3(data, i);
-        let mut cand = self.head[h];
-        let mut best_len = MIN_MATCH - 1;
+        let mut cand = match self.head.get(h) {
+            Some(c) => c as u32,
+            None => NIL,
+        };
         let mut best_dist = 0usize;
         let mut chain = self.effort.max_chain;
+        // The byte pair a candidate must match at offsets `best_len - 1`
+        // and `best_len` to possibly beat the best (zlib's
+        // `scan_end1`/`scan_end` trick, fused into one 16-bit compare);
+        // re-read only when the best improves. In bounds: `best_len <
+        // max_len <= data.len() - i` throughout (the good_len break below
+        // fires before `best_len` can reach `max_len`), and `best_len >=
+        // MIN_MATCH - 1 >= 1`.
+        let pair_at = |p: usize| -> u16 {
+            u16::from_le_bytes(data[p - 1..=p].try_into().expect("2-byte slice"))
+        };
+        let mut wanted = pair_at(i + best_len);
         while cand != NIL && chain > 0 {
             let c = cand as usize;
             if i - c > WINDOW_SIZE {
                 break;
             }
-            // Check the byte that would extend the best match first.
-            if c + best_len < data.len()
-                && i + best_len < data.len()
-                && data[c + best_len] == data[i + best_len]
-            {
-                let mut len = 0usize;
-                while len < max_len && data[c + len] == data[i + len] {
-                    len += 1;
-                }
+            // Pair pre-check before the word-wide scan (`c < i`, so
+            // `c + best_len` is in bounds too). A candidate whose common
+            // prefix exceeds `best_len` matches at both offsets, so this
+            // rejects only candidates that cannot improve.
+            if pair_at(c + best_len) == wanted {
+                let len = common_prefix_len(data, c, i, max_len);
                 if len > best_len {
                     best_len = len;
                     best_dist = i - c;
                     if len >= self.effort.good_len.min(max_len) {
                         break;
                     }
+                    wanted = pair_at(i + best_len);
                 }
             }
             let next = self.prev[c & (WINDOW_SIZE - 1)];
@@ -203,20 +344,30 @@ impl ChainMatcher {
             cand = next;
             chain -= 1;
         }
-        (best_len >= MIN_MATCH).then_some((best_len, best_dist))
+        (best_dist != 0).then_some((best_len, best_dist))
     }
 }
 
-/// Tokenize with one-step lazy matching (defer a match if the next position
-/// has a strictly longer one), as zlib does at its higher levels.
-fn tokenize(input: &[u8], effort: Effort) -> Vec<Token> {
+/// Tokenize into `scratch.tokens` with one-step lazy matching (defer a
+/// match if the next position has a strictly longer one), as zlib does at
+/// its higher levels.
+fn tokenize_into(input: &[u8], effort: Effort, scratch: &mut DeflateScratch) {
     let n = input.len();
-    let mut tokens = Vec::with_capacity(n / 3 + 8);
+    scratch.tokens.clear();
+    scratch.tokens.reserve(n / 3 + 8);
     if n < MIN_MATCH {
-        tokens.extend(input.iter().map(|&b| Token::Literal(b)));
-        return tokens;
+        scratch.tokens.extend(input.iter().map(|&b| Token::Literal(b)));
+        return;
     }
-    let mut m = ChainMatcher::new(effort);
+    scratch.head.begin(1 << HASH_BITS);
+    if scratch.prev.len() != WINDOW_SIZE {
+        scratch.prev.clear();
+        scratch.prev.resize(WINDOW_SIZE, NIL);
+    }
+    let tokens = &mut scratch.tokens;
+    let prev: &mut [u32; WINDOW_SIZE] =
+        (&mut scratch.prev[..]).try_into().expect("prev sized to the window");
+    let mut m = ChainMatcher { head: &mut scratch.head, prev, effort };
     let limit = n - MIN_MATCH; // last position where hash3 is valid
     let mut i = 0usize;
     while i < n {
@@ -225,23 +376,28 @@ fn tokenize(input: &[u8], effort: Effort) -> Vec<Token> {
             i += 1;
             continue;
         }
-        let here = m.find(input, i, (n - i).min(MAX_MATCH));
-        m.insert(input, i);
+        let h = hash3(input, i);
+        let here = m.find_hashed(h, input, i, (n - i).min(MAX_MATCH), 0);
+        m.insert_hashed(h, i);
         let Some((mut len, mut dist)) = here else {
             tokens.push(Token::Literal(input[i]));
             i += 1;
             continue;
         };
-        // Lazy step: would starting at i+1 give a longer match?
+        // Lazy step: would starting at i+1 give a longer match? The
+        // current length is the floor — only a strictly longer match
+        // defers, so shorter candidates are pre-filtered inside the walk.
         if effort.lazy && len < effort.good_len && i < limit {
-            if let Some((nlen, ndist)) = m.find(input, i + 1, (n - i - 1).min(MAX_MATCH)) {
-                if nlen > len {
-                    tokens.push(Token::Literal(input[i]));
-                    m.insert(input, i + 1);
-                    i += 1;
-                    len = nlen;
-                    dist = ndist;
-                }
+            let h2 = hash3(input, i + 1);
+            if let Some((nlen, ndist)) =
+                m.find_hashed(h2, input, i + 1, (n - i - 1).min(MAX_MATCH), len)
+            {
+                debug_assert!(nlen > len, "floored search returned a non-improving match");
+                tokens.push(Token::Literal(input[i]));
+                m.insert_hashed(h2, i + 1);
+                i += 1;
+                len = nlen;
+                dist = ndist;
             }
         }
         tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
@@ -255,7 +411,6 @@ fn tokenize(input: &[u8], effort: Effort) -> Vec<Token> {
         }
         i = match_end;
     }
-    tokens
 }
 
 impl Codec for Deflate {
@@ -264,76 +419,108 @@ impl Codec for Deflate {
     }
 
     fn compress(&self, input: &[u8]) -> Vec<u8> {
-        let tokens = tokenize(input, self.effort);
+        let mut out = Vec::new();
+        self.compress_into(input, &mut out);
+        out
+    }
+
+    fn compress_into(&self, input: &[u8], out: &mut Vec<u8>) {
+        with_thread_state(|state| self.compress_with(state, input, out));
+    }
+
+    fn compress_with(&self, state: &mut CompressorState, input: &[u8], out: &mut Vec<u8>) {
+        let cap0 = state.deflate.capacity_signature();
+        let st = &mut state.deflate;
+        tokenize_into(input, self.effort, st);
 
         // Count symbol frequencies.
-        let mut lit_freq = vec![0u64; NUM_LITLEN];
-        let mut dist_freq = vec![0u64; NUM_DIST];
-        for t in &tokens {
+        st.lit_freq.fill(0);
+        st.dist_freq.fill(0);
+        for t in &st.tokens {
             match *t {
-                Token::Literal(b) => lit_freq[b as usize] += 1,
+                Token::Literal(b) => st.lit_freq[b as usize] += 1,
                 Token::Match { len, dist } => {
-                    lit_freq[length_code(len as usize).0] += 1;
-                    dist_freq[dist_code(dist as usize).0] += 1;
+                    st.lit_freq[length_code(len as usize).0] += 1;
+                    st.dist_freq[dist_code(dist as usize).0] += 1;
                 }
             }
         }
-        lit_freq[EOB] += 1;
+        st.lit_freq[EOB] += 1;
 
-        let lit_lens = build_code_lengths(&lit_freq);
-        let dist_lens = build_code_lengths(&dist_freq);
-        let lit_enc = Encoder::from_lengths(&lit_lens);
-        let dist_enc = Encoder::from_lengths(&dist_lens);
+        // Huffman setup, all in reused scratch: tree construction keeps
+        // its heap/parent arrays, encoders rebuild their tables in place.
+        st.builder.build_into(&st.lit_freq, &mut st.lit_lens);
+        st.builder.build_into(&st.dist_freq, &mut st.dist_lens);
+        st.lit_enc.rebuild(&st.lit_lens);
+        st.dist_enc.rebuild(&st.dist_lens);
 
-        let mut w = BitWriter::new();
+        // The caller's buffer backs the bit stream directly.
+        let mut w = BitWriter::with_buffer(std::mem::take(out));
         w.write_bits(0, 1); // Huffman block
-        write_lengths(&mut w, &lit_lens);
-        write_lengths(&mut w, &dist_lens);
-        for t in &tokens {
+        write_lengths(&mut w, &st.lit_lens);
+        write_lengths(&mut w, &st.dist_lens);
+        for t in &st.tokens {
             match *t {
-                Token::Literal(b) => lit_enc.write(&mut w, b as usize),
+                Token::Literal(b) => st.lit_enc.write(&mut w, b as usize),
                 Token::Match { len, dist } => {
                     let (lc, lextra, lbits) = length_code(len as usize);
-                    lit_enc.write(&mut w, lc);
+                    st.lit_enc.write(&mut w, lc);
                     if lbits > 0 {
                         w.write_bits(lextra, u32::from(lbits));
                     }
                     let (dc, dextra, dbits) = dist_code(dist as usize);
-                    dist_enc.write(&mut w, dc);
+                    st.dist_enc.write(&mut w, dc);
                     if dbits > 0 {
                         w.write_bits(dextra, u32::from(dbits));
                     }
                 }
             }
         }
-        lit_enc.write(&mut w, EOB);
+        st.lit_enc.write(&mut w, EOB);
         let encoded = w.finish();
 
         if encoded.len() > input.len() + 1 {
-            // Raw fallback: 1-bit flag + verbatim bytes.
-            let mut w = BitWriter::new();
+            // Raw fallback: 1-bit flag + verbatim bytes, reusing the
+            // same backing buffer (`with_buffer` clears it).
+            let mut w = BitWriter::with_buffer(encoded);
             w.write_bits(1, 1);
             for &b in input {
                 w.write_byte(b);
             }
-            return w.finish();
+            *out = w.finish();
+        } else {
+            *out = encoded;
         }
-        encoded
+        if state.deflate.capacity_signature() != cap0 {
+            state.alloc_events += 1;
+        }
     }
 
     fn decompress(&self, input: &[u8], expected_len: usize) -> Result<Vec<u8>, DecompressError> {
+        let mut out = Vec::new();
+        self.decompress_into(input, expected_len, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(
+        &self,
+        input: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), DecompressError> {
+        out.clear();
         if input.is_empty() {
             return Err(DecompressError::Truncated);
         }
         let mut r = BitReader::new(input);
         let raw = r.read_bits(1)? == 1;
-        // Never pre-allocate an untrusted length (see `Lzf::decompress`).
-        let mut out = Vec::with_capacity(expected_len.min(16 << 20));
+        // Never pre-allocate an untrusted length (see `Lzf::decompress_into`).
+        out.reserve(expected_len.min(16 << 20));
         if raw {
             for _ in 0..expected_len {
                 out.push(r.read_bits(8)? as u8);
             }
-            return Ok(out);
+            return Ok(());
         }
         let lit_lens = read_lengths(&mut r, NUM_LITLEN)?;
         let dist_lens = read_lengths(&mut r, NUM_DIST)?;
@@ -374,7 +561,7 @@ impl Codec for Deflate {
         if out.len() != expected_len {
             return Err(DecompressError::SizeMismatch { expected: expected_len, actual: out.len() });
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -570,3 +757,4 @@ mod tests {
         assert_eq!(Deflate::new().decompress(&c, data.len()).unwrap(), data);
     }
 }
+

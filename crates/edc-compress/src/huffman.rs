@@ -29,65 +29,107 @@ fn reverse_bits(code: u32, len: u32) -> u32 {
 /// Returns one length per symbol; unused symbols (zero frequency) get
 /// length 0. If exactly one symbol is used it gets length 1 (a zero-length
 /// code cannot be written to the stream).
+///
+/// Convenience wrapper over [`LengthBuilder`]; hot paths keep a builder
+/// (and an output `Vec`) alive across calls to avoid its allocations.
 pub fn build_code_lengths(freqs: &[u64]) -> Vec<u8> {
-    assert!(!freqs.is_empty(), "need at least one symbol");
-    let used: Vec<usize> = (0..freqs.len()).filter(|&s| freqs[s] > 0).collect();
-    let mut lengths = vec![0u8; freqs.len()];
-    match used.len() {
-        0 => return lengths,
-        1 => {
-            lengths[used[0]] = 1;
-            return lengths;
-        }
-        _ => {}
-    }
-
-    let mut scaled: Vec<u64> = freqs.to_vec();
-    loop {
-        let lens = huffman_depths(&scaled, &used);
-        let max = lens.iter().copied().max().unwrap_or(0);
-        if u32::from(max) <= MAX_CODE_LEN {
-            for (&s, &l) in used.iter().zip(lens.iter()) {
-                lengths[s] = l;
-            }
-            return lengths;
-        }
-        // Flatten the distribution and retry; terminates because all
-        // frequencies converge to 1 (perfectly balanced tree).
-        for f in scaled.iter_mut() {
-            if *f > 0 {
-                *f = (*f).div_ceil(2);
-            }
-        }
-    }
+    let mut lengths = Vec::new();
+    LengthBuilder::new().build_into(freqs, &mut lengths);
+    lengths
 }
 
-/// Plain Huffman tree construction over the `used` symbols of `freqs`;
-/// returns depth per used symbol (parallel to `used`).
-fn huffman_depths(freqs: &[u64], used: &[usize]) -> Vec<u8> {
-    // Node arena: leaves first, then internal nodes.
-    let n = used.len();
-    debug_assert!(n >= 2);
-    let mut parent = vec![usize::MAX; 2 * n - 1];
-    // Min-heap of (freq, node_index); tie-break on node index for
-    // determinism across platforms.
-    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> = used
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| std::cmp::Reverse((freqs[s], i)))
-        .collect();
-    let mut next = n;
-    while heap.len() > 1 {
-        let std::cmp::Reverse((fa, a)) = heap.pop().unwrap();
-        let std::cmp::Reverse((fb, b)) = heap.pop().unwrap();
-        parent[a] = next;
-        parent[b] = next;
-        heap.push(std::cmp::Reverse((fa + fb, next)));
-        next += 1;
+/// Reusable scratch for length-limited Huffman construction.
+///
+/// The per-block tree build used to allocate a node arena and a fresh
+/// `BinaryHeap` on every call; this builder keeps both (plus the scaled
+/// frequency copy) across calls. The lengths produced are identical to
+/// [`build_code_lengths`]'s: the heap's pop order is fully determined by
+/// the `(freq, node_index)` keys, which are unique, so internal heap
+/// layout differences cannot change the tree.
+pub struct LengthBuilder {
+    scaled: Vec<u64>,
+    used: Vec<usize>,
+    parent: Vec<usize>,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+    depths: Vec<u8>,
+}
+
+impl LengthBuilder {
+    /// Create an empty builder; scratch is sized on first use.
+    pub fn new() -> Self {
+        LengthBuilder {
+            scaled: Vec::new(),
+            used: Vec::new(),
+            parent: Vec::new(),
+            heap: std::collections::BinaryHeap::new(),
+            depths: Vec::new(),
+        }
     }
-    // Depth of each leaf = chain length to the root.
-    (0..n)
-        .map(|leaf| {
+
+    /// Compute code lengths for `freqs` into `lengths` (cleared first).
+    ///
+    /// Semantics match [`build_code_lengths`] exactly.
+    pub fn build_into(&mut self, freqs: &[u64], lengths: &mut Vec<u8>) {
+        assert!(!freqs.is_empty(), "need at least one symbol");
+        lengths.clear();
+        lengths.resize(freqs.len(), 0);
+        self.used.clear();
+        self.used.extend((0..freqs.len()).filter(|&s| freqs[s] > 0));
+        match self.used.len() {
+            0 => return,
+            1 => {
+                lengths[self.used[0]] = 1;
+                return;
+            }
+            _ => {}
+        }
+
+        self.scaled.clear();
+        self.scaled.extend_from_slice(freqs);
+        loop {
+            self.huffman_depths();
+            let max = self.depths.iter().copied().max().unwrap_or(0);
+            if u32::from(max) <= MAX_CODE_LEN {
+                for (&s, &l) in self.used.iter().zip(self.depths.iter()) {
+                    lengths[s] = l;
+                }
+                return;
+            }
+            // Flatten the distribution and retry; terminates because all
+            // frequencies converge to 1 (perfectly balanced tree).
+            for f in self.scaled.iter_mut() {
+                if *f > 0 {
+                    *f = (*f).div_ceil(2);
+                }
+            }
+        }
+    }
+
+    /// Plain Huffman tree construction over the `used` symbols of
+    /// `scaled`; leaves depth-per-used-symbol in `self.depths`.
+    fn huffman_depths(&mut self) {
+        let LengthBuilder { scaled, used, parent, heap, depths } = self;
+        // Node arena: leaves first, then internal nodes.
+        let n = used.len();
+        debug_assert!(n >= 2);
+        parent.clear();
+        parent.resize(2 * n - 1, usize::MAX);
+        // Min-heap of (freq, node_index); tie-break on node index for
+        // determinism across platforms.
+        heap.clear();
+        heap.extend(used.iter().enumerate().map(|(i, &s)| std::cmp::Reverse((scaled[s], i))));
+        let mut next = n;
+        while heap.len() > 1 {
+            let std::cmp::Reverse((fa, a)) = heap.pop().unwrap();
+            let std::cmp::Reverse((fb, b)) = heap.pop().unwrap();
+            parent[a] = next;
+            parent[b] = next;
+            heap.push(std::cmp::Reverse((fa + fb, next)));
+            next += 1;
+        }
+        // Depth of each leaf = chain length to the root.
+        depths.clear();
+        depths.extend((0..n).map(|leaf| {
             let mut d = 0u8;
             let mut node = leaf;
             while parent[node] != usize::MAX {
@@ -95,8 +137,23 @@ fn huffman_depths(freqs: &[u64], used: &[usize]) -> Vec<u8> {
                 d += 1;
             }
             d
-        })
-        .collect()
+        }));
+    }
+
+    /// Summed backing capacities (for allocation-event accounting).
+    pub fn capacity(&self) -> usize {
+        self.scaled.capacity()
+            + self.used.capacity()
+            + self.parent.capacity()
+            + self.heap.capacity()
+            + self.depths.capacity()
+    }
+}
+
+impl Default for LengthBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Encoder table: canonical codes, stored bit-reversed for LSB-first output.
@@ -109,8 +166,28 @@ pub struct Encoder {
 impl Encoder {
     /// Build the encoder from canonical code lengths.
     pub fn from_lengths(lengths: &[u8]) -> Self {
-        let codes = canonical_codes(lengths);
-        Encoder { codes, lens: lengths.to_vec() }
+        let mut e = Encoder::empty();
+        e.rebuild(lengths);
+        e
+    }
+
+    /// An encoder with no symbols, as a target for [`Encoder::rebuild`].
+    pub fn empty() -> Self {
+        Encoder { codes: Vec::new(), lens: Vec::new() }
+    }
+
+    /// Rebuild the table in place from new code lengths, reusing the
+    /// existing backing storage. Equivalent to `*self = from_lengths(..)`
+    /// without the two allocations per block.
+    pub fn rebuild(&mut self, lengths: &[u8]) {
+        canonical_codes_into(lengths, &mut self.codes);
+        self.lens.clear();
+        self.lens.extend_from_slice(lengths);
+    }
+
+    /// Summed backing capacities (for allocation-event accounting).
+    pub fn capacity(&self) -> usize {
+        self.codes.capacity() + self.lens.capacity()
     }
 
     /// Emit `symbol` into `w`.
@@ -131,31 +208,39 @@ impl Encoder {
 /// Assign canonical codes (shorter codes first, then by symbol index) and
 /// return them bit-reversed, ready for LSB-first emission.
 fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
+    let mut codes = Vec::new();
+    canonical_codes_into(lengths, &mut codes);
+    codes
+}
+
+/// [`canonical_codes`] into a reused buffer; the count arrays are fixed
+/// stack arrays (lengths are capped at [`MAX_CODE_LEN`]), so a warm call
+/// is allocation-free.
+fn canonical_codes_into(lengths: &[u8], codes: &mut Vec<u32>) {
     let max_len = lengths.iter().copied().max().unwrap_or(0) as u32;
-    let mut bl_count = vec![0u32; max_len as usize + 1];
+    assert!(max_len <= MAX_CODE_LEN, "code length exceeds limit");
+    let mut bl_count = [0u32; MAX_CODE_LEN as usize + 1];
     for &l in lengths {
         if l > 0 {
             bl_count[l as usize] += 1;
         }
     }
-    let mut next_code = vec![0u32; max_len as usize + 2];
+    let mut next_code = [0u32; MAX_CODE_LEN as usize + 2];
     let mut code = 0u32;
     for bits in 1..=max_len as usize {
         code = (code + bl_count[bits - 1]) << 1;
         next_code[bits] = code;
     }
-    lengths
-        .iter()
-        .map(|&l| {
-            if l == 0 {
-                0
-            } else {
-                let c = next_code[l as usize];
-                next_code[l as usize] += 1;
-                reverse_bits(c, u32::from(l))
-            }
-        })
-        .collect()
+    codes.clear();
+    codes.extend(lengths.iter().map(|&l| {
+        if l == 0 {
+            0
+        } else {
+            let c = next_code[l as usize];
+            next_code[l as usize] += 1;
+            reverse_bits(c, u32::from(l))
+        }
+    }));
 }
 
 /// Table-driven decoder: one lookup of `max_len` peeked bits per symbol.

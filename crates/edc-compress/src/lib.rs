@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod bitio;
 pub mod bwt;
 pub mod checksum;
@@ -64,6 +65,7 @@ pub mod lz4;
 pub mod lzf;
 pub mod mtf;
 pub mod rle;
+pub mod state;
 pub mod suffix;
 
 use core::fmt;
@@ -75,6 +77,7 @@ pub use deflate::Deflate;
 pub use estimator::{CompressibilityClass, Estimator, EstimatorConfig};
 pub use lz4::Lz4;
 pub use lzf::Lzf;
+pub use state::{common_prefix_len, CompressorState};
 
 /// Error returned when decompression fails.
 ///
@@ -201,6 +204,22 @@ pub trait Codec: Send + Sync {
     fn compress_into(&self, input: &[u8], out: &mut Vec<u8>) {
         out.clear();
         out.extend_from_slice(&self.compress(input));
+    }
+
+    /// Compress `input` into `out` using caller-pooled scratch `state`.
+    ///
+    /// This is the hot-path entry point: hash tables, chain arrays, token
+    /// buffers and Huffman scratch live in `state` and are reused across
+    /// calls, so a warmed-up worker performs zero heap allocation per
+    /// block. The stream written is byte-identical to [`Codec::compress`]
+    /// regardless of what the state was previously used for (enforced by
+    /// golden-stream fixtures and property tests).
+    ///
+    /// The default implementation ignores `state` and delegates to
+    /// [`Codec::compress_into`]; the LZ-family codecs override it.
+    fn compress_with(&self, state: &mut CompressorState, input: &[u8], out: &mut Vec<u8>) {
+        let _ = state;
+        self.compress_into(input, out);
     }
 
     /// Decompress a stream produced by [`Codec::compress`].

@@ -8,13 +8,8 @@
 //! `255`-valued extension bytes. Minimum match length is 4; the final
 //! sequence carries literals only.
 
+use crate::state::{common_prefix_len, with_thread_state, CompressorState};
 use crate::{Codec, CodecId, DecompressError};
-use std::cell::RefCell;
-
-std::thread_local! {
-    /// Reusable match table (see `lzf::SCRATCH` for rationale).
-    static SCRATCH: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
-}
 
 const MIN_MATCH: usize = 4;
 const MAX_OFFSET: usize = u16::MAX as usize;
@@ -81,6 +76,10 @@ impl Codec for Lz4 {
     }
 
     fn compress_into(&self, input: &[u8], out: &mut Vec<u8>) {
+        with_thread_state(|state| self.compress_with(state, input, out));
+    }
+
+    fn compress_with(&self, state: &mut CompressorState, input: &[u8], out: &mut Vec<u8>) {
         out.clear();
         let n = input.len();
         out.reserve(n / 2 + 16);
@@ -89,35 +88,37 @@ impl Codec for Lz4 {
             emit_sequence(out, input, 0, n, None);
             return;
         }
-        SCRATCH.with(|cell| {
-        let mut table = cell.borrow_mut();
-        table.clear();
-        table.resize(1 << HASH_BITS, usize::MAX);
+        // Epoch-stamped table: previous inputs' entries read as empty
+        // without a per-call memset (see `crate::state::StampTable`).
+        let table = &mut state.lz4_table;
+        let cap0 = table.capacity();
+        table.begin(1 << HASH_BITS);
         let mut lit_start = 0usize;
         let mut i = 0usize;
         let limit = n - MIN_MATCH;
         while i <= limit {
-            let h = hash4(input, i);
-            let cand = table[h];
-            table[h] = i;
-            let ok = cand != usize::MAX
-                && i - cand <= MAX_OFFSET
-                && input[cand..cand + MIN_MATCH] == input[i..i + MIN_MATCH];
-            if !ok {
-                i += 1;
-                continue;
-            }
+            let cand = table.replace(hash4(input, i), i);
+            let cand = match cand {
+                Some(c)
+                    if i - c <= MAX_OFFSET
+                        && input[c..c + MIN_MATCH] == input[i..i + MIN_MATCH] =>
+                {
+                    c
+                }
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            // Word-wide extension; first MIN_MATCH bytes already verified.
             let max_len = n - i;
-            let mut len = MIN_MATCH;
-            while len < max_len && input[cand + len] == input[i + len] {
-                len += 1;
-            }
+            let len = common_prefix_len(input, cand, i, max_len);
             emit_sequence(out, input, lit_start, i, Some((i - cand, len)));
             let match_end = i + len;
             let insert_to = match_end.min(limit + 1);
             let mut j = i + 1;
             while j < insert_to {
-                table[hash4(input, j)] = j;
+                table.set(hash4(input, j), j);
                 j += 2; // sparser insertion than Lzf: trades ratio for speed
             }
             i = match_end;
@@ -129,15 +130,29 @@ impl Codec for Lz4 {
         if lit_start < n || out.is_empty() {
             emit_sequence(out, input, lit_start, n, None);
         }
-        })
+        if state.lz4_table.capacity() != cap0 {
+            state.alloc_events += 1;
+        }
     }
 
     fn decompress(&self, input: &[u8], expected_len: usize) -> Result<Vec<u8>, DecompressError> {
-        // See `Lzf::decompress`: never pre-allocate an untrusted length.
-        let mut out = Vec::with_capacity(expected_len.min(16 << 20));
+        let mut out = Vec::new();
+        self.decompress_into(input, expected_len, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(
+        &self,
+        input: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), DecompressError> {
+        out.clear();
+        // See `Lzf::decompress_into`: never pre-allocate an untrusted length.
+        out.reserve(expected_len.min(16 << 20));
         if input.is_empty() {
             if expected_len == 0 {
-                return Ok(out);
+                return Ok(());
             }
             return Err(DecompressError::Truncated);
         }
@@ -175,7 +190,7 @@ impl Codec for Lz4 {
         if out.len() != expected_len {
             return Err(DecompressError::SizeMismatch { expected: expected_len, actual: out.len() });
         }
-        Ok(out)
+        Ok(())
     }
 }
 

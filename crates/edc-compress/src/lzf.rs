@@ -20,15 +20,8 @@
 //!
 //! Matches may overlap their own output (RLE-style), exactly as in LZ77.
 
+use crate::state::{common_prefix_len, with_thread_state, CompressorState};
 use crate::{Codec, CodecId, DecompressError};
-use std::cell::RefCell;
-
-std::thread_local! {
-    /// Reusable match table: compressing a 4 KiB block must not pay a
-    /// 64 KiB allocation per call (the write path compresses millions of
-    /// blocks). One table per thread; reset on reuse.
-    static SCRATCH: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
-}
 
 /// Window size: offsets are 13 bits, biased by one.
 const MAX_OFFSET: usize = 1 << 13;
@@ -83,6 +76,12 @@ impl Codec for Lzf {
     }
 
     fn compress_into(&self, input: &[u8], out: &mut Vec<u8>) {
+        // Fall back to the per-thread state so even pool-less callers
+        // amortize the match-table setup.
+        with_thread_state(|state| self.compress_with(state, input, out));
+    }
+
+    fn compress_with(&self, state: &mut CompressorState, input: &[u8], out: &mut Vec<u8>) {
         out.clear();
         let n = input.len();
         out.reserve(n / 2 + 16);
@@ -90,33 +89,33 @@ impl Codec for Lzf {
             push_literals(out, input, 0, n);
             return;
         }
-        // Single-probe hash table of candidate positions; usize::MAX =
-        // empty. Thread-local so repeated calls do not re-allocate.
-        SCRATCH.with(|cell| {
-        let mut table = cell.borrow_mut();
-        table.clear();
-        table.resize(1 << HASH_BITS, usize::MAX);
+        // Single-probe hash table of candidate positions; entries from
+        // previous inputs are invalidated by the epoch stamp, not a memset.
+        let table = &mut state.lzf_table;
+        let cap0 = table.capacity();
+        table.begin(1 << HASH_BITS);
         let mut lit_start = 0usize;
         let mut i = 0usize;
         // Leave room so hash3 never reads past the end.
         let limit = n - MIN_MATCH;
         while i <= limit {
-            let h = hash3(input, i);
-            let cand = table[h];
-            table[h] = i;
-            let ok = cand != usize::MAX
-                && i - cand <= MAX_OFFSET
-                && input[cand..cand + MIN_MATCH] == input[i..i + MIN_MATCH];
-            if !ok {
-                i += 1;
-                continue;
-            }
-            // Extend the match.
+            let cand = table.replace(hash3(input, i), i);
+            let cand = match cand {
+                Some(c)
+                    if i - c <= MAX_OFFSET
+                        && input[c..c + MIN_MATCH] == input[i..i + MIN_MATCH] =>
+                {
+                    c
+                }
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            // Extend the match word-wise; the first MIN_MATCH bytes are
+            // already known equal, so the full common prefix is the match.
             let max_len = (n - i).min(MAX_MATCH);
-            let mut len = MIN_MATCH;
-            while len < max_len && input[cand + len] == input[i + len] {
-                len += 1;
-            }
+            let len = common_prefix_len(input, cand, i, max_len);
             push_literals(out, input, lit_start, i);
             let offset = i - cand - 1; // biased
             if len <= 8 {
@@ -132,21 +131,35 @@ impl Codec for Lzf {
             let insert_to = match_end.min(limit + 1);
             let mut j = i + 1;
             while j < insert_to {
-                table[hash3(input, j)] = j;
+                table.set(hash3(input, j), j);
                 j += 1;
             }
             i = match_end;
             lit_start = i;
         }
         push_literals(out, input, lit_start, n);
-        })
+        if state.lzf_table.capacity() != cap0 {
+            state.alloc_events += 1;
+        }
     }
 
     fn decompress(&self, input: &[u8], expected_len: usize) -> Result<Vec<u8>, DecompressError> {
+        let mut out = Vec::new();
+        self.decompress_into(input, expected_len, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(
+        &self,
+        input: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), DecompressError> {
+        out.clear();
         // Cap the pre-allocation: `expected_len` may come from untrusted
         // metadata, and a corrupt multi-gigabyte value must fail cheaply
         // via the size check rather than aborting on allocation.
-        let mut out = Vec::with_capacity(expected_len.min(16 << 20));
+        out.reserve(expected_len.min(16 << 20));
         let mut i = 0usize;
         while i < input.len() {
             let ctrl = input[i];
@@ -191,7 +204,7 @@ impl Codec for Lzf {
         if out.len() != expected_len {
             return Err(DecompressError::SizeMismatch { expected: expected_len, actual: out.len() });
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -1,0 +1,260 @@
+//! Reusable compressor scratch state and the word-wide match-extension
+//! primitive shared by the LZ-family hot paths.
+//!
+//! Every codec used to rebuild its working set — hash tables, chain arrays,
+//! token buffers, Huffman scratch — on each `compress` call. For a store
+//! that compresses millions of 4 KiB blocks, those allocations and table
+//! memsets dominate the cost of the codec itself. [`CompressorState`] owns
+//! all of that scratch so a worker thread pays for it once and then runs
+//! allocation-free in steady state; [`Codec::compress_with`] is the entry
+//! point that threads it through.
+//!
+//! ## Stream stability
+//!
+//! Reusing state must never change the emitted bytes: `compress_with` over
+//! a dirty, previously-used state produces exactly the stream a fresh
+//! `compress` would. Hash tables are invalidated between inputs by an
+//! epoch stamp (see [`StampTable`]) rather than a memset, which is both
+//! O(1) and semantically identical to starting from an empty table. The
+//! guarantee is enforced by golden-stream fixtures and property tests.
+//!
+//! [`Codec::compress_with`]: crate::Codec::compress_with
+
+use std::cell::RefCell;
+
+/// Reusable per-thread (or per-worker) compressor scratch.
+///
+/// One instance serves every codec: each codec keeps its own table inside
+/// so interleaving codecs on one state is safe. States are cheap to create
+/// but expensive to warm up (first use sizes the tables), so pools should
+/// create one per worker thread and keep it across batches.
+///
+/// The struct is opaque; all fields are crate-internal scratch.
+pub struct CompressorState {
+    /// Lzf single-probe match table (2^14 slots).
+    pub(crate) lzf_table: StampTable,
+    /// Lz4 single-probe match table (2^15 slots).
+    pub(crate) lz4_table: StampTable,
+    /// Deflate chain matcher, token buffer and Huffman scratch.
+    pub(crate) deflate: crate::deflate::DeflateScratch,
+    /// Count of `compress_with` calls that had to grow internal scratch.
+    pub(crate) alloc_events: u64,
+}
+
+impl CompressorState {
+    /// Create an empty (cold) state. Tables are sized lazily on first use.
+    pub fn new() -> Self {
+        CompressorState {
+            lzf_table: StampTable::new(),
+            lz4_table: StampTable::new(),
+            deflate: crate::deflate::DeflateScratch::new(),
+            alloc_events: 0,
+        }
+    }
+
+    /// Number of `compress_with` calls that grew internal scratch buffers.
+    ///
+    /// In steady state this is stable: once the tables and buffers are
+    /// warm, further calls perform zero heap allocation inside the codec.
+    /// Pipelines assert their hot loops are allocation-free by comparing
+    /// this counter across flushes.
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
+    }
+}
+
+impl Default for CompressorState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+std::thread_local! {
+    /// Fallback state for the stateless `compress`/`compress_into` entry
+    /// points, so even callers without a pool amortize table setup.
+    static THREAD_STATE: RefCell<CompressorState> = RefCell::new(CompressorState::new());
+}
+
+/// Run `f` with this thread's shared [`CompressorState`].
+pub(crate) fn with_thread_state<R>(f: impl FnOnce(&mut CompressorState) -> R) -> R {
+    THREAD_STATE.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Epoch-stamped position table: a hash table of input positions that can
+/// be invalidated in O(1) between inputs.
+///
+/// Each slot packs `(epoch << 32) | position`. A lookup only returns the
+/// position when the slot's epoch matches the table's current epoch, so
+/// bumping the epoch makes every existing entry read as "empty" — exactly
+/// the semantics of a freshly cleared table, without the per-call memset
+/// that used to dominate small-block compression.
+pub(crate) struct StampTable {
+    slots: Vec<u64>,
+    epoch: u32,
+}
+
+impl StampTable {
+    pub(crate) const fn new() -> Self {
+        StampTable { slots: Vec::new(), epoch: 0 }
+    }
+
+    /// Start a new input: size the table to `len` slots and invalidate all
+    /// entries from previous inputs.
+    pub(crate) fn begin(&mut self, len: usize) {
+        if self.slots.len() != len {
+            self.slots.clear();
+            self.slots.resize(len, 0);
+            self.epoch = 0;
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: ancient stamps could collide with the new
+            // epoch. Hard-reset once every 2^32 inputs.
+            self.slots.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Position stored at `h`, if it was written during the current input.
+    #[inline]
+    pub(crate) fn get(&self, h: usize) -> Option<usize> {
+        let s = self.slots[h];
+        ((s >> 32) as u32 == self.epoch).then_some(s as u32 as usize)
+    }
+
+    /// Record `pos` at `h` for the current input.
+    #[inline]
+    pub(crate) fn set(&mut self, h: usize, pos: usize) {
+        debug_assert!(pos <= u32::MAX as usize, "input exceeds 4 GiB");
+        self.slots[h] = (u64::from(self.epoch) << 32) | pos as u64;
+    }
+
+    /// Record `pos` at `h` and return what the slot held — a fused
+    /// [`StampTable::get`] + [`StampTable::set`] with a single slot
+    /// access. This runs once per input byte in the LZ hot loops, where
+    /// the separate read-then-write pair showed up as two table touches.
+    #[inline]
+    pub(crate) fn replace(&mut self, h: usize, pos: usize) -> Option<usize> {
+        debug_assert!(pos <= u32::MAX as usize, "input exceeds 4 GiB");
+        let slot = &mut self.slots[h];
+        let s = *slot;
+        *slot = (u64::from(self.epoch) << 32) | pos as u64;
+        ((s >> 32) as u32 == self.epoch).then_some(s as u32 as usize)
+    }
+
+    /// Backing capacity in slots (for allocation-event accounting).
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+}
+
+/// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
+/// `max`, compared eight bytes at a time.
+///
+/// This is the word-wide replacement for the byte-at-a-time match
+/// extension loops in the LZ codecs: unaligned little-endian `u64` loads
+/// are XORed and the first differing byte located with `trailing_zeros`.
+/// The result is exactly the count a byte loop would produce, so
+/// tokenization — and therefore the emitted stream — is unchanged.
+///
+/// Requires `a < b` and `b + max <= data.len()` (the caller matches
+/// against earlier data only, and caps `max` at the remaining input).
+#[inline]
+pub fn common_prefix_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+    debug_assert!(a < b, "match source must precede match target");
+    debug_assert!(b + max <= data.len(), "max overruns the input");
+    let mut len = 0usize;
+    while len + 8 <= max {
+        let x = u64::from_le_bytes(data[a + len..a + len + 8].try_into().expect("8-byte slice"));
+        let y = u64::from_le_bytes(data[b + len..b + len + 8].try_into().expect("8-byte slice"));
+        let diff = x ^ y;
+        if diff != 0 {
+            return len + (diff.trailing_zeros() >> 3) as usize;
+        }
+        len += 8;
+    }
+    while len < max && data[a + len] == data[b + len] {
+        len += 1;
+    }
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Byte-at-a-time reference for `common_prefix_len`.
+    fn byte_prefix_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+        let mut len = 0;
+        while len < max && data[a + len] == data[b + len] {
+            len += 1;
+        }
+        len
+    }
+
+    #[test]
+    fn word_prefix_matches_byte_loop() {
+        // A buffer with runs and mismatches at every alignment.
+        let data: Vec<u8> = (0..512usize).map(|i| (i / 7 % 5) as u8).collect();
+        for a in 0..64 {
+            for b in (a + 1)..96 {
+                let max = (data.len() - b).min(300);
+                assert_eq!(
+                    common_prefix_len(&data, a, b, max),
+                    byte_prefix_len(&data, a, b, max),
+                    "a={a} b={b} max={max}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn word_prefix_respects_max() {
+        let data = vec![9u8; 100];
+        assert_eq!(common_prefix_len(&data, 0, 10, 0), 0);
+        assert_eq!(common_prefix_len(&data, 0, 10, 7), 7);
+        assert_eq!(common_prefix_len(&data, 0, 10, 8), 8);
+        assert_eq!(common_prefix_len(&data, 0, 10, 90), 90);
+    }
+
+    #[test]
+    fn word_prefix_finds_mismatch_inside_word() {
+        let mut data = vec![5u8; 64];
+        for k in 0..16 {
+            data[32 + k] = 5;
+        }
+        data[32 + 11] = 6; // mismatch at offset 11: mid-word
+        assert_eq!(common_prefix_len(&data, 0, 32, 32), 11);
+    }
+
+    #[test]
+    fn stamp_table_reads_as_empty_after_begin() {
+        let mut t = StampTable::new();
+        t.begin(16);
+        assert_eq!(t.get(3), None);
+        t.set(3, 77);
+        assert_eq!(t.get(3), Some(77));
+        t.begin(16);
+        assert_eq!(t.get(3), None, "entries from the previous input must be invisible");
+        t.begin(8); // resize also invalidates
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn alloc_events_stabilize() {
+        use crate::{Codec, Deflate, Lz4, Lzf};
+        let mut state = CompressorState::new();
+        let data: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+        let mut out = Vec::new();
+        for codec in [&Lzf::new() as &dyn Codec, &Lz4::new(), &Deflate::new()] {
+            codec.compress_with(&mut state, &data, &mut out);
+        }
+        let warm = state.alloc_events();
+        for _ in 0..5 {
+            for codec in [&Lzf::new() as &dyn Codec, &Lz4::new(), &Deflate::new()] {
+                codec.compress_with(&mut state, &data, &mut out);
+            }
+        }
+        assert_eq!(state.alloc_events(), warm, "steady-state compression must not allocate");
+    }
+}

@@ -1,0 +1,167 @@
+//! Golden compressed-stream fixtures per codec.
+//!
+//! The `(length, checksum64)` pairs below were captured from the encoders
+//! *before* the hot-path overhaul (reusable `CompressorState`, word-wide
+//! match extension, hoisted Huffman setup). The optimized paths must keep
+//! emitting bit-identical streams: any format or tokenization drift fails
+//! this suite loudly.
+//!
+//! All three entry points are checked against the fixtures: `compress`,
+//! `compress_into` (dirty output buffer), and `compress_with` (reused
+//! state across every fixture, worst case for stale-table bugs).
+
+use edc_compress::{checksum64, Bwt, Codec, CompressorState, Deflate, Lz4, Lzf};
+
+/// `(codec, fixture, compressed_len, checksum64(stream, 0))`.
+const GOLDEN: &[(&str, &str, usize, u64)] = &[
+    ("lzf", "empty", 0, 0xb8cb396de59eab6a),
+    ("lzf", "byte", 2, 0xdeb0535ba0b081ee),
+    ("lzf", "fox", 43, 0xc33fa68be4825ae6),
+    ("lzf", "text4k", 99, 0x90e8a355a88b1b12),
+    ("lzf", "zeros4k", 50, 0xd81235f4fb2aa0d9),
+    ("lzf", "rand4k", 4224, 0x3eedf2f95365bdaf),
+    ("lzf", "mixed16k", 8816, 0xaa942d3d5501b996),
+    ("lz4", "empty", 1, 0x8f197df95cc99a8b),
+    ("lz4", "byte", 2, 0x6b1bd7a7fc2163fd),
+    ("lz4", "fox", 44, 0x9e22215a8eaf72dd),
+    ("lz4", "text4k", 64, 0xe3e50a13292c09c4),
+    ("lz4", "zeros4k", 20, 0x9e28e30adcffc76b),
+    ("lz4", "rand4k", 4114, 0x67cab295c20a2396),
+    ("lz4", "mixed16k", 7973, 0x09bc34e8897cd49d),
+    ("deflate6", "empty", 1, 0xb0c5c6d43506a5a7),
+    ("deflate6", "byte", 2, 0x403c420b1f0bad08),
+    ("deflate6", "fox", 43, 0x83a9ae614c45d766),
+    ("deflate6", "text4k", 67, 0x510fae1aeb3e41a7),
+    ("deflate6", "zeros4k", 16, 0x2731c244f7a736f3),
+    ("deflate6", "rand4k", 4097, 0x9c41cfa00712d84a),
+    ("deflate6", "mixed16k", 3990, 0x6ba70c5d1bd35eda),
+    ("deflate1", "empty", 1, 0xb0c5c6d43506a5a7),
+    ("deflate1", "byte", 2, 0x403c420b1f0bad08),
+    ("deflate1", "fox", 43, 0x83a9ae614c45d766),
+    ("deflate1", "text4k", 67, 0x510fae1aeb3e41a7),
+    ("deflate1", "zeros4k", 16, 0x2731c244f7a736f3),
+    ("deflate1", "rand4k", 4097, 0x9c41cfa00712d84a),
+    ("deflate1", "mixed16k", 4166, 0x66bedf4bbf824ee8),
+    ("deflate9", "empty", 1, 0xb0c5c6d43506a5a7),
+    ("deflate9", "byte", 2, 0x403c420b1f0bad08),
+    ("deflate9", "fox", 43, 0x83a9ae614c45d766),
+    ("deflate9", "text4k", 67, 0x510fae1aeb3e41a7),
+    ("deflate9", "zeros4k", 16, 0x2731c244f7a736f3),
+    ("deflate9", "rand4k", 4097, 0x9c41cfa00712d84a),
+    ("deflate9", "mixed16k", 3986, 0x9772884696bdbc32),
+    ("bwt", "empty", 1, 0x8f197df95cc99a8b),
+    ("bwt", "byte", 2, 0x403c420b1f0bad08),
+    ("bwt", "fox", 44, 0x3610cdd9e9a2035c),
+    ("bwt", "text4k", 103, 0x55011fd6db03b793),
+    ("bwt", "zeros4k", 15, 0xadde6d1685527933),
+    ("bwt", "rand4k", 4097, 0x9c41cfa00712d84a),
+    ("bwt", "mixed16k", 3128, 0x61bb9ceca783d91a),
+];
+
+fn xorshift(mut x: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 56) as u8
+        })
+        .collect()
+}
+
+fn fixture(name: &str) -> Vec<u8> {
+    match name {
+        "empty" => Vec::new(),
+        "byte" => b"A".to_vec(),
+        "fox" => b"the quick brown fox jumps over the lazy dog".to_vec(),
+        "text4k" => b"elastic data compression for flash storage "
+            .iter()
+            .copied()
+            .cycle()
+            .take(4096)
+            .collect(),
+        "zeros4k" => vec![0u8; 4096],
+        "rand4k" => xorshift(0x9E37_79B9_7F4A_7C15, 4096),
+        "mixed16k" => {
+            let mut mixed = Vec::new();
+            for i in 0..1000u32 {
+                mixed.extend_from_slice(&i.to_le_bytes());
+                mixed.extend_from_slice(&(u64::from(i) * 3).to_le_bytes());
+                mixed.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF]);
+            }
+            mixed
+        }
+        other => panic!("unknown fixture {other}"),
+    }
+}
+
+fn codec(name: &str) -> Box<dyn Codec> {
+    match name {
+        "lzf" => Box::new(Lzf::new()),
+        "lz4" => Box::new(Lz4::new()),
+        "deflate6" => Box::new(Deflate::new()),
+        "deflate1" => Box::new(Deflate::with_level(1)),
+        "deflate9" => Box::new(Deflate::with_level(9)),
+        "bwt" => Box::new(Bwt::new()),
+        other => panic!("unknown codec {other}"),
+    }
+}
+
+fn check(label: &str, cname: &str, fname: &str, stream: &[u8], len: usize, sum: u64) {
+    assert_eq!(
+        stream.len(),
+        len,
+        "{label}: {cname}/{fname} stream length drifted from golden fixture"
+    );
+    assert_eq!(
+        checksum64(stream, 0),
+        sum,
+        "{label}: {cname}/{fname} stream bytes drifted from golden fixture"
+    );
+}
+
+#[test]
+fn compress_matches_golden_streams() {
+    for &(cname, fname, len, sum) in GOLDEN {
+        let stream = codec(cname).compress(&fixture(fname));
+        check("compress", cname, fname, &stream, len, sum);
+    }
+}
+
+#[test]
+fn compress_into_matches_golden_streams() {
+    // A dirty, reused output buffer must not leak into the stream.
+    let mut out = vec![0xAA; 64];
+    for &(cname, fname, len, sum) in GOLDEN {
+        codec(cname).compress_into(&fixture(fname), &mut out);
+        check("compress_into", cname, fname, &out, len, sum);
+    }
+}
+
+#[test]
+fn compress_with_reused_state_matches_golden_streams() {
+    // One state shared across every codec's fixtures in sequence: stale
+    // hash-table or chain entries from a previous input would surface as
+    // a different tokenization here.
+    let mut state = CompressorState::new();
+    let mut out = Vec::new();
+    for _round in 0..2 {
+        for &(cname, fname, len, sum) in GOLDEN {
+            codec(cname).compress_with(&mut state, &fixture(fname), &mut out);
+            check("compress_with", cname, fname, &out, len, sum);
+        }
+    }
+}
+
+#[test]
+fn golden_streams_round_trip() {
+    for &(cname, fname, _, _) in GOLDEN {
+        let codec = codec(cname);
+        let input = fixture(fname);
+        let stream = codec.compress(&input);
+        let back = codec
+            .decompress(&stream, input.len())
+            .expect("golden stream must decompress");
+        assert_eq!(back, input, "{cname}/{fname} round trip");
+    }
+}

@@ -3,7 +3,7 @@
 //! invert exactly. Runs on the in-tree harness (`edc_datagen::proptest`).
 
 use edc_compress::bwt::{bwt_forward, bwt_inverse};
-use edc_compress::{codec_by_id, CodecId, Estimator};
+use edc_compress::{baseline, codec_by_id, CodecId, CompressorState, Estimator};
 use edc_datagen::proptest::{block, cases, vec_u8};
 
 #[test]
@@ -61,6 +61,47 @@ fn compress_into_matches_compress() {
             codec.compress_into(&other, &mut reused); // dirty the buffer
             codec.compress_into(&data, &mut reused);
             assert_eq!(reused, fresh, "{id}: compress_into diverged from compress");
+        }
+    });
+}
+
+/// `compress_with` over one long-lived, shared `CompressorState` must stay
+/// byte-identical to a fresh-state `compress`, no matter what the state
+/// compressed before — including other codecs, since every codec keeps its
+/// scratch inside the same state. This is the property the worker-pooled
+/// write path depends on.
+#[test]
+fn compress_with_reused_state_matches_fresh() {
+    cases(64).run("compress_with_reused_state_matches_fresh", |rng| {
+        let data = block(rng, 4096);
+        let dirt = block(rng, 4096);
+        let mut state = CompressorState::new();
+        let mut out = Vec::new();
+        // Dirty every codec's scratch (tables, token buffers, Huffman
+        // state) with an unrelated input before each real compression.
+        for id in CodecId::ALL_CODECS {
+            let codec = codec_by_id(id).unwrap();
+            codec.compress_with(&mut state, &dirt, &mut out);
+        }
+        for id in CodecId::ALL_CODECS {
+            let codec = codec_by_id(id).unwrap();
+            let fresh = codec.compress(&data);
+            codec.compress_with(&mut state, &data, &mut out);
+            assert_eq!(out, fresh, "{id}: reused-state compress_with diverged from compress");
+        }
+    });
+}
+
+/// The refactored hot paths must emit exactly the streams the frozen
+/// pre-refactor encoders produced: state pooling, word-wide match
+/// extension and emit batching are performance changes only.
+#[test]
+fn streams_match_prerefactor_baseline() {
+    cases(64).run("streams_match_prerefactor_baseline", |rng| {
+        let data = block(rng, 4096);
+        for id in [CodecId::Lzf, CodecId::Lz4, CodecId::Deflate] {
+            let live = codec_by_id(id).unwrap().compress(&data);
+            assert_eq!(live, baseline::compress(id, &data), "{id}: stream drifted from baseline");
         }
     });
 }

@@ -94,18 +94,26 @@ impl<V> RunCache<V> {
 
     /// Insert a run after a miss, evicting the least-recently-used entry
     /// when full.
-    pub fn insert(&mut self, run_start: u64, value: V) {
+    ///
+    /// Returns the value displaced by this insert — the rejected value
+    /// itself when caching is disabled, the LRU victim's value on a
+    /// capacity eviction, or the previous value when re-inserting an
+    /// existing key. Callers holding `RunCache<Vec<u8>>` recycle the
+    /// returned buffer instead of letting its allocation die.
+    pub fn insert(&mut self, run_start: u64, value: V) -> Option<V> {
         if self.capacity == 0 {
-            return;
+            return Some(value);
         }
         self.seq += 1;
+        let mut evicted = None;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&run_start) {
             if let Some((&victim, _)) = self.entries.iter().min_by_key(|&(_, s)| s.last_use) {
-                self.entries.remove(&victim);
+                evicted = self.entries.remove(&victim).map(|s| s.value);
                 self.stats.evictions += 1;
             }
         }
-        self.entries.insert(run_start, Slot { value, last_use: self.seq });
+        let replaced = self.entries.insert(run_start, Slot { value, last_use: self.seq });
+        evicted.or(replaced.map(|s| s.value))
     }
 
     /// Drop a run on overwrite.
@@ -197,6 +205,22 @@ mod tests {
         c.insert(1, ()); // refresh, not a third entry
         assert_eq!(c.len(), 2);
         assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn insert_returns_displaced_value() {
+        // Disabled cache hands the buffer straight back.
+        let mut off: RunCache<Vec<u8>> = RunCache::new(0);
+        assert_eq!(off.insert(1, vec![7]), Some(vec![7]));
+
+        let mut c: RunCache<Vec<u8>> = RunCache::new(2);
+        assert_eq!(c.insert(1, vec![1]), None);
+        assert_eq!(c.insert(2, vec![2]), None);
+        // Capacity eviction returns the LRU victim's value.
+        assert_eq!(c.insert(3, vec![3]), Some(vec![1]));
+        // Re-insert returns the replaced value without an eviction.
+        assert_eq!(c.insert(3, vec![4]), Some(vec![3]));
+        assert_eq!(c.stats().evictions, 1);
     }
 
     #[test]

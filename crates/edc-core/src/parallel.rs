@@ -4,10 +4,13 @@
 //! runs on several cores. [`ParallelCompressor`] does exactly that with
 //! `std::thread::scope` workers over a shared atomic work index (simple
 //! self-scheduling — no channels, no locks, no per-job allocation beyond
-//! the output vector), preserving input order in the results. Compression
-//! is pure, so the parallel results are bit-identical to the serial ones.
+//! the output vector), preserving input order in the results. Each worker
+//! owns one [`CompressorState`] for the whole batch, so codec scratch
+//! (hash tables, chains, Huffman buffers) is paid once per worker, not
+//! once per job. Compression is pure and state reuse is stream-stable, so
+//! the parallel results are bit-identical to the serial ones.
 
-use edc_compress::{codec_by_id, CodecId, DecompressError};
+use edc_compress::{CodecId, CodecRegistry, CompressorState, DecompressError};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One compression job: a codec and an input block.
@@ -50,9 +53,14 @@ impl ParallelCompressor {
 
     /// Compress all jobs; results are in job order.
     pub fn compress_batch(&self, jobs: &[Job<'_>]) -> Vec<Vec<u8>> {
-        self.run(jobs, |codec, data| match codec_by_id(codec) {
-            None => data.to_vec(),
-            Some(c) => c.compress(data),
+        self.run_indexed(jobs, |state, _i, codec, data| match CodecRegistry::get(codec) {
+            // Write-through: no codec, copy the input.
+            Err(_) => data.to_vec(),
+            Ok(c) => {
+                let mut out = Vec::new();
+                c.compress_with(state, data, &mut out);
+                out
+            }
         })
     }
 
@@ -66,27 +74,21 @@ impl ParallelCompressor {
         let lens: Vec<usize> = jobs.iter().map(|&(_, _, n)| n).collect();
         // Reuse the generic runner; thread the expected length through by
         // index (jobs are processed by index, so pairing is exact).
-        self.run_indexed(&wrapped, |i, codec, data| match codec_by_id(codec) {
-            None => Ok(data.to_vec()),
-            Some(c) => c.decompress(data, lens[i]),
+        self.run_indexed(&wrapped, |_state, i, codec, data| match CodecRegistry::get(codec) {
+            Err(_) => Ok(data.to_vec()),
+            Ok(c) => c.decompress(data, lens[i]),
         })
-    }
-
-    fn run<F>(&self, jobs: &[Job<'_>], f: F) -> Vec<Vec<u8>>
-    where
-        F: Fn(CodecId, &[u8]) -> Vec<u8> + Sync,
-    {
-        self.run_indexed(jobs, |_, codec, data| f(codec, data))
     }
 
     /// Self-scheduling parallel map preserving job order: workers claim
     /// indices from a shared atomic counter, accumulate `(index, value)`
     /// pairs privately, and the results are scattered into place after the
-    /// joins — no per-job lock traffic on the hot path.
+    /// joins — no per-job lock traffic on the hot path. Each worker owns
+    /// one [`CompressorState`] for the whole batch.
     fn run_indexed<T, F>(&self, jobs: &[Job<'_>], f: F) -> Vec<T>
     where
         T: Send,
-        F: Fn(usize, CodecId, &[u8]) -> T + Sync,
+        F: Fn(&mut CompressorState, usize, CodecId, &[u8]) -> T + Sync,
     {
         let n = jobs.len();
         if n == 0 {
@@ -94,7 +96,12 @@ impl ParallelCompressor {
         }
         let threads = self.workers.min(n);
         if threads == 1 {
-            return jobs.iter().enumerate().map(|(i, j)| f(i, j.codec, j.data)).collect();
+            let mut state = CompressorState::new();
+            return jobs
+                .iter()
+                .enumerate()
+                .map(|(i, j)| f(&mut state, i, j.codec, j.data))
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
@@ -102,13 +109,14 @@ impl ParallelCompressor {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     s.spawn(|| {
+                        let mut state = CompressorState::new();
                         let mut done: Vec<(usize, T)> = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
-                            done.push((i, f(i, jobs[i].codec, jobs[i].data)));
+                            done.push((i, f(&mut state, i, jobs[i].codec, jobs[i].data)));
                         }
                         done
                     })
@@ -164,7 +172,7 @@ mod tests {
         let jobs: Vec<Job<'_>> = data.iter().map(|d| Job { codec: CodecId::Lzf, data: d }).collect();
         let out = ParallelCompressor::new(4).compress_batch(&jobs);
         for (i, (result, original)) in out.iter().zip(&data).enumerate() {
-            let codec = codec_by_id(CodecId::Lzf).unwrap();
+            let codec = CodecRegistry::get(CodecId::Lzf).unwrap();
             assert_eq!(
                 &codec.decompress(result, original.len()).unwrap(),
                 original,
@@ -184,7 +192,7 @@ mod tests {
             .collect();
         let out = ParallelCompressor::new(3).compress_batch(&jobs);
         for (i, (stream, original)) in out.iter().zip(&data).enumerate() {
-            let codec = codec_by_id(codecs[i % 4]).unwrap();
+            let codec = CodecRegistry::get(codecs[i % 4]).unwrap();
             assert_eq!(&codec.decompress(stream, original.len()).unwrap(), original);
         }
     }

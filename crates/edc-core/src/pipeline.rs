@@ -78,7 +78,8 @@ use crate::sd::{MergedRun, SdConfig, SequentialityDetector};
 use crate::selector::{AlgorithmSelector, SelectorConfig};
 use crate::slots::SlotStore;
 use edc_compress::{
-    checksum64, Codec, CodecId, CodecRegistry, DecompressError, Estimator, EstimatorConfig,
+    checksum64, Codec, CodecId, CodecRegistry, CompressorState, DecompressError, Estimator,
+    EstimatorConfig,
 };
 use edc_flash::{FaultError, FaultPlan, FaultState, FaultStats};
 use edc_trace::{OpType, Request};
@@ -229,6 +230,12 @@ pub struct EdcPipeline {
     sealed: Vec<SealedRun>,
     /// Reusable compression output buffers, one per in-flight drain job.
     scratch: Vec<Vec<u8>>,
+    /// Pooled per-worker codec states (hash tables, chains, Huffman
+    /// scratch). Entry `i` is owned by worker `i` for the duration of a
+    /// drain, so steady-state compression allocates nothing.
+    codec_states: Vec<CompressorState>,
+    /// Recycled decompressed-run buffers for the read path (bounded).
+    read_buf_pool: Vec<Vec<u8>>,
     /// Decompressed-run LRU, keyed by device offset (unique per live run).
     cache: RunCache<Vec<u8>>,
     /// File-type semantic hints (paper §VI future work #1).
@@ -259,6 +266,8 @@ impl EdcPipeline {
             pending: Vec::new(),
             sealed: Vec::new(),
             scratch: Vec::new(),
+            codec_states: Vec::new(),
+            read_buf_pool: Vec::new(),
             cache: RunCache::new(config.cache_runs),
             hints: HintRegistry::new(),
             journal: MappingJournal::new(),
@@ -431,17 +440,36 @@ impl EdcPipeline {
                 out[dst..dst + bb].copy_from_slice(&run[src..src + bb]);
                 continue;
             }
-            let run = self.decompress_run(&entry)?;
+            // Decompress into a recycled buffer; on a cache insert the
+            // displaced run's buffer comes back for the next miss, so a
+            // warm read path stops allocating entirely.
+            let mut run = self.read_buf_pool.pop().unwrap_or_default();
+            if let Err(e) = self.decompress_run_into(&entry, &mut run) {
+                self.recycle_read_buf(run);
+                return Err(e);
+            }
             out[dst..dst + bb].copy_from_slice(&run[src..src + bb]);
             if self.cache.enabled() {
-                self.cache.insert(entry.device_offset, run);
+                if let Some(displaced) = self.cache.insert(entry.device_offset, run) {
+                    self.recycle_read_buf(displaced);
+                }
                 local_off = u64::MAX;
             } else {
                 local_off = entry.device_offset;
-                local_run = run;
+                self.recycle_read_buf(std::mem::replace(&mut local_run, run));
             }
         }
+        self.recycle_read_buf(local_run);
         Ok(out)
+    }
+
+    /// Return a spent decompression buffer to the bounded read pool.
+    fn recycle_read_buf(&mut self, mut buf: Vec<u8>) {
+        const POOL_RUNS: usize = 8;
+        if self.read_buf_pool.len() < POOL_RUNS && buf.capacity() > 0 {
+            buf.clear();
+            self.read_buf_pool.push(buf);
+        }
     }
 
     /// Draw the fault plan's read-path decisions before touching the
@@ -484,12 +512,17 @@ impl EdcPipeline {
     }
 
     /// Verify and decompress a compressed run's payload from the device
-    /// image. Callers handle `CodecId::None` themselves (the payload is
-    /// the raw data; copying it out wholesale would be a wasted
+    /// image into `out` (cleared first — pass a pooled buffer to skip the
+    /// allocation). Callers handle `CodecId::None` themselves (the payload
+    /// is the raw data; copying it out wholesale would be a wasted
     /// allocation). A compressed run's checksum mismatch is always a hard
     /// error — unlike a write-through run there is no raw payload to
     /// degrade to.
-    fn decompress_run(&mut self, entry: &MappingEntry) -> Result<Vec<u8>, ReadError> {
+    fn decompress_run_into(
+        &mut self,
+        entry: &MappingEntry,
+        out: &mut Vec<u8>,
+    ) -> Result<(), ReadError> {
         self.fault_device_access(entry)?;
         self.verify_checksum(entry)?;
         let off = entry.device_offset as usize;
@@ -499,7 +532,7 @@ impl EdcPipeline {
         // the typed path keeps this panic-free regardless.
         let codec = CodecRegistry::get(entry.tag)
             .map_err(|_| ReadError::Unrecoverable { run_start: entry.run_start })?;
-        codec.decompress(payload, original).map_err(ReadError::Corrupt)
+        codec.decompress_into(payload, original, out).map_err(ReadError::Corrupt)
     }
 
     /// The decision half of the pipeline: hint → estimate → select. Runs
@@ -560,19 +593,29 @@ impl EdcPipeline {
                 })
                 .collect();
             let workers = self.config.workers.max(1).min(work.len());
+            // Pooled per-worker codec states: scratch tables and Huffman
+            // buffers survive across drains, so steady-state compression
+            // performs no codec-side allocation at all.
+            while self.codec_states.len() < workers.max(1) {
+                self.codec_states.push(CompressorState::new());
+            }
             if workers <= 1 {
+                let state = &mut self.codec_states[0];
                 for (codec, data, out) in work.iter_mut() {
-                    codec.compress_into(data, out);
+                    codec.compress_with(state, data, out);
                 }
             } else {
                 // Contiguous chunks keep the scatter trivially
-                // order-preserving: every job owns its own output buffer.
+                // order-preserving: every job owns its own output buffer
+                // and every worker owns its own codec state.
                 let per_worker = work.len().div_ceil(workers);
                 std::thread::scope(|scope| {
-                    for part in work.chunks_mut(per_worker) {
+                    for (part, state) in
+                        work.chunks_mut(per_worker).zip(self.codec_states.iter_mut())
+                    {
                         scope.spawn(move || {
                             for (codec, data, out) in part.iter_mut() {
-                                codec.compress_into(data, out);
+                                codec.compress_with(state, data, out);
                             }
                         });
                     }
@@ -802,6 +845,13 @@ impl EdcPipeline {
         self.cache.stats()
     }
 
+    /// Total codec-scratch growth events across the pooled per-worker
+    /// [`CompressorState`]s. After a warm-up drain this stays constant:
+    /// steady-state compression performs no codec-side allocation.
+    pub fn codec_state_alloc_events(&self) -> u64 {
+        self.codec_states.iter().map(CompressorState::alloc_events).sum()
+    }
+
     /// The raw device image. Two pipelines fed the same writes must hold
     /// identical images regardless of worker count — benchmarks and tests
     /// assert the batched path against the serial one with this.
@@ -906,6 +956,45 @@ mod tests {
         }
         p.flush(100).unwrap();
         assert!(p.compression_ratio() > 1.5, "ratio {}", p.compression_ratio());
+    }
+
+    #[test]
+    fn steady_state_drains_do_not_allocate_codec_scratch() {
+        // Pin the ladder to Deflate — the most scratch-hungry codec — so
+        // every drain exercises the pooled states regardless of intensity.
+        let config = PipelineConfig {
+            selector: SelectorConfig {
+                rungs: vec![crate::selector::LadderRung {
+                    max_calc_iops: f64::INFINITY,
+                    codec: CodecId::Deflate,
+                }],
+            },
+            workers: 2,
+            ..PipelineConfig::default()
+        };
+        let mut p = EdcPipeline::new(32 << 20, config);
+        let mut now = 0u64;
+        let round = |p: &mut EdcPipeline, now: &mut u64| {
+            for i in 0..8u64 {
+                // Non-adjacent offsets: each write seals its own run.
+                p.write(*now, i * 3 * 4096, &text_block(i as u8)).unwrap();
+                *now += 1_000_000;
+            }
+            p.flush_all(*now).unwrap();
+            *now += 1_000_000;
+        };
+        // Warm-up drains grow the pooled scratch once.
+        round(&mut p, &mut now);
+        round(&mut p, &mut now);
+        let warmed = p.codec_state_alloc_events();
+        for _ in 0..4 {
+            round(&mut p, &mut now);
+        }
+        assert_eq!(
+            p.codec_state_alloc_events(),
+            warmed,
+            "steady-state drain grew codec scratch"
+        );
     }
 
     #[test]
