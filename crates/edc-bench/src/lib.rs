@@ -15,6 +15,7 @@
 
 pub mod env;
 pub mod experiments;
+pub mod fuzz;
 pub mod harness;
 pub mod output;
 

@@ -7,10 +7,11 @@
 //! ```
 //!
 //! Subcommands: `fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12
-//! ablations bench-pipeline bench-codecs fault-campaign all`. `--quick`
-//! shrinks trace durations (and bench workloads) for smoke runs; `--smoke`
-//! does the same for `bench-codecs` and `fault-campaign`; `--out DIR` sets
-//! the output directory (default `results/`).
+//! ablations bench-pipeline bench-codecs fault-campaign fuzz
+//! scrub-campaign all`. `--quick` shrinks trace durations (and bench
+//! workloads) for smoke runs; `--smoke` does the same for `bench-codecs`,
+//! `fault-campaign`, `fuzz` and `scrub-campaign`; `--out DIR` sets the
+//! output directory (default `results/`).
 
 use edc_bench::env::{ExperimentEnv, Platform};
 use edc_bench::experiments as ex;
@@ -555,6 +556,156 @@ fn fault_campaign(smoke: bool, out_dir: &Path) {
     eprintln!("# fault campaign passed: zero data loss across {cuts} power-cut points");
 }
 
+/// Structure-aware decoder fuzzing campaign: ≥100k seeded mutations of
+/// valid codec/frame streams (5k under `--smoke`) driven through every
+/// decoder behind a panic oracle. Writes `BENCH_fuzz.json`; exits
+/// non-zero — printing each minimized crasher as pasteable Rust — if any
+/// decode panics, overruns the expected length, or silently returns the
+/// wrong size.
+fn fuzz_cmd(smoke: bool, out_dir: &Path) {
+    let total: u64 = if smoke { 5_000 } else { 120_000 };
+    const SEED: u64 = 0xEDC_F002;
+    eprintln!("# fuzz: {total} inputs, seed {SEED:#x}");
+    let t0 = Instant::now();
+    let report = edc_bench::fuzz::run_campaign(total, SEED);
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let mut h = Harness::new("fuzz", 1);
+    h.metric("inputs", report.inputs as f64);
+    h.metric("rejected", report.rejected as f64);
+    h.metric("accepted", report.accepted as f64);
+    h.metric("crashes", report.crashes.len() as f64);
+    h.metric("inputs_per_sec", report.inputs as f64 / elapsed.max(1e-9));
+    h.note(&format!("seed {SEED:#x}; every decode ran behind a panic/overrun oracle"));
+    print!("{}", h.render());
+    let path = h.write_json(out_dir).expect("writing BENCH_fuzz.json");
+    eprintln!("# wrote {}", path.display());
+    eprintln!(
+        "# fuzz: {} inputs in {elapsed:.1}s — {} rejected, {} accepted, {} crash(es)",
+        report.inputs,
+        report.rejected,
+        report.accepted,
+        report.crashes.len()
+    );
+    if !report.passed() {
+        for c in &report.crashes {
+            eprintln!("{}", edc_bench::fuzz::render_crash(c));
+        }
+        eprintln!("# fuzz campaign FAILED: add the minimized streams above as regressions");
+        std::process::exit(1);
+    }
+    eprintln!("# fuzz campaign passed: zero panics, overruns or wrong-length decodes");
+}
+
+/// Scrub/read-repair campaign: drive a parity-enabled pipeline workload,
+/// arm per-access bit rot at a sweep of rates (each access rots at most
+/// one bit of one page — the single-page-per-run model parity is built
+/// for), scrub, and verify every block. Writes `BENCH_scrub.json`; exits
+/// non-zero on any unrepaired loss.
+fn scrub_campaign(smoke: bool, out_dir: &Path) {
+    let runs: u64 = if smoke { 10 } else { 48 };
+    let samples = if smoke { 3 } else { 5 };
+    let rates: &[f64] = if smoke { &[0.0, 1.0] } else { &[0.0, 0.05, 0.25, 1.0] };
+    let mk = || {
+        EdcPipeline::new(8 << 20, PipelineConfig { parity: true, ..PipelineConfig::default() })
+    };
+    let mut h = Harness::new("scrub", samples);
+    let mut failures = 0u64;
+
+    for &rate in rates {
+        let mut p = mk();
+        let expect = campaign_drive(&mut p, runs).expect("clean drive cannot fault");
+        p.set_fault_plan(FaultPlan {
+            seed: 0xEDC4 + (rate * 100.0) as u64,
+            bit_rot_rate: rate,
+            ..FaultPlan::none()
+        });
+        let report = match p.scrub() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("# FAIL: scrub at rot rate {rate}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        // Disarm injection; verification reads must see healed data.
+        p.set_fault_plan(FaultPlan::none());
+        let (verified, lost) = campaign_verify(&mut p, &expect);
+        let second = p.scrub().expect("quiescent scrub");
+        if report.unrecoverable > 0 || lost > 0 {
+            eprintln!(
+                "# FAIL: rot rate {rate}: {} unrecoverable run(s), {lost} lost block(s)",
+                report.unrecoverable
+            );
+            failures += 1;
+        }
+        if rate == 0.0 && report.repaired > 0 {
+            eprintln!("# FAIL: zero rot rate repaired {} run(s)", report.repaired);
+            failures += 1;
+        }
+        if second.clean != second.scanned {
+            eprintln!("# FAIL: rot rate {rate}: second scrub pass not clean ({second:?})");
+            failures += 1;
+        }
+        let pct = (rate * 100.0) as u64;
+        h.metric(&format!("scanned_rot{pct}"), report.scanned as f64);
+        h.metric(&format!("repaired_rot{pct}"), report.repaired as f64);
+        h.metric(&format!("unrecoverable_rot{pct}"), report.unrecoverable as f64);
+        h.metric(&format!("verified_blocks_rot{pct}"), verified as f64);
+        h.metric(&format!("lost_blocks_rot{pct}"), lost as f64);
+        eprintln!(
+            "# rot rate {rate}: scanned {} clean {} repaired {} unrecoverable {} — \
+             {verified} blocks verified, {lost} lost",
+            report.scanned, report.clean, report.repaired, report.unrecoverable
+        );
+    }
+
+    // Control: the same full-rot pass WITHOUT parity cannot self-heal —
+    // the runs scrub unrecoverable. Demonstrates the parity page is what
+    // buys the repair, not the scrub walk itself.
+    let mut bare = EdcPipeline::new(8 << 20, PipelineConfig::default());
+    let expect = campaign_drive(&mut bare, runs).expect("clean drive cannot fault");
+    bare.set_fault_plan(FaultPlan { seed: 0xEDC5, bit_rot_rate: 1.0, ..FaultPlan::none() });
+    let control = bare.scrub().expect("scrub without parity");
+    bare.set_fault_plan(FaultPlan::none());
+    let (_, control_lost) = campaign_verify(&mut bare, &expect);
+    if control.unrecoverable == 0 {
+        eprintln!("# FAIL: parity-less control healed itself — campaign proves nothing");
+        failures += 1;
+    }
+    h.metric("control_noparity_unrecoverable", control.unrecoverable as f64);
+    h.metric("control_noparity_lost_blocks", control_lost as f64);
+    eprintln!(
+        "# control (no parity, full rot): {} unrecoverable, {control_lost} lost block(s)",
+        control.unrecoverable
+    );
+
+    // Timed scrub of a fully rotted store (every run needs a repair).
+    h.run_prepared(
+        "scrub_repair_full_rot",
+        None,
+        || {
+            let mut p = mk();
+            campaign_drive(&mut p, runs).expect("clean drive cannot fault");
+            p.set_fault_plan(FaultPlan { seed: 0xEDC6, bit_rot_rate: 1.0, ..FaultPlan::none() });
+            p
+        },
+        |mut p| {
+            let report = p.scrub().expect("scrub");
+            (report.repaired, p)
+        },
+    );
+
+    print!("{}", h.render());
+    let path = h.write_json(out_dir).expect("writing BENCH_scrub.json");
+    eprintln!("# wrote {}", path.display());
+    if failures > 0 {
+        eprintln!("# scrub campaign FAILED with {failures} violation(s)");
+        std::process::exit(1);
+    }
+    eprintln!("# scrub campaign passed: zero unrepaired loss at single-page-per-run rot");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -587,6 +738,16 @@ fn main() {
     if cmd == "fault-campaign" {
         let smoke = quick || args.iter().any(|a| a == "--smoke");
         fault_campaign(smoke, &out_dir);
+        return;
+    }
+    if cmd == "fuzz" {
+        let smoke = quick || args.iter().any(|a| a == "--smoke");
+        fuzz_cmd(smoke, &out_dir);
+        return;
+    }
+    if cmd == "scrub-campaign" {
+        let smoke = quick || args.iter().any(|a| a == "--smoke");
+        scrub_campaign(smoke, &out_dir);
         return;
     }
 
@@ -687,7 +848,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command {other:?}");
-            eprintln!("commands: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12 ablations future-work timeline mixed calibrate bench-pipeline bench-codecs fault-campaign all");
+            eprintln!("commands: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12 ablations future-work timeline mixed calibrate bench-pipeline bench-codecs fault-campaign fuzz scrub-campaign all");
             std::process::exit(2);
         }
     }

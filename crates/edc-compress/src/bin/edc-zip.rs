@@ -106,14 +106,26 @@ fn main() {
                 "codec", "compressed", "ratio", "comp_MB/s", "decomp_MB/s"
             );
             for id in CodecId::ALL_CODECS {
-                let codec = codec_by_id(id).expect("real codec");
+                let Some(codec) = codec_by_id(id) else {
+                    eprintln!("codec {} is unavailable", id.name());
+                    exit(1);
+                };
                 let t0 = Instant::now();
                 let c = codec.compress(&data);
                 let ct = t0.elapsed().as_secs_f64();
                 let t0 = Instant::now();
-                let d = codec.decompress(&c, data.len()).expect("round trip");
+                let d = match codec.decompress(&c, data.len()) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("{}: decompress of freshly compressed data failed: {e}", id.name());
+                        exit(1);
+                    }
+                };
                 let dt = t0.elapsed().as_secs_f64();
-                assert_eq!(d, data, "round-trip violation");
+                if d != data {
+                    eprintln!("{}: round-trip produced different bytes", id.name());
+                    exit(1);
+                }
                 println!(
                     "{:>8} {:>12} {:>8.3} {:>12.1} {:>12.1}",
                     id.name(),

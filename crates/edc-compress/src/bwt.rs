@@ -192,6 +192,11 @@ impl Codec for Bwt {
             if block_len == 0 || block_len > MAX_BLOCK_SIZE {
                 return Err(DecompressError::Malformed("bad BWT block length"));
             }
+            // Each block must fit inside the declared output; reject before
+            // decoding rather than after materializing an oversized block.
+            if out.len() + block_len > expected_len {
+                return Err(DecompressError::OutputOverflow { expected: expected_len });
+            }
             let primary = r.read_bits(32)? as u32;
             let lengths = read_lengths(&mut r, NUM_SYMBOLS)?;
             let dec = Decoder::from_lengths(&lengths)?;
@@ -206,8 +211,10 @@ impl Codec for Bwt {
                     return Err(DecompressError::Malformed("runaway symbol stream"));
                 }
             }
-            let mtf = zrle_decode(&symbols)
-                .ok_or(DecompressError::Malformed("invalid RUNA/RUNB symbol"))?;
+            // `block_len` caps the zero-run expansion: adversarial digit
+            // strings would otherwise overflow the run accumulator.
+            let mtf = zrle_decode(&symbols, block_len)
+                .ok_or(DecompressError::Malformed("invalid or oversized RUNA/RUNB run"))?;
             if mtf.len() != block_len {
                 return Err(DecompressError::Malformed("BWT block length mismatch"));
             }

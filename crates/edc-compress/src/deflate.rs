@@ -529,19 +529,32 @@ impl Codec for Deflate {
         loop {
             let sym = lit_dec.read(&mut r)?;
             match sym {
-                0..=255 => out.push(sym as u8),
+                0..=255 => {
+                    if out.len() >= expected_len {
+                        return Err(DecompressError::OutputOverflow { expected: expected_len });
+                    }
+                    out.push(sym as u8);
+                }
                 256 => break,
                 257..=285 => {
                     let (base, extra) = LEN_TABLE[sym - 257];
                     let len = usize::from(base) + r.read_bits(u32::from(extra))? as usize;
                     let dsym = dist_dec.read(&mut r)?;
                     if dsym >= NUM_DIST {
-                        return Err(DecompressError::Malformed("distance code out of range"));
+                        return Err(DecompressError::BadSymbol {
+                            what: "deflate distance alphabet",
+                            symbol: dsym as u32,
+                        });
                     }
                     let (dbase, dextra) = DIST_TABLE[dsym];
                     let dist = usize::from(dbase) + r.read_bits(u32::from(dextra))? as usize;
                     if dist > out.len() {
                         return Err(DecompressError::BadReference { at: out.len(), offset: dist });
+                    }
+                    // Cap BEFORE copying: a match may not overshoot the
+                    // declared output size even transiently.
+                    if out.len() + len > expected_len {
+                        return Err(DecompressError::OutputOverflow { expected: expected_len });
                     }
                     let src = out.len() - dist;
                     for k in 0..len {
@@ -549,13 +562,12 @@ impl Codec for Deflate {
                         out.push(b);
                     }
                 }
-                _ => return Err(DecompressError::Malformed("literal/length code out of range")),
-            }
-            if out.len() > expected_len {
-                return Err(DecompressError::SizeMismatch {
-                    expected: expected_len,
-                    actual: out.len(),
-                });
+                _ => {
+                    return Err(DecompressError::BadSymbol {
+                        what: "deflate literal/length alphabet",
+                        symbol: sym as u32,
+                    })
+                }
             }
         }
         if out.len() != expected_len {
@@ -701,6 +713,16 @@ mod tests {
         let c = Deflate::new().compress(data);
         assert!(Deflate::new().decompress(&c, data.len() + 1).is_err());
         assert!(Deflate::new().decompress(&c, data.len() - 1).is_err());
+    }
+
+    #[test]
+    fn undersized_expected_len_is_output_overflow() {
+        // The decoder must refuse to produce byte `expected_len + 1`, even
+        // mid-match: the output buffer never exceeds what the caller sized.
+        let data: Vec<u8> = b"abcabcabcabc".iter().copied().cycle().take(2048).collect();
+        let c = Deflate::new().compress(&data);
+        let err = Deflate::new().decompress(&c, 100).unwrap_err();
+        assert!(matches!(err, DecompressError::OutputOverflow { expected: 100 }));
     }
 
     #[test]

@@ -67,11 +67,15 @@ pub fn decompress(framed: &[u8]) -> Result<(CodecId, Vec<u8>), DecompressError> 
     if framed[4] != VERSION {
         return Err(DecompressError::Malformed("unsupported frame version"));
     }
-    let codec =
-        CodecId::from_tag(framed[5]).ok_or(DecompressError::Malformed("invalid codec tag"))?;
-    let original_len =
-        u64::from_le_bytes(framed[6..14].try_into().expect("fixed slice")) as usize;
-    let stored_sum = u64::from_le_bytes(framed[14..22].try_into().expect("fixed slice"));
+    let codec = CodecId::from_tag(framed[5]).ok_or(DecompressError::BadSymbol {
+        what: "frame codec tag",
+        symbol: u32::from(framed[5]),
+    })?;
+    let original_len = u64::from_le_bytes(
+        framed[6..14].try_into().map_err(|_| DecompressError::Truncated)?,
+    ) as usize;
+    let stored_sum =
+        u64::from_le_bytes(framed[14..22].try_into().map_err(|_| DecompressError::Truncated)?);
     let payload = &framed[HEADER_LEN..];
     if checksum64(payload, frame_seed(codec.tag(), original_len as u64)) != stored_sum {
         return Err(DecompressError::Malformed("frame checksum mismatch"));
@@ -97,12 +101,18 @@ pub fn inspect(framed: &[u8]) -> Result<(CodecId, u64, usize), DecompressError> 
     if framed.len() < HEADER_LEN {
         return Err(DecompressError::Truncated);
     }
-    if framed[..4] != MAGIC || framed[4] != VERSION {
-        return Err(DecompressError::Malformed("bad frame header"));
+    if framed[..4] != MAGIC {
+        return Err(DecompressError::Malformed("bad frame magic"));
     }
-    let codec =
-        CodecId::from_tag(framed[5]).ok_or(DecompressError::Malformed("invalid codec tag"))?;
-    let original_len = u64::from_le_bytes(framed[6..14].try_into().expect("fixed slice"));
+    if framed[4] != VERSION {
+        return Err(DecompressError::Malformed("unsupported frame version"));
+    }
+    let codec = CodecId::from_tag(framed[5]).ok_or(DecompressError::BadSymbol {
+        what: "frame codec tag",
+        symbol: u32::from(framed[5]),
+    })?;
+    let original_len =
+        u64::from_le_bytes(framed[6..14].try_into().map_err(|_| DecompressError::Truncated)?);
     Ok((codec, original_len, framed.len() - HEADER_LEN))
 }
 
@@ -157,7 +167,25 @@ mod tests {
     fn bad_version_rejected() {
         let mut f = compress(CodecId::Lzf, b"data");
         f[4] = 99;
-        assert!(decompress(&f).is_err());
+        assert_eq!(
+            decompress(&f),
+            Err(DecompressError::Malformed("unsupported frame version"))
+        );
+        assert_eq!(
+            inspect(&f),
+            Err(DecompressError::Malformed("unsupported frame version"))
+        );
+    }
+
+    #[test]
+    fn invalid_codec_tag_is_bad_symbol() {
+        let mut f = compress(CodecId::Lzf, b"data");
+        f[5] = 6; // tags 5..=255 name no codec
+        assert_eq!(
+            decompress(&f),
+            Err(DecompressError::BadSymbol { what: "frame codec tag", symbol: 6 })
+        );
+        assert!(inspect(&f).is_err());
     }
 
     #[test]

@@ -103,6 +103,22 @@ pub enum DecompressError {
     },
     /// The stream contained an invalid symbol or malformed header.
     Malformed(&'static str),
+    /// A decoded symbol was outside the range valid at that point.
+    BadSymbol {
+        /// Which alphabet/table rejected the symbol.
+        what: &'static str,
+        /// The symbol's value, widened for display.
+        symbol: u32,
+    },
+    /// Decoding would have produced more than `expected_len` bytes.
+    ///
+    /// Hardened decoders enforce `out.len() <= expected_len` *before*
+    /// copying each literal run or match — a crafted stream can therefore
+    /// never balloon the output buffer past what the caller sized for.
+    OutputOverflow {
+        /// The caller's declared output size.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for DecompressError {
@@ -116,6 +132,12 @@ impl fmt::Display for DecompressError {
                 write!(f, "decompressed size mismatch: expected {expected}, got {actual}")
             }
             DecompressError::Malformed(what) => write!(f, "malformed stream: {what}"),
+            DecompressError::BadSymbol { what, symbol } => {
+                write!(f, "invalid symbol {symbol} for {what}")
+            }
+            DecompressError::OutputOverflow { expected } => {
+                write!(f, "stream would exceed the expected output size of {expected} bytes")
+            }
         }
     }
 }

@@ -164,6 +164,9 @@ impl Codec for Lz4 {
             if i + lit_len > input.len() {
                 return Err(DecompressError::Truncated);
             }
+            if out.len() + lit_len > expected_len {
+                return Err(DecompressError::OutputOverflow { expected: expected_len });
+            }
             out.extend_from_slice(&input[i..i + lit_len]);
             i += lit_len;
             if i == input.len() {
@@ -180,6 +183,9 @@ impl Codec for Lz4 {
             let match_len = read_length_ext(input, &mut i, (token & 0x0F) as usize)? + MIN_MATCH;
             if offset > out.len() {
                 return Err(DecompressError::BadReference { at: out.len(), offset });
+            }
+            if out.len() + match_len > expected_len {
+                return Err(DecompressError::OutputOverflow { expected: expected_len });
             }
             let src = out.len() - offset;
             for k in 0..match_len {
@@ -318,11 +324,37 @@ mod tests {
     }
 
     #[test]
+    fn length_extension_blowup_is_output_overflow() {
+        // 4 literals then a match whose 255-valued extension bytes declare
+        // a ~2.5k match at offset 1: the decoder must reject before copying
+        // anything past `expected_len`, not allocate the whole run.
+        let mut stream = vec![0x4Fu8, b'a', b'b', b'c', b'd', 0x01, 0x00];
+        stream.extend_from_slice(&[255; 10]);
+        stream.push(7);
+        let err = Lz4::new().decompress(&stream, 16).unwrap_err();
+        assert!(matches!(err, DecompressError::OutputOverflow { expected: 16 }));
+    }
+
+    #[test]
+    fn oversized_literal_run_is_output_overflow() {
+        // Token promises 8 literals but the caller expects only 4 bytes.
+        let stream = [0x80u8, b'a', b'b', b'c', b'd', b'e', b'f', b'g', b'h'];
+        let err = Lz4::new().decompress(&stream, 4).unwrap_err();
+        assert!(matches!(err, DecompressError::OutputOverflow { expected: 4 }));
+    }
+
+    #[test]
     fn expected_len_enforced() {
         let data = b"abcdabcdabcdabcd";
         let c = Lz4::new().compress(data);
+        // Undershooting the real size trips the in-loop output cap;
+        // overshooting it trips the final size check.
         assert!(matches!(
             Lz4::new().decompress(&c, data.len() - 1),
+            Err(DecompressError::OutputOverflow { .. })
+        ));
+        assert!(matches!(
+            Lz4::new().decompress(&c, data.len() + 1),
             Err(DecompressError::SizeMismatch { .. })
         ));
     }

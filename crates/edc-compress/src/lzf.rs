@@ -171,6 +171,9 @@ impl Codec for Lzf {
                 if i + run > input.len() {
                     return Err(DecompressError::Truncated);
                 }
+                if out.len() + run > expected_len {
+                    return Err(DecompressError::OutputOverflow { expected: expected_len });
+                }
                 out.extend_from_slice(&input[i..i + run]);
                 i += run;
             } else {
@@ -192,6 +195,9 @@ impl Codec for Lzf {
                 let offset = offset + 1;
                 if offset > out.len() {
                     return Err(DecompressError::BadReference { at: out.len(), offset });
+                }
+                if out.len() + len > expected_len {
+                    return Err(DecompressError::OutputOverflow { expected: expected_len });
                 }
                 // Byte-at-a-time copy: matches may overlap their output.
                 let src = out.len() - offset;
@@ -313,6 +319,25 @@ mod tests {
         let c = Lzf::new().compress(data);
         let err = Lzf::new().decompress(&c, data.len() + 5).unwrap_err();
         assert!(matches!(err, DecompressError::SizeMismatch { .. }));
+    }
+
+    #[test]
+    fn oversized_literal_run_is_output_overflow() {
+        // A 32-byte literal run against a 4-byte expected length must fail
+        // before the copy, not after producing 32 bytes.
+        let mut stream = vec![31u8];
+        stream.extend_from_slice(&[0xAB; 32]);
+        let err = Lzf::new().decompress(&stream, 4).unwrap_err();
+        assert!(matches!(err, DecompressError::OutputOverflow { expected: 4 }));
+    }
+
+    #[test]
+    fn oversized_match_is_output_overflow() {
+        // One literal byte, then a maximal long match (len 264, offset 1):
+        // the output would reach 265 bytes against an expected 8.
+        let stream = [0u8, b'a', 0b111_00000, 255, 0];
+        let err = Lzf::new().decompress(&stream, 8).unwrap_err();
+        assert!(matches!(err, DecompressError::OutputOverflow { expected: 8 }));
     }
 
     #[test]

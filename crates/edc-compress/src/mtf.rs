@@ -12,7 +12,12 @@ pub fn mtf_encode(input: &[u8]) -> Vec<u8> {
     input
         .iter()
         .map(|&b| {
-            let idx = order.iter().position(|&x| x == b).expect("byte present") as u8;
+            // The recency list is a permutation of all 256 byte values, so
+            // the search always terminates; the `unwrap_or` (rather than a
+            // panicking `expect`) keeps the whole decode chain panic-free
+            // by construction.
+            let idx =
+                order.iter().position(|&x| x == b).unwrap_or(usize::from(u8::MAX)) as u8;
             // Move to front.
             order.copy_within(0..idx as usize, 1);
             order[0] = b;

@@ -56,23 +56,35 @@ fn flush_zero_run(out: &mut Vec<u16>, run: &mut usize) {
 /// Decode RUNA/RUNB symbols back into the MTF byte stream. Symbols must not
 /// include [`EOB_SYM`].
 ///
-/// Returns `None` if a symbol is out of range.
-pub fn zrle_decode(symbols: &[u16]) -> Option<Vec<u8>> {
-    let mut out = Vec::with_capacity(symbols.len() * 2);
+/// `max_len` caps the decoded length: adversarial digit strings encode
+/// astronomically long zero runs (each digit doubles the weight, so ~64
+/// digits overflow a `usize` and a handful fewer exhaust memory), and the
+/// caller always knows the real block length. Returns `None` if a symbol
+/// is out of range or the output would exceed `max_len`.
+pub fn zrle_decode(symbols: &[u16], max_len: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(symbols.len().min(max_len));
     let mut i = 0usize;
     while i < symbols.len() {
         let s = symbols[i];
         if s == RUNA || s == RUNB {
-            // Gather the full run of digits.
+            // Gather the full run of digits with overflow-checked,
+            // max_len-saturating arithmetic.
             let mut run = 0usize;
             let mut weight = 1usize;
             while i < symbols.len() && (symbols[i] == RUNA || symbols[i] == RUNB) {
-                run += if symbols[i] == RUNA { weight } else { 2 * weight };
-                weight *= 2;
+                let add = if symbols[i] == RUNA { weight } else { weight.checked_mul(2)? };
+                run = run.checked_add(add)?;
+                if out.len().checked_add(run)? > max_len {
+                    return None;
+                }
+                weight = weight.checked_mul(2)?;
                 i += 1;
             }
             out.extend(std::iter::repeat_n(0u8, run));
         } else if (2..=256).contains(&s) {
+            if out.len() >= max_len {
+                return None;
+            }
             out.push((s - 1) as u8);
             i += 1;
         } else {
@@ -88,13 +100,13 @@ mod tests {
 
     fn roundtrip(mtf: &[u8]) {
         let sym = zrle_encode(mtf);
-        assert_eq!(zrle_decode(&sym).unwrap(), mtf);
+        assert_eq!(zrle_decode(&sym, mtf.len()).unwrap(), mtf);
     }
 
     #[test]
     fn empty() {
         assert!(zrle_encode(&[]).is_empty());
-        assert_eq!(zrle_decode(&[]).unwrap(), Vec::<u8>::new());
+        assert_eq!(zrle_decode(&[], 0).unwrap(), Vec::<u8>::new());
     }
 
     #[test]
@@ -117,7 +129,7 @@ mod tests {
         let mtf = vec![0u8; 1_000_000];
         let sym = zrle_encode(&mtf);
         assert!(sym.len() <= 21, "1M zeros must fit in ~log2 symbols, got {}", sym.len());
-        assert_eq!(zrle_decode(&sym).unwrap(), mtf);
+        assert_eq!(zrle_decode(&sym, mtf.len()).unwrap(), mtf);
     }
 
     #[test]
@@ -143,8 +155,28 @@ mod tests {
 
     #[test]
     fn out_of_range_symbol_rejected() {
-        assert!(zrle_decode(&[300]).is_none());
-        assert!(zrle_decode(&[EOB_SYM]).is_none());
+        assert!(zrle_decode(&[300], 16).is_none());
+        assert!(zrle_decode(&[EOB_SYM], 16).is_none());
+    }
+
+    #[test]
+    fn run_exceeding_max_len_rejected() {
+        // A 4-zero run against a 3-byte cap fails instead of over-producing.
+        let sym = zrle_encode(&[0, 0, 0, 0]);
+        assert!(zrle_decode(&sym, 3).is_none());
+        assert!(zrle_decode(&sym, 4).is_some());
+        // Values are capped the same way.
+        assert!(zrle_decode(&[2, 2], 1).is_none());
+    }
+
+    #[test]
+    fn huge_digit_string_does_not_overflow() {
+        // 200 RUNB digits encode a run of ~2^201 zeros; the old decoder
+        // overflowed `weight`/`run` (debug panic, release wrap). The capped
+        // decoder must reject it cheaply for any max_len.
+        let sym = vec![RUNB; 200];
+        assert!(zrle_decode(&sym, usize::MAX).is_none());
+        assert!(zrle_decode(&sym, 4096).is_none());
     }
 
     #[test]

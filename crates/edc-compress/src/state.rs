@@ -14,7 +14,7 @@
 //! Reusing state must never change the emitted bytes: `compress_with` over
 //! a dirty, previously-used state produces exactly the stream a fresh
 //! `compress` would. Hash tables are invalidated between inputs by an
-//! epoch stamp (see [`StampTable`]) rather than a memset, which is both
+//! epoch stamp (see `StampTable`) rather than a memset, which is both
 //! O(1) and semantically identical to starting from an empty table. The
 //! guarantee is enforced by golden-stream fixtures and property tests.
 //!

@@ -131,7 +131,18 @@ fn mutated_streams_never_panic() {
             let mut c = codec.compress(&data);
             let pos = pos_seed % c.len();
             c[pos] ^= flip_byte | 1; // guaranteed change
-            let _ = codec.decompress(&c, data.len()); // must not panic
+            // The hardened-decoder contract: Ok with exactly expected_len
+            // bytes, or a typed Err with the buffer never past the cap.
+            let mut out = Vec::new();
+            match codec.decompress_into(&c, data.len(), &mut out) {
+                Ok(()) => assert_eq!(out.len(), data.len(), "{id}: Ok with wrong length"),
+                Err(_) => assert!(
+                    out.len() <= data.len(),
+                    "{id}: buffer grew to {} past expected {}",
+                    out.len(),
+                    data.len()
+                ),
+            }
         }
     });
 }
@@ -145,7 +156,53 @@ fn truncated_streams_never_panic() {
             let codec = codec_by_id(id).unwrap();
             let c = codec.compress(&data);
             let keep = keep_seed % c.len();
-            let _ = codec.decompress(&c[..keep], data.len()); // must not panic
+            let mut out = Vec::new();
+            match codec.decompress_into(&c[..keep], data.len(), &mut out) {
+                Ok(()) => assert_eq!(out.len(), data.len(), "{id}: Ok with wrong length"),
+                Err(_) => assert!(out.len() <= data.len(), "{id}: buffer past expected_len"),
+            }
+        }
+    });
+}
+
+/// The full hardening contract over arbitrarily mutated inputs: random
+/// expected lengths, heavier mutations (multi-byte flips, splices of pure
+/// noise), and both entry points. `decompress`/`decompress_into` must
+/// return `Err` or an exactly-sized `Ok`, never panic, and never let the
+/// output exceed `expected_len`.
+#[test]
+fn arbitrary_mutations_uphold_output_cap() {
+    cases(96).run("arbitrary_mutations_uphold_output_cap", |rng| {
+        let data = block(rng, 2048);
+        for id in CodecId::ALL_CODECS {
+            let codec = codec_by_id(id).unwrap();
+            let mut c = codec.compress(&data);
+            // 1..=8 random byte mutations (set, not just flip).
+            if !c.is_empty() {
+                for _ in 0..rng.range_usize(1, 9) {
+                    let pos = rng.below_usize(c.len());
+                    c[pos] = rng.next_u64() as u8;
+                }
+            }
+            // Sometimes splice pure noise into the middle.
+            if rng.chance(0.3) {
+                let splice = vec_u8(rng, 1, 64);
+                let at = rng.below_usize(c.len() + 1);
+                for (k, b) in splice.into_iter().enumerate() {
+                    c.insert(at + k, b);
+                }
+            }
+            // Random expected length, decorrelated from the data.
+            let expected = rng.below_usize(4096);
+            let mut out = Vec::new();
+            match codec.decompress_into(&c, expected, &mut out) {
+                Ok(()) => assert_eq!(out.len(), expected, "{id}: Ok with wrong length"),
+                Err(_) => assert!(
+                    out.len() <= expected,
+                    "{id}: buffer grew to {} past expected {expected}",
+                    out.len()
+                ),
+            }
         }
     });
 }

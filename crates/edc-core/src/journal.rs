@@ -31,7 +31,15 @@ const MAGIC: [u8; 4] = *b"EDCJ";
 /// magic(4) + seq(8) + tag(1) + run_start(8) + run_blocks(4) +
 /// device_offset(8) + stored_bytes(8) + compressed_bytes(8) +
 /// checksum(8) + record_crc(8).
+///
+/// The tag byte carries the 3-bit codec tag in its low bits and the
+/// run's parity flag in bit 7 (`PARITY_BIT`) — the record layout (and
+/// so old journals) is unchanged by the parity feature.
 pub const RECORD_BYTES: usize = 65;
+
+/// Bit 7 of the record's tag byte: set when the run carries an XOR parity
+/// page (see [`MappingEntry::parity`]).
+const PARITY_BIT: u8 = 0x80;
 
 /// A semantically impossible journal record — decoded cleanly (CRC valid)
 /// but describing a placement that cannot exist on the device. Unlike a
@@ -93,7 +101,7 @@ impl MappingJournal {
         let start = self.buf.len();
         self.buf.extend_from_slice(&MAGIC);
         self.buf.extend_from_slice(&self.seq.to_le_bytes());
-        self.buf.push(entry.tag.tag());
+        self.buf.push(entry.tag.tag() | if entry.parity { PARITY_BIT } else { 0 });
         self.buf.extend_from_slice(&entry.run_start.to_le_bytes());
         self.buf.extend_from_slice(&entry.run_blocks.to_le_bytes());
         self.buf.extend_from_slice(&entry.device_offset.to_le_bytes());
@@ -137,7 +145,8 @@ impl MappingJournal {
             }
             let rec = &self.buf[at..at + RECORD_BYTES];
             let crc = u64::from_le_bytes(rec[RECORD_BYTES - 8..].try_into().expect("8 bytes"));
-            let tag = CodecId::from_tag(rec[12]);
+            let parity = rec[12] & PARITY_BIT != 0;
+            let tag = CodecId::from_tag(rec[12] & !PARITY_BIT);
             let rec_seq = u64::from_le_bytes(rec[4..12].try_into().expect("8 bytes"));
             let valid = rec[..4] == MAGIC
                 && rec_seq == seq
@@ -156,6 +165,7 @@ impl MappingJournal {
                 stored_bytes: u64_at(33),
                 compressed_bytes: u64_at(41),
                 checksum: u64_at(49),
+                parity,
             });
             seq += 1;
             at += RECORD_BYTES;
@@ -177,6 +187,7 @@ mod tests {
             stored_bytes: 2048,
             compressed_bytes: 1500 + i,
             checksum: i.wrapping_mul(0xDEAD_BEEF),
+            parity: i.is_multiple_of(3),
         }
     }
 

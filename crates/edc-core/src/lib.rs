@@ -72,7 +72,7 @@ pub use journal::{MappingJournal, RecoveryError, Replay};
 pub use mapping::{BlockMap, MappingEntry};
 pub use monitor::WorkloadMonitor;
 pub use parallel::ParallelCompressor;
-pub use pipeline::{EdcPipeline, PipelineConfig, ReadError, RecoveryReport, WriteResult};
+pub use pipeline::{EdcPipeline, PipelineConfig, ReadError, RecoveryReport, ScrubReport, WriteResult};
 pub use scheme::{CodecUsage, EdcConfig, Policy, SimConfig, SimScheme, BLOCK_BYTES};
 pub use sd::{MergedRun, SdConfig, SequentialityDetector};
 pub use selector::{AlgorithmSelector, LadderRung, SelectorConfig};

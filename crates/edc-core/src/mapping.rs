@@ -36,6 +36,10 @@ pub struct MappingEntry {
     /// 64-bit checksum of the stored payload (0 when unused, e.g. in the
     /// content-modelled simulator).
     pub checksum: u64,
+    /// Whether the run carries an XOR parity page as its last stored page
+    /// (DESIGN.md §10): parity = XOR of the payload's zero-padded 4 KiB
+    /// pages, enabling reconstruction of any single rotted payload page.
+    pub parity: bool,
 }
 
 impl MappingEntry {
@@ -120,6 +124,24 @@ impl BlockMap {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Snapshot every live *run* (deduplicated by device offset): the unit
+    /// the scrubber walks. Blocks of one merged run share a single entry
+    /// value, so one representative per `device_offset` suffices.
+    pub fn live_runs(&self) -> Vec<MappingEntry> {
+        let mut seen = std::collections::HashSet::new();
+        let mut runs = Vec::new();
+        for shard in &self.shards {
+            for entry in shard.lock().expect("shard poisoned").values() {
+                if seen.insert(entry.device_offset) {
+                    runs.push(*entry);
+                }
+            }
+        }
+        // Deterministic order for reproducible scrubs and fault injection.
+        runs.sort_by_key(|e| e.device_offset);
+        runs
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +157,7 @@ mod tests {
             stored_bytes: 2048 * u64::from(blocks),
             compressed_bytes: 1800 * u64::from(blocks),
             checksum: 0,
+            parity: false,
         }
     }
 
@@ -192,6 +215,7 @@ mod tests {
             stored_bytes: 10_000,
             compressed_bytes: 9_000,
             checksum: 0,
+            parity: false,
         };
         assert_eq!(e.share_bytes(), 3334);
     }
@@ -218,6 +242,18 @@ mod tests {
     #[should_panic(expected = "LBA exceeds")]
     fn pack_rejects_oversized_lba() {
         let _ = MappingEntry::pack_fields(1 << 44, 0, CodecId::None);
+    }
+
+    #[test]
+    fn live_runs_dedup_by_device_offset() {
+        let m = BlockMap::new();
+        m.insert_run(entry(0, 4, CodecId::Lzf)); // one run, 4 block entries
+        m.insert_run(entry(10, 2, CodecId::Deflate));
+        let runs = m.live_runs();
+        assert_eq!(runs.len(), 2, "4+2 block entries collapse to 2 runs");
+        assert_eq!(runs[0].device_offset, 0);
+        assert_eq!(runs[1].device_offset, 10 * 4096);
+        assert!(BlockMap::new().live_runs().is_empty());
     }
 
     #[test]

@@ -464,7 +464,8 @@ impl SimScheme {
             device_offset,
             stored_bytes: placement.allocated_bytes,
             compressed_bytes: payload,
-            checksum: 0, // content is modelled, not materialized
+            checksum: 0,    // content is modelled, not materialized
+            parity: false,  // ...so there is no payload to protect
         };
         // Drop superseded block references; a fully-released slot returns
         // to the pool and (optionally) the FTL learns it is dead via TRIM.
