@@ -36,6 +36,16 @@ impl CacheStats {
         }
         self.hits as f64 / total as f64
     }
+
+    /// Fold another cache's counters into this one. Used to aggregate
+    /// per-shard caches into one fleet-wide figure
+    /// (`ShardedPipeline::stats`).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+    }
 }
 
 /// One resident run: its payload and last-use sequence number.
@@ -221,6 +231,16 @@ mod tests {
         // Re-insert returns the replaced value without an eviction.
         assert_eq!(c.insert(3, vec![4]), Some(vec![3]));
         assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let a = CacheStats { hits: 3, misses: 5, evictions: 1, invalidations: 2 };
+        let b = CacheStats { hits: 7, misses: 11, evictions: 0, invalidations: 4 };
+        let mut sum = a;
+        sum.merge(&b);
+        assert_eq!(sum, CacheStats { hits: 10, misses: 16, evictions: 1, invalidations: 6 });
+        assert!((sum.hit_rate() - 10.0 / 26.0).abs() < 1e-12);
     }
 
     #[test]

@@ -32,14 +32,27 @@ const MAGIC: [u8; 4] = *b"EDCJ";
 /// device_offset(8) + stored_bytes(8) + compressed_bytes(8) +
 /// checksum(8) + record_crc(8).
 ///
-/// The tag byte carries the 3-bit codec tag in its low bits and the
-/// run's parity flag in bit 7 (`PARITY_BIT`) — the record layout (and
-/// so old journals) is unchanged by the parity feature.
+/// The tag byte carries the 3-bit codec tag in its low bits, the owning
+/// shard id in bits 3–6 (`SHARD_SHIFT`/`SHARD_MASK`) and the run's parity
+/// flag in bit 7 (`PARITY_BIT`) — the record layout (and so old journals,
+/// whose shard bits are all zero) is unchanged by either feature.
 pub const RECORD_BYTES: usize = 65;
 
 /// Bit 7 of the record's tag byte: set when the run carries an XOR parity
 /// page (see [`MappingEntry::parity`]).
 const PARITY_BIT: u8 = 0x80;
+
+/// Low bits of the record's tag byte holding the codec tag proper.
+const CODEC_MASK: u8 = 0b0000_0111;
+
+/// Bits 3–6 of the record's tag byte hold the id of the shard that owns
+/// the journal stream. Pre-sharding journals carry zeros here, which
+/// decodes as shard 0 — the single shard of a legacy pipeline.
+const SHARD_SHIFT: u32 = 3;
+const SHARD_MASK: u8 = 0b0111_1000;
+
+/// Maximum shard count representable in a journal record (4 bits).
+pub const MAX_SHARDS: usize = 16;
 
 /// A semantically impossible journal record — decoded cleanly (CRC valid)
 /// but describing a placement that cannot exist on the device. Unlike a
@@ -71,6 +84,11 @@ pub struct Replay {
     pub scanned: u64,
     /// Whether the scan stopped early at a torn or corrupt record.
     pub torn_tail: bool,
+    /// Sequence number of the first cleanly-decoded record whose shard id
+    /// does not match the journal's own shard. Replay stops there (the
+    /// prefix is kept); recovery surfaces it as a routing error rather
+    /// than silently adopting another shard's mappings.
+    pub wrong_shard: Option<u64>,
 }
 
 /// The append-only journal of mapping-table insertions.
@@ -78,12 +96,28 @@ pub struct Replay {
 pub struct MappingJournal {
     buf: Vec<u8>,
     seq: u64,
+    shard: u8,
 }
 
 impl MappingJournal {
-    /// An empty journal.
+    /// An empty journal for the legacy single-shard pipeline (shard 0).
     pub fn new() -> Self {
         MappingJournal::default()
+    }
+
+    /// An empty journal owned by shard `shard` of a sharded pipeline.
+    /// Every appended record carries the id in tag-byte bits 3–6.
+    pub fn with_shard(shard: u8) -> Self {
+        assert!(
+            (shard as usize) < MAX_SHARDS,
+            "shard id {shard} does not fit the record's 4-bit field"
+        );
+        MappingJournal { buf: Vec::new(), seq: 0, shard }
+    }
+
+    /// The shard that owns this journal stream (0 for legacy journals).
+    pub fn shard(&self) -> u8 {
+        self.shard
     }
 
     /// Records appended so far.
@@ -101,7 +135,11 @@ impl MappingJournal {
         let start = self.buf.len();
         self.buf.extend_from_slice(&MAGIC);
         self.buf.extend_from_slice(&self.seq.to_le_bytes());
-        self.buf.push(entry.tag.tag() | if entry.parity { PARITY_BIT } else { 0 });
+        self.buf.push(
+            entry.tag.tag()
+                | (self.shard << SHARD_SHIFT)
+                | if entry.parity { PARITY_BIT } else { 0 },
+        );
         self.buf.extend_from_slice(&entry.run_start.to_le_bytes());
         self.buf.extend_from_slice(&entry.run_blocks.to_le_bytes());
         self.buf.extend_from_slice(&entry.device_offset.to_le_bytes());
@@ -146,7 +184,8 @@ impl MappingJournal {
             let rec = &self.buf[at..at + RECORD_BYTES];
             let crc = u64::from_le_bytes(rec[RECORD_BYTES - 8..].try_into().expect("8 bytes"));
             let parity = rec[12] & PARITY_BIT != 0;
-            let tag = CodecId::from_tag(rec[12] & !PARITY_BIT);
+            let rec_shard = (rec[12] & SHARD_MASK) >> SHARD_SHIFT;
+            let tag = CodecId::from_tag(rec[12] & CODEC_MASK);
             let rec_seq = u64::from_le_bytes(rec[4..12].try_into().expect("8 bytes"));
             let valid = rec[..4] == MAGIC
                 && rec_seq == seq
@@ -154,6 +193,10 @@ impl MappingJournal {
                 && checksum64(&rec[..RECORD_BYTES - 8], seq) == crc;
             if !valid {
                 out.torn_tail = true;
+                break;
+            }
+            if rec_shard != self.shard {
+                out.wrong_shard = Some(seq);
                 break;
             }
             let u64_at = |o: usize| u64::from_le_bytes(rec[o..o + 8].try_into().expect("8 bytes"));
@@ -258,5 +301,55 @@ mod tests {
         j.clear();
         assert_eq!(j.records(), 0);
         assert_eq!(j.replay(), Replay::default());
+    }
+
+    #[test]
+    fn shard_id_round_trips_without_disturbing_fields() {
+        for shard in [0u8, 1, 7, 15] {
+            let mut j = MappingJournal::with_shard(shard);
+            let entries: Vec<MappingEntry> = (0..12).map(entry).collect();
+            for e in &entries {
+                j.append(e);
+            }
+            let r = j.replay();
+            assert!(!r.torn_tail);
+            assert_eq!(r.wrong_shard, None);
+            assert_eq!(r.entries, entries, "shard bits must not leak into codec/parity");
+        }
+    }
+
+    #[test]
+    fn legacy_records_decode_as_shard_zero() {
+        // A journal written before sharding existed (shard bits zero) must
+        // replay cleanly under a shard-0 owner — byte-for-byte identical
+        // encoding, so `new()` vs `with_shard(0)` produce the same stream.
+        let mut legacy = MappingJournal::new();
+        let mut shard0 = MappingJournal::with_shard(0);
+        for i in 0..8 {
+            legacy.append(&entry(i));
+            shard0.append(&entry(i));
+        }
+        assert_eq!(legacy.buf, shard0.buf);
+        let r = legacy.replay();
+        assert!(!r.torn_tail && r.wrong_shard.is_none());
+        assert_eq!(r.entries.len(), 8);
+    }
+
+    #[test]
+    fn foreign_shard_record_stops_replay() {
+        let mut j = MappingJournal::with_shard(2);
+        for i in 0..4 {
+            j.append(&entry(i));
+        }
+        // Rewrite record 2's shard bits to shard 5 and fix up its CRC so the
+        // record decodes cleanly — replay must stop at it and report routing.
+        let at = 2 * RECORD_BYTES;
+        j.buf[at + 12] = (j.buf[at + 12] & !super::SHARD_MASK) | (5 << super::SHARD_SHIFT);
+        let crc = checksum64(&j.buf[at..at + RECORD_BYTES - 8], 2);
+        j.buf[at + RECORD_BYTES - 8..at + RECORD_BYTES].copy_from_slice(&crc.to_le_bytes());
+        let r = j.replay();
+        assert_eq!(r.wrong_shard, Some(2));
+        assert_eq!(r.entries.len(), 2, "prefix before the foreign record is kept");
+        assert!(!r.torn_tail);
     }
 }

@@ -60,6 +60,7 @@ pub mod pipeline;
 pub mod scheme;
 pub mod sd;
 pub mod selector;
+pub mod shard;
 pub mod slots;
 
 pub use allocator::{AllocPolicy, AllocStats, QuantizedAllocator};
@@ -72,8 +73,11 @@ pub use journal::{MappingJournal, RecoveryError, Replay};
 pub use mapping::{BlockMap, MappingEntry};
 pub use monitor::WorkloadMonitor;
 pub use parallel::ParallelCompressor;
-pub use pipeline::{EdcPipeline, PipelineConfig, ReadError, RecoveryReport, ScrubReport, WriteResult};
+pub use pipeline::{
+    EdcPipeline, PipelineConfig, PipelineStats, ReadError, RecoveryReport, ScrubReport, WriteResult,
+};
 pub use scheme::{CodecUsage, EdcConfig, Policy, SimConfig, SimScheme, BLOCK_BYTES};
 pub use sd::{MergedRun, SdConfig, SequentialityDetector};
 pub use selector::{AlgorithmSelector, LadderRung, SelectorConfig};
+pub use shard::{ShardConfig, ShardedPipeline};
 pub use slots::SlotStore;

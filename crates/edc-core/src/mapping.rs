@@ -115,9 +115,36 @@ impl BlockMap {
         self.shard(block).lock().expect("shard poisoned").remove(&block)
     }
 
-    /// Number of mapped blocks.
+    /// Take a consistent point-in-time snapshot of the whole table.
+    ///
+    /// Every shard guard is acquired *before* any shard is read, so the
+    /// result reflects one instant: no concurrent `insert_run`/`remove`
+    /// can land between reading shard 0 and shard 15. The former `len()` /
+    /// `live_runs()` implementations locked shards one at a time, which
+    /// could under- or over-count while writers were active; both are now
+    /// views over this snapshot.
+    pub fn snapshot(&self) -> MapSnapshot {
+        let guards: Vec<_> =
+            self.shards.iter().map(|s| s.lock().expect("shard poisoned")).collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut runs = Vec::new();
+        let mut blocks = 0usize;
+        for guard in &guards {
+            blocks += guard.len();
+            for entry in guard.values() {
+                if seen.insert(entry.device_offset) {
+                    runs.push(*entry);
+                }
+            }
+        }
+        // Deterministic order for reproducible scrubs and fault injection.
+        runs.sort_by_key(|e| e.device_offset);
+        MapSnapshot { blocks, runs }
+    }
+
+    /// Number of mapped blocks (consistent across shards).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("shard poisoned").len()).sum()
+        self.snapshot().blocks
     }
 
     /// Whether the table is empty.
@@ -129,19 +156,18 @@ impl BlockMap {
     /// the scrubber walks. Blocks of one merged run share a single entry
     /// value, so one representative per `device_offset` suffices.
     pub fn live_runs(&self) -> Vec<MappingEntry> {
-        let mut seen = std::collections::HashSet::new();
-        let mut runs = Vec::new();
-        for shard in &self.shards {
-            for entry in shard.lock().expect("shard poisoned").values() {
-                if seen.insert(entry.device_offset) {
-                    runs.push(*entry);
-                }
-            }
-        }
-        // Deterministic order for reproducible scrubs and fault injection.
-        runs.sort_by_key(|e| e.device_offset);
-        runs
+        self.snapshot().runs
     }
+}
+
+/// A consistent point-in-time view of a [`BlockMap`], taken with all shard
+/// locks held simultaneously (see [`BlockMap::snapshot`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MapSnapshot {
+    /// Total mapped 4 KiB blocks at the snapshot instant.
+    pub blocks: usize,
+    /// Live runs deduplicated by device offset, sorted by device offset.
+    pub runs: Vec<MappingEntry>,
 }
 
 #[cfg(test)]
@@ -254,6 +280,41 @@ mod tests {
         assert_eq!(runs[0].device_offset, 0);
         assert_eq!(runs[1].device_offset, 10 * 4096);
         assert!(BlockMap::new().live_runs().is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_internally_consistent_under_writers() {
+        // Single-block runs with unique device offsets: at any one instant
+        // the mapped-block count must equal the deduplicated run count.
+        // Computing the two in separate sequential-locking passes (the old
+        // len()/live_runs() implementations) can transiently disagree while
+        // writers are active; the all-guards-held snapshot cannot.
+        let m = std::sync::Arc::new(BlockMap::new());
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..3u64)
+            .map(|t| {
+                let m = m.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        m.insert_run(entry(t * 1_000_000 + i, 1, CodecId::Lzf));
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            let snap = m.snapshot();
+            assert_eq!(snap.blocks, snap.runs.len());
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.blocks, m.len());
+        assert_eq!(snap.runs, m.live_runs());
     }
 
     #[test]

@@ -108,6 +108,20 @@ pub struct PipelineConfig {
     /// foreground read path reconstruct any single rotted payload page.
     /// Off by default — it trades space for self-healing.
     pub parity: bool,
+    /// Shard id stamped into every journal record (bits 3–6 of the tag
+    /// byte, DESIGN.md §11). 0 — the default, and what every pre-sharding
+    /// journal implicitly carries — keeps the record stream byte-identical
+    /// to the legacy format. Set by [`crate::shard::ShardedPipeline`] when
+    /// it builds its per-shard pipelines; must be < 16.
+    pub journal_shard: u8,
+    /// Modelled per-device-access service time, ns (0 — the default —
+    /// disables the model entirely). A real flash fetch or program costs
+    /// tens of microseconds during which the host CPU is idle; sleeping
+    /// for this long on every media touch lets accesses to *different*
+    /// shards of a [`crate::shard::ShardedPipeline`] overlap in time while
+    /// a single pipeline behind one lock cannot. Used by the concurrency
+    /// benchmark; cache hits never pay it.
+    pub device_dwell_ns: u64,
 }
 
 impl Default for PipelineConfig {
@@ -121,6 +135,8 @@ impl Default for PipelineConfig {
             cache_runs: 64,
             fault: FaultPlan::none(),
             parity: false,
+            journal_shard: 0,
+            device_dwell_ns: 0,
         }
     }
 }
@@ -233,6 +249,59 @@ pub struct ScrubReport {
     pub unrecoverable: u64,
 }
 
+impl ScrubReport {
+    /// Fold another report into this one (per-shard aggregation).
+    pub fn merge(&mut self, other: &ScrubReport) {
+        self.scanned += other.scanned;
+        self.clean += other.clean;
+        self.repaired += other.repaired;
+        self.unrecoverable += other.unrecoverable;
+    }
+}
+
+/// A consistent snapshot of a pipeline's counters, designed to aggregate:
+/// [`crate::shard::ShardedPipeline::stats`] merges one per shard into a
+/// fleet-wide view.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PipelineStats {
+    /// Cumulative logical bytes accepted.
+    pub logical_written: u64,
+    /// Cumulative flash bytes allocated.
+    pub physical_written: u64,
+    /// 4 KiB blocks currently mapped.
+    pub mapped_blocks: u64,
+    /// Live (deduplicated) runs currently mapped.
+    pub live_runs: u64,
+    /// Committed runs journaled so far.
+    pub journal_records: u64,
+    /// Reads served raw despite a checksum mismatch.
+    pub degraded_reads: u64,
+    /// Read-cache counters.
+    pub cache: CacheStats,
+}
+
+impl PipelineStats {
+    /// Fold another pipeline's counters into this one.
+    pub fn merge(&mut self, other: &PipelineStats) {
+        self.logical_written += other.logical_written;
+        self.physical_written += other.physical_written;
+        self.mapped_blocks += other.mapped_blocks;
+        self.live_runs += other.live_runs;
+        self.journal_records += other.journal_records;
+        self.degraded_reads += other.degraded_reads;
+        self.cache.merge(&other.cache);
+    }
+
+    /// The paper's compression ratio over everything written (1.0 when
+    /// nothing was stored yet).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.physical_written == 0 {
+            return 1.0;
+        }
+        self.logical_written as f64 / self.physical_written as f64
+    }
+}
+
 /// An EDC-compressed block store over an in-memory device image.
 pub struct EdcPipeline {
     config: PipelineConfig,
@@ -292,7 +361,7 @@ impl EdcPipeline {
             read_buf_pool: Vec::new(),
             cache: RunCache::new(config.cache_runs),
             hints: HintRegistry::new(),
-            journal: MappingJournal::new(),
+            journal: MappingJournal::with_shard(config.journal_shard),
             faults: FaultState::new(config.fault),
             degraded_reads: 0,
             monitor: WorkloadMonitor::default(),
@@ -383,6 +452,15 @@ impl EdcPipeline {
             Ok(())
         } else {
             Err(WriteError::Offline.into())
+        }
+    }
+
+    /// Sleep for the configured per-device-access service time (see
+    /// [`PipelineConfig::device_dwell_ns`]). A no-op at the default 0.
+    fn device_dwell(&self) {
+        let ns = self.config.device_dwell_ns;
+        if ns > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(ns));
         }
     }
 
@@ -504,6 +582,7 @@ impl EdcPipeline {
     /// the checksum audit downstream catches it. Cache hits never get
     /// here — decompressed runs live in DRAM.
     fn fault_device_access(&mut self, entry: &MappingEntry) -> Result<(), ReadError> {
+        self.device_dwell();
         if !self.faults.plan().is_active() {
             return Ok(());
         }
@@ -763,6 +842,10 @@ impl EdcPipeline {
                 let at = off + stored_bytes as usize - bb;
                 self.device[at..at + bb].copy_from_slice(&page);
             }
+            // One dwell per stored run: the media is busy programming the
+            // run's pages while this shard's lock is held, and sleeps on
+            // different shards overlap.
+            self.device_dwell();
             self.physical_written += stored_bytes;
             let entry = MappingEntry {
                 tag,
@@ -823,6 +906,12 @@ impl EdcPipeline {
         self.pending.clear();
         self.sealed.clear();
         let replay = self.journal.replay();
+        // A cleanly-decoded record carrying another shard's id means the
+        // journal stream was mis-routed — adopting its mappings would
+        // serve another shard's data at this shard's offsets.
+        if let Some(seq) = replay.wrong_shard {
+            return Err(RecoveryError { seq, reason: "record belongs to another shard" });
+        }
         // Replay re-runs each committed insert_run, tracking which runs
         // are still live (not fully superseded by a later record).
         let mut live: HashMap<u64, MappingEntry> = HashMap::new();
@@ -1084,6 +1173,46 @@ impl EdcPipeline {
     /// Decompressed-run read-cache statistics (all zeroes when disabled).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// One consistent snapshot of every counter (the mapping figures come
+    /// from a single all-shards-locked [`BlockMap::snapshot`]).
+    pub fn stats(&self) -> PipelineStats {
+        let snap = self.map.snapshot();
+        PipelineStats {
+            logical_written: self.logical_written,
+            physical_written: self.physical_written,
+            mapped_blocks: snap.blocks as u64,
+            live_runs: snap.runs.len() as u64,
+            journal_records: self.journal.records(),
+            degraded_reads: self.degraded_reads,
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// Read-only integrity audit: walk every live run and check its
+    /// checksum, a full decode (compressed runs) and parity-page freshness
+    /// — the non-healing counterpart of [`EdcPipeline::scrub`]. Nothing is
+    /// repaired or rewritten and no fault-plan decisions are drawn, so a
+    /// verify pass never perturbs a campaign. Failing runs are counted
+    /// [`ScrubReport::unrecoverable`]; `repaired` is always zero.
+    pub fn verify(&self) -> Result<ScrubReport, EdcError> {
+        self.check_powered()?;
+        let mut report = ScrubReport::default();
+        let mut buf = Vec::new();
+        for entry in self.map.live_runs() {
+            report.scanned += 1;
+            let healthy = self.verify_checksum(&entry).is_ok()
+                && (entry.tag == CodecId::None
+                    || self.decode_payload(&entry, &mut buf).is_ok())
+                && self.parity_page_fresh(&entry);
+            if healthy {
+                report.clean += 1;
+            } else {
+                report.unrecoverable += 1;
+            }
+        }
+        Ok(report)
     }
 
     /// Total codec-scratch growth events across the pooled per-worker

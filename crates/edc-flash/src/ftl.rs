@@ -82,6 +82,23 @@ pub struct Ftl {
     stats: FtlStats,
     /// Seeded fault-decision stream (inactive by default).
     faults: FaultState,
+    /// GC victim index: `bucket[v]` lists the *sealed* blocks (non-active,
+    /// non-free, non-retired — i.e. GC candidates) holding exactly `v`
+    /// valid sectors. A block enters its bucket when the active block
+    /// rotates away from it and leaves when GC picks it; valid-count
+    /// *increments* only ever hit the active block (the log appends
+    /// there), so sealed blocks only move downward — each move is one
+    /// swap_remove + push. Replaces the former O(#blocks) victim scan.
+    bucket: Vec<Vec<u32>>,
+    /// Position of each sealed block within its bucket (swap_remove index;
+    /// meaningless while unsealed).
+    bucket_pos: Vec<u32>,
+    /// Bucket membership flag per block.
+    sealed: Vec<bool>,
+    /// Monotone cursor: no non-empty bucket exists below this index. Pops
+    /// advance it, inserts below it pull it back — amortized O(1) victim
+    /// selection.
+    min_bucket: usize,
 }
 
 /// One violated FTL invariant, reported by [`Ftl::verify_integrity`]
@@ -120,6 +137,15 @@ pub enum IntegrityError {
         /// Mapped logical sectors.
         mapped: u64,
     },
+    /// The GC valid-count bucket structure disagrees with per-block state
+    /// (membership, bucket index or recorded position) — the incremental
+    /// O(1) victim index has drifted from the ground truth.
+    GcBucketMismatch {
+        /// The block whose bucket state is wrong.
+        block: u32,
+        /// Which bucket invariant it violates.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for IntegrityError {
@@ -136,6 +162,9 @@ impl fmt::Display for IntegrityError {
             }
             IntegrityError::ValidTotalMismatch { valid, mapped } => {
                 write!(f, "{valid} valid sectors vs {mapped} mapped logical sectors")
+            }
+            IntegrityError::GcBucketMismatch { block, reason } => {
+                write!(f, "GC bucket state of block {block} is wrong: {reason}")
             }
         }
     }
@@ -166,6 +195,10 @@ impl Ftl {
             write_ptr: 0,
             stats: FtlStats::default(),
             faults: FaultState::new(cfg.fault),
+            bucket: vec![Vec::new(); sectors_per_block as usize + 1],
+            bucket_pos: vec![0; blocks as usize],
+            sealed: vec![false; blocks as usize],
+            min_bucket: sectors_per_block as usize + 1,
         }
     }
 
@@ -249,6 +282,7 @@ impl Ftl {
             self.invalidate(l);
             self.map[l as usize] = psn;
             self.rmap[psn as usize] = l as u32;
+            debug_assert!(!self.sealed[(psn / self.sectors_per_block) as usize]);
             self.valid[(psn / self.sectors_per_block) as usize] += 1;
             self.stats.user_sectors_written += 1;
         }
@@ -285,8 +319,58 @@ impl Ftl {
         let old = self.map[lsn as usize];
         if old != UNMAPPED {
             self.rmap[old as usize] = INVALID;
-            self.valid[(old / self.sectors_per_block) as usize] -= 1;
+            self.dec_valid(old / self.sectors_per_block);
         }
+    }
+
+    /// Decrement a block's valid counter, moving it one bucket down when
+    /// it is a sealed GC candidate. (Increments never need the mirror
+    /// operation: the log only ever appends to the active block, which is
+    /// never sealed.)
+    fn dec_valid(&mut self, block: u32) {
+        let b = block as usize;
+        self.valid[b] -= 1;
+        if self.sealed[b] {
+            let v = self.valid[b] as usize;
+            let pos = self.bucket_pos[b] as usize;
+            self.bucket[v + 1].swap_remove(pos);
+            if let Some(&moved) = self.bucket[v + 1].get(pos) {
+                self.bucket_pos[moved as usize] = pos as u32;
+            }
+            self.bucket_pos[b] = self.bucket[v].len() as u32;
+            self.bucket[v].push(block);
+            if v < self.min_bucket {
+                self.min_bucket = v;
+            }
+        }
+    }
+
+    /// Enter `block` into the GC candidate index (the active block just
+    /// rotated away from it).
+    fn seal_block(&mut self, block: u32) {
+        let b = block as usize;
+        debug_assert!(!self.sealed[b] && !self.retired[b], "double seal");
+        let v = self.valid[b] as usize;
+        self.sealed[b] = true;
+        self.bucket_pos[b] = self.bucket[v].len() as u32;
+        self.bucket[v].push(block);
+        if v < self.min_bucket {
+            self.min_bucket = v;
+        }
+    }
+
+    /// Remove `block` from the GC candidate index (it was picked as a
+    /// victim, about to be erased or retired).
+    fn unseal_block(&mut self, block: u32) {
+        let b = block as usize;
+        debug_assert!(self.sealed[b], "unseal of unsealed block");
+        let v = self.valid[b] as usize;
+        let pos = self.bucket_pos[b] as usize;
+        self.bucket[v].swap_remove(pos);
+        if let Some(&moved) = self.bucket[v].get(pos) {
+            self.bucket_pos[moved as usize] = pos as u32;
+        }
+        self.sealed[b] = false;
     }
 
     /// Allocate the next physical sector in the active block, rotating to a
@@ -297,10 +381,15 @@ impl Ftl {
     fn allocate(&mut self, charge: &mut WriteCharge) -> Result<u32, FaultError> {
         loop {
             if self.write_ptr == self.sectors_per_block {
-                // Active block full: grab the next free block.
+                // Active block full: grab the next free block. The full
+                // block is sealed into the GC candidate index only once
+                // the rotation is certain (GC never victimizes the
+                // still-active block, and a worn-out device must not
+                // leave its active block sealed).
                 self.maybe_gc(charge)?;
-                self.active_block =
-                    self.free_blocks.pop_front().ok_or(FaultError::WornOut)?;
+                let next = self.free_blocks.pop_front().ok_or(FaultError::WornOut)?;
+                self.seal_block(self.active_block);
+                self.active_block = next;
                 self.write_ptr = 0;
             }
             let psn = self.active_block * self.sectors_per_block + self.write_ptr;
@@ -337,8 +426,17 @@ impl Ftl {
                 debug_assert_eq!(self.map[owner as usize], psn, "map/rmap out of sync");
                 // Append to the log (active block cannot be the victim).
                 if self.write_ptr == self.sectors_per_block {
-                    self.active_block =
-                        self.free_blocks.pop_front().ok_or(FaultError::WornOut)?;
+                    let Some(next) = self.free_blocks.pop_front() else {
+                        // Out of spare blocks mid-migration. Each sector
+                        // moves atomically, so the map is consistent;
+                        // re-seal the half-migrated victim at its reduced
+                        // valid count so the candidate index stays exact
+                        // even on a worn-out device.
+                        self.seal_block(victim);
+                        return Err(FaultError::WornOut);
+                    };
+                    self.seal_block(self.active_block);
+                    self.active_block = next;
                     self.write_ptr = 0;
                 }
                 let new_psn = self.active_block * self.sectors_per_block + self.write_ptr;
@@ -346,7 +444,10 @@ impl Ftl {
                 self.map[owner as usize] = new_psn;
                 self.rmap[new_psn as usize] = owner;
                 self.rmap[psn as usize] = INVALID;
+                debug_assert!(!self.sealed[self.active_block as usize]);
                 self.valid[(new_psn / self.sectors_per_block) as usize] += 1;
+                // The victim was unsealed when picked, so its decrements
+                // need no bucket moves.
                 self.valid[victim as usize] -= 1;
                 self.stats.migrated_sectors += 1;
                 charge.migrated_sectors += 1;
@@ -374,29 +475,39 @@ impl Ftl {
         Ok(())
     }
 
-    /// Victim selection. Normally greedy (fewest valid sectors among full,
-    /// non-active, non-free blocks); when static wear leveling is enabled
-    /// and the erase spread exceeds the threshold, the coldest block is
-    /// chosen instead so its (likely cold) data migrates and the block
-    /// rejoins the erase rotation.
-    fn pick_victim(&self) -> Option<u32> {
-        let free: std::collections::HashSet<u32> = self.free_blocks.iter().copied().collect();
-        let candidates = || {
-            (0..self.valid.len() as u32).filter(|&b| {
-                b != self.active_block && !free.contains(&b) && !self.retired[b as usize]
-            })
-        };
+    /// Victim selection over the sealed-block bucket index. Normally
+    /// greedy: pop any block from the lowest non-empty valid-count bucket
+    /// — O(1) amortized via the monotone `min_bucket` cursor, replacing
+    /// the former per-call scan of every block (plus a HashSet of the
+    /// free list). When static wear leveling is enabled and the erase
+    /// spread exceeds the threshold, the coldest sealed block is chosen
+    /// instead so its (likely cold) data migrates and the block rejoins
+    /// the erase rotation — that rare path keeps its linear scan. The
+    /// returned victim leaves the index (it is about to be erased or
+    /// retired).
+    fn pick_victim(&mut self) -> Option<u32> {
         if self.wear_level_threshold > 0 {
             let max = self.erase_count.iter().copied().max().unwrap_or(0);
-            let coldest = candidates().min_by_key(|&b| self.erase_count[b as usize]);
+            let coldest = (0..self.valid.len() as u32)
+                .filter(|&b| self.sealed[b as usize])
+                .min_by_key(|&b| self.erase_count[b as usize]);
             if let Some(cold) = coldest {
                 if max.saturating_sub(self.erase_count[cold as usize]) > self.wear_level_threshold
                 {
+                    self.unseal_block(cold);
                     return Some(cold);
                 }
             }
         }
-        candidates().min_by_key(|&b| self.valid[b as usize])
+        while self.min_bucket < self.bucket.len() && self.bucket[self.min_bucket].is_empty() {
+            self.min_bucket += 1;
+        }
+        if self.min_bucket >= self.bucket.len() {
+            return None;
+        }
+        let victim = *self.bucket[self.min_bucket].last().expect("bucket non-empty");
+        self.unseal_block(victim);
+        Some(victim)
     }
 
     /// Sector count corresponding to `bytes`, rounded up.
@@ -410,9 +521,12 @@ impl Ftl {
     /// Checked: (1) every mapped logical sector's reverse entry points
     /// back at it, (2) per-block valid counters match the reverse map,
     /// (3) free-listed blocks hold no valid data, (4) total valid sectors
-    /// equal the number of mapped logical sectors. Intended for tests,
-    /// debugging, and post-recovery audits in the fault campaign; cost is
-    /// O(physical sectors).
+    /// equal the number of mapped logical sectors, (5) the GC bucket
+    /// index exactly mirrors per-block state — a block is bucketed iff it
+    /// is a GC candidate (non-active, non-free, non-retired), sits in the
+    /// bucket named by its valid count, at its recorded position, exactly
+    /// once. Intended for tests, debugging, and post-recovery audits in
+    /// the fault campaign; cost is O(physical sectors).
     pub fn verify_integrity(&self) -> Result<(), IntegrityError> {
         let mut mapped = 0u64;
         for (lsn, &psn) in self.map.iter().enumerate() {
@@ -451,6 +565,46 @@ impl Ftl {
         }
         if total_valid != mapped {
             return Err(IntegrityError::ValidTotalMismatch { valid: total_valid, mapped });
+        }
+        // (5) GC bucket index vs ground truth, both directions.
+        let mut is_free = vec![false; self.valid.len()];
+        for &b in &self.free_blocks {
+            is_free[b as usize] = true;
+        }
+        for b in 0..self.valid.len() as u32 {
+            let candidate =
+                b != self.active_block && !is_free[b as usize] && !self.retired[b as usize];
+            if self.sealed[b as usize] != candidate {
+                return Err(IntegrityError::GcBucketMismatch {
+                    block: b,
+                    reason: "sealed flag disagrees with active/free/retired state",
+                });
+            }
+            if self.sealed[b as usize]
+                && self
+                    .bucket
+                    .get(self.valid[b as usize] as usize)
+                    .and_then(|bk| bk.get(self.bucket_pos[b as usize] as usize))
+                    != Some(&b)
+            {
+                return Err(IntegrityError::GcBucketMismatch {
+                    block: b,
+                    reason: "block missing from the bucket named by its valid count",
+                });
+            }
+        }
+        for (v, bk) in self.bucket.iter().enumerate() {
+            for (pos, &m) in bk.iter().enumerate() {
+                if !self.sealed[m as usize]
+                    || self.valid[m as usize] as usize != v
+                    || self.bucket_pos[m as usize] as usize != pos
+                {
+                    return Err(IntegrityError::GcBucketMismatch {
+                        block: m,
+                        reason: "stale or duplicate bucket membership",
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -727,6 +881,104 @@ mod tests {
             min_off,
             max_off
         );
+    }
+
+    #[test]
+    fn gc_buckets_track_valid_counts_under_heavy_churn() {
+        // Random overwrites + trims at high utilization keep GC busy; the
+        // incremental bucket index must agree with ground truth at every
+        // checkpoint (verify_integrity cross-checks membership, bucket
+        // index and recorded position).
+        let cfg = small_cfg();
+        let mut ftl = Ftl::new(&cfg);
+        let cap = ftl.logical_sectors();
+        let mut x = 0xABCD_EF01u64;
+        for i in 0..30_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let lsn = x % cap;
+            if x.is_multiple_of(11) {
+                ftl.trim(lsn, (1 + (x >> 32) % 4).min(cap - lsn));
+            } else {
+                ftl.write(lsn, (1 + (x >> 32) % 8).min(cap - lsn));
+            }
+            if i % 2_500 == 0 {
+                ftl.verify_integrity().expect("bucket index drifted from ground truth");
+            }
+        }
+        ftl.verify_integrity().expect("final state");
+        assert!(ftl.stats().gc_runs > 0, "the workload must actually exercise GC");
+    }
+
+    #[test]
+    fn gc_buckets_consistent_with_wear_leveling_and_erase_faults() {
+        // The wear-leveling cold path and erase-fault retirement both pull
+        // victims out of the index through unseal; neither may strand
+        // stale bucket entries.
+        let cfg = SsdConfig {
+            wear_level_threshold: 4,
+            fault: FaultPlan { erase_error_rate: 0.05, ..FaultPlan::none() },
+            ..small_cfg()
+        };
+        let mut ftl = Ftl::new(&cfg);
+        let cap = ftl.logical_sectors();
+        let mut x = 77u64;
+        for i in 0..25_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            match ftl.try_write(cap / 2 + x % (cap / 2), 1) {
+                Ok(_) => {}
+                Err(FaultError::WornOut) => break,
+                Err(e) => panic!("unexpected fault: {e}"),
+            }
+            if i % 2_500 == 0 {
+                ftl.verify_integrity().expect("bucket index drifted");
+            }
+        }
+        ftl.verify_integrity().expect("final state");
+    }
+
+    #[test]
+    fn verify_integrity_catches_bucket_drift() {
+        let cfg = small_cfg();
+        let mut ftl = Ftl::new(&cfg);
+        let cap = ftl.logical_sectors();
+        for _ in 0..2 {
+            for l in 0..cap {
+                ftl.write(l, 1);
+            }
+        }
+        ftl.verify_integrity().expect("healthy state");
+        // Corrupt the index: move a sealed block into the wrong bucket
+        // without touching its valid counter.
+        let sealed = (0..ftl.sealed.len()).find(|&b| ftl.sealed[b]).expect("a sealed block");
+        let v = ftl.valid[sealed] as usize;
+        let pos = ftl.bucket_pos[sealed] as usize;
+        ftl.bucket[v].swap_remove(pos);
+        if let Some(&moved) = ftl.bucket[v].get(pos) {
+            ftl.bucket_pos[moved as usize] = pos as u32;
+        }
+        let wrong = if v == 0 { 1 } else { v - 1 };
+        ftl.bucket_pos[sealed] = ftl.bucket[wrong].len() as u32;
+        ftl.bucket[wrong].push(sealed as u32);
+        let err = ftl.verify_integrity().unwrap_err();
+        assert!(
+            matches!(err, IntegrityError::GcBucketMismatch { .. }),
+            "drift must surface as GcBucketMismatch, got {err}"
+        );
+        // A stranded sealed flag is caught too.
+        let mut ftl2 = Ftl::new(&cfg);
+        for l in 0..cap {
+            ftl2.write(l, 1);
+        }
+        let sealed2 = (0..ftl2.sealed.len()).find(|&b| ftl2.sealed[b]).expect("a sealed block");
+        ftl2.unseal_block(sealed2 as u32);
+        assert!(matches!(
+            ftl2.verify_integrity().unwrap_err(),
+            IntegrityError::GcBucketMismatch { .. }
+        ));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! | [`trace`] | SPC/MSR trace parsers, synthetic bursty workload generators, workload statistics |
 //! | [`flash`] | NAND SSD simulator: page-mapped FTL, garbage collection, wear, RAIS arrays |
 //! | [`sim`] | discrete-event replay engine: event queue, CPU pool, latency accounting |
-//! | [`core`] | EDC itself — monitor, selector, sequentiality detector, quantized allocator, mapping table — plus the Native/fixed baselines, a real-bytes [`EdcPipeline`](core::pipeline::EdcPipeline), and a parallel compression engine |
+//! | [`core`] | EDC itself — monitor, selector, sequentiality detector, quantized allocator, mapping table — plus the Native/fixed baselines, a real-bytes [`EdcPipeline`](core::pipeline::EdcPipeline), a parallel compression engine, and the concurrent [`ShardedPipeline`](core::shard::ShardedPipeline) front-end |
 //!
 //! ## Quickstart
 //!
@@ -69,7 +69,9 @@ pub mod prelude {
     pub use edc_compress::CodecId;
     pub use edc_core::error::EdcError;
     pub use edc_core::pipeline::{
-        BatchWrite, EdcPipeline, PipelineConfig, ReadError, RecoveryReport, WriteResult,
+        BatchWrite, EdcPipeline, PipelineConfig, PipelineStats, ReadError, RecoveryReport,
+        WriteResult,
     };
+    pub use edc_core::shard::{ShardConfig, ShardedPipeline};
     pub use edc_flash::{FaultPlan, SsdConfig};
 }
