@@ -7,19 +7,21 @@
 //! ```
 //!
 //! Subcommands: `fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12
-//! ablations bench-pipeline bench-concurrency bench-codecs fault-campaign
-//! fuzz scrub-campaign all`. `--quick` shrinks trace durations (and bench
-//! workloads) for smoke runs; `--smoke` does the same for
-//! `bench-concurrency`, `bench-codecs`, `fault-campaign`, `fuzz` and
-//! `scrub-campaign`; `--out DIR` sets the output directory (default
-//! `results/`).
+//! ablations bench-pipeline bench-concurrency bench-codecs bench-heat
+//! check-bench fault-campaign fuzz scrub-campaign all`. `--quick` shrinks
+//! trace durations (and bench workloads) for smoke runs; `--smoke` does
+//! the same for `bench-concurrency`, `bench-codecs`, `bench-heat`,
+//! `fault-campaign`, `fuzz` and `scrub-campaign`; `--out DIR` sets the
+//! output directory (default `results/`); `check-bench --baseline DIR
+//! --fresh DIR` compares committed `BENCH_*.json` baselines against a
+//! fresh run and fails on any >10% throughput regression.
 
 use edc_bench::env::{ExperimentEnv, Platform};
 use edc_bench::experiments as ex;
 use edc_bench::{Harness, Table};
 use edc_core::error::EdcError;
 use edc_core::pipeline::{BatchWrite, EdcPipeline, PipelineConfig};
-use edc_core::{ShardConfig, ShardedPipeline};
+use edc_core::{SelectorConfig, ShardConfig, ShardedPipeline};
 use edc_flash::{FaultError, FaultPlan, IoKind, SsdConfig, SsdDevice};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -666,6 +668,516 @@ fn bench_codecs(smoke: bool, out_dir: &Path) {
     eprintln!("# wrote {}", path.display());
 }
 
+/// Blocks per run in the heat bench (16 KiB runs).
+const HEAT_RUN_BLOCKS: u64 = 4;
+/// Block slots between consecutive runs; the gap keeps the
+/// sequentiality detector from merging neighbouring ranks and matches
+/// the sharded front-end's extent size.
+const HEAT_SLOT_BLOCKS: u64 = 8;
+/// Simulated-clock step per op: 2 ms/op at 4 pages per op ≈ 2000
+/// calculated IOPS — squarely in the paper ladder's middle (Lzf) band,
+/// leaving the strongest rung as background-recompression headroom.
+const HEAT_CLOCK_STEP_NS: u64 = 2_000_000;
+/// Heat half-life used by the bench: one simulated second, so a round of
+/// steady-state traffic is several half-lives and the untouched tail
+/// genuinely cools.
+const HEAT_HALF_LIFE_NS: u64 = 1_000_000_000;
+/// Simulated idle window after the steady-state rounds: long enough for
+/// the cold tail (and the mid-popularity middle) to decay below the cold
+/// threshold while the hot head — orders of magnitude hotter — stays hot.
+/// This is the idle bandwidth the background pass converts into space.
+const HEAT_IDLE_GAP_NS: u64 = 3 * HEAT_HALF_LIFE_NS;
+
+/// Compressible low-entropy payload unique to `(rank, version)`:
+/// 4-symbol content that Lzf compresses modestly and Deflate much
+/// better, so background recompression has headroom that survives the
+/// quantized allocator.
+fn heat_block(rank: u64, version: u64) -> Vec<u8> {
+    let mut x = edc_datagen::rng::splitmix64(rank.wrapping_mul(1_000_003).wrapping_add(version)) | 1;
+    (0..HEAT_RUN_BLOCKS * 4096)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            b"acgt"[((x >> 60) & 3) as usize]
+        })
+        .collect()
+}
+
+/// Device offset of a rank's run.
+fn heat_offset(rank: u64) -> u64 {
+    rank * HEAT_SLOT_BLOCKS * 4096
+}
+
+/// One steady-state op in the heat bench: `(rank, is_write)`.
+type HeatOp = (u64, bool);
+
+/// The heat bench's write-path config: the ladder is pinned to its
+/// sustained-load rung (Lzf), which is what the elastic selector picks
+/// under the bench's steady 2000-IOPS traffic — and the regime in which
+/// recompression debt accumulates. The background pass upgrades whatever
+/// of it goes cold to the strong codec; the control arm is the identical
+/// write path with the pass never run (the "static ladder" outcome).
+fn heat_pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        selector: edc_core::selector::SelectorConfig {
+            rungs: vec![edc_core::LadderRung {
+                max_calc_iops: f64::INFINITY,
+                codec: edc_compress::CodecId::Lzf,
+            }],
+        },
+        // Cache sized past the working set: hot reads must be hits in
+        // BOTH arms, so the p99 gate isolates the cost of the background
+        // pass rather than cache sizing.
+        cache_runs: 512,
+        heat: edc_core::HeatConfig {
+            enabled: true,
+            half_life_ns: HEAT_HALF_LIFE_NS,
+            ..edc_core::HeatConfig::default()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+/// One driven arm of the heat bench, ready for latency measurement.
+struct HeatArm {
+    s: ShardedPipeline,
+    versions: Vec<u64>,
+    clock: u64,
+    errors: u64,
+}
+
+impl HeatArm {
+    fn tick(&mut self) -> u64 {
+        self.clock += HEAT_CLOCK_STEP_NS;
+        self.clock
+    }
+
+    /// Read one rank, verifying content; returns the wall-clock ns spent
+    /// in the read call itself.
+    fn timed_read(&mut self, rank: u64) -> u64 {
+        let now = self.tick();
+        let t0 = Instant::now();
+        let got =
+            self.s.read(now, heat_offset(rank), HEAT_RUN_BLOCKS * 4096).expect("measured read");
+        let dt = t0.elapsed().as_nanos() as u64;
+        if got != heat_block(rank, self.versions[rank as usize]) {
+            self.errors += 1;
+        }
+        dt
+    }
+}
+
+/// Drive one arm of the heat bench: fill every rank, replay the shared
+/// steady-state schedule, recompressing after each round when
+/// `recompress_target` is set. Both arms see byte-identical traffic —
+/// the only difference is the background pass.
+fn heat_drive(
+    n_ranks: u64,
+    schedule: &[Vec<HeatOp>],
+    recompress_target: Option<edc_compress::CodecId>,
+    budget_per_shard: usize,
+) -> HeatArm {
+    let s = ShardedPipeline::new(
+        64 << 20,
+        ShardConfig {
+            shards: 4,
+            extent_blocks: HEAT_SLOT_BLOCKS,
+            pipeline: heat_pipeline_config(),
+        },
+    );
+    let mut arm = HeatArm { s, versions: vec![0u64; n_ranks as usize], clock: 0, errors: 0 };
+
+    for rank in 0..n_ranks {
+        let now = arm.tick();
+        arm.s.write(now, heat_offset(rank), &heat_block(rank, 0)).expect("fill write");
+    }
+    let now = arm.tick();
+    arm.s.flush_all(now).expect("fill flush");
+
+    for round in schedule {
+        for &(rank, is_write) in round {
+            let now = arm.tick();
+            if is_write {
+                arm.versions[rank as usize] += 1;
+                arm.s
+                    .write(now, heat_offset(rank), &heat_block(rank, arm.versions[rank as usize]))
+                    .expect("steady write");
+            } else {
+                let got = arm
+                    .s
+                    .read(now, heat_offset(rank), HEAT_RUN_BLOCKS * 4096)
+                    .expect("steady read");
+                if got != heat_block(rank, arm.versions[rank as usize]) {
+                    arm.errors += 1;
+                }
+            }
+        }
+        let now = arm.tick();
+        arm.s.flush_all(now).expect("round flush");
+        if let Some(target) = recompress_target {
+            let now = arm.tick();
+            arm.s.recompress(now, target, budget_per_shard).expect("recompress pass");
+        }
+    }
+
+    // Idle window: traffic stops for several half-lives, then the
+    // recompressing arm drains its backlog in budget-bounded passes —
+    // the "turn idle bandwidth into space savings" half of the claim.
+    arm.clock += HEAT_IDLE_GAP_NS;
+    if let Some(target) = recompress_target {
+        for _ in 0..16 {
+            let now = arm.tick();
+            let r = arm.s.recompress(now, target, budget_per_shard).expect("idle pass");
+            if r.recompressed == 0 && r.demoted == 0 {
+                break;
+            }
+        }
+    }
+    arm
+}
+
+/// Fully verify an arm: every rank reads back its latest version and the
+/// store audits clean. Returns the arm's accumulated error count.
+fn heat_verify(arm: &mut HeatArm, n_ranks: u64) -> u64 {
+    for rank in 0..n_ranks {
+        let now = arm.tick();
+        let got =
+            arm.s.read(now, heat_offset(rank), HEAT_RUN_BLOCKS * 4096).expect("verify read");
+        if got != heat_block(rank, arm.versions[rank as usize]) {
+            arm.errors += 1;
+        }
+    }
+    let audit = arm.s.verify().expect("verify audit");
+    arm.errors += audit.unrecoverable;
+    arm.errors
+}
+
+/// p99 of a sorted-in-place latency vector, ns.
+fn p_ns(lat: &mut [u64], pct: usize) -> u64 {
+    lat.sort_unstable();
+    lat[lat.len() * pct / 100]
+}
+
+/// Power-cut sweep over a background recompression pass: learn the pass's
+/// page-program count from a clean run, then cut at every program index,
+/// recover, and verify every run reads back bit-exact. Returns
+/// `(cut_points, lost_blocks, payload_mismatches)`.
+fn heat_power_cut_sweep(smoke: bool) -> (u64, u64, u64) {
+    use edc_compress::CodecId;
+    let runs: u64 = if smoke { 6 } else { 16 };
+    let mk = || EdcPipeline::new(8 << 20, heat_pipeline_config());
+    let drive = |p: &mut EdcPipeline| {
+        let mut clock = 0u64;
+        for rank in 0..runs {
+            clock += HEAT_CLOCK_STEP_NS;
+            p.write(clock, heat_offset(rank), &heat_block(rank, 0)).expect("sweep write");
+        }
+        p.flush_all(clock + HEAT_CLOCK_STEP_NS).expect("sweep flush");
+        // Everything cools far past the threshold before the pass runs.
+        clock + 400 * HEAT_HALF_LIFE_NS
+    };
+
+    // Clean run: how many page programs does the pass itself issue?
+    let mut clean = mk();
+    let cold_at = drive(&mut clean);
+    let before = clean.programs();
+    clean.recompress_pass(cold_at, CodecId::Deflate, usize::MAX).expect("clean pass");
+    let pass_programs = clean.programs() - before;
+
+    let (mut lost, mut mismatches) = (0u64, 0u64);
+    for cut in 0..pass_programs {
+        let mut p = mk();
+        let cold_at = drive(&mut p);
+        p.set_fault_plan(FaultPlan {
+            power_cut_after_programs: Some(cut),
+            ..FaultPlan::none()
+        });
+        // The cut aborts the pass mid-flight; that is the point.
+        let _ = p.recompress_pass(cold_at, CodecId::Deflate, usize::MAX);
+        let report = p.recover().expect("recovery after cut");
+        mismatches += report.payload_mismatches;
+        for rank in 0..runs {
+            match p.read(1 << 40, heat_offset(rank), HEAT_RUN_BLOCKS * 4096) {
+                Ok(got) if got == heat_block(rank, 0) => {}
+                _ => lost += 1,
+            }
+        }
+    }
+    (pass_programs, lost, mismatches)
+}
+
+/// Heat-aware background recompression benchmark: a seeded Zipfian
+/// steady-state workload driven through two byte-identical sharded
+/// pipelines — one running `recompress` after every round, one never —
+/// gated on the recompressing arm ending with a strictly smaller live
+/// footprint AND hot-read p99 within 5% of the control, plus a power-cut
+/// sweep across the pass proving zero journaled-run data loss. Writes
+/// `BENCH_heat.json`; exits non-zero on any gate failure.
+fn bench_heat(smoke: bool, out_dir: &Path) {
+    use edc_datagen::{Rng64, Zipfian};
+    let n_ranks: u64 = if smoke { 48 } else { 160 };
+    let rounds: usize = if smoke { 3 } else { 8 };
+    let ops_per_round: usize = if smoke { 400 } else { 1500 };
+    let measure_reads: usize = if smoke { 600 } else { 2500 };
+    let budget_per_shard: usize = 64;
+    let theta = 0.99;
+
+    let mut h = Harness::new("heat", 1);
+    let mut failures = 0u64;
+    h.metric("ranks", n_ranks as f64);
+    h.metric("rounds", rounds as f64);
+    h.metric("ops_per_round", ops_per_round as f64);
+    h.metric("zipf_theta", theta);
+    if smoke {
+        h.note("smoke run: reduced workload; absolute numbers are not comparable to full runs");
+    }
+
+    // Shared schedule: both arms replay the identical op sequence, so the
+    // only difference between them is the background pass.
+    let zipf = Zipfian::new(n_ranks as usize, theta);
+    let mut rng = Rng64::seed_from_u64(0xEDC_4EA7);
+    let schedule: Vec<Vec<HeatOp>> = (0..rounds)
+        .map(|_| {
+            (0..ops_per_round)
+                .map(|_| (zipf.sample(&mut rng) as u64, rng.chance(1.0 / 3.0)))
+                .collect()
+        })
+        .collect();
+    let measure: Vec<u64> =
+        (0..measure_reads).map(|_| zipf.sample(&mut rng) as u64).collect();
+
+    let target = SelectorConfig::default().strongest_codec();
+    eprintln!(
+        "# heat bench: {n_ranks} ranks x {rounds} rounds x {ops_per_round} ops, \
+         recompression target {target:?}"
+    );
+    let mut heat = heat_drive(n_ranks, &schedule, Some(target), budget_per_shard);
+    let mut control = heat_drive(n_ranks, &schedule, None, budget_per_shard);
+
+    // Interleaved latency measurement: alternating the arms read-by-read
+    // cancels machine drift (thermal, page cache) that a
+    // one-arm-then-the-other protocol would attribute to whichever arm
+    // ran second. One untimed warm-up pass each, then the timed reads.
+    for &rank in &measure {
+        heat.timed_read(rank);
+        control.timed_read(rank);
+    }
+    let mut heat_lat = Vec::with_capacity(measure.len());
+    let mut control_lat = Vec::with_capacity(measure.len());
+    for (i, &rank) in measure.iter().enumerate() {
+        // Swap which arm goes first every iteration: going first or
+        // second in a pair has its own micro-cost, and it must not load
+        // onto one arm systematically.
+        if i % 2 == 0 {
+            heat_lat.push(heat.timed_read(rank));
+            control_lat.push(control.timed_read(rank));
+        } else {
+            control_lat.push(control.timed_read(rank));
+            heat_lat.push(heat.timed_read(rank));
+        }
+    }
+    let (heat_p50, heat_p99) = (p_ns(&mut heat_lat, 50), p_ns(&mut heat_lat, 99));
+    let (control_p50, control_p99) = (p_ns(&mut control_lat, 50), p_ns(&mut control_lat, 99));
+
+    let heat_errors = heat_verify(&mut heat, n_ranks);
+    let control_errors = heat_verify(&mut control, n_ranks);
+    failures += heat_errors + control_errors;
+    if heat_errors + control_errors > 0 {
+        eprintln!(
+            "# FAIL: {heat_errors} heat-arm and {control_errors} control-arm verification \
+             error(s)"
+        );
+    }
+
+    let heat_live = heat.s.live_stored_bytes();
+    let control_live = control.s.live_stored_bytes();
+    let stats = heat.s.stats();
+    let mib = |b: u64| b as f64 / (1 << 20) as f64;
+    let saving = 1.0 - heat_live as f64 / control_live.max(1) as f64;
+    h.metric("heat_live_mib", mib(heat_live));
+    h.metric("control_live_mib", mib(control_live));
+    h.metric("space_saving_pct", saving * 100.0);
+    h.metric("recompressed_runs", stats.recompressed_runs as f64);
+    h.metric("demoted_runs", stats.demoted_runs as f64);
+    h.metric("heat_read_p50_us", heat_p50 as f64 / 1e3);
+    h.metric("heat_read_p99_us", heat_p99 as f64 / 1e3);
+    h.metric("control_read_p50_us", control_p50 as f64 / 1e3);
+    h.metric("control_read_p99_us", control_p99 as f64 / 1e3);
+    let p99_ratio = heat_p99 as f64 / control_p99.max(1) as f64;
+    h.metric("p99_ratio_heat_vs_control", p99_ratio);
+    eprintln!(
+        "# space: heat {:.2} MiB vs control {:.2} MiB ({:.1}% saved, {} runs recompressed, \
+         {} demoted)",
+        mib(heat_live),
+        mib(control_live),
+        saving * 100.0,
+        stats.recompressed_runs,
+        stats.demoted_runs
+    );
+    eprintln!(
+        "# read p99: heat {:.1} µs vs control {:.1} µs ({p99_ratio:.3}x)",
+        heat_p99 as f64 / 1e3,
+        control_p99 as f64 / 1e3
+    );
+    // Gate 1: the whole point — strictly better space than the static
+    // ladder left alone.
+    if heat_live >= control_live {
+        eprintln!("# FAIL: recompressing arm did not end with a strictly smaller footprint");
+        failures += 1;
+    }
+    if stats.recompressed_runs == 0 {
+        eprintln!("# FAIL: the background pass never recompressed anything");
+        failures += 1;
+    }
+    // Gate 2: hot reads must not pay for it (5% p99 budget).
+    if p99_ratio > 1.05 {
+        eprintln!("# FAIL: hot-read p99 regressed {p99_ratio:.3}x (budget 1.05x)");
+        failures += 1;
+    }
+
+    // Timed pass over a fully cold store, for the throughput tripwire.
+    let cold_runs: u64 = if smoke { 16 } else { 64 };
+    h.run_prepared(
+        "recompress_cold_store",
+        Some(cold_runs * HEAT_RUN_BLOCKS * 4096),
+        || {
+            let mut p = EdcPipeline::new(64 << 20, heat_pipeline_config());
+            let mut clock = 0u64;
+            for rank in 0..cold_runs {
+                clock += HEAT_CLOCK_STEP_NS;
+                p.write(clock, heat_offset(rank), &heat_block(rank, 0)).expect("cold write");
+            }
+            p.flush_all(clock + HEAT_CLOCK_STEP_NS).expect("cold flush");
+            (p, clock + 400 * HEAT_HALF_LIFE_NS)
+        },
+        |(mut p, now)| {
+            let r = p.recompress_pass(now, target, usize::MAX).expect("timed pass");
+            (r.recompressed, p)
+        },
+    );
+
+    // Gate 3: a power cut anywhere inside the pass loses nothing.
+    let (cut_points, lost, mismatches) = heat_power_cut_sweep(smoke);
+    h.metric("power_cut_points", cut_points as f64);
+    h.metric("power_cut_lost_blocks", lost as f64);
+    h.metric("power_cut_payload_mismatches", mismatches as f64);
+    eprintln!(
+        "# power-cut sweep: {cut_points} cut points across the pass, {lost} lost block(s), \
+         {mismatches} payload mismatch(es)"
+    );
+    if lost > 0 || mismatches > 0 {
+        eprintln!("# FAIL: power-cut sweep across the recompression pass lost data");
+        failures += 1;
+    }
+
+    print!("{}", h.render());
+    let path = h.write_json(out_dir).expect("writing BENCH_heat.json");
+    eprintln!("# wrote {}", path.display());
+    if failures > 0 {
+        eprintln!("# heat bench FAILED with {failures} violation(s)");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "# heat bench passed: {:.1}% space saved at {p99_ratio:.3}x p99, zero data loss \
+         across {cut_points} mid-pass power cuts",
+        saving * 100.0
+    );
+}
+
+/// Extract `(case_name, throughput_mib_s)` pairs from a harness JSON
+/// report (hand-parsed, one case per line — see [`Harness::to_json`]).
+fn parse_case_throughputs(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else { continue };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else { continue };
+        let name = rest[..name_end].to_string();
+        let key = "\"throughput_mib_s\": ";
+        let Some(t_at) = line.find(key) else { continue };
+        let rest = &line[t_at + key.len()..];
+        let Some(end) = rest.find([',', '}']) else { continue };
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+/// Bench-regression tripwire: compare every `BENCH_*.json` in `baseline`
+/// against its counterpart in `fresh`, failing (exit 1) when any case's
+/// `throughput_mib_s` regressed by more than 10%. Cases present only in
+/// the baseline (renamed or dropped) also fail — a silent drop is how a
+/// tripwire goes blind.
+fn check_bench(baseline: &Path, fresh: &Path) {
+    let mut failures = 0u64;
+    let mut compared = 0u64;
+    let mut entries: Vec<PathBuf> = match std::fs::read_dir(baseline) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                    n.starts_with("BENCH_") && n.ends_with(".json")
+                })
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("# check-bench: cannot read baseline dir {}: {e}", baseline.display());
+            std::process::exit(2);
+        }
+    };
+    entries.sort();
+    if entries.is_empty() {
+        eprintln!("# check-bench: no BENCH_*.json baselines in {}", baseline.display());
+        std::process::exit(2);
+    }
+    for base_path in entries {
+        let name = base_path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
+        let base_text = std::fs::read_to_string(&base_path).expect("reading baseline");
+        let fresh_path = fresh.join(&name);
+        let fresh_text = match std::fs::read_to_string(&fresh_path) {
+            Ok(t) => t,
+            Err(_) => {
+                eprintln!("# FAIL: {name}: no fresh counterpart at {}", fresh_path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let fresh_cases = parse_case_throughputs(&fresh_text);
+        for (case, base_mib_s) in parse_case_throughputs(&base_text) {
+            if base_mib_s <= 0.0 {
+                continue;
+            }
+            let Some((_, fresh_mib_s)) = fresh_cases.iter().find(|(c, _)| *c == case) else {
+                eprintln!("# FAIL: {name}: case {case:?} missing from fresh run");
+                failures += 1;
+                continue;
+            };
+            compared += 1;
+            let ratio = fresh_mib_s / base_mib_s;
+            let verdict = if ratio < 0.9 {
+                failures += 1;
+                "FAIL"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "# {verdict}: {name} {case}: {base_mib_s:.1} -> {fresh_mib_s:.1} MiB/s \
+                 ({ratio:.2}x)"
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "# check-bench FAILED: {failures} regression(s)/gap(s) over {compared} compared \
+             case(s) (tolerance: >10% throughput drop)"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("# check-bench passed: {compared} case(s), none regressed past 10%");
+}
+
 /// A compressible 4 KiB block with deterministic per-tag content.
 fn campaign_text_block(tag: u64) -> Vec<u8> {
     format!("edc fault campaign block {tag} elastic compression payload ")
@@ -1153,6 +1665,22 @@ fn main() {
         scrub_campaign(smoke, &out_dir);
         return;
     }
+    if cmd == "bench-heat" {
+        let smoke = quick || args.iter().any(|a| a == "--smoke");
+        bench_heat(smoke, &out_dir);
+        return;
+    }
+    if cmd == "check-bench" {
+        let dir_arg = |flag: &str, default: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from(default))
+        };
+        check_bench(&dir_arg("--baseline", "results-baseline"), &dir_arg("--fresh", "results"));
+        return;
+    }
 
     let started = Instant::now();
     eprintln!("# edc-bench: building environment (quick={quick}) ...");
@@ -1251,7 +1779,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command {other:?}");
-            eprintln!("commands: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12 ablations future-work timeline mixed calibrate bench-pipeline bench-concurrency bench-codecs fault-campaign fuzz scrub-campaign all");
+            eprintln!("commands: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12 ablations future-work timeline mixed calibrate bench-pipeline bench-concurrency bench-codecs bench-heat check-bench fault-campaign fuzz scrub-campaign all");
             std::process::exit(2);
         }
     }

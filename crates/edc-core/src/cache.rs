@@ -126,11 +126,15 @@ impl<V> RunCache<V> {
         evicted.or(replaced.map(|s| s.value))
     }
 
-    /// Drop a run on overwrite.
-    pub fn invalidate(&mut self, run_start: u64) {
-        if self.entries.remove(&run_start).is_some() {
+    /// Drop a run on overwrite or relocation. Returns the dropped value
+    /// (if the run was resident) so `RunCache<Vec<u8>>` callers can
+    /// recycle the buffer, mirroring [`RunCache::insert`].
+    pub fn invalidate(&mut self, run_start: u64) -> Option<V> {
+        let dropped = self.entries.remove(&run_start).map(|s| s.value);
+        if dropped.is_some() {
             self.stats.invalidations += 1;
         }
+        dropped
     }
 
     /// Current resident entries.
@@ -183,13 +187,13 @@ mod tests {
 
     #[test]
     fn invalidation_drops_entry() {
-        let mut c: RunCache = RunCache::new(4);
-        c.insert(9, ());
-        c.invalidate(9);
+        let mut c: RunCache<Vec<u8>> = RunCache::new(4);
+        c.insert(9, vec![42]);
+        assert_eq!(c.invalidate(9), Some(vec![42]), "dropped value handed back");
         assert!(c.lookup(9).is_none());
         assert_eq!(c.stats().invalidations, 1);
         // Invalidating an absent run is a no-op.
-        c.invalidate(9);
+        assert_eq!(c.invalidate(9), None);
         assert_eq!(c.stats().invalidations, 1);
     }
 

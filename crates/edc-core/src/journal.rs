@@ -256,6 +256,63 @@ mod tests {
     }
 
     #[test]
+    fn later_record_supersedes_same_run_with_different_codec() {
+        // Background recompression relies on append-order replay: the
+        // same logical run is journaled again with a different codec tag
+        // and device offset (Lzf run rewritten as Deflate, or demoted to
+        // None), and replay must present both records in order so the
+        // recovering mapper keeps only the later one.
+        let mut j = MappingJournal::new();
+        let original = MappingEntry {
+            tag: CodecId::Lzf,
+            run_start: 40,
+            run_blocks: 4,
+            device_offset: 8192,
+            stored_bytes: 12288,
+            compressed_bytes: 11000,
+            checksum: 0xAB,
+            parity: false,
+        };
+        let recompressed = MappingEntry {
+            tag: CodecId::Deflate,
+            device_offset: 65536,
+            stored_bytes: 4096,
+            compressed_bytes: 3000,
+            checksum: 0xCD,
+            ..original
+        };
+        let demoted = MappingEntry {
+            tag: CodecId::None,
+            device_offset: 131072,
+            stored_bytes: 16384,
+            compressed_bytes: 16384,
+            checksum: 0xEF,
+            ..original
+        };
+        j.append(&original);
+        j.append(&recompressed);
+        j.append(&demoted);
+        let r = j.replay();
+        assert_eq!(r.entries, vec![original, recompressed, demoted]);
+        // Replaying through a BlockMap (what recovery does) leaves only
+        // the last rewrite live.
+        let map = crate::mapping::BlockMap::new();
+        let mut evicted = Vec::new();
+        for e in &r.entries {
+            evicted.extend(map.insert_run(*e));
+        }
+        let mut evicted_offsets: Vec<u64> = evicted.iter().map(|e| e.device_offset).collect();
+        evicted_offsets.dedup();
+        assert_eq!(
+            evicted_offsets,
+            vec![8192, 65536],
+            "each rewrite evicts its predecessor (one entry per covered block)"
+        );
+        assert_eq!(map.get(40).unwrap().tag, CodecId::None);
+        assert_eq!(map.get(43).unwrap().device_offset, 131072);
+    }
+
+    #[test]
     fn torn_tail_detected_and_prefix_kept() {
         let mut j = MappingJournal::new();
         for i in 0..5 {

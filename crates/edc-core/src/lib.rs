@@ -51,6 +51,7 @@ pub mod cache;
 pub mod content;
 pub mod error;
 pub mod feedback;
+pub mod heat;
 pub mod hints;
 pub mod journal;
 pub mod mapping;
@@ -68,16 +69,18 @@ pub use cache::{CacheStats, RunCache};
 pub use content::{CalibrationConfig, ContentModel};
 pub use error::{EdcError, WriteError};
 pub use feedback::{FeedbackConfig, FeedbackSelector};
+pub use heat::{HeatConfig, HeatTracker, Temperature};
 pub use hints::{FileTypeHint, HintRegistry};
 pub use journal::{MappingJournal, RecoveryError, Replay};
 pub use mapping::{BlockMap, MappingEntry};
 pub use monitor::WorkloadMonitor;
 pub use parallel::ParallelCompressor;
 pub use pipeline::{
-    EdcPipeline, PipelineConfig, PipelineStats, ReadError, RecoveryReport, ScrubReport, WriteResult,
+    EdcPipeline, PipelineConfig, PipelineStats, ReadError, RecompressReport, RecoveryReport,
+    ScrubReport, WriteResult,
 };
 pub use scheme::{CodecUsage, EdcConfig, Policy, SimConfig, SimScheme, BLOCK_BYTES};
 pub use sd::{MergedRun, SdConfig, SequentialityDetector};
-pub use selector::{AlgorithmSelector, LadderRung, SelectorConfig};
+pub use selector::{codec_strength, AlgorithmSelector, LadderRung, SelectorConfig};
 pub use shard::{ShardConfig, ShardedPipeline};
 pub use slots::SlotStore;

@@ -69,13 +69,14 @@
 use crate::allocator::{AllocPolicy, AllocStats, QuantizedAllocator};
 use crate::cache::{CacheStats, RunCache};
 use crate::error::{EdcError, WriteError};
+use crate::heat::{HeatConfig, HeatTracker, Temperature};
 use crate::hints::{FileTypeHint, HintRegistry};
 use crate::journal::{MappingJournal, RecoveryError};
 use crate::mapping::{BlockMap, MappingEntry};
 use crate::monitor::WorkloadMonitor;
 use crate::scheme::BLOCK_BYTES;
 use crate::sd::{MergedRun, SdConfig, SequentialityDetector};
-use crate::selector::{AlgorithmSelector, SelectorConfig};
+use crate::selector::{codec_strength, AlgorithmSelector, SelectorConfig};
 use crate::slots::SlotStore;
 use edc_compress::{
     checksum64, Codec, CodecId, CodecRegistry, CompressorState, DecompressError, Estimator,
@@ -122,6 +123,9 @@ pub struct PipelineConfig {
     /// a single pipeline behind one lock cannot. Used by the concurrency
     /// benchmark; cache hits never pay it.
     pub device_dwell_ns: u64,
+    /// Per-extent heat tracking and the background recompression policy
+    /// ([`EdcPipeline::recompress_pass`], DESIGN.md §12).
+    pub heat: HeatConfig,
 }
 
 impl Default for PipelineConfig {
@@ -137,6 +141,7 @@ impl Default for PipelineConfig {
             parity: false,
             journal_shard: 0,
             device_dwell_ns: 0,
+            heat: HeatConfig::default(),
         }
     }
 }
@@ -259,6 +264,44 @@ impl ScrubReport {
     }
 }
 
+/// What one [`EdcPipeline::recompress_pass`] did (DESIGN.md §12).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecompressReport {
+    /// Live runs examined.
+    pub scanned: u64,
+    /// Cold runs rewritten with the target codec.
+    pub recompressed: u64,
+    /// Hot near-incompressible runs rewritten as write-through.
+    pub demoted: u64,
+    /// Runs under a `FileTypeHint::Precompressed` range — never touched.
+    pub skipped_precompressed: u64,
+    /// Runs on extents already demoted to write-through — never
+    /// re-promoted by the background pass.
+    pub skipped_demoted: u64,
+    /// Cold runs whose recompression would not shrink their slot (after
+    /// quantization and any parity page) — left in place.
+    pub skipped_no_gain: u64,
+    /// Runs that could not be fetched/decoded this pass (transient read
+    /// faults, damage) — left for scrub to deal with.
+    pub skipped_unreadable: u64,
+    /// Flash bytes freed by recompression (old slot minus new slot).
+    pub bytes_reclaimed: u64,
+}
+
+impl RecompressReport {
+    /// Fold another report into this one (per-shard aggregation).
+    pub fn merge(&mut self, other: &RecompressReport) {
+        self.scanned += other.scanned;
+        self.recompressed += other.recompressed;
+        self.demoted += other.demoted;
+        self.skipped_precompressed += other.skipped_precompressed;
+        self.skipped_demoted += other.skipped_demoted;
+        self.skipped_no_gain += other.skipped_no_gain;
+        self.skipped_unreadable += other.skipped_unreadable;
+        self.bytes_reclaimed += other.bytes_reclaimed;
+    }
+}
+
 /// A consistent snapshot of a pipeline's counters, designed to aggregate:
 /// [`crate::shard::ShardedPipeline::stats`] merges one per shard into a
 /// fleet-wide view.
@@ -276,6 +319,12 @@ pub struct PipelineStats {
     pub journal_records: u64,
     /// Reads served raw despite a checksum mismatch.
     pub degraded_reads: u64,
+    /// Cold runs rewritten with a stronger codec by background
+    /// recompression, cumulative.
+    pub recompressed_runs: u64,
+    /// Hot runs demoted to write-through by background recompression,
+    /// cumulative.
+    pub demoted_runs: u64,
     /// Read-cache counters.
     pub cache: CacheStats,
 }
@@ -289,6 +338,8 @@ impl PipelineStats {
         self.live_runs += other.live_runs;
         self.journal_records += other.journal_records;
         self.degraded_reads += other.degraded_reads;
+        self.recompressed_runs += other.recompressed_runs;
+        self.demoted_runs += other.demoted_runs;
         self.cache.merge(&other.cache);
     }
 
@@ -336,8 +387,16 @@ pub struct EdcPipeline {
     journal: MappingJournal,
     /// Seeded fault-decision stream (inactive by default).
     faults: FaultState,
+    /// Decayed per-extent heat, updated on the read/write hot paths and
+    /// consulted by [`EdcPipeline::recompress_pass`]. Volatile: reset on
+    /// recovery, like the monitor state.
+    heat: HeatTracker,
     /// Reads served raw despite a checksum mismatch (opt-in degradation).
     degraded_reads: u64,
+    /// Cumulative background-recompression outcomes (see
+    /// [`PipelineStats`]).
+    recompressed_runs: u64,
+    demoted_runs: u64,
     logical_written: u64,
     physical_written: u64,
 }
@@ -363,7 +422,10 @@ impl EdcPipeline {
             hints: HintRegistry::new(),
             journal: MappingJournal::with_shard(config.journal_shard),
             faults: FaultState::new(config.fault),
+            heat: HeatTracker::new(config.heat),
             degraded_reads: 0,
+            recompressed_runs: 0,
+            demoted_runs: 0,
             monitor: WorkloadMonitor::default(),
             logical_written: 0,
             physical_written: 0,
@@ -410,6 +472,7 @@ impl EdcPipeline {
                 len: w.data.len() as u32,
             });
             self.logical_written += w.data.len() as u64;
+            self.heat.record(w.now_ns, start, u64::from(blocks));
             if let Some(run) = self.sd.on_write(start, blocks, w.now_ns) {
                 let bytes = std::mem::take(&mut self.pending);
                 self.seal_run(w.now_ns, run, bytes);
@@ -493,6 +556,7 @@ impl EdcPipeline {
         let mut out = vec![0u8; len as usize];
         let start = offset / BLOCK_BYTES;
         let blocks = len / BLOCK_BYTES;
+        self.heat.record(now_ns, start, blocks);
         let bb = BLOCK_BYTES as usize;
         // Walk block by block, consulting each block's OWN mapping entry —
         // a neighbouring block may belong to an older run that still covers
@@ -868,7 +932,9 @@ impl EdcPipeline {
             // cached decompressions — a later read must never see them.
             for old in self.map.insert_run(entry) {
                 self.slots.release_block_ref(old.device_offset);
-                self.cache.invalidate(old.device_offset);
+                if let Some(stale) = self.cache.invalidate(old.device_offset) {
+                    self.recycle_read_buf(stale);
+                }
             }
             results.push(WriteResult {
                 start_block: s.run.start_block,
@@ -905,6 +971,10 @@ impl EdcPipeline {
         self.sd = SequentialityDetector::new(self.config.sd);
         self.pending.clear();
         self.sealed.clear();
+        // Temperature is ephemeral statistics, not durable metadata: the
+        // recovered store re-learns heat (and re-cools demoted extents)
+        // before the background pass touches anything.
+        self.heat.reset();
         let replay = self.journal.replay();
         // A cleanly-decoded record carrying another shard's id means the
         // journal stream was mis-routed — adopting its mappings would
@@ -1096,9 +1166,235 @@ impl EdcPipeline {
         self.journal.append(&entry);
         for evicted in self.map.insert_run(entry) {
             self.slots.release_block_ref(evicted.device_offset);
-            self.cache.invalidate(evicted.device_offset);
+            if let Some(stale) = self.cache.invalidate(evicted.device_offset) {
+                self.recycle_read_buf(stale);
+            }
         }
         Ok(())
+    }
+
+    /// Heat-aware background recompression (the GC-cooperation policy,
+    /// DESIGN.md §12): walk up to the whole live-run set, classify each
+    /// run by its decayed extent heat at `now_ns`, and
+    ///
+    /// * **cold** runs whose codec tag is strictly weaker than `target`
+    ///   are re-compressed with `target` (the ladder's strongest codec —
+    ///   [`SelectorConfig::strongest_codec`]) using the pooled
+    ///   [`CompressorState`], but only when the new quantized slot is
+    ///   strictly smaller than the old one;
+    /// * **hot** runs whose achieved ratio is at or below
+    ///   [`HeatConfig::demote_ratio`] are demoted to write-through, so
+    ///   their reads skip decompression entirely; the covered extents are
+    ///   flagged and excluded from future recompression until a crash
+    ///   resets the (volatile) flag;
+    /// * `FileTypeHint::Precompressed` runs are never touched.
+    ///
+    /// Every rewrite is durable and crash-consistent: fresh slot, payload
+    /// (+ parity) pages programmed against the power-cut clock *before*
+    /// the journal commit record, mapping updated, superseded slot
+    /// released and its cached decompression dropped — exactly the
+    /// foreground flush discipline, so a power cut mid-pass loses no
+    /// journaled run (the old record still wins on replay). A cut
+    /// surfaces as the usual typed error; call [`EdcPipeline::recover`].
+    ///
+    /// `max_rewrites` bounds the rewrites (not the scan) per pass — the
+    /// caller's idle-bandwidth budget; a GC slice passes a small number,
+    /// a dedicated background sweep can pass `usize::MAX`. After a cold
+    /// run moves, its decompressed bytes are re-inserted into the read
+    /// cache under the new offset (the pass just held them anyway), so
+    /// the first post-relocation read pays no decompression.
+    pub fn recompress_pass(
+        &mut self,
+        now_ns: u64,
+        target: CodecId,
+        max_rewrites: usize,
+    ) -> Result<RecompressReport, EdcError> {
+        self.check_powered()?;
+        let mut report = RecompressReport::default();
+        if !self.config.heat.enabled || max_rewrites == 0 || target == CodecId::None {
+            return Ok(report);
+        }
+        let codec = CodecRegistry::get(target)?;
+        if self.codec_states.is_empty() {
+            self.codec_states.push(CompressorState::new());
+        }
+        let mut rewrites = 0usize;
+        for entry in self.map.live_runs() {
+            if rewrites >= max_rewrites {
+                break;
+            }
+            report.scanned += 1;
+            let blocks = u64::from(entry.run_blocks);
+            if self.hints.lookup(entry.run_start).is_some_and(FileTypeHint::settles_compressibility)
+            {
+                report.skipped_precompressed += 1;
+                continue;
+            }
+            if self.heat.run_demoted(entry.run_start, blocks) {
+                report.skipped_demoted += 1;
+                continue;
+            }
+            match self.heat.classify_run(now_ns, entry.run_start, blocks) {
+                Temperature::Hot => {
+                    let raw_len = blocks * BLOCK_BYTES;
+                    let achieved = raw_len as f64 / entry.compressed_bytes.max(1) as f64;
+                    if entry.tag == CodecId::None || achieved > self.config.heat.demote_ratio {
+                        continue; // hot and worth its compression: leave it
+                    }
+                    let mut raw = self.read_buf_pool.pop().unwrap_or_default();
+                    if self.decompress_run_into(&entry, &mut raw).is_err() {
+                        self.recycle_read_buf(raw);
+                        report.skipped_unreadable += 1;
+                        continue;
+                    }
+                    let stored =
+                        raw_len + if self.config.parity { BLOCK_BYTES } else { 0 };
+                    let res = self.replace_run(&entry, CodecId::None, &raw, stored);
+                    self.recycle_read_buf(raw);
+                    res?;
+                    self.heat.mark_demoted(entry.run_start, blocks);
+                    self.demoted_runs += 1;
+                    report.demoted += 1;
+                    rewrites += 1;
+                }
+                Temperature::Cold => {
+                    if codec_strength(entry.tag) >= codec_strength(target) {
+                        continue; // already at (or above) the target tier
+                    }
+                    let mut raw = self.read_buf_pool.pop().unwrap_or_default();
+                    if self.run_raw_bytes(&entry, &mut raw).is_err() {
+                        self.recycle_read_buf(raw);
+                        report.skipped_unreadable += 1;
+                        continue;
+                    }
+                    let mut comp = self.scratch.pop().unwrap_or_default();
+                    codec.compress_with(&mut self.codec_states[0], &raw, &mut comp);
+                    let placement =
+                        self.allocator.place(raw.len() as u64, comp.len() as u64, None);
+                    let stored = placement.allocated_bytes
+                        + if self.config.parity { BLOCK_BYTES } else { 0 };
+                    if !placement.compressed || stored >= entry.stored_bytes {
+                        report.skipped_no_gain += 1;
+                        self.recycle_read_buf(raw);
+                        comp.clear();
+                        self.scratch.push(comp);
+                        continue;
+                    }
+                    let res = self.replace_run(&entry, target, &comp, stored);
+                    comp.clear();
+                    self.scratch.push(comp);
+                    let new_entry = match res {
+                        Ok(e) => e,
+                        Err(e) => {
+                            self.recycle_read_buf(raw);
+                            return Err(e);
+                        }
+                    };
+                    // The pass already holds the decompressed bytes:
+                    // seed the cache under the new offset so the first
+                    // post-relocation read skips the (stronger, slower)
+                    // decompressor.
+                    if self.cache.enabled() {
+                        if let Some(displaced) =
+                            self.cache.insert(new_entry.device_offset, raw)
+                        {
+                            self.recycle_read_buf(displaced);
+                        }
+                    } else {
+                        self.recycle_read_buf(raw);
+                    }
+                    report.bytes_reclaimed += entry.stored_bytes - stored;
+                    self.recompressed_runs += 1;
+                    report.recompressed += 1;
+                    rewrites += 1;
+                }
+                Temperature::Warm => {}
+            }
+        }
+        Ok(report)
+    }
+
+    /// Fetch a live run's *raw* (decompressed) bytes into `out`: the
+    /// payload itself for write-through runs, a decode for compressed
+    /// ones. Draws device-access faults like any read; used by the
+    /// background recompression pass.
+    fn run_raw_bytes(&mut self, entry: &MappingEntry, out: &mut Vec<u8>) -> Result<(), ReadError> {
+        if entry.tag != CodecId::None {
+            return self.decompress_run_into(entry, out);
+        }
+        self.fault_device_access(entry)?;
+        if self.verify_checksum(entry).is_err() && !self.try_parity_repair(entry) {
+            return Err(ReadError::ChecksumMismatch { run_start: entry.run_start });
+        }
+        out.clear();
+        let off = entry.device_offset as usize;
+        out.extend_from_slice(&self.device[off..off + entry.compressed_bytes as usize]);
+        Ok(())
+    }
+
+    /// Rewrite a live run out-of-place with a **new** payload and codec
+    /// tag (recompression / demotion), under the same crash discipline as
+    /// [`EdcPipeline::rewrite_run`]: fresh slot, payload (+ parity) pages
+    /// programmed against the power-cut clock, journal commit record,
+    /// mapping update, superseded slot released and its cached
+    /// decompression dropped. Returns the new mapping entry.
+    fn replace_run(
+        &mut self,
+        old: &MappingEntry,
+        tag: CodecId,
+        payload: &[u8],
+        stored_bytes: u64,
+    ) -> Result<MappingEntry, EdcError> {
+        let bb = BLOCK_BYTES as usize;
+        let parity = self.config.parity;
+        let device_offset = self.slots.alloc_run(stored_bytes, old.run_blocks);
+        let noff = device_offset as usize;
+        for page in 0..payload.len().div_ceil(bb).max(1) {
+            if let Err(e) = self.faults.program_page() {
+                return Err(fault_to_edc(e));
+            }
+            let lo = page * bb;
+            let hi = (lo + bb).min(payload.len());
+            self.device[noff + lo..noff + hi].copy_from_slice(&payload[lo..hi]);
+        }
+        if parity {
+            if let Err(e) = self.faults.program_page() {
+                return Err(fault_to_edc(e));
+            }
+            let page = xor_parity(payload);
+            let at = noff + stored_bytes as usize - bb;
+            self.device[at..at + bb].copy_from_slice(&page);
+        }
+        self.device_dwell();
+        self.physical_written += stored_bytes;
+        let entry = MappingEntry {
+            tag,
+            run_start: old.run_start,
+            run_blocks: old.run_blocks,
+            device_offset,
+            stored_bytes,
+            compressed_bytes: payload.len() as u64,
+            checksum: checksum64(payload, old.run_start),
+            parity,
+        };
+        // Commit point: the new record supersedes the old one for this
+        // run on replay; a cut before it leaves the old run live.
+        if let Err(e) = self.faults.program_page() {
+            return Err(fault_to_edc(e));
+        }
+        self.journal.append(&entry);
+        for evicted in self.map.insert_run(entry) {
+            self.slots.release_block_ref(evicted.device_offset);
+            if let Some(stale) = self.cache.invalidate(evicted.device_offset) {
+                self.recycle_read_buf(stale);
+            }
+        }
+        Ok(entry)
+    }
+
+    /// The heat tracker (read-only view for tests and benchmarks).
+    pub fn heat(&self) -> &HeatTracker {
+        &self.heat
     }
 
     /// Replace the fault plan, restarting the decision stream (campaigns
@@ -1157,6 +1453,15 @@ impl EdcPipeline {
         self.physical_written
     }
 
+    /// Current live on-flash footprint: the stored bytes (allocated quanta
+    /// plus any parity page) of every live run. Unlike the cumulative
+    /// [`EdcPipeline::physical_written`], this shrinks when background
+    /// recompression or overwrites release space — it is the number the
+    /// heat bench's space gate compares.
+    pub fn live_stored_bytes(&self) -> u64 {
+        self.map.live_runs().iter().map(|e| e.stored_bytes).sum()
+    }
+
     /// The paper's compression ratio over everything written so far.
     pub fn compression_ratio(&self) -> f64 {
         if self.physical_written == 0 {
@@ -1186,6 +1491,8 @@ impl EdcPipeline {
             live_runs: snap.runs.len() as u64,
             journal_records: self.journal.records(),
             degraded_reads: self.degraded_reads,
+            recompressed_runs: self.recompressed_runs,
+            demoted_runs: self.demoted_runs,
             cache: self.cache.stats(),
         }
     }
@@ -2087,6 +2394,295 @@ mod tests {
         );
         assert_eq!(p.read(20, 64 * 4096, 4096).unwrap(), v2, "stale cache must not leak");
         assert_eq!(p.read(21, 0, 4096).unwrap(), v1, "moved run still intact");
+    }
+
+    /// Low-entropy but match-poor content (4-symbol random): the fast LZ
+    /// tier leaves a lot on the table that an entropy-coding codec
+    /// recovers, so recompression has real headroom.
+    fn lowent_block(seed: u64) -> Vec<u8> {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                b"acgt"[(x >> 60) as usize & 3]
+            })
+            .collect()
+    }
+
+    /// Pipeline tuned for recompression tests: every write compresses
+    /// with Lzf regardless of intensity, and heat extents match the
+    /// 8-block run stride so each run cools independently.
+    fn heat_pipeline(demote_ratio: f64) -> EdcPipeline {
+        EdcPipeline::new(
+            8 << 20,
+            PipelineConfig {
+                selector: SelectorConfig {
+                    rungs: vec![crate::selector::LadderRung {
+                        max_calc_iops: f64::INFINITY,
+                        codec: CodecId::Lzf,
+                    }],
+                },
+                heat: crate::heat::HeatConfig {
+                    extent_blocks: 8,
+                    demote_ratio,
+                    ..crate::heat::HeatConfig::default()
+                },
+                ..PipelineConfig::default()
+            },
+        )
+    }
+
+    /// Write `runs` four-block runs of 4-ary content at an 8-block
+    /// stride, one run per heat extent, and return the expected bytes.
+    fn heat_workload(p: &mut EdcPipeline, runs: u64) -> Vec<(u64, Vec<u8>)> {
+        let mut now = 0u64;
+        let mut stored = Vec::new();
+        for i in 0..runs {
+            let data: Vec<u8> =
+                (0..4).flat_map(|b| lowent_block(i * 16 + b)).collect();
+            p.write(now, i * 8 * 4096, &data).unwrap();
+            now += 1_000_000;
+            stored.push((i * 8 * 4096, data));
+        }
+        p.flush_all(now).unwrap();
+        stored
+    }
+
+    #[test]
+    fn cold_runs_recompress_to_stronger_codec() {
+        let mut p = heat_pipeline(1.1);
+        let stored = heat_workload(&mut p, 8);
+        let physical_before = p.physical_written();
+        let live_before = p.slots.live_bytes();
+        // 200 s of silence: every extent decays far below the cold
+        // threshold.
+        let report = p.recompress_pass(200_000_000_000, CodecId::Deflate, usize::MAX).unwrap();
+        assert!(report.recompressed > 0, "no cold run upgraded: {report:?}");
+        assert!(report.bytes_reclaimed > 0);
+        assert_eq!(report.demoted, 0);
+        assert_eq!(report.skipped_unreadable, 0);
+        assert_eq!(p.stats().recompressed_runs, report.recompressed);
+        assert!(
+            p.slots.live_bytes() < live_before,
+            "recompression must shrink the live footprint: {} -> {}",
+            live_before,
+            p.slots.live_bytes()
+        );
+        assert!(p.physical_written() > physical_before, "rewrites are real flash writes");
+        // Logical bytes are untouched...
+        for (i, (off, data)) in stored.iter().enumerate() {
+            assert_eq!(
+                &p.read(200_000_100_000 + i as u64, *off, data.len() as u64).unwrap(),
+                data,
+                "run {i} changed by recompression"
+            );
+        }
+        // ...the store still audits clean, and the rewrites are durable:
+        // recovery replays the recompressed runs from the journal.
+        let v = p.verify().unwrap();
+        assert_eq!(v.unrecoverable, 0);
+        p.recover().unwrap();
+        for (i, (off, data)) in stored.iter().enumerate() {
+            assert_eq!(
+                &p.read(200_000_200_000 + i as u64, *off, data.len() as u64).unwrap(),
+                data,
+                "run {i} lost across recovery"
+            );
+        }
+    }
+
+    #[test]
+    fn second_pass_finds_nothing_left_to_do() {
+        let mut p = heat_pipeline(1.1);
+        heat_workload(&mut p, 6);
+        let now = 200_000_000_000;
+        let first = p.recompress_pass(now, CodecId::Deflate, usize::MAX).unwrap();
+        assert!(first.recompressed > 0);
+        let second = p.recompress_pass(now + 1, CodecId::Deflate, usize::MAX).unwrap();
+        assert_eq!(second.recompressed, 0, "already at target tier: {second:?}");
+        assert_eq!(second.demoted, 0);
+    }
+
+    #[test]
+    fn rewrite_budget_bounds_work_per_pass() {
+        let mut p = heat_pipeline(1.1);
+        heat_workload(&mut p, 8);
+        let report = p.recompress_pass(200_000_000_000, CodecId::Deflate, 2).unwrap();
+        assert!(report.recompressed <= 2, "budget exceeded: {report:?}");
+        assert_eq!(report.recompressed, 2, "budget not used: {report:?}");
+    }
+
+    #[test]
+    fn hot_low_ratio_runs_demote_to_write_through() {
+        // A generous demote threshold makes every compressed run "not
+        // worth it" once hot, so the demotion path fires deterministically.
+        let mut p = heat_pipeline(1_000.0);
+        let stored = heat_workload(&mut p, 4);
+        // Hammer run 0 with reads at the pass timestamp: its extent is
+        // hot, everything else has cooled.
+        let now = 200_000_000_000;
+        for r in 0..8u64 {
+            assert_eq!(p.read(now, 0, 4 * 4096).unwrap()[..], stored[0].1[..], "read {r}");
+        }
+        let report = p.recompress_pass(now, CodecId::Deflate, usize::MAX).unwrap();
+        assert_eq!(report.demoted, 1, "exactly the hot run demotes: {report:?}");
+        assert_eq!(p.stats().demoted_runs, 1);
+        assert!(p.heat().run_demoted(0, 4));
+        // Logical bytes unchanged, including the demoted run.
+        for (i, (off, data)) in stored.iter().enumerate() {
+            assert_eq!(
+                &p.read(now + 10 + i as u64, *off, data.len() as u64).unwrap(),
+                data,
+                "run {i} changed by demotion"
+            );
+        }
+        // The demoted extent is excluded from future recompression even
+        // once cold — it would just get re-inflated reads.
+        let later = p.recompress_pass(now + 400_000_000_000, CodecId::Deflate, usize::MAX).unwrap();
+        assert_eq!(later.recompressed, 0, "demoted run re-promoted: {later:?}");
+        assert!(later.skipped_demoted >= 1);
+        // After a crash the volatile flag resets with the heat; the run
+        // must re-cool before the pass touches it again, and every byte
+        // survives.
+        p.recover().unwrap();
+        assert!(!p.heat().run_demoted(0, 4));
+        for (i, (off, data)) in stored.iter().enumerate() {
+            assert_eq!(
+                &p.read(now + 20 + i as u64, *off, data.len() as u64).unwrap(),
+                data,
+                "run {i} lost across recovery"
+            );
+        }
+    }
+
+    #[test]
+    fn precompressed_hint_excluded_from_recompression() {
+        let mut p = heat_pipeline(1.1);
+        // Hinted range: written through at flush time (PR 2 contract)...
+        p.set_hint(0, 8 * 4096, FileTypeHint::Precompressed);
+        let hinted: Vec<u8> = (0..4).flat_map(|b| lowent_block(900 + b)).collect();
+        p.write(0, 0, &hinted).unwrap();
+        // ...plus an unhinted control run that should recompress. Writing
+        // it breaks sequentiality, so this call flushes the hinted run.
+        let control: Vec<u8> = (0..4).flat_map(|b| lowent_block(950 + b)).collect();
+        let hinted_result = p.write(1_000_000, 8 * 4096, &control).unwrap();
+        assert_eq!(
+            hinted_result.expect("hinted run flushed").tag,
+            CodecId::None,
+            "hint forces write-through"
+        );
+        p.flush_all(2_000_000).unwrap();
+        let records_before = p.journal_records();
+        let report = p.recompress_pass(200_000_000_000, CodecId::Deflate, usize::MAX).unwrap();
+        assert!(report.skipped_precompressed >= 1, "{report:?}");
+        assert_eq!(report.recompressed, 1, "only the control run moves: {report:?}");
+        // Exactly one rewrite hit the journal — the hinted run (tag None,
+        // cold, nominally upgradeable) appended nothing.
+        assert_eq!(p.journal_records(), records_before + 1);
+        assert_eq!(p.read(200_000_000_001, 0, hinted.len() as u64).unwrap(), hinted);
+        assert_eq!(
+            p.read(200_000_000_002, 8 * 4096, control.len() as u64).unwrap(),
+            control
+        );
+    }
+
+    #[test]
+    fn recompression_relocation_never_serves_stale_cache() {
+        // Overwrite-churn against background recompression: every round
+        // relocates cold runs (freeing slots) and rewrites fresh data
+        // (reusing them). A stale cache entry keyed by a recycled device
+        // offset would surface as a wrong read immediately.
+        let mut p = heat_pipeline(1.1);
+        let mut now = 0u64;
+        let mut expect: Vec<(u64, Vec<u8>)> = Vec::new();
+        for i in 0..6u64 {
+            let data: Vec<u8> = (0..4).flat_map(|b| lowent_block(i * 16 + b)).collect();
+            p.write(now, i * 8 * 4096, &data).unwrap();
+            now += 1_000_000;
+            expect.push((i * 8 * 4096, data));
+        }
+        p.flush_all(now).unwrap();
+        for round in 1..20u64 {
+            // Populate the cache for every run...
+            for (off, data) in &expect {
+                assert_eq!(
+                    &p.read(now, *off, data.len() as u64).unwrap(),
+                    data,
+                    "round {round} pre-read"
+                );
+            }
+            // ...cool everything and relocate it...
+            now += 400_000_000_000;
+            p.recompress_pass(now, CodecId::Deflate, usize::MAX).unwrap();
+            // ...then overwrite half the runs with fresh content, which
+            // recycles freed slots of the same size classes.
+            for (i, (off, data)) in expect.iter_mut().enumerate() {
+                if i as u64 % 2 == round % 2 {
+                    continue;
+                }
+                *data = (0..4)
+                    .flat_map(|b| lowent_block(round * 1_000 + i as u64 * 16 + b))
+                    .collect();
+                p.write(now, *off, data).unwrap();
+                now += 1_000_000;
+            }
+            p.flush_all(now).unwrap();
+            for (i, (off, data)) in expect.iter().enumerate() {
+                assert_eq!(
+                    &p.read(now + i as u64, *off, data.len() as u64).unwrap(),
+                    data,
+                    "round {round} run {i}: stale bytes served"
+                );
+            }
+        }
+        assert!(p.stats().cache.invalidations > 0, "churn never hit the cache");
+        assert!(p.stats().recompressed_runs > 0, "churn never recompressed");
+    }
+
+    #[test]
+    fn power_cut_mid_recompression_loses_no_data() {
+        // Cut at each of the first programs of the recompression pass:
+        // whatever the journal holds at the cut — old record or new —
+        // recovery must serve every original byte.
+        for cut in 0..8u64 {
+            let mut p = heat_pipeline(1.1);
+            let stored = heat_workload(&mut p, 4);
+            p.set_fault_plan(FaultPlan {
+                power_cut_after_programs: Some(cut),
+                ..FaultPlan::none()
+            });
+            match p.recompress_pass(200_000_000_000, CodecId::Deflate, usize::MAX) {
+                Ok(report) => assert!(report.recompressed > 0, "cut {cut} did nothing"),
+                Err(EdcError::Write(WriteError::PowerCut { .. })) => {}
+                Err(other) => panic!("cut {cut}: unexpected error {other:?}"),
+            }
+            let report = p.recover().unwrap();
+            assert_eq!(report.payload_mismatches, 0, "cut {cut}");
+            for (i, (off, data)) in stored.iter().enumerate() {
+                assert_eq!(
+                    &p.read(900 + i as u64, *off, data.len() as u64).unwrap(),
+                    data,
+                    "cut {cut}: run {i} lost"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_heat_makes_the_pass_a_no_op() {
+        let mut p = EdcPipeline::new(
+            4 << 20,
+            PipelineConfig {
+                heat: crate::heat::HeatConfig { enabled: false, ..Default::default() },
+                ..PipelineConfig::default()
+            },
+        );
+        p.write(0, 0, &text_block(1)).unwrap();
+        p.flush_all(1).unwrap();
+        let report = p.recompress_pass(200_000_000_000, CodecId::Deflate, usize::MAX).unwrap();
+        assert_eq!(report, RecompressReport::default());
     }
 
     #[test]

@@ -9,6 +9,18 @@
 
 use edc_compress::CodecId;
 
+/// Codec strength order used for "upgrade" comparisons (background
+/// recompression only rewrites a run when the target codec is strictly
+/// stronger than its current tag): None < fast LZ < Deflate < BWT.
+pub fn codec_strength(id: CodecId) -> u8 {
+    match id {
+        CodecId::None => 0,
+        CodecId::Lzf | CodecId::Lz4 => 1,
+        CodecId::Deflate => 2,
+        CodecId::Bwt => 3,
+    }
+}
+
 /// One rung of the ladder: use `codec` while intensity is ≤ `max_calc_iops`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LadderRung {
@@ -66,6 +78,18 @@ impl SelectorConfig {
                 LadderRung { max_calc_iops: skip_above, codec: CodecId::Lzf },
             ],
         }
+    }
+
+    /// The strongest codec anywhere in the ladder — what background
+    /// recompression upgrades cold runs to
+    /// ([`crate::pipeline::EdcPipeline::recompress_pass`]). For the paper
+    /// ladder this is Deflate; a three-level ladder yields Bwt.
+    pub fn strongest_codec(&self) -> CodecId {
+        self.rungs
+            .iter()
+            .map(|r| r.codec)
+            .max_by_key(|&c| codec_strength(c))
+            .unwrap_or(CodecId::None)
     }
 
     /// Validate ordering.
@@ -195,5 +219,15 @@ mod tests {
     fn two_level_constructor_enforces_order() {
         let cfg = SelectorConfig::two_level(10.0, 20.0);
         assert_eq!(cfg.rungs.len(), 2);
+    }
+
+    #[test]
+    fn strongest_codec_tracks_ladder_shape() {
+        assert_eq!(SelectorConfig::paper_default().strongest_codec(), CodecId::Deflate);
+        assert_eq!(
+            SelectorConfig::three_level(50.0, 300.0, 1500.0).strongest_codec(),
+            CodecId::Bwt
+        );
+        assert_eq!(SelectorConfig { rungs: vec![] }.strongest_codec(), CodecId::None);
     }
 }

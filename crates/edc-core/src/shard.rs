@@ -46,10 +46,11 @@ use crate::error::EdcError;
 use crate::journal::{RecoveryError, MAX_SHARDS};
 use crate::parallel::par_map_indexed;
 use crate::pipeline::{
-    BatchWrite, EdcPipeline, PipelineConfig, PipelineStats, ReadError, RecoveryReport, ScrubReport,
-    WriteResult,
+    BatchWrite, EdcPipeline, PipelineConfig, PipelineStats, ReadError, RecompressReport,
+    RecoveryReport, ScrubReport, WriteResult,
 };
 use crate::scheme::BLOCK_BYTES;
+use edc_compress::CodecId;
 use std::sync::Mutex;
 
 /// Configuration of a [`ShardedPipeline`].
@@ -108,6 +109,10 @@ impl ShardedPipeline {
             .map(|i| {
                 let mut pc = config.pipeline.clone();
                 pc.journal_shard = i as u8;
+                // Align heat-tracking extents with the routing extents:
+                // a heat extent then never straddles two shards, so each
+                // shard's tracker is fully local ("sharded-safe layout").
+                pc.heat.extent_blocks = config.extent_blocks;
                 Mutex::new(EdcPipeline::new(per_shard, pc))
             })
             .collect();
@@ -286,6 +291,28 @@ impl ShardedPipeline {
         self.merge_scrub(self.for_each_shard(|p| p.verify()))
     }
 
+    /// Heat-aware background recompression across every shard (see
+    /// [`EdcPipeline::recompress_pass`]), fanned across worker threads
+    /// like the other maintenance passes. Each shard consults its own
+    /// heat tracker — heat extents are aligned with routing extents at
+    /// construction, so no cross-shard state exists to synchronise.
+    /// `max_rewrites_per_shard` is each shard's idle-bandwidth budget;
+    /// the merged report sums all shards.
+    pub fn recompress(
+        &self,
+        now_ns: u64,
+        target: CodecId,
+        max_rewrites_per_shard: usize,
+    ) -> Result<RecompressReport, EdcError> {
+        let per_shard =
+            self.for_each_shard(|p| p.recompress_pass(now_ns, target, max_rewrites_per_shard));
+        let mut report = RecompressReport::default();
+        for r in per_shard {
+            report.merge(&r?);
+        }
+        Ok(report)
+    }
+
     /// Aggregate statistics. All shard locks are acquired (in index
     /// order) *before* any counter is read, so the totals — including the
     /// merged [`crate::cache::CacheStats`] — reflect a single instant;
@@ -299,6 +326,13 @@ impl ShardedPipeline {
             total.merge(&g.stats());
         }
         total
+    }
+
+    /// Current live on-flash footprint summed over every shard (see
+    /// [`EdcPipeline::live_stored_bytes`]). Shard locks are taken in index
+    /// order so the sum reflects one instant.
+    pub fn live_stored_bytes(&self) -> u64 {
+        self.shards.iter().map(|m| m.lock().expect("shard poisoned").live_stored_bytes()).sum()
     }
 
     /// Run `f` against every shard concurrently, results in shard order.
@@ -529,6 +563,68 @@ mod tests {
         let sc = s.scrub().unwrap();
         assert_eq!(sc.scanned, v.scanned);
         assert_eq!(sc.clean, sc.scanned);
+    }
+
+    #[test]
+    fn recompress_fans_out_and_preserves_reads() {
+        // 4-ary content with a pinned-Lzf ladder: plenty of headroom for
+        // the background pass to upgrade cold runs to Deflate.
+        let lowent = |seed: u64| -> Vec<u8> {
+            let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            (0..4 * BB)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    b"acgt"[(x >> 60) as usize & 3]
+                })
+                .collect()
+        };
+        let s = ShardedPipeline::new(
+            4 * 8 * 1024 * 1024,
+            ShardConfig {
+                shards: 4,
+                extent_blocks: 4,
+                pipeline: PipelineConfig {
+                    selector: crate::selector::SelectorConfig {
+                        rungs: vec![crate::selector::LadderRung {
+                            max_calc_iops: f64::INFINITY,
+                            codec: edc_compress::CodecId::Lzf,
+                        }],
+                    },
+                    ..PipelineConfig::default()
+                },
+            },
+        );
+        let mut now = 0u64;
+        let mut expect = Vec::new();
+        for i in 0..16u64 {
+            let data = lowent(i);
+            s.write(now, i * 4 * BLOCK_BYTES, &data).unwrap();
+            now += 1_000_000;
+            expect.push((i * 4 * BLOCK_BYTES, data));
+        }
+        s.flush_all(now).unwrap();
+        // Long silence cools every extent on every shard.
+        now += 400_000_000_000;
+        let report = s.recompress(now, CodecId::Deflate, usize::MAX).unwrap();
+        assert!(report.recompressed > 0, "{report:?}");
+        assert_eq!(report.skipped_unreadable, 0);
+        // The merged stats see the per-shard counters.
+        assert_eq!(s.stats().recompressed_runs, report.recompressed);
+        // More than one shard did work (extents stripe round-robin).
+        let busy = (0..4)
+            .filter(|&i| s.with_shard(i, |p| p.stats().recompressed_runs) > 0)
+            .count();
+        assert!(busy > 1, "recompression stayed on {busy} shard(s)");
+        for (i, (off, data)) in expect.iter().enumerate() {
+            assert_eq!(
+                &s.read(now + i as u64, *off, data.len() as u64).unwrap(),
+                data,
+                "run {i} changed by sharded recompression"
+            );
+        }
+        assert_eq!(s.verify().unwrap().unrecoverable, 0);
     }
 
     #[test]

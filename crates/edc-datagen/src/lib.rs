@@ -35,7 +35,9 @@ pub mod generator;
 pub mod proptest;
 pub mod ratio_dial;
 pub mod rng;
+pub mod zipf;
 
 pub use generator::{BlockClass, ContentGenerator, DataMix};
 pub use ratio_dial::RatioDial;
 pub use rng::Rng64;
+pub use zipf::Zipfian;
