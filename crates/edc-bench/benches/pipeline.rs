@@ -29,7 +29,7 @@ fn main() {
             t += 10_000_000;
         }
         store.flush(t).expect("flush");
-        black_box(store.compression_ratio())
+        black_box(store.stats().compression_ratio())
     });
 
     {

@@ -57,6 +57,7 @@ pub struct Harness {
     results: Vec<CaseResult>,
     metrics: Vec<(String, f64)>,
     notes: Vec<String>,
+    series: Vec<(String, Vec<(u64, f64)>)>,
 }
 
 impl Harness {
@@ -70,6 +71,7 @@ impl Harness {
             results: Vec::new(),
             metrics: Vec::new(),
             notes: Vec::new(),
+            series: Vec::new(),
         }
     }
 
@@ -136,6 +138,15 @@ impl Harness {
         self.notes.push(text.to_string());
     }
 
+    /// Attach a named trajectory series — `(t_ns, value)` points in
+    /// chronological order, e.g. the samples drained from an
+    /// `edc_core::TieredSeries` at the end of a soak run. Series land in
+    /// the JSON report under a dedicated `series` section so dashboards
+    /// can plot how a metric moved over the run, not just where it ended.
+    pub fn series(&mut self, name: &str, points: impl IntoIterator<Item = (u64, f64)>) {
+        self.series.push((name.to_string(), points.into_iter().collect()));
+    }
+
     /// All recorded cases, in run order.
     pub fn results(&self) -> &[CaseResult] {
         &self.results
@@ -159,6 +170,13 @@ impl Harness {
         }
         for (k, v) in &self.metrics {
             out.push_str(&format!("  {k:<40} {v:.4}\n"));
+        }
+        for (name, points) in &self.series {
+            out.push_str(&format!("  series {name:<33} {} points", points.len()));
+            if let (Some(first), Some(last)) = (points.first(), points.last()) {
+                out.push_str(&format!("  ({:.4} -> {:.4})", first.1, last.1));
+            }
+            out.push('\n');
         }
         for n in &self.notes {
             out.push_str(&format!("  note: {n}\n"));
@@ -198,6 +216,27 @@ impl Harness {
                 s.push_str(", ");
             }
             s.push_str(&format!("{}: {}", json_str(k), json_num(*v)));
+        }
+        s.push_str("},\n");
+        // Trajectory series keep `name` on their own line *without* a
+        // throughput field, so the line-based regression parser in
+        // `check_bench` never mistakes a series for a timed case.
+        s.push_str("  \"series\": {");
+        for (i, (name, points)) in self.series.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    {}: [", json_str(name)));
+            for (j, (t_ns, value)) in points.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("{{\"t_ns\": {t_ns}, \"value\": {}}}", json_num(*value)));
+            }
+            s.push(']');
+        }
+        if !self.series.is_empty() {
+            s.push_str("\n  ");
         }
         s.push_str("},\n");
         s.push_str("  \"notes\": [");
@@ -291,6 +330,30 @@ mod tests {
         assert!(j.contains("\"notes\": [\"ran with \\\"reduced\\\" load\"]"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn series_lands_in_json_and_render() {
+        let mut h = Harness::new("t", 2);
+        h.run("a", || ());
+        h.series("live_bytes", vec![(0, 1.0), (1_000, 2.5), (2_000, f64::NAN)]);
+        let j = h.to_json();
+        assert!(j.contains("\"series\": {"));
+        assert!(j.contains("\"live_bytes\": [{\"t_ns\": 0, \"value\": 1.000000}"));
+        assert!(j.contains("{\"t_ns\": 2000, \"value\": null}"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        // A series name must never sit on the same line as a
+        // throughput figure (check_bench's parser is line-based).
+        for line in j.lines() {
+            assert!(
+                !(line.contains("live_bytes") && line.contains("throughput_mib_s")),
+                "series line would confuse the regression parser: {line}"
+            );
+        }
+        let text = h.render();
+        assert!(text.contains("series live_bytes"));
+        assert!(text.contains("3 points"));
     }
 
     #[test]

@@ -8,20 +8,26 @@
 //!
 //! Subcommands: `fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12
 //! ablations bench-pipeline bench-concurrency bench-codecs bench-heat
-//! check-bench fault-campaign fuzz scrub-campaign all`. `--quick` shrinks
-//! trace durations (and bench workloads) for smoke runs; `--smoke` does
-//! the same for `bench-concurrency`, `bench-codecs`, `bench-heat`,
-//! `fault-campaign`, `fuzz` and `scrub-campaign`; `--out DIR` sets the
-//! output directory (default `results/`); `check-bench --baseline DIR
-//! --fresh DIR` compares committed `BENCH_*.json` baselines against a
-//! fresh run and fails on any >10% throughput regression.
+//! check-bench fault-campaign fuzz scrub-campaign replay record-golden
+//! all`. `--quick` shrinks trace durations (and bench workloads) for
+//! smoke runs; `--smoke` does the same for `bench-concurrency`,
+//! `bench-codecs`, `bench-heat`, `fault-campaign`, `fuzz` and
+//! `scrub-campaign`; `--out DIR` sets the output directory (default
+//! `results/`); `check-bench --baseline DIR --fresh DIR` compares
+//! committed `BENCH_*.json` baselines against a fresh run and fails on
+//! any >10% throughput regression; `replay <log.edcrr>...` re-executes
+//! recorded op logs and exits non-zero on any divergence;
+//! `record-golden <path>` regenerates the committed golden fixture.
 
 use edc_bench::env::{ExperimentEnv, Platform};
 use edc_bench::experiments as ex;
 use edc_bench::{Harness, Table};
 use edc_core::error::EdcError;
 use edc_core::pipeline::{BatchWrite, EdcPipeline, PipelineConfig};
-use edc_core::{SelectorConfig, ShardConfig, ShardedPipeline};
+use edc_core::{
+    ManualClock, Op, Recorder, Replayer, SelectorConfig, ShardConfig, ShardedPipeline, StoreSpec,
+    TieredSeries,
+};
 use edc_flash::{FaultError, FaultPlan, IoKind, SsdConfig, SsdDevice};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -119,7 +125,7 @@ fn bench_pipeline(quick: bool, out_dir: &Path) {
                     p.read(end_ns + pass + 1, w.offset, w.data.len() as u64).expect("read");
                 }
             }
-            p.cache_stats()
+            p.stats().cache
         },
     );
     let mut probe = make(WORKERS);
@@ -130,7 +136,7 @@ fn bench_pipeline(quick: bool, out_dir: &Path) {
             probe.read(end_ns + pass + 1, w.offset, w.data.len() as u64).expect("read");
         }
     }
-    let cache = probe.cache_stats();
+    let cache = probe.stats().cache;
 
     let speedup = serial_ns as f64 / batched_ns as f64;
     let cpus = std::thread::available_parallelism().map_or(1, |c| c.get());
@@ -356,7 +362,7 @@ fn conc_serial_run(ops: usize) -> MixedRun {
         ops: lat.len() as u64,
         p50_ns: lat[lat.len() / 2],
         p99_ns: lat[lat.len() * 99 / 100],
-        hit_rate: p.cache_stats().hit_rate(),
+        hit_rate: p.stats().cache.hit_rate(),
         errors,
     }
 }
@@ -739,18 +745,37 @@ fn heat_pipeline_config() -> PipelineConfig {
     }
 }
 
+/// Steady-state ops between telemetry samples in the heat bench. Coarse
+/// enough that `stats()` (which locks every shard) stays off the hot
+/// path, fine enough that a full run pushes a few hundred points through
+/// the tiered ring.
+const HEAT_SAMPLE_EVERY_OPS: usize = 50;
+
 /// One driven arm of the heat bench, ready for latency measurement.
 struct HeatArm {
     s: ShardedPipeline,
     versions: Vec<u64>,
     clock: u64,
     errors: u64,
+    /// Live stored bytes over simulated time, tier-decimated so a soak
+    /// run's full trajectory fits in O(log n) points.
+    live_series: TieredSeries,
+    /// Fleet-wide cache hit rate over simulated time, same decimation.
+    hit_series: TieredSeries,
 }
 
 impl HeatArm {
     fn tick(&mut self) -> u64 {
         self.clock += HEAT_CLOCK_STEP_NS;
         self.clock
+    }
+
+    /// Push one telemetry sample at the current simulated time.
+    fn sample_telemetry(&mut self) {
+        let live = self.s.live_stored_bytes();
+        let hit = self.s.stats().cache.hit_rate();
+        self.live_series.push(self.clock, live as f64);
+        self.hit_series.push(self.clock, hit);
     }
 
     /// Read one rank, verifying content; returns the wall-clock ns spent
@@ -786,7 +811,14 @@ fn heat_drive(
             pipeline: heat_pipeline_config(),
         },
     );
-    let mut arm = HeatArm { s, versions: vec![0u64; n_ranks as usize], clock: 0, errors: 0 };
+    let mut arm = HeatArm {
+        s,
+        versions: vec![0u64; n_ranks as usize],
+        clock: 0,
+        errors: 0,
+        live_series: TieredSeries::new(32, 4),
+        hit_series: TieredSeries::new(32, 4),
+    };
 
     for rank in 0..n_ranks {
         let now = arm.tick();
@@ -794,10 +826,17 @@ fn heat_drive(
     }
     let now = arm.tick();
     arm.s.flush_all(now).expect("fill flush");
+    arm.sample_telemetry();
 
+    let mut ops_since_sample = 0usize;
     for round in schedule {
         for &(rank, is_write) in round {
             let now = arm.tick();
+            ops_since_sample += 1;
+            if ops_since_sample >= HEAT_SAMPLE_EVERY_OPS {
+                ops_since_sample = 0;
+                arm.sample_telemetry();
+            }
             if is_write {
                 arm.versions[rank as usize] += 1;
                 arm.s
@@ -819,6 +858,7 @@ fn heat_drive(
             let now = arm.tick();
             arm.s.recompress(now, target, budget_per_shard).expect("recompress pass");
         }
+        arm.sample_telemetry();
     }
 
     // Idle window: traffic stops for several half-lives, then the
@@ -829,6 +869,7 @@ fn heat_drive(
         for _ in 0..16 {
             let now = arm.tick();
             let r = arm.s.recompress(now, target, budget_per_shard).expect("idle pass");
+            arm.sample_telemetry();
             if r.recompressed == 0 && r.demoted == 0 {
                 break;
             }
@@ -881,9 +922,9 @@ fn heat_power_cut_sweep(smoke: bool) -> (u64, u64, u64) {
     // Clean run: how many page programs does the pass itself issue?
     let mut clean = mk();
     let cold_at = drive(&mut clean);
-    let before = clean.programs();
+    let before = clean.stats().programs;
     clean.recompress_pass(cold_at, CodecId::Deflate, usize::MAX).expect("clean pass");
-    let pass_programs = clean.programs() - before;
+    let pass_programs = clean.stats().programs - before;
 
     let (mut lost, mut mismatches) = (0u64, 0u64);
     for cut in 0..pass_programs {
@@ -1006,6 +1047,19 @@ fn bench_heat(smoke: bool, out_dir: &Path) {
     h.metric("control_read_p99_us", control_p99 as f64 / 1e3);
     let p99_ratio = heat_p99 as f64 / control_p99.max(1) as f64;
     h.metric("p99_ratio_heat_vs_control", p99_ratio);
+
+    // Trajectory series: how each arm's live footprint (and the heat
+    // arm's cache hit rate) moved over simulated time, tier-decimated by
+    // `TieredSeries` so even a full soak run emits O(log n) points while
+    // keeping the newest region at full resolution.
+    let pts =
+        |s: &TieredSeries| s.samples().into_iter().map(|p| (p.t_ns, p.value)).collect::<Vec<_>>();
+    h.metric("telemetry_pushed", heat.live_series.pushed() as f64);
+    h.metric("telemetry_retained", heat.live_series.len() as f64);
+    h.metric("telemetry_tiers", heat.live_series.tier_count() as f64);
+    h.series("heat_live_bytes", pts(&heat.live_series));
+    h.series("control_live_bytes", pts(&control.live_series));
+    h.series("heat_cache_hit_rate", pts(&heat.hit_series));
     eprintln!(
         "# space: heat {:.2} MiB vs control {:.2} MiB ({:.1}% saved, {} runs recompressed, \
          {} demoted)",
@@ -1281,8 +1335,8 @@ fn fault_campaign(smoke: bool, out_dir: &Path) {
     // Baseline: zero fault rate must mean zero faults and zero loss.
     let mut clean = mk();
     let expect = campaign_drive(&mut clean, runs).expect("clean run cannot fault");
-    let total_programs = clean.programs();
-    let committed_runs = clean.journal_records();
+    let total_programs = clean.stats().programs;
+    let committed_runs = clean.stats().journal_records;
     let (clean_verified, clean_lost) = campaign_verify(&mut clean, &expect);
     let stats = clean.fault_stats();
     let clean_faults = stats.read_faults
@@ -1318,6 +1372,7 @@ fn fault_campaign(smoke: bool, out_dir: &Path) {
             Err(EdcError::Write(edc_core::error::WriteError::PowerCut { .. })) => {}
             other => {
                 eprintln!("# FAIL: cut {cut} did not surface as PowerCut ({other:?})");
+                save_crash_artifact(&campaign_artifact(cut, runs), out_dir, &format!("fault_cut_{cut}.edcrr"));
                 failures += 1;
                 continue;
             }
@@ -1327,6 +1382,7 @@ fn fault_campaign(smoke: bool, out_dir: &Path) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("# FAIL: recovery after cut {cut}: {e}");
+                save_crash_artifact(&campaign_artifact(cut, runs), out_dir, &format!("fault_cut_{cut}.edcrr"));
                 recover_failures += 1;
                 failures += 1;
                 continue;
@@ -1340,6 +1396,13 @@ fn fault_campaign(smoke: bool, out_dir: &Path) {
         let (v, l) = campaign_verify(&mut p, &expect);
         verified_total += v;
         lost_total += l;
+        // A cut that lost data (or recovered mismatched payloads) becomes
+        // a replayable `.edcrr` artifact: the same schedule re-driven
+        // through a Recorder, so the failure is pinned as a golden log
+        // that `edc-bench replay` re-executes bit-exactly.
+        if l > 0 || report.payload_mismatches > 0 {
+            save_crash_artifact(&campaign_artifact(cut, runs), out_dir, &format!("fault_cut_{cut}.edcrr"));
+        }
         cuts += 1;
     }
     if lost_total > 0 || payload_mismatches > 0 {
@@ -1373,6 +1436,32 @@ fn fault_campaign(smoke: bool, out_dir: &Path) {
             (report.replayed_runs, p)
         },
     );
+
+    // Record/replay gate, on by default: the midpoint-cut schedule is
+    // re-driven through a Recorder and the log replayed against a fresh
+    // store, so the capture path is exercised on every campaign run —
+    // not only on the runs where something already went wrong.
+    let rec = campaign_artifact(mid, runs);
+    h.metric("recorded_ops_midpoint_cut", rec.ops() as f64);
+    h.metric("recorded_log_bytes_midpoint_cut", rec.bytes().len() as f64);
+    match Replayer::replay(rec.bytes()) {
+        Ok(report) if report.is_exact() => eprintln!(
+            "# record/replay: midpoint-cut log ({} ops, {} bytes) replays bit-exactly",
+            report.ops,
+            rec.bytes().len()
+        ),
+        Ok(report) => {
+            for d in &report.divergences {
+                eprintln!("# FAIL: record/replay: {d}");
+            }
+            eprintln!("# FAIL: midpoint-cut record/replay diverged");
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("# FAIL: midpoint-cut log does not parse: {e}");
+            failures += 1;
+        }
+    }
 
     // Device-level matrix: transient/program/erase fault rates against the
     // raw SSD simulator, with a power cycle and an FTL integrity audit at
@@ -1498,8 +1587,17 @@ fn fuzz_cmd(smoke: bool, out_dir: &Path) {
         report.crashes.len()
     );
     if !report.passed() {
-        for c in &report.crashes {
+        let dir = out_dir.join("crashers");
+        let _ = std::fs::create_dir_all(&dir);
+        for (i, c) in report.crashes.iter().enumerate() {
             eprintln!("{}", edc_bench::fuzz::render_crash(c));
+            // Persist the minimized stream too, so the crasher survives
+            // scrollback and can be re-fed to the decoders directly.
+            let p = dir.join(format!("fuzz_{i}.bin"));
+            match std::fs::write(&p, &c.input) {
+                Ok(()) => eprintln!("# crash input saved: {}", p.display()),
+                Err(e) => eprintln!("# warn: cannot save {}: {e}", p.display()),
+            }
         }
         eprintln!("# fuzz campaign FAILED: add the minimized streams above as regressions");
         std::process::exit(1);
@@ -1616,6 +1714,199 @@ fn scrub_campaign(smoke: bool, out_dir: &Path) {
     eprintln!("# scrub campaign passed: zero unrepaired loss at single-page-per-run rot");
 }
 
+/// Re-record the fault campaign's schedule for one power-cut point as a
+/// self-contained `.edcrr` artifact: the same writes/overwrite/flushes,
+/// then recovery and a full read-back sweep, all dispatched through a
+/// [`Recorder`] against a store whose spec arms the cut. The saved log
+/// replays bit-exactly with `edc-bench replay` — and starts diverging
+/// the moment the engine's behaviour at that cut point changes.
+fn campaign_artifact(cut: u64, runs: u64) -> Recorder {
+    let spec = StoreSpec {
+        capacity_bytes: 8 << 20,
+        shards: 0,
+        fault: FaultPlan { power_cut_after_programs: Some(cut), ..FaultPlan::none() },
+        ..StoreSpec::default()
+    };
+    let mut store = spec.build();
+    let mut rec = Recorder::new(spec);
+    let mut clock = ManualClock::new(0, 1);
+    let mut ops: Vec<Op> = Vec::new();
+    for i in 0..runs {
+        let mut data = if i % 4 == 3 {
+            campaign_noise_block(i * 977 + 13)
+        } else {
+            campaign_text_block(i)
+        };
+        data.extend(campaign_text_block(i + 1000));
+        ops.push(Op::Write { offset: (i * 3) * 4096, data });
+    }
+    ops.push(Op::Flush);
+    let mut v2 = campaign_text_block(7777);
+    v2.extend(campaign_text_block(8888));
+    ops.push(Op::Write { offset: 0, data: v2 });
+    ops.push(Op::Flush);
+    ops.push(Op::Recover);
+    for i in 0..runs {
+        ops.push(Op::Read { offset: (i * 3) * 4096, len: 2 * 4096 });
+    }
+    ops.push(Op::Stats);
+    for op in &ops {
+        rec.apply(store.as_mut(), &mut clock, op);
+    }
+    rec
+}
+
+/// Save a crash artifact under `<out_dir>/crashers/`, logging where it
+/// went (best-effort: artifact I/O must never mask the original failure).
+fn save_crash_artifact(rec: &Recorder, out_dir: &Path, name: &str) {
+    let dir = out_dir.join("crashers");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("# warn: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match rec.save(&path) {
+        Ok(()) => eprintln!(
+            "# crash artifact: {} ({} ops; `edc-bench replay {}`)",
+            path.display(),
+            rec.ops(),
+            path.display()
+        ),
+        Err(e) => eprintln!("# warn: cannot save {}: {e}", path.display()),
+    }
+}
+
+/// `edc-bench replay <log.edcrr>...` — re-execute recorded op logs
+/// against freshly built stores and diff every output digest. Exits 0
+/// only when every log replays bit-exactly (no divergence, no torn
+/// tail); prints each divergence otherwise.
+fn replay_cmd(paths: &[PathBuf]) {
+    if paths.is_empty() {
+        eprintln!("usage: edc-bench replay <log.edcrr> [more.edcrr ...]");
+        std::process::exit(2);
+    }
+    let mut failures = 0u64;
+    for path in paths {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("# FAIL: {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        match Replayer::replay(&bytes) {
+            Ok(report) if report.is_exact() => {
+                eprintln!("# {}: {} op(s) replayed bit-exactly", path.display(), report.ops);
+            }
+            Ok(report) => {
+                if report.torn_tail {
+                    eprintln!(
+                        "# FAIL: {}: torn tail after {} intact op(s)",
+                        path.display(),
+                        report.ops
+                    );
+                }
+                for d in &report.divergences {
+                    eprintln!("# FAIL: {}: {d}", path.display());
+                }
+                eprintln!(
+                    "# FAIL: {}: {} divergence(s) across {} op(s)",
+                    path.display(),
+                    report.divergences.len(),
+                    report.ops
+                );
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("# FAIL: {}: {e}", path.display());
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("# replay FAILED: {failures} of {} log(s) diverged", paths.len());
+        std::process::exit(1);
+    }
+    eprintln!("# replay passed: {} log(s) bit-exact", paths.len());
+}
+
+/// `edc-bench record-golden <path>` — record a deterministic mixed op
+/// schedule (writes, batches, hints, faults, a power cut, recovery,
+/// scrub, recompression, journal truncation) against a 2-shard parity
+/// store and save it as a golden `.edcrr` fixture. Used once to generate
+/// the committed fixture under `tests/fixtures/`; kept for regeneration
+/// whenever the engine's observable behaviour intentionally changes.
+fn record_golden(path: &Path) {
+    use edc_core::FileTypeHint;
+    let spec = StoreSpec {
+        capacity_bytes: 16 << 20,
+        shards: 2,
+        extent_blocks: 8,
+        workers: 2,
+        cache_runs: 16,
+        parity: true,
+        ..StoreSpec::default()
+    };
+    let mut store = spec.build();
+    let mut rec = Recorder::new(spec);
+    // 2 ms/op, the heat bench's steady mid-ladder cadence.
+    let mut clock = ManualClock::new(0, 2_000_000);
+    let mut ops: Vec<Op> = Vec::new();
+    ops.push(Op::SetHint { offset: 0, len: 64 * 4096, hint: FileTypeHint::Text });
+    for i in 0..12u64 {
+        let mut data = if i % 5 == 4 {
+            campaign_noise_block(i * 31 + 7)
+        } else {
+            campaign_text_block(i)
+        };
+        data.extend(campaign_text_block(i + 100));
+        ops.push(Op::Write { offset: i * 3 * 4096, data });
+    }
+    ops.push(Op::WriteBatch {
+        writes: (0..4u64)
+            .map(|i| ((40 + i * 3) * 4096, campaign_text_block(200 + i)))
+            .collect(),
+    });
+    ops.push(Op::Flush);
+    for i in [0u64, 3, 7, 11] {
+        ops.push(Op::Read { offset: i * 3 * 4096, len: 2 * 4096 });
+    }
+    ops.push(Op::Stats);
+    // Arm bit rot, overwrite, scrub it clean, then recompress the lot.
+    ops.push(Op::SetFaultPlan(FaultPlan {
+        seed: 0xEDC_601D,
+        bit_rot_rate: 0.02,
+        ..FaultPlan::none()
+    }));
+    ops.push(Op::Write { offset: 0, data: campaign_text_block(7777) });
+    ops.push(Op::Flush);
+    ops.push(Op::Scrub);
+    ops.push(Op::RecompressPass {
+        target: edc_compress::CodecId::Deflate,
+        max_rewrites: u64::MAX,
+    });
+    ops.push(Op::Verify);
+    // Yank the cord, recover, tear one shard's journal, recover again.
+    ops.push(Op::PowerCut);
+    ops.push(Op::Read { offset: 0, len: 4096 });
+    ops.push(Op::Recover);
+    ops.push(Op::TruncateJournal { shard: 1, bytes: 64 });
+    ops.push(Op::Recover);
+    for i in 0..12u64 {
+        ops.push(Op::Read { offset: i * 3 * 4096, len: 2 * 4096 });
+    }
+    ops.push(Op::Stats);
+    for op in &ops {
+        rec.apply(store.as_mut(), &mut clock, op);
+    }
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("fixture dir");
+    }
+    rec.save(path).expect("saving golden log");
+    eprintln!("# recorded {} op(s) ({} bytes) into {}", rec.ops(), rec.bytes().len(), path.display());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -1626,12 +1917,28 @@ fn main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"));
     let out_value_idx = args.iter().position(|a| a == "--out").map(|i| i + 1);
-    let cmd = args
+    let operands: Vec<(usize, String)> = args
         .iter()
         .enumerate()
-        .find(|(i, a)| !a.starts_with("--") && Some(*i) != out_value_idx)
-        .map(|(_, a)| a.clone())
-        .unwrap_or_else(|| "all".to_string());
+        .filter(|(i, a)| !a.starts_with("--") && Some(*i) != out_value_idx)
+        .map(|(i, a)| (i, a.clone()))
+        .collect();
+    let cmd = operands.first().map(|(_, a)| a.clone()).unwrap_or_else(|| "all".to_string());
+
+    if cmd == "replay" {
+        let paths: Vec<PathBuf> =
+            operands.iter().skip(1).map(|(_, a)| PathBuf::from(a)).collect();
+        replay_cmd(&paths);
+        return;
+    }
+    if cmd == "record-golden" {
+        let Some((_, path)) = operands.get(1) else {
+            eprintln!("usage: edc-bench record-golden <path.edcrr>");
+            std::process::exit(2);
+        };
+        record_golden(Path::new(path));
+        return;
+    }
 
     // The pipeline micro-bench and fault campaign need no trace
     // environment; run them before the (expensive) ExperimentEnv
@@ -1779,7 +2086,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command {other:?}");
-            eprintln!("commands: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12 ablations future-work timeline mixed calibrate bench-pipeline bench-concurrency bench-codecs bench-heat check-bench fault-campaign fuzz scrub-campaign all");
+            eprintln!("commands: fig1 fig2 fig3 table1 table2 fig8 fig9 fig10 fig11 fig12 ablations future-work timeline mixed calibrate bench-pipeline bench-concurrency bench-codecs bench-heat check-bench fault-campaign fuzz scrub-campaign replay record-golden all");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,118 @@
+//! Time as an input: the [`Clock`] abstraction.
+//!
+//! Every time-sensitive pipeline entry point takes a `now_ns` argument —
+//! the workload monitor's IOPS window, the sequentiality detector's
+//! recency test, and the heat tracker's decay all key off it. For
+//! deterministic record/replay the timestamp must be an *input* that the
+//! recorder captures, not something the store samples on its own: a
+//! [`Clock`] is the one place a timestamp is drawn, and the
+//! [`Recorder`](crate::record::Recorder) writes each draw into the log so
+//! the [`Replayer`](crate::record::Replayer) can feed the identical value
+//! back.
+//!
+//! Two implementations cover the two regimes:
+//!
+//! * [`ManualClock`] — a seeded, fixed-step simulated clock. Benches and
+//!   tests already simulate time this way (`clock += STEP` by hand); the
+//!   struct just names the idiom.
+//! * [`WallClock`] — real `std::time::Instant`-derived nanoseconds for
+//!   live runs. Only safe to *record* with, never required to replay,
+//!   because replay reads timestamps from the log.
+
+/// A source of monotonic nanosecond timestamps.
+///
+/// `now_ns` takes `&mut self` so simulated clocks can advance per draw;
+/// callers draw exactly once per logical operation.
+pub trait Clock {
+    /// The current time in nanoseconds. Successive calls must be
+    /// non-decreasing.
+    fn now_ns(&mut self) -> u64;
+}
+
+/// A deterministic simulated clock: starts at `start_ns` and advances by
+/// a fixed `step_ns` on every draw (the first draw returns
+/// `start_ns + step_ns`).
+///
+/// This mirrors the `clock += STEP; clock` pattern the benches use, so a
+/// recorded bench schedule and a hand-rolled one see identical
+/// timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManualClock {
+    now_ns: u64,
+    step_ns: u64,
+}
+
+impl ManualClock {
+    /// A clock at `start_ns` that advances `step_ns` per draw.
+    pub fn new(start_ns: u64, step_ns: u64) -> Self {
+        ManualClock { now_ns: start_ns, step_ns }
+    }
+
+    /// The last value returned (or the start value if never drawn).
+    pub fn peek_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Jump the clock forward by `delta_ns` without drawing — models an
+    /// idle gap (e.g. the heat bench's cool-down window).
+    pub fn advance(&mut self, delta_ns: u64) {
+        self.now_ns += delta_ns;
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&mut self) -> u64 {
+        self.now_ns += self.step_ns;
+        self.now_ns
+    }
+}
+
+/// Wall-clock time: nanoseconds since the clock was created, measured
+/// with a monotonic [`std::time::Instant`].
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: std::time::Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose zero is "now".
+    pub fn new() -> Self {
+        WallClock { epoch: std::time::Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&mut self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_steps_deterministically() {
+        let mut c = ManualClock::new(100, 7);
+        assert_eq!(c.peek_ns(), 100);
+        assert_eq!(c.now_ns(), 107);
+        assert_eq!(c.now_ns(), 114);
+        c.advance(1000);
+        assert_eq!(c.now_ns(), 1121);
+        assert_eq!(c.peek_ns(), 1121);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let mut c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+}

@@ -48,6 +48,7 @@
 
 pub mod allocator;
 pub mod cache;
+pub mod clock;
 pub mod content;
 pub mod error;
 pub mod feedback;
@@ -58,14 +59,18 @@ pub mod mapping;
 pub mod monitor;
 pub mod parallel;
 pub mod pipeline;
+pub mod record;
 pub mod scheme;
 pub mod sd;
 pub mod selector;
 pub mod shard;
 pub mod slots;
+pub mod store;
+pub mod telemetry;
 
 pub use allocator::{AllocPolicy, AllocStats, QuantizedAllocator};
 pub use cache::{CacheStats, RunCache};
+pub use clock::{Clock, ManualClock, WallClock};
 pub use content::{CalibrationConfig, ContentModel};
 pub use error::{EdcError, WriteError};
 pub use feedback::{FeedbackConfig, FeedbackSelector};
@@ -79,8 +84,14 @@ pub use pipeline::{
     EdcPipeline, PipelineConfig, PipelineStats, ReadError, RecompressReport, RecoveryReport,
     ScrubReport, WriteResult,
 };
+pub use record::{
+    parse as parse_edcrr, Divergence, LogRecord, ParsedLog, Recorder, ReplayReport, Replayer,
+    StoreSpec,
+};
 pub use scheme::{CodecUsage, EdcConfig, Policy, SimConfig, SimScheme, BLOCK_BYTES};
 pub use sd::{MergedRun, SdConfig, SequentialityDetector};
 pub use selector::{codec_strength, AlgorithmSelector, LadderRung, SelectorConfig};
 pub use shard::{ShardConfig, ShardedPipeline};
 pub use slots::SlotStore;
+pub use store::{Op, OpOutput, Store};
+pub use telemetry::{Sample, TieredSeries};

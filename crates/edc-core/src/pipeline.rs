@@ -317,8 +317,12 @@ pub struct PipelineStats {
     pub live_runs: u64,
     /// Committed runs journaled so far.
     pub journal_records: u64,
+    /// Journal size in bytes.
+    pub journal_bytes: u64,
     /// Reads served raw despite a checksum mismatch.
     pub degraded_reads: u64,
+    /// Cumulative page programs — the power-cut clock position.
+    pub programs: u64,
     /// Cold runs rewritten with a stronger codec by background
     /// recompression, cumulative.
     pub recompressed_runs: u64,
@@ -337,7 +341,9 @@ impl PipelineStats {
         self.mapped_blocks += other.mapped_blocks;
         self.live_runs += other.live_runs;
         self.journal_records += other.journal_records;
+        self.journal_bytes += other.journal_bytes;
         self.degraded_reads += other.degraded_reads;
+        self.programs += other.programs;
         self.recompressed_runs += other.recompressed_runs;
         self.demoted_runs += other.demoted_runs;
         self.cache.merge(&other.cache);
@@ -631,9 +637,27 @@ impl EdcPipeline {
     }
 
     /// Return a spent decompression buffer to the bounded read pool.
+    ///
+    /// Pool invariant: every pooled buffer is exclusively owned — the
+    /// same allocation must never simultaneously sit in the pool and in
+    /// the read cache (or twice in the pool). `RunCache::invalidate` and
+    /// `RunCache::insert` uphold this by *moving* the buffer out of the
+    /// cache before it reaches here; the debug assertion pins the
+    /// contract so a future "peek then recycle" refactor cannot silently
+    /// create two owners of one run's bytes. (Live `Vec` allocations
+    /// with nonzero capacity have distinct base pointers, so pointer
+    /// identity is a sound aliasing check.)
     fn recycle_read_buf(&mut self, mut buf: Vec<u8>) {
         const POOL_RUNS: usize = 8;
         if self.read_buf_pool.len() < POOL_RUNS && buf.capacity() > 0 {
+            debug_assert!(
+                self.read_buf_pool.iter().all(|b| !std::ptr::eq(b.as_ptr(), buf.as_ptr())),
+                "recycled buffer is already in the read pool"
+            );
+            debug_assert!(
+                self.cache.values().all(|v| !std::ptr::eq(v.as_ptr(), buf.as_ptr())),
+                "recycled buffer is still resident in the read cache"
+            );
             buf.clear();
             self.read_buf_pool.push(buf);
         }
@@ -1411,7 +1435,8 @@ impl EdcPipeline {
 
     /// Cumulative page programs — the power-cut clock position. A
     /// campaign learns a workload's program count from a clean run, then
-    /// sweeps `power_cut_after_programs` across `0..programs()`.
+    /// sweeps `power_cut_after_programs` across `0..stats().programs`.
+    #[deprecated(since = "0.7.0", note = "use `stats().programs`")]
     pub fn programs(&self) -> u64 {
         self.faults.programs()
     }
@@ -1421,18 +1446,29 @@ impl EdcPipeline {
         self.faults.powered()
     }
 
+    /// Cut power immediately, regardless of any armed program budget —
+    /// the deterministic "yank the cord now" behind
+    /// [`crate::store::Op::PowerCut`]. Every subsequent entry point
+    /// errors until [`EdcPipeline::recover`] runs.
+    pub fn cut_power(&mut self) {
+        self.faults.cut_power();
+    }
+
     /// Reads served raw despite a checksum mismatch (only possible with
     /// [`FaultPlan::allow_degraded_reads`]).
+    #[deprecated(since = "0.7.0", note = "use `stats().degraded_reads`")]
     pub fn degraded_reads(&self) -> u64 {
         self.degraded_reads
     }
 
     /// Committed runs journaled so far.
+    #[deprecated(since = "0.7.0", note = "use `stats().journal_records`")]
     pub fn journal_records(&self) -> u64 {
         self.journal.records()
     }
 
     /// Journal size in bytes.
+    #[deprecated(since = "0.7.0", note = "use `stats().journal_bytes`")]
     pub fn journal_bytes(&self) -> usize {
         self.journal.len_bytes()
     }
@@ -1444,11 +1480,13 @@ impl EdcPipeline {
     }
 
     /// Cumulative logical bytes accepted.
+    #[deprecated(since = "0.7.0", note = "use `stats().logical_written`")]
     pub fn logical_written(&self) -> u64 {
         self.logical_written
     }
 
     /// Cumulative flash bytes allocated.
+    #[deprecated(since = "0.7.0", note = "use `stats().physical_written`")]
     pub fn physical_written(&self) -> u64 {
         self.physical_written
     }
@@ -1463,6 +1501,7 @@ impl EdcPipeline {
     }
 
     /// The paper's compression ratio over everything written so far.
+    #[deprecated(since = "0.7.0", note = "use `stats().compression_ratio()`")]
     pub fn compression_ratio(&self) -> f64 {
         if self.physical_written == 0 {
             return 1.0;
@@ -1476,6 +1515,7 @@ impl EdcPipeline {
     }
 
     /// Decompressed-run read-cache statistics (all zeroes when disabled).
+    #[deprecated(since = "0.7.0", note = "use `stats().cache`")]
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
@@ -1490,7 +1530,9 @@ impl EdcPipeline {
             mapped_blocks: snap.blocks as u64,
             live_runs: snap.runs.len() as u64,
             journal_records: self.journal.records(),
+            journal_bytes: self.journal.len_bytes() as u64,
             degraded_reads: self.degraded_reads,
+            programs: self.faults.programs(),
             recompressed_runs: self.recompressed_runs,
             demoted_runs: self.demoted_runs,
             cache: self.cache.stats(),
@@ -1539,6 +1581,78 @@ impl EdcPipeline {
     /// The active configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+}
+
+impl crate::store::Store for EdcPipeline {
+    fn write_batch(&mut self, writes: &[BatchWrite<'_>]) -> Result<Vec<WriteResult>, EdcError> {
+        EdcPipeline::write_batch(self, writes)
+    }
+
+    fn read(&mut self, now_ns: u64, offset: u64, len: u64) -> Result<Vec<u8>, ReadError> {
+        EdcPipeline::read(self, now_ns, offset, len)
+    }
+
+    fn flush_all(&mut self, now_ns: u64) -> Result<Vec<WriteResult>, EdcError> {
+        EdcPipeline::flush_all(self, now_ns)
+    }
+
+    fn recover(&mut self) -> Result<RecoveryReport, RecoveryError> {
+        EdcPipeline::recover(self)
+    }
+
+    fn scrub(&mut self) -> Result<ScrubReport, EdcError> {
+        EdcPipeline::scrub(self)
+    }
+
+    fn verify_store(&mut self) -> Result<ScrubReport, EdcError> {
+        EdcPipeline::verify(self)
+    }
+
+    fn recompress(
+        &mut self,
+        now_ns: u64,
+        target: CodecId,
+        max_rewrites: usize,
+    ) -> Result<RecompressReport, EdcError> {
+        self.recompress_pass(now_ns, target, max_rewrites)
+    }
+
+    fn set_hint(&mut self, offset: u64, len: u64, hint: FileTypeHint) {
+        EdcPipeline::set_hint(self, offset, len, hint)
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        EdcPipeline::set_fault_plan(self, plan)
+    }
+
+    fn fault_stats(&mut self) -> FaultStats {
+        EdcPipeline::fault_stats(self)
+    }
+
+    fn truncate_journal_bytes(&mut self, shard: usize, bytes: usize) {
+        assert_eq!(shard, 0, "a plain pipeline has only shard 0");
+        EdcPipeline::truncate_journal_bytes(self, bytes)
+    }
+
+    fn cut_power(&mut self) {
+        EdcPipeline::cut_power(self)
+    }
+
+    fn powered(&mut self) -> bool {
+        EdcPipeline::powered(self)
+    }
+
+    fn stats(&mut self) -> PipelineStats {
+        EdcPipeline::stats(self)
+    }
+
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    fn live_stored_bytes(&mut self) -> u64 {
+        EdcPipeline::live_stored_bytes(self)
     }
 }
 
@@ -1645,7 +1759,7 @@ mod tests {
             p.write(i, i * 4096, &text_block(i as u8)).unwrap();
         }
         p.flush(100).unwrap();
-        assert!(p.compression_ratio() > 1.5, "ratio {}", p.compression_ratio());
+        assert!(p.stats().compression_ratio() > 1.5, "ratio {}", p.stats().compression_ratio());
     }
 
     #[test]
@@ -1775,7 +1889,7 @@ mod tests {
             Err(EdcError::Write(WriteError::Unaligned))
         ));
         // The whole batch is validated up front: nothing was accepted.
-        assert_eq!(p.logical_written(), 0);
+        assert_eq!(p.stats().logical_written, 0);
         p.write(1, 0, &text_block(0)).unwrap();
     }
 
@@ -1915,8 +2029,8 @@ mod tests {
         batched.flush_all(1_000_000).unwrap();
 
         assert_eq!(serial.device, batched.device, "device images must be bit-identical");
-        assert_eq!(serial.physical_written(), batched.physical_written());
-        assert_eq!(serial.logical_written(), batched.logical_written());
+        assert_eq!(serial.stats().physical_written, batched.stats().physical_written);
+        assert_eq!(serial.stats().logical_written, batched.stats().logical_written);
     }
 
     #[test]
@@ -1927,7 +2041,7 @@ mod tests {
         p.flush(1).unwrap();
         assert_eq!(p.read(2, 0, 4096).unwrap(), data); // miss, fills cache
         assert_eq!(p.read(3, 0, 4096).unwrap(), data); // hit
-        let s = p.cache_stats();
+        let s = p.stats().cache;
         assert!(s.hits > 0, "second read must be served from cache, stats {s:?}");
         assert!(s.hit_rate() > 0.0);
     }
@@ -1947,14 +2061,14 @@ mod tests {
         // Populate the cache with the merged run's decompression.
         let first = p.read(20, 0, 4 * 4096).unwrap();
         assert_eq!(&first[4096..8192], &old[1][..]);
-        assert!(p.cache_stats().misses > 0, "first read fills the cache");
+        assert!(p.stats().cache.misses > 0, "first read fills the cache");
         let fresh = random_block(777);
         p.write(30, 4096, &fresh).unwrap(); // overwrite only block 1
         p.flush(40).unwrap();
         assert!(
-            p.cache_stats().invalidations > 0,
+            p.stats().cache.invalidations > 0,
             "overwrite must invalidate the cached run, stats {:?}",
-            p.cache_stats()
+            p.stats().cache
         );
         let got = p.read(50, 0, 4 * 4096).unwrap();
         assert_eq!(&got[..4096], &old[0][..], "block 0 from the old run");
@@ -1977,7 +2091,7 @@ mod tests {
         let got = p.read(3, 0, 8192).unwrap();
         assert_eq!(&got[..4096], &a[..]);
         assert_eq!(&got[4096..], &b[..]);
-        let s = p.cache_stats();
+        let s = p.stats().cache;
         assert_eq!((s.hits, s.misses), (0, 0), "disabled cache records nothing");
     }
 
@@ -2008,7 +2122,7 @@ mod tests {
         // Learn the clean run's program count, then cut at every index.
         let mut clean = pipeline();
         crash_workload(&mut clean);
-        let total = clean.programs();
+        let total = clean.stats().programs;
         assert!(total > 8, "workload too small to exercise cuts ({total})");
         for cut in 0..total {
             let mut p = pipeline();
@@ -2112,7 +2226,7 @@ mod tests {
         let expect = crash_workload(&mut p);
         // Tear mid-way through the final record (as a cut inside a real
         // journal page program would).
-        p.truncate_journal_bytes(p.journal_bytes() - 10);
+        p.truncate_journal_bytes(p.stats().journal_bytes as usize - 10);
         let report = p.recover().expect("recovery tolerates a torn tail");
         assert!(report.torn_tail);
         assert_eq!(report.payload_mismatches, 0);
@@ -2198,7 +2312,7 @@ mod tests {
         p.device[entry.device_offset as usize + 10] ^= 0xFF;
         // Strict mode: hard error.
         assert!(matches!(p.read(2, 0, 4096), Err(ReadError::ChecksumMismatch { .. })));
-        assert_eq!(p.degraded_reads(), 0);
+        assert_eq!(p.stats().degraded_reads, 0);
         // Degraded mode: serve the raw payload, count it.
         p.set_fault_plan(FaultPlan { allow_degraded_reads: true, ..FaultPlan::none() });
         let got = p.read(3, 0, 4096).unwrap();
@@ -2210,18 +2324,18 @@ mod tests {
             }
         }
         assert_eq!(diff, 1, "exactly the corrupted byte differs");
-        assert_eq!(p.degraded_reads(), 1);
+        assert_eq!(p.stats().degraded_reads, 1);
     }
 
     #[test]
     fn journal_grows_one_record_per_committed_run() {
         let mut p = pipeline();
-        assert_eq!(p.journal_records(), 0);
+        assert_eq!(p.stats().journal_records, 0);
         crash_workload(&mut p);
-        assert!(p.journal_records() >= 8, "records {}", p.journal_records());
+        assert!(p.stats().journal_records >= 8, "records {}", p.stats().journal_records);
         assert_eq!(
-            p.journal_bytes(),
-            p.journal_records() as usize * crate::journal::RECORD_BYTES
+            p.stats().journal_bytes as usize,
+            p.stats().journal_records as usize * crate::journal::RECORD_BYTES
         );
     }
 
@@ -2358,7 +2472,7 @@ mod tests {
         for (i, (off, data)) in stored.iter().enumerate() {
             assert_eq!(&p.read(600 + i as u64, *off, data.len() as u64).unwrap(), data);
         }
-        assert_eq!(p.degraded_reads(), 0, "repair must beat degradation");
+        assert_eq!(p.stats().degraded_reads, 0, "repair must beat degradation");
         // The in-place patch restored the journaled bytes: recovery agrees.
         assert_eq!(p.recover().unwrap().payload_mismatches, 0);
     }
@@ -2381,7 +2495,7 @@ mod tests {
         assert_eq!(p.scrub().unwrap().repaired, 1);
         let moved = p.map.get(0).unwrap();
         assert_ne!(moved.device_offset, old.device_offset, "repair must move the run");
-        assert!(p.cache_stats().invalidations >= 1);
+        assert!(p.stats().cache.invalidations >= 1);
         // Same-sized overwrite of a different logical range: the freed
         // slot is reused for fresh content at the old device offset.
         let v2 = text_block(82);
@@ -2454,7 +2568,7 @@ mod tests {
     fn cold_runs_recompress_to_stronger_codec() {
         let mut p = heat_pipeline(1.1);
         let stored = heat_workload(&mut p, 8);
-        let physical_before = p.physical_written();
+        let physical_before = p.stats().physical_written;
         let live_before = p.slots.live_bytes();
         // 200 s of silence: every extent decays far below the cold
         // threshold.
@@ -2470,7 +2584,7 @@ mod tests {
             live_before,
             p.slots.live_bytes()
         );
-        assert!(p.physical_written() > physical_before, "rewrites are real flash writes");
+        assert!(p.stats().physical_written > physical_before, "rewrites are real flash writes");
         // Logical bytes are untouched...
         for (i, (off, data)) in stored.iter().enumerate() {
             assert_eq!(
@@ -2574,13 +2688,13 @@ mod tests {
             "hint forces write-through"
         );
         p.flush_all(2_000_000).unwrap();
-        let records_before = p.journal_records();
+        let records_before = p.stats().journal_records;
         let report = p.recompress_pass(200_000_000_000, CodecId::Deflate, usize::MAX).unwrap();
         assert!(report.skipped_precompressed >= 1, "{report:?}");
         assert_eq!(report.recompressed, 1, "only the control run moves: {report:?}");
         // Exactly one rewrite hit the journal — the hinted run (tag None,
         // cold, nominally upgradeable) appended nothing.
-        assert_eq!(p.journal_records(), records_before + 1);
+        assert_eq!(p.stats().journal_records, records_before + 1);
         assert_eq!(p.read(200_000_000_001, 0, hinted.len() as u64).unwrap(), hinted);
         assert_eq!(
             p.read(200_000_000_002, 8 * 4096, control.len() as u64).unwrap(),

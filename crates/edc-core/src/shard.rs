@@ -335,6 +335,66 @@ impl ShardedPipeline {
         self.shards.iter().map(|m| m.lock().expect("shard poisoned").live_stored_bytes()).sum()
     }
 
+    /// Register a file-type hint over `[offset, offset + len)` (both
+    /// 4 KiB-aligned), routed piecewise to the owning shards — the same
+    /// surface as [`EdcPipeline::set_hint`], so callers no longer reach
+    /// through [`ShardedPipeline::with_shard`].
+    pub fn set_hint(&self, offset: u64, len: u64, hint: crate::hints::FileTypeHint) {
+        assert!(
+            offset.is_multiple_of(BLOCK_BYTES) && len.is_multiple_of(BLOCK_BYTES),
+            "hint range must be aligned"
+        );
+        for p in self.pieces(offset, len) {
+            self.shards[p.shard].lock().expect("shard poisoned").set_hint(p.offset, p.len, hint);
+        }
+    }
+
+    /// Arm `plan` on every shard, restarting each decision stream. Shard
+    /// 0 keeps the plan's seed verbatim (a one-shard front-end then draws
+    /// the exact stream a plain [`EdcPipeline`] would); shard `i > 0`
+    /// gets a seed mixed with its index so shards fault independently
+    /// rather than in lockstep.
+    pub fn set_fault_plan(&self, plan: edc_flash::FaultPlan) {
+        for (i, m) in self.shards.iter().enumerate() {
+            let mut per_shard = plan;
+            per_shard.seed = shard_fault_seed(plan.seed, i);
+            m.lock().expect("shard poisoned").set_fault_plan(per_shard);
+        }
+    }
+
+    /// Injected-fault counters summed over every shard. Locks are taken
+    /// in index order so the totals reflect one instant.
+    pub fn fault_stats(&self) -> edc_flash::FaultStats {
+        let guards: Vec<_> =
+            self.shards.iter().map(|m| m.lock().expect("shard poisoned")).collect();
+        let mut total = edc_flash::FaultStats::default();
+        for g in &guards {
+            total.merge(&g.fault_stats());
+        }
+        total
+    }
+
+    /// Tear shard `shard`'s journal to its first `bytes` bytes (the
+    /// mid-journal-program crash hook, see
+    /// [`EdcPipeline::truncate_journal_bytes`]).
+    pub fn truncate_journal_bytes(&self, shard: usize, bytes: usize) {
+        self.shards[shard].lock().expect("shard poisoned").truncate_journal_bytes(bytes);
+    }
+
+    /// Cut power on every shard immediately (see
+    /// [`EdcPipeline::cut_power`]); [`ShardedPipeline::recover`] brings
+    /// the store back.
+    pub fn cut_power(&self) {
+        for m in &self.shards {
+            m.lock().expect("shard poisoned").cut_power();
+        }
+    }
+
+    /// Whether every shard currently has power.
+    pub fn powered(&self) -> bool {
+        self.shards.iter().all(|m| m.lock().expect("shard poisoned").powered())
+    }
+
     /// Run `f` against every shard concurrently, results in shard order.
     fn for_each_shard<T: Send>(&self, f: impl Fn(&mut EdcPipeline) -> T + Sync) -> Vec<T> {
         let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -352,6 +412,91 @@ impl ShardedPipeline {
             report.merge(&r?);
         }
         Ok(report)
+    }
+}
+
+/// Derive shard `i`'s fault seed from a plan seed: identity for shard 0
+/// (one-shard front-ends draw the exact plain-pipeline stream), a
+/// splitmix-style avalanche of `(seed, i)` otherwise so shards'
+/// decision streams decorrelate.
+fn shard_fault_seed(seed: u64, shard: usize) -> u64 {
+    if shard == 0 {
+        return seed;
+    }
+    let mut x = seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl crate::store::Store for ShardedPipeline {
+    fn write_batch(&mut self, writes: &[BatchWrite<'_>]) -> Result<Vec<WriteResult>, EdcError> {
+        ShardedPipeline::write_batch(self, writes)
+    }
+
+    fn read(&mut self, now_ns: u64, offset: u64, len: u64) -> Result<Vec<u8>, ReadError> {
+        ShardedPipeline::read(self, now_ns, offset, len)
+    }
+
+    fn flush_all(&mut self, now_ns: u64) -> Result<Vec<WriteResult>, EdcError> {
+        ShardedPipeline::flush_all(self, now_ns)
+    }
+
+    fn recover(&mut self) -> Result<RecoveryReport, RecoveryError> {
+        ShardedPipeline::recover(self)
+    }
+
+    fn scrub(&mut self) -> Result<ScrubReport, EdcError> {
+        ShardedPipeline::scrub(self)
+    }
+
+    fn verify_store(&mut self) -> Result<ScrubReport, EdcError> {
+        ShardedPipeline::verify(self)
+    }
+
+    fn recompress(
+        &mut self,
+        now_ns: u64,
+        target: CodecId,
+        max_rewrites: usize,
+    ) -> Result<RecompressReport, EdcError> {
+        ShardedPipeline::recompress(self, now_ns, target, max_rewrites)
+    }
+
+    fn set_hint(&mut self, offset: u64, len: u64, hint: crate::hints::FileTypeHint) {
+        ShardedPipeline::set_hint(self, offset, len, hint)
+    }
+
+    fn set_fault_plan(&mut self, plan: edc_flash::FaultPlan) {
+        ShardedPipeline::set_fault_plan(self, plan)
+    }
+
+    fn fault_stats(&mut self) -> edc_flash::FaultStats {
+        ShardedPipeline::fault_stats(self)
+    }
+
+    fn truncate_journal_bytes(&mut self, shard: usize, bytes: usize) {
+        ShardedPipeline::truncate_journal_bytes(self, shard, bytes)
+    }
+
+    fn cut_power(&mut self) {
+        ShardedPipeline::cut_power(self)
+    }
+
+    fn powered(&mut self) -> bool {
+        ShardedPipeline::powered(self)
+    }
+
+    fn stats(&mut self) -> PipelineStats {
+        ShardedPipeline::stats(self)
+    }
+
+    fn shard_count(&self) -> usize {
+        ShardedPipeline::shard_count(self)
+    }
+
+    fn live_stored_bytes(&mut self) -> u64 {
+        ShardedPipeline::live_stored_bytes(self)
     }
 }
 
@@ -438,8 +583,8 @@ mod tests {
         s.flush_all(1).unwrap();
         assert_eq!(s.read(2, 0, 8 * BLOCK_BYTES).unwrap(), data);
         // Both shards got some of it.
-        let s0 = s.with_shard(0, |p| p.logical_written());
-        let s1 = s.with_shard(1, |p| p.logical_written());
+        let s0 = s.with_shard(0, |p| p.stats().logical_written);
+        let s1 = s.with_shard(1, |p| p.stats().logical_written);
         assert_eq!(s0, 4 * BLOCK_BYTES);
         assert_eq!(s1, 4 * BLOCK_BYTES);
     }
@@ -466,7 +611,7 @@ mod tests {
         let stats = s.stats();
         assert_eq!(stats.logical_written, 32 * BLOCK_BYTES);
         assert_eq!(stats.mapped_blocks, 32);
-        let per_shard: u64 = (0..4).map(|i| s.with_shard(i, |p| p.logical_written())).sum();
+        let per_shard: u64 = (0..4).map(|i| s.with_shard(i, |p| p.stats().logical_written)).sum();
         assert_eq!(per_shard, stats.logical_written);
         assert!(stats.journal_records > 0);
         assert!(stats.compression_ratio() >= 1.0);
@@ -500,7 +645,7 @@ mod tests {
             now += 1_000_000;
         }
         legacy.flush_all(now).unwrap();
-        assert!(legacy.journal_records() > 0);
+        assert!(legacy.stats().journal_records > 0);
         // ...adopted by the sharded front-end: its journal (shard bits
         // zero) replays through ShardedPipeline::recover unchanged.
         let s = ShardedPipeline::from_pipeline(legacy);

@@ -1,0 +1,178 @@
+//! Tiered trajectory telemetry: RRD-style keyframe decimation.
+//!
+//! A days-long soak run samples counters millions of times; keeping every
+//! sample is O(N) memory and every plot of it is unreadable. A
+//! [`TieredSeries`] keeps the *newest* samples at full resolution and
+//! each older tier `k`-fold decimated:
+//!
+//! * tier 0 holds the most recent `tier_len` samples, stride 1;
+//! * when tier 0 overflows, its oldest `k` samples collapse to one
+//!   keyframe (the oldest of the group, so the series start stays
+//!   anchored) promoted into tier 1 (stride `k`);
+//! * tier `i` overflowing promotes into tier `i+1` (stride `k^i`),
+//!   growing a new tier whenever needed.
+//!
+//! After `n` pushes, with `t = tier_len` and `T ≈ ⌈log_k(n/t)⌉ + 1`
+//! materialized tiers, the structure holds at most `t · T` samples —
+//! `O(t · log_k n)` memory — while still covering the entire run: recent
+//! history sample-exact, the opening of the run at stride `k^(T-1)`.
+//! Every retained point is a true sample (a *keyframe*), never an
+//! average, so replayed trajectories pass through real observed states.
+
+use std::collections::VecDeque;
+
+/// One observation: a timestamp and a value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Sample time in nanoseconds (simulated or wall, caller's choice).
+    pub t_ns: u64,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// A bounded-memory time series with tiered k-fold decimation.
+#[derive(Debug, Clone)]
+pub struct TieredSeries {
+    /// Capacity of each tier, in samples.
+    tier_len: usize,
+    /// Decimation factor between adjacent tiers.
+    k: usize,
+    /// `tiers[0]` is newest/full-resolution; higher tiers are older and
+    /// sparser. Within a tier, front = oldest.
+    tiers: Vec<VecDeque<Sample>>,
+    pushed: u64,
+}
+
+impl TieredSeries {
+    /// A series keeping `tier_len` samples per tier and decimating
+    /// `k`-fold per tier boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tier_len >= k >= 2` (a tier must hold at least one
+    /// whole decimation group).
+    pub fn new(tier_len: usize, k: usize) -> Self {
+        assert!(k >= 2, "decimation factor must be >= 2");
+        assert!(tier_len >= k, "tier must hold at least one k-group");
+        TieredSeries { tier_len, k, tiers: vec![VecDeque::new()], pushed: 0 }
+    }
+
+    /// Record one sample. Amortized O(1); worst case O(tiers).
+    pub fn push(&mut self, t_ns: u64, value: f64) {
+        self.pushed += 1;
+        self.tiers[0].push_back(Sample { t_ns, value });
+        let mut i = 0;
+        while self.tiers[i].len() > self.tier_len {
+            // Collapse the oldest k samples of this tier to their oldest
+            // member and promote it.
+            let keyframe = self.tiers[i][0];
+            for _ in 0..self.k.min(self.tiers[i].len()) {
+                self.tiers[i].pop_front();
+            }
+            if i + 1 == self.tiers.len() {
+                self.tiers.push(VecDeque::new());
+            }
+            self.tiers[i + 1].push_back(keyframe);
+            i += 1;
+        }
+    }
+
+    /// Total samples ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Samples currently retained across all tiers.
+    pub fn len(&self) -> usize {
+        self.tiers.iter().map(VecDeque::len).sum()
+    }
+
+    /// True when nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of tiers currently materialized.
+    pub fn tier_count(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// All retained samples in chronological order (oldest first): the
+    /// sparsest tier leads, tier 0's full-resolution window closes.
+    pub fn samples(&self) -> Vec<Sample> {
+        let mut out = Vec::with_capacity(self.len());
+        for tier in self.tiers.iter().rev() {
+            out.extend(tier.iter().copied());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_series_is_lossless() {
+        let mut s = TieredSeries::new(16, 4);
+        for i in 0..16u64 {
+            s.push(i, i as f64);
+        }
+        let pts = s.samples();
+        assert_eq!(pts.len(), 16);
+        assert!(pts.iter().enumerate().all(|(i, p)| p.t_ns == i as u64));
+        assert_eq!(s.tier_count(), 1);
+    }
+
+    #[test]
+    fn overflow_decimates_oldest_k_fold() {
+        let mut s = TieredSeries::new(8, 2);
+        for i in 0..24u64 {
+            s.push(i, i as f64);
+        }
+        let pts = s.samples();
+        // Chronological and strictly increasing in time.
+        assert!(pts.windows(2).all(|w| w[0].t_ns < w[1].t_ns));
+        // Newest tier_len-ish samples survive at full resolution.
+        let newest: Vec<u64> = pts.iter().rev().take(4).map(|p| p.t_ns).collect();
+        assert_eq!(newest, vec![23, 22, 21, 20]);
+        // The very first sample is anchored forever (oldest-of-group rule).
+        assert_eq!(pts[0].t_ns, 0);
+        // Retention is sublinear.
+        assert!(pts.len() < 24, "retained {} of 24", pts.len());
+        assert_eq!(s.pushed(), 24);
+    }
+
+    #[test]
+    fn memory_is_logarithmic_in_pushes() {
+        let mut s = TieredSeries::new(32, 4);
+        for i in 0..1_000_000u64 {
+            s.push(i, (i % 97) as f64);
+        }
+        // ~log4(1e6/32) + 1 tiers of <= 32+k samples each.
+        assert!(s.tier_count() <= 10, "{} tiers", s.tier_count());
+        assert!(s.len() <= 32 * s.tier_count() + s.tier_count(), "{} samples", s.len());
+        let pts = s.samples();
+        assert!(pts.windows(2).all(|w| w[0].t_ns < w[1].t_ns));
+        assert_eq!(pts[0].t_ns, 0, "series start anchored");
+        assert_eq!(pts.last().unwrap().t_ns, 999_999, "newest sample exact");
+    }
+
+    #[test]
+    fn every_retained_point_is_a_true_sample() {
+        let mut s = TieredSeries::new(8, 2);
+        for i in 0..500u64 {
+            s.push(i * 10, (i * 3) as f64);
+        }
+        for p in s.samples() {
+            assert_eq!(p.t_ns % 10, 0);
+            assert_eq!(p.value, (p.t_ns / 10 * 3) as f64, "interpolated point leaked in");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "decimation factor")]
+    fn k_below_two_rejected() {
+        TieredSeries::new(8, 1);
+    }
+}

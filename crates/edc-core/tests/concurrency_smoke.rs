@@ -86,7 +86,7 @@ fn disjoint_ranges_no_lost_updates_and_stats_add_up() {
     assert_eq!(stats.logical_written, expected, "aggregated logical_written");
     assert_eq!(stats.mapped_blocks, THREADS as u64 * BLOCKS_PER_THREAD);
     let per_shard: u64 = (0..s.shard_count())
-        .map(|i| s.with_shard(i, |p| p.logical_written()))
+        .map(|i| s.with_shard(i, |p| p.stats().logical_written))
         .sum();
     assert_eq!(per_shard, expected, "per-shard counters must sum to the aggregate");
     assert!(stats.journal_records > 0);

@@ -97,7 +97,7 @@ fn power_cut_anywhere_recovers_every_journaled_run() {
         let mut clean = EdcPipeline::new(8 << 20, PipelineConfig::default());
         let (mut latest, mut committed) = (HashMap::new(), HashMap::new());
         drive(&mut clean, &workload, &mut latest, &mut committed).expect("clean run");
-        let total_programs = clean.programs();
+        let total_programs = clean.stats().programs;
         assert!(total_programs > 0, "workload must program pages");
 
         // Faulted run: cut at a random program index (possibly past the

@@ -107,6 +107,55 @@ impl Default for FaultPlan {
     }
 }
 
+/// Encoded size of a [`FaultPlan`] in bytes (fixed-width, little-endian).
+pub const FAULT_PLAN_BYTES: usize = 54;
+
+impl FaultPlan {
+    /// Serialize the plan into a fixed-width little-endian record.
+    ///
+    /// Rates are stored as IEEE-754 bit patterns so `decode` rebuilds a
+    /// plan whose decision stream is bit-identical — this is what lets a
+    /// record/replay log carry the fault environment along with the ops.
+    pub fn encode(&self) -> [u8; FAULT_PLAN_BYTES] {
+        let mut out = [0u8; FAULT_PLAN_BYTES];
+        out[0..8].copy_from_slice(&self.seed.to_le_bytes());
+        out[8..16].copy_from_slice(&self.read_error_rate.to_bits().to_le_bytes());
+        out[16..24].copy_from_slice(&self.program_error_rate.to_bits().to_le_bytes());
+        out[24..32].copy_from_slice(&self.erase_error_rate.to_bits().to_le_bytes());
+        out[32..40].copy_from_slice(&self.bit_rot_rate.to_bits().to_le_bytes());
+        out[40] = self.power_cut_after_programs.is_some() as u8;
+        out[41..49].copy_from_slice(&self.power_cut_after_programs.unwrap_or(0).to_le_bytes());
+        out[49..53].copy_from_slice(&self.read_retries.to_le_bytes());
+        out[53] = self.allow_degraded_reads as u8;
+        out
+    }
+
+    /// Inverse of [`FaultPlan::encode`]. Returns `None` on short input or
+    /// flag bytes outside `{0, 1}` (corrupt record, not a panic).
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < FAULT_PLAN_BYTES {
+            return None;
+        }
+        let u64_at = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
+        let f64_at = |i: usize| f64::from_bits(u64_at(i));
+        let cut_flag = bytes[40];
+        let degraded = bytes[53];
+        if cut_flag > 1 || degraded > 1 {
+            return None;
+        }
+        Some(FaultPlan {
+            seed: u64_at(0),
+            read_error_rate: f64_at(8),
+            program_error_rate: f64_at(16),
+            erase_error_rate: f64_at(24),
+            bit_rot_rate: f64_at(32),
+            power_cut_after_programs: (cut_flag == 1).then(|| u64_at(41)),
+            read_retries: u32::from_le_bytes(bytes[49..53].try_into().unwrap()),
+            allow_degraded_reads: degraded == 1,
+        })
+    }
+}
+
 /// A typed flash-level fault, surfaced by the fallible device entry
 /// points instead of a panic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,6 +208,18 @@ pub struct FaultStats {
     pub rot_pages: u64,
     /// Power cuts fired.
     pub power_cuts: u64,
+}
+
+impl FaultStats {
+    /// Fold another component's counters into this one (per-shard
+    /// aggregation).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.read_faults += other.read_faults;
+        self.program_faults += other.program_faults;
+        self.erase_faults += other.erase_faults;
+        self.rot_pages += other.rot_pages;
+        self.power_cuts += other.power_cuts;
+    }
 }
 
 /// The live decision stream: a [`FaultPlan`] plus counters.
@@ -291,6 +352,19 @@ impl FaultState {
         Ok(())
     }
 
+    /// Cut power immediately, regardless of any armed program budget.
+    ///
+    /// This is the deterministic "yank the cord now" used by replayed
+    /// `PowerCut` ops: unlike an armed `power_cut_after_programs` it does
+    /// not depend on the program clock, so it lands at exactly the same
+    /// op boundary on every replay. No-op if already powered off.
+    pub fn cut_power(&mut self) {
+        if self.powered {
+            self.powered = false;
+            self.stats.power_cuts += 1;
+        }
+    }
+
     /// Error unless the device has power.
     pub fn check_power(&self) -> Result<(), FaultError> {
         if self.powered {
@@ -385,5 +459,55 @@ mod tests {
     #[should_panic(expected = "must be in [0, 1]")]
     fn invalid_rate_rejected() {
         FaultState::new(FaultPlan { read_error_rate: 1.5, ..FaultPlan::none() });
+    }
+
+    #[test]
+    fn plan_encode_decode_round_trips() {
+        let plans = [
+            FaultPlan::none(),
+            FaultPlan {
+                seed: 0xDEAD_BEEF_CAFE_F00D,
+                read_error_rate: 0.125,
+                program_error_rate: 1.0 / 3.0,
+                erase_error_rate: 0.0078125,
+                bit_rot_rate: 1e-6,
+                power_cut_after_programs: Some(u64::MAX - 1),
+                read_retries: 9,
+                allow_degraded_reads: true,
+            },
+        ];
+        for plan in plans {
+            let bytes = plan.encode();
+            assert_eq!(FaultPlan::decode(&bytes), Some(plan));
+        }
+        assert_eq!(FaultPlan::decode(&[0u8; FAULT_PLAN_BYTES - 1]), None);
+        let mut bad = FaultPlan::none().encode();
+        bad[40] = 2;
+        assert_eq!(FaultPlan::decode(&bad), None);
+    }
+
+    #[test]
+    fn decoded_plan_draws_identical_stream() {
+        let plan = FaultPlan { seed: 99, read_error_rate: 0.4, ..FaultPlan::none() };
+        let decoded = FaultPlan::decode(&plan.encode()).unwrap();
+        let mut a = FaultState::new(plan);
+        let mut b = FaultState::new(decoded);
+        for _ in 0..512 {
+            assert_eq!(a.read_fault(), b.read_fault());
+        }
+    }
+
+    #[test]
+    fn forced_cut_power_is_immediate_and_idempotent() {
+        let mut s = FaultState::new(FaultPlan::none());
+        assert!(s.program_page().is_ok());
+        s.cut_power();
+        assert!(!s.powered());
+        assert_eq!(s.program_page(), Err(FaultError::PoweredOff));
+        s.cut_power(); // no double count
+        assert_eq!(s.stats().power_cuts, 1);
+        s.power_cycle();
+        assert!(s.powered());
+        assert!(s.program_page().is_ok());
     }
 }

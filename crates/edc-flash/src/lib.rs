@@ -41,7 +41,7 @@ pub mod ssd;
 pub mod wear;
 
 pub use config::{NandTiming, SsdConfig};
-pub use fault::{FaultError, FaultPlan, FaultState, FaultStats};
+pub use fault::{FaultError, FaultPlan, FaultState, FaultStats, FAULT_PLAN_BYTES};
 pub use ftl::{Ftl, FtlStats, IntegrityError};
 pub use hdd::{HddDevice, HddTiming};
 pub use rais::{RaisArray, RaisLevel};

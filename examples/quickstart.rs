@@ -41,9 +41,9 @@ fn main() -> Result<(), EdcError> {
     println!("\nall 64 blocks verified byte-identical after decompression");
     println!(
         "logical written: {} KiB, physical written: {} KiB, compression ratio: {:.2}",
-        store.logical_written() / 1024,
-        store.physical_written() / 1024,
-        store.compression_ratio()
+        store.stats().logical_written / 1024,
+        store.stats().physical_written / 1024,
+        store.stats().compression_ratio()
     );
     let stats = store.alloc_stats();
     println!(

@@ -75,7 +75,7 @@ fn main() {
                 o.by_tag.iter().map(|(tag, n)| format!("{n} blocks {tag}")).collect();
             println!("  .{ext:<7} {}", parts.join(", "));
         }
-        println!("  ratio {:.3}\n", store.compression_ratio());
+        println!("  ratio {:.3}\n", store.stats().compression_ratio());
     }
     println!(
         "hints veto the estimator sampling on .jpg/.mp4 (same outcome, zero probe\n\

@@ -31,7 +31,7 @@
 //!     store.write(0, 0, &block)?;          // buffered by the Sequentiality Detector
 //!     store.flush(1_000)?;                 // compress + place
 //!     assert_eq!(store.read(2_000, 0, 4096)?, block);
-//!     assert!(store.compression_ratio() > 1.0);
+//!     assert!(store.stats().compression_ratio() > 1.0);
 //!     Ok(())
 //! }
 //! ```
@@ -56,8 +56,10 @@ pub use edc_sim as sim;
 pub use edc_trace as trace;
 
 /// The one-line import for typical users: the pipeline, its
-/// configuration, the unified error, codec identifiers, fault plans and
-/// the device configuration.
+/// configuration, the unified error, codec identifiers, fault plans, the
+/// device configuration, and the op-dispatch / record-replay surface
+/// ([`Op`](edc_core::store::Op), [`Store`](edc_core::store::Store),
+/// [`Recorder`](edc_core::record::Recorder)).
 ///
 /// ```
 /// use edc::prelude::*;
@@ -73,5 +75,9 @@ pub mod prelude {
         WriteResult,
     };
     pub use edc_core::shard::{ShardConfig, ShardedPipeline};
+    pub use edc_core::{
+        Clock, ManualClock, Op, OpOutput, Recorder, ReplayReport, Replayer, Store, StoreSpec,
+        TieredSeries, WallClock,
+    };
     pub use edc_flash::{FaultPlan, SsdConfig};
 }

@@ -134,7 +134,7 @@ fn pipeline_stores_datagen_content_losslessly() {
     for (o, d) in &written {
         assert_eq!(&store.read(t, *o, d.len() as u64).unwrap(), d, "offset {o}");
     }
-    assert!(store.compression_ratio() > 1.0);
+    assert!(store.stats().compression_ratio() > 1.0);
 }
 
 #[test]

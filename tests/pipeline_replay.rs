@@ -106,9 +106,9 @@ fn real_bytes_pipeline_survives_full_workload() {
     assert!(writes > 1000, "workload must write, got {writes}");
     assert!(verified_reads > 200, "workload must verify reads, got {verified_reads}");
     assert!(
-        store.compression_ratio() > 1.2,
+        store.stats().compression_ratio() > 1.2,
         "mixed content must compress, ratio {}",
-        store.compression_ratio()
+        store.stats().compression_ratio()
     );
     // The allocator must have seen both compressed and write-through runs.
     let stats = store.alloc_stats();
