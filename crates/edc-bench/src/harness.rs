@@ -125,6 +125,30 @@ impl Harness {
         self.results.last().expect("just pushed")
     }
 
+    /// Record a case from externally collected wall-clock samples — for
+    /// protocols the closure-driven runners can't express, such as
+    /// interleaving two arms' samples to cancel machine drift.
+    pub fn record_case(
+        &mut self,
+        name: &str,
+        samples_ns: Vec<u64>,
+        bytes_per_iter: Option<u64>,
+    ) -> &CaseResult {
+        assert!(!samples_ns.is_empty(), "at least one sample");
+        let mut sorted = samples_ns.clone();
+        sorted.sort_unstable();
+        let case = CaseResult {
+            name: name.to_string(),
+            median_ns: sorted[sorted.len() / 2],
+            min_ns: sorted[0],
+            max_ns: sorted[sorted.len() - 1],
+            samples_ns,
+            bytes_per_iter,
+        };
+        self.results.push(case);
+        self.results.last().expect("just pushed")
+    }
+
     /// Attach a derived scalar (a speedup, a hit rate) to the report.
     pub fn metric(&mut self, name: &str, value: f64) {
         self.metrics.push((name.to_string(), value));

@@ -63,6 +63,10 @@ pub enum EdcError {
     /// A flash-level fault surfaced directly (device campaigns driving
     /// `edc-flash` through the pipeline's error type).
     Fault(FaultError),
+    /// An integrity audit found live metadata structures out of sync
+    /// (e.g. the dedup refcount ledger disagreeing with the mapping
+    /// table). Always a logic-level inconsistency, never media damage.
+    Integrity(&'static str),
 }
 
 impl fmt::Display for EdcError {
@@ -72,6 +76,7 @@ impl fmt::Display for EdcError {
             EdcError::Write(e) => write!(f, "write failed: {e}"),
             EdcError::Recovery(e) => write!(f, "recovery failed: {e}"),
             EdcError::Fault(e) => write!(f, "flash fault: {e}"),
+            EdcError::Integrity(msg) => write!(f, "integrity audit failed: {msg}"),
         }
     }
 }
@@ -83,6 +88,7 @@ impl std::error::Error for EdcError {
             EdcError::Write(e) => Some(e),
             EdcError::Recovery(e) => Some(e),
             EdcError::Fault(e) => Some(e),
+            EdcError::Integrity(_) => None,
         }
     }
 }

@@ -45,6 +45,12 @@ const PARITY_BIT: u8 = 0x80;
 /// Low bits of the record's tag byte holding the codec tag proper.
 const CODEC_MASK: u8 = 0b0000_0111;
 
+/// Codec-bits value marking a dedup *reference* record ([`DedupRef`]):
+/// `0b110` is not a valid [`CodecId`] tag, so legacy journals can never
+/// contain one (they replay with every refcount = 1) and pre-dedup
+/// replayers reject such records as torn rather than misparse them.
+const REF_BITS: u8 = 0b110;
+
 /// Bits 3–6 of the record's tag byte hold the id of the shard that owns
 /// the journal stream. Pre-sharding journals carry zeros here, which
 /// decodes as shard 0 — the single shard of a legacy pipeline.
@@ -74,11 +80,46 @@ impl fmt::Display for RecoveryError {
 
 impl std::error::Error for RecoveryError {}
 
+/// A dedup reference record: the run at `run_start` shares the already-
+/// journaled run stored at `device_offset` instead of storing its own
+/// payload. Physical fields (codec tag, stored/compressed bytes, parity)
+/// are inherited from that target's live record at replay time; the
+/// record carries only what is sharer-specific plus the content hash (so
+/// recovery can re-teach the hash index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DedupRef {
+    /// First logical block of the sharing run.
+    pub run_start: u64,
+    /// Length of the sharing run in blocks (must equal the target's).
+    pub run_blocks: u32,
+    /// Device offset of the shared target run.
+    pub device_offset: u64,
+    /// Content hash of the shared raw bytes (0 = unknown, hash-index
+    /// repopulation only; never used for correctness).
+    pub content_hash: u64,
+    /// Checksum of the stored payload seeded with the sharer's
+    /// `run_start` (each referrer's entries verify independently).
+    pub checksum: u64,
+}
+
+/// One decoded journal record: a mapping-table insertion proper, or a
+/// dedup reference that aliases an earlier one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A committed run with its own stored payload.
+    Put(MappingEntry),
+    /// A dedup sharer pointing at an earlier run's payload.
+    Ref(DedupRef),
+}
+
 /// What a journal replay produced.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Replay {
-    /// Decoded entries, in append order.
+    /// Decoded `Put` entries, in append order (the pre-dedup view; equals
+    /// the `Put` subsequence of [`Replay::records`]).
     pub entries: Vec<MappingEntry>,
+    /// Every decoded record — `Put`s and dedup `Ref`s — in append order.
+    pub records: Vec<JournalRecord>,
     /// Records scanned, including the torn/corrupt one that stopped the
     /// scan (if any).
     pub scanned: u64,
@@ -151,6 +192,29 @@ impl MappingJournal {
         self.seq += 1;
     }
 
+    /// Append one dedup reference record (see [`DedupRef`]): `entry` is
+    /// the *sharer's* mapping entry pointing at the shared offset, and
+    /// `content_hash` the hash of the shared raw bytes (0 = unknown).
+    /// Field mapping onto the fixed record layout: the codec bits carry
+    /// `REF_BITS`, `stored_bytes` carries the content hash, and
+    /// `compressed_bytes` is zero (both physical sizes replay from the
+    /// target's own record).
+    pub fn append_ref(&mut self, entry: &MappingEntry, content_hash: u64) {
+        let start = self.buf.len();
+        self.buf.extend_from_slice(&MAGIC);
+        self.buf.extend_from_slice(&self.seq.to_le_bytes());
+        self.buf.push(REF_BITS | (self.shard << SHARD_SHIFT));
+        self.buf.extend_from_slice(&entry.run_start.to_le_bytes());
+        self.buf.extend_from_slice(&entry.run_blocks.to_le_bytes());
+        self.buf.extend_from_slice(&entry.device_offset.to_le_bytes());
+        self.buf.extend_from_slice(&content_hash.to_le_bytes());
+        self.buf.extend_from_slice(&0u64.to_le_bytes());
+        self.buf.extend_from_slice(&entry.checksum.to_le_bytes());
+        let crc = checksum64(&self.buf[start..], self.seq);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        self.seq += 1;
+    }
+
     /// Truncate the journal to its first `bytes` bytes — the test hook for
     /// simulating a tear mid-record (a cut between the pipeline's payload
     /// programs and commit record never produces one; a cut inside a real
@@ -185,11 +249,13 @@ impl MappingJournal {
             let crc = u64::from_le_bytes(rec[RECORD_BYTES - 8..].try_into().expect("8 bytes"));
             let parity = rec[12] & PARITY_BIT != 0;
             let rec_shard = (rec[12] & SHARD_MASK) >> SHARD_SHIFT;
-            let tag = CodecId::from_tag(rec[12] & CODEC_MASK);
+            let codec_bits = rec[12] & CODEC_MASK;
+            let is_ref = codec_bits == REF_BITS;
+            let tag = CodecId::from_tag(codec_bits);
             let rec_seq = u64::from_le_bytes(rec[4..12].try_into().expect("8 bytes"));
             let valid = rec[..4] == MAGIC
                 && rec_seq == seq
-                && tag.is_some()
+                && (tag.is_some() || is_ref)
                 && checksum64(&rec[..RECORD_BYTES - 8], seq) == crc;
             if !valid {
                 out.torn_tail = true;
@@ -200,16 +266,29 @@ impl MappingJournal {
                 break;
             }
             let u64_at = |o: usize| u64::from_le_bytes(rec[o..o + 8].try_into().expect("8 bytes"));
-            out.entries.push(MappingEntry {
-                tag: tag.expect("validated above"),
-                run_start: u64_at(13),
-                run_blocks: u32::from_le_bytes(rec[21..25].try_into().expect("4 bytes")),
-                device_offset: u64_at(25),
-                stored_bytes: u64_at(33),
-                compressed_bytes: u64_at(41),
-                checksum: u64_at(49),
-                parity,
-            });
+            let run_blocks = u32::from_le_bytes(rec[21..25].try_into().expect("4 bytes"));
+            if is_ref {
+                out.records.push(JournalRecord::Ref(DedupRef {
+                    run_start: u64_at(13),
+                    run_blocks,
+                    device_offset: u64_at(25),
+                    content_hash: u64_at(33),
+                    checksum: u64_at(49),
+                }));
+            } else {
+                let entry = MappingEntry {
+                    tag: tag.expect("validated above"),
+                    run_start: u64_at(13),
+                    run_blocks,
+                    device_offset: u64_at(25),
+                    stored_bytes: u64_at(33),
+                    compressed_bytes: u64_at(41),
+                    checksum: u64_at(49),
+                    parity,
+                };
+                out.entries.push(entry);
+                out.records.push(JournalRecord::Put(entry));
+            }
             seq += 1;
             at += RECORD_BYTES;
         }
@@ -310,6 +389,53 @@ mod tests {
         );
         assert_eq!(map.get(40).unwrap().tag, CodecId::None);
         assert_eq!(map.get(43).unwrap().device_offset, 131072);
+    }
+
+    #[test]
+    fn ref_records_round_trip_and_interleave_with_puts() {
+        let mut j = MappingJournal::with_shard(3);
+        let put = entry(0);
+        j.append(&put);
+        let sharer = MappingEntry {
+            run_start: 400,
+            checksum: 0x5A5A,
+            ..put
+        };
+        j.append_ref(&sharer, 0xFEED_F00D);
+        j.append(&entry(1));
+        let r = j.replay();
+        assert!(!r.torn_tail && r.wrong_shard.is_none());
+        assert_eq!(r.entries, vec![put, entry(1)], "entries stays the Put-only view");
+        assert_eq!(r.records.len(), 3);
+        assert_eq!(r.records[0], JournalRecord::Put(put));
+        assert_eq!(
+            r.records[1],
+            JournalRecord::Ref(DedupRef {
+                run_start: 400,
+                run_blocks: put.run_blocks,
+                device_offset: put.device_offset,
+                content_hash: 0xFEED_F00D,
+                checksum: 0x5A5A,
+            })
+        );
+        assert_eq!(r.records[2], JournalRecord::Put(entry(1)));
+    }
+
+    #[test]
+    fn legacy_replay_has_put_only_records() {
+        // A journal with no dedup activity replays with records ==
+        // entries mapped through Put — the refcounts-all-one case.
+        let mut j = MappingJournal::new();
+        for i in 0..6 {
+            j.append(&entry(i));
+        }
+        let r = j.replay();
+        assert_eq!(r.records.len(), r.entries.len());
+        assert!(r
+            .records
+            .iter()
+            .zip(&r.entries)
+            .all(|(rec, e)| *rec == JournalRecord::Put(*e)));
     }
 
     #[test]

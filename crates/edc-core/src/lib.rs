@@ -50,6 +50,7 @@ pub mod allocator;
 pub mod cache;
 pub mod clock;
 pub mod content;
+pub mod dedup;
 pub mod error;
 pub mod feedback;
 pub mod heat;
@@ -72,6 +73,7 @@ pub use allocator::{AllocPolicy, AllocStats, QuantizedAllocator};
 pub use cache::{CacheStats, RunCache};
 pub use clock::{Clock, ManualClock, WallClock};
 pub use content::{CalibrationConfig, ContentModel};
+pub use dedup::{content_hash64, DedupConfig, DedupIndex, DedupReport};
 pub use error::{EdcError, WriteError};
 pub use feedback::{FeedbackConfig, FeedbackSelector};
 pub use heat::{HeatConfig, HeatTracker, Temperature};

@@ -126,18 +126,25 @@ impl BlockMap {
     pub fn snapshot(&self) -> MapSnapshot {
         let guards: Vec<_> =
             self.shards.iter().map(|s| s.lock().expect("shard poisoned")).collect();
-        let mut seen = std::collections::HashSet::new();
-        let mut runs = Vec::new();
+        // One representative entry per device offset. With dedup a shared
+        // offset has entries under several run_starts; keep the smallest
+        // so the representative is deterministic (shard iteration order
+        // is not), for reproducible scrubs and fault injection.
+        let mut best: HashMap<u64, MappingEntry> = HashMap::new();
         let mut blocks = 0usize;
         for guard in &guards {
             blocks += guard.len();
             for entry in guard.values() {
-                if seen.insert(entry.device_offset) {
-                    runs.push(*entry);
-                }
+                best.entry(entry.device_offset)
+                    .and_modify(|e| {
+                        if entry.run_start < e.run_start {
+                            *e = *entry;
+                        }
+                    })
+                    .or_insert(*entry);
             }
         }
-        // Deterministic order for reproducible scrubs and fault injection.
+        let mut runs: Vec<MappingEntry> = best.into_values().collect();
         runs.sort_by_key(|e| e.device_offset);
         MapSnapshot { blocks, runs }
     }
@@ -154,9 +161,32 @@ impl BlockMap {
 
     /// Snapshot every live *run* (deduplicated by device offset): the unit
     /// the scrubber walks. Blocks of one merged run share a single entry
-    /// value, so one representative per `device_offset` suffices.
+    /// value, so one representative per `device_offset` suffices — for a
+    /// dedup-shared offset, the referrer with the smallest `run_start`.
     pub fn live_runs(&self) -> Vec<MappingEntry> {
         self.snapshot().runs
+    }
+
+    /// Every live `(device_offset, run_start)` referrer with its count of
+    /// live blocks, sorted by `(device_offset, run_start)`. All shard
+    /// guards are held, so the view is one consistent instant. This is
+    /// the mapping side of the dedup refcount cross-check: the ledger
+    /// must list exactly these referrers with exactly these counts.
+    pub fn referrer_counts(&self) -> Vec<(MappingEntry, u32)> {
+        let guards: Vec<_> =
+            self.shards.iter().map(|s| s.lock().expect("shard poisoned")).collect();
+        let mut counts: HashMap<(u64, u64), (MappingEntry, u32)> = HashMap::new();
+        for guard in &guards {
+            for entry in guard.values() {
+                counts
+                    .entry((entry.device_offset, entry.run_start))
+                    .and_modify(|c| c.1 += 1)
+                    .or_insert((*entry, 1));
+            }
+        }
+        let mut out: Vec<(MappingEntry, u32)> = counts.into_values().collect();
+        out.sort_by_key(|(e, _)| (e.device_offset, e.run_start));
+        out
     }
 }
 
@@ -280,6 +310,40 @@ mod tests {
         assert_eq!(runs[0].device_offset, 0);
         assert_eq!(runs[1].device_offset, 10 * 4096);
         assert!(BlockMap::new().live_runs().is_empty());
+    }
+
+    #[test]
+    fn shared_offset_representative_is_smallest_run_start() {
+        // Two referrers of one device offset (a dedup share): the
+        // snapshot keeps exactly one entry for the offset, and it is the
+        // smallest run_start, deterministically.
+        let m = BlockMap::new();
+        let a = MappingEntry { device_offset: 9999, ..entry(40, 4, CodecId::Lzf) };
+        let b = MappingEntry { device_offset: 9999, ..entry(8, 4, CodecId::Lzf) };
+        m.insert_run(a);
+        m.insert_run(b);
+        let runs = m.live_runs();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].run_start, 8);
+        assert_eq!(m.len(), 8);
+    }
+
+    #[test]
+    fn referrer_counts_track_live_blocks_per_referrer() {
+        let m = BlockMap::new();
+        let a = MappingEntry { device_offset: 777, ..entry(0, 4, CodecId::Lzf) };
+        let b = MappingEntry { device_offset: 777, ..entry(100, 4, CodecId::Lzf) };
+        m.insert_run(a);
+        m.insert_run(b);
+        // Overwrite one of b's blocks with an unrelated run.
+        m.insert_run(entry(103, 1, CodecId::None));
+        let counts = m.referrer_counts();
+        let at_777: Vec<(u64, u32)> = counts
+            .iter()
+            .filter(|(e, _)| e.device_offset == 777)
+            .map(|(e, n)| (e.run_start, *n))
+            .collect();
+        assert_eq!(at_777, vec![(0, 4), (100, 3)]);
     }
 
     #[test]

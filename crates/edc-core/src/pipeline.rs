@@ -68,10 +68,11 @@
 
 use crate::allocator::{AllocPolicy, AllocStats, QuantizedAllocator};
 use crate::cache::{CacheStats, RunCache};
+use crate::dedup::{chunk_blocks, content_hash64, DedupConfig, DedupIndex, DedupReport, GearTable};
 use crate::error::{EdcError, WriteError};
 use crate::heat::{HeatConfig, HeatTracker, Temperature};
 use crate::hints::{FileTypeHint, HintRegistry};
-use crate::journal::{MappingJournal, RecoveryError};
+use crate::journal::{JournalRecord, MappingJournal, RecoveryError};
 use crate::mapping::{BlockMap, MappingEntry};
 use crate::monitor::WorkloadMonitor;
 use crate::scheme::BLOCK_BYTES;
@@ -126,6 +127,11 @@ pub struct PipelineConfig {
     /// Per-extent heat tracking and the background recompression policy
     /// ([`EdcPipeline::recompress_pass`], DESIGN.md §12).
     pub heat: HeatConfig,
+    /// Content-defined dedup front-end (FastCDC chunking + refcounted
+    /// content-addressed runs, DESIGN.md §14). Off by default — and with
+    /// the toggle off the write path is bit-identical to a store built
+    /// without dedup at all.
+    pub dedup: DedupConfig,
 }
 
 impl Default for PipelineConfig {
@@ -142,6 +148,7 @@ impl Default for PipelineConfig {
             journal_shard: 0,
             device_dwell_ns: 0,
             heat: HeatConfig::default(),
+            dedup: DedupConfig::default(),
         }
     }
 }
@@ -163,6 +170,17 @@ struct SealedRun {
     run: MergedRun,
     bytes: Vec<u8>,
     codec: CodecId,
+}
+
+/// Where a sealed chunk's duplicate content already lives (dedup probe
+/// result, resolved and re-verified at commit time).
+#[derive(Clone, Copy)]
+enum DupTarget {
+    /// A live stored run at this device offset.
+    Existing(u64),
+    /// The identical chunk at this index of the same drain, not yet
+    /// stored at probe time; resolved through its committed offset.
+    Earlier(usize),
 }
 
 /// What happened to a flushed run.
@@ -284,6 +302,10 @@ pub struct RecompressReport {
     /// Runs that could not be fetched/decoded this pass (transient read
     /// faults, damage) — left for scrub to deal with.
     pub skipped_unreadable: u64,
+    /// Runs skipped because dedup sharing makes relocation unsafe this
+    /// pass: a referrer (or the owner itself) is partially superseded, so
+    /// rewriting the full run range would resurrect stale blocks.
+    pub skipped_shared: u64,
     /// Flash bytes freed by recompression (old slot minus new slot).
     pub bytes_reclaimed: u64,
 }
@@ -298,6 +320,7 @@ impl RecompressReport {
         self.skipped_demoted += other.skipped_demoted;
         self.skipped_no_gain += other.skipped_no_gain;
         self.skipped_unreadable += other.skipped_unreadable;
+        self.skipped_shared += other.skipped_shared;
         self.bytes_reclaimed += other.bytes_reclaimed;
     }
 }
@@ -331,6 +354,11 @@ pub struct PipelineStats {
     pub demoted_runs: u64,
     /// Read-cache counters.
     pub cache: CacheStats,
+    /// Writes elided entirely because their content already lived in a
+    /// stored run (dedup hits), cumulative.
+    pub dedup_hits: u64,
+    /// Logical bytes those hits never compressed or programmed.
+    pub dedup_elided_bytes: u64,
 }
 
 impl PipelineStats {
@@ -347,6 +375,8 @@ impl PipelineStats {
         self.recompressed_runs += other.recompressed_runs;
         self.demoted_runs += other.demoted_runs;
         self.cache.merge(&other.cache);
+        self.dedup_hits += other.dedup_hits;
+        self.dedup_elided_bytes += other.dedup_elided_bytes;
     }
 
     /// The paper's compression ratio over everything written (1.0 when
@@ -403,6 +433,13 @@ pub struct EdcPipeline {
     /// [`PipelineStats`]).
     recompressed_runs: u64,
     demoted_runs: u64,
+    /// Seeded gear table for the content-defined chunker (built once).
+    gear: GearTable,
+    /// Content-addressed run index + refcount ledger (DESIGN.md §14).
+    dedup: DedupIndex,
+    /// Cumulative dedup-hit counters (see [`PipelineStats`]).
+    dedup_hits: u64,
+    dedup_elided_bytes: u64,
     logical_written: u64,
     physical_written: u64,
 }
@@ -432,6 +469,10 @@ impl EdcPipeline {
             degraded_reads: 0,
             recompressed_runs: 0,
             demoted_runs: 0,
+            gear: GearTable::new(config.dedup.seed),
+            dedup: DedupIndex::new(),
+            dedup_hits: 0,
+            dedup_elided_bytes: 0,
             monitor: WorkloadMonitor::default(),
             logical_written: 0,
             physical_written: 0,
@@ -810,14 +851,18 @@ impl EdcPipeline {
         self.sealed.push(SealedRun { run, bytes, codec });
     }
 
-    /// The storage half: compress every sealed run (parallel when
-    /// configured), then allocate + program + journal + map serially in
-    /// seal order. Each run's payload pages are programmed against the
+    /// The storage half: resolve duplicates against the content-addressed
+    /// index (dedup on), compress every remaining sealed run (parallel
+    /// when configured), then allocate + program + journal + map serially
+    /// in seal order. Each run's payload pages are programmed against the
     /// power-cut clock *before* its journal commit record, so a cut can
     /// orphan a payload but never journal a run whose payload is missing.
     fn drain_sealed(&mut self) -> Result<Vec<WriteResult>, EdcError> {
         if self.sealed.is_empty() {
             return Ok(Vec::new());
+        }
+        if self.config.dedup.enabled {
+            self.chunk_sealed();
         }
         // Codec lookups are validated before the queue is consumed, so a
         // (theoretically) bad tag surfaces as a typed error without
@@ -828,11 +873,52 @@ impl EdcPipeline {
             }
         }
         let sealed = std::mem::take(&mut self.sealed);
+        // Dedup probe: hash every chunk's raw bytes and resolve it to a
+        // live stored run with identical content (byte-compared before
+        // sharing — a hash collision is only ever a wasted compare) or to
+        // an identical earlier chunk of this same drain. Resolved chunks
+        // skip compression, allocation and payload programming entirely.
+        let mut dups: Vec<Option<DupTarget>> = vec![None; sealed.len()];
+        let mut hashes: Vec<u64> = vec![0u64; sealed.len()];
+        if self.config.dedup.enabled {
+            let mut batch_by_hash: HashMap<u64, usize> = HashMap::new();
+            let mut cmp = self.read_buf_pool.pop().unwrap_or_default();
+            for (i, s) in sealed.iter().enumerate() {
+                let h = content_hash64(&s.bytes, self.config.dedup.seed);
+                hashes[i] = h;
+                for &off in self.dedup.candidates(h) {
+                    let Some(t) = self.dedup.template(off) else { continue };
+                    if t.run_blocks != s.run.blocks {
+                        continue;
+                    }
+                    if self.chunk_matches_stored(t, &s.bytes, &mut cmp) {
+                        dups[i] = Some(DupTarget::Existing(off));
+                        break;
+                    }
+                }
+                if dups[i].is_none() {
+                    match batch_by_hash.get(&h) {
+                        Some(&j) if sealed[j].bytes == s.bytes => {
+                            dups[i] = Some(DupTarget::Earlier(j));
+                        }
+                        Some(_) => {}
+                        None => {
+                            batch_by_hash.insert(h, i);
+                        }
+                    }
+                }
+            }
+            self.recycle_read_buf(cmp);
+        }
         // Phase 1: compression, the CPU-heavy pure part, fanned across
         // workers. Each job writes into a scratch buffer recycled from
         // previous drains, so the steady state performs no output
-        // allocations at all.
-        let n_jobs = sealed.iter().filter(|s| s.codec != CodecId::None).count();
+        // allocations at all. Resolved duplicates never compress.
+        let n_jobs = sealed
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| s.codec != CodecId::None && dups[*i].is_none())
+            .count();
         while self.scratch.len() < n_jobs {
             self.scratch.push(Vec::new());
         }
@@ -840,7 +926,9 @@ impl EdcPipeline {
         {
             let mut work: Vec<(&'static dyn Codec, &[u8], &mut Vec<u8>)> = sealed
                 .iter()
-                .filter(|s| s.codec != CodecId::None)
+                .enumerate()
+                .filter(|(i, s)| s.codec != CodecId::None && dups[*i].is_none())
+                .map(|(_, s)| s)
                 .zip(bufs.iter_mut())
                 .filter_map(|(s, buf)| {
                     CodecRegistry::get(s.codec).ok().map(|c| (c, s.bytes.as_slice(), buf))
@@ -880,93 +968,101 @@ impl EdcPipeline {
         // serially in seal order, which makes the whole drain equivalent
         // to processing each run at its seal point.
         let mut results = Vec::with_capacity(sealed.len());
+        let mut stored_at: Vec<u64> = vec![u64::MAX; sealed.len()];
         let mut buf_idx = 0usize;
-        for s in &sealed {
+        for (i, s) in sealed.iter().enumerate() {
+            // A resolved duplicate shares the stored run instead of
+            // writing: the slot and the refcount ledger take the new
+            // block references first, then the `Ref` commit record is
+            // journaled (new-ref-then-commit: a cut can orphan a taken
+            // reference — volatile state recovery rebuilds anyway — but
+            // never journal a reference that was not taken), then the
+            // mapping re-points. The target is re-verified at commit
+            // time, because an earlier chunk of this very drain may have
+            // superseded it; a stale target demotes the chunk to an
+            // ordinary unique store.
+            if let Some(target) = dups[i] {
+                let off = match target {
+                    DupTarget::Existing(off) => off,
+                    DupTarget::Earlier(j) => stored_at[j],
+                };
+                let template = self.dedup.template(off).copied();
+                let usable = template.is_some_and(|t| t.run_blocks == s.run.blocks) && {
+                    let t = template.expect("template checked above");
+                    let mut cmp = self.read_buf_pool.pop().unwrap_or_default();
+                    let ok = self.chunk_matches_stored(&t, &s.bytes, &mut cmp);
+                    self.recycle_read_buf(cmp);
+                    ok
+                };
+                if usable {
+                    let template = template.expect("template checked above");
+                    let o = template.device_offset as usize;
+                    let sharer = MappingEntry {
+                        run_start: s.run.start_block,
+                        run_blocks: s.run.blocks,
+                        checksum: checksum64(
+                            &self.device[o..o + template.compressed_bytes as usize],
+                            s.run.start_block,
+                        ),
+                        ..template
+                    };
+                    self.slots.add_run_refs(off, s.run.blocks);
+                    self.dedup.add_referrer(off, s.run.start_block, s.run.blocks);
+                    if let Err(e) = self.faults.program_page() {
+                        return Err(fault_to_edc(e));
+                    }
+                    self.journal.append_ref(&sharer, hashes[i]);
+                    for old in self.map.insert_run(sharer) {
+                        self.release_superseded(&old);
+                    }
+                    self.dedup_hits += 1;
+                    self.dedup_elided_bytes += s.bytes.len() as u64;
+                    stored_at[i] = off;
+                    results.push(WriteResult {
+                        start_block: s.run.start_block,
+                        blocks: s.run.blocks,
+                        tag: template.tag,
+                        payload_bytes: template.compressed_bytes,
+                        allocated_bytes: 0,
+                    });
+                    continue;
+                }
+                // Stale target: store as a fresh unique run, compressing
+                // serially on the spot (its parallel slot was skipped).
+                let comp = if s.codec == CodecId::None {
+                    None
+                } else {
+                    if self.codec_states.is_empty() {
+                        self.codec_states.push(CompressorState::new());
+                    }
+                    let mut out = self.scratch.pop().unwrap_or_default();
+                    let codec = CodecRegistry::get(s.codec)?;
+                    codec.compress_with(&mut self.codec_states[0], &s.bytes, &mut out);
+                    Some(out)
+                };
+                let (result, entry) = self.store_chunk(s, comp.as_deref())?;
+                if let Some(mut out) = comp {
+                    out.clear();
+                    self.scratch.push(out);
+                }
+                self.dedup.insert_unique(Some(hashes[i]), entry);
+                stored_at[i] = entry.device_offset;
+                results.push(result);
+                continue;
+            }
             let comp = if s.codec == CodecId::None {
                 None
             } else {
                 let b = &bufs[buf_idx];
                 buf_idx += 1;
-                Some(b)
+                Some(b.as_slice())
             };
-            let comp_len = comp.map_or(s.bytes.len(), |b| b.len()) as u64;
-            // Quantized allocation (with the 75 % fallback).
-            let prev = self
-                .map
-                .get(s.run.start_block)
-                .filter(|e| e.run_start == s.run.start_block && e.run_blocks == s.run.blocks);
-            let placement =
-                self.allocator.place(s.bytes.len() as u64, comp_len, prev.map(|e| e.stored_bytes));
-            let (tag, payload): (CodecId, &[u8]) = match comp {
-                Some(b) if placement.compressed => (s.codec, b.as_slice()),
-                _ => (CodecId::None, &s.bytes),
-            };
-            // Slot allocation + payload programming, page by page against
-            // the power-cut clock: a cut mid-run leaves a partial payload
-            // with no commit record, exactly what recovery expects. The
-            // slot is referenced by every block of the run and frees only
-            // when all are superseded. With parity on, the slot grows by
-            // one page holding the XOR of the payload's zero-padded pages,
-            // programmed after the payload and before the commit record.
-            let parity = self.config.parity;
-            let stored_bytes =
-                placement.allocated_bytes + if parity { BLOCK_BYTES } else { 0 };
-            let device_offset = self.slots.alloc_run(stored_bytes, s.run.blocks);
-            let off = device_offset as usize;
-            let bb = BLOCK_BYTES as usize;
-            for page in 0..payload.len().div_ceil(bb).max(1) {
-                if let Err(e) = self.faults.program_page() {
-                    return Err(fault_to_edc(e));
-                }
-                let lo = page * bb;
-                let hi = (lo + bb).min(payload.len());
-                self.device[off + lo..off + hi].copy_from_slice(&payload[lo..hi]);
+            let (result, entry) = self.store_chunk(s, comp)?;
+            if self.config.dedup.enabled {
+                self.dedup.insert_unique(Some(hashes[i]), entry);
             }
-            if parity {
-                if let Err(e) = self.faults.program_page() {
-                    return Err(fault_to_edc(e));
-                }
-                let page = xor_parity(payload);
-                let at = off + stored_bytes as usize - bb;
-                self.device[at..at + bb].copy_from_slice(&page);
-            }
-            // One dwell per stored run: the media is busy programming the
-            // run's pages while this shard's lock is held, and sleeps on
-            // different shards overlap.
-            self.device_dwell();
-            self.physical_written += stored_bytes;
-            let entry = MappingEntry {
-                tag,
-                run_start: s.run.start_block,
-                run_blocks: s.run.blocks,
-                device_offset,
-                stored_bytes,
-                compressed_bytes: payload.len() as u64,
-                checksum: checksum64(payload, s.run.start_block),
-                parity,
-            };
-            // The commit point: one more page program for the journal
-            // record. A cut here drops the run (payload durable but
-            // unreferenced) — never the reverse.
-            if let Err(e) = self.faults.program_page() {
-                return Err(fault_to_edc(e));
-            }
-            self.journal.append(&entry);
-            // Mapping update; release superseded runs and drop their
-            // cached decompressions — a later read must never see them.
-            for old in self.map.insert_run(entry) {
-                self.slots.release_block_ref(old.device_offset);
-                if let Some(stale) = self.cache.invalidate(old.device_offset) {
-                    self.recycle_read_buf(stale);
-                }
-            }
-            results.push(WriteResult {
-                start_block: s.run.start_block,
-                blocks: s.run.blocks,
-                tag,
-                payload_bytes: payload.len() as u64,
-                allocated_bytes: placement.allocated_bytes,
-            });
+            stored_at[i] = entry.device_offset;
+            results.push(result);
         }
         // Return the scratch buffers (capacity intact) for the next drain.
         self.scratch.extend(bufs.into_iter().map(|mut b| {
@@ -974,6 +1070,163 @@ impl EdcPipeline {
             b
         }));
         Ok(results)
+    }
+
+    /// Store one sealed chunk as a fresh unique run: quantized placement
+    /// (with the keep-raw-if-not-smaller fallback), slot allocation,
+    /// payload (+ parity) pages programmed page by page against the
+    /// power-cut clock — a cut mid-run leaves a partial payload with no
+    /// commit record, exactly what recovery expects — then the journal
+    /// commit record and the mapping update. Returns the write result
+    /// and the committed mapping entry.
+    fn store_chunk(
+        &mut self,
+        s: &SealedRun,
+        comp: Option<&[u8]>,
+    ) -> Result<(WriteResult, MappingEntry), EdcError> {
+        let comp_len = comp.map_or(s.bytes.len(), <[u8]>::len) as u64;
+        // Quantized allocation (with the 75 % fallback).
+        let prev = self
+            .map
+            .get(s.run.start_block)
+            .filter(|e| e.run_start == s.run.start_block && e.run_blocks == s.run.blocks);
+        let placement =
+            self.allocator.place(s.bytes.len() as u64, comp_len, prev.map(|e| e.stored_bytes));
+        let (tag, payload): (CodecId, &[u8]) = match comp {
+            Some(b) if placement.compressed => (s.codec, b),
+            _ => (CodecId::None, &s.bytes),
+        };
+        // The slot is referenced by every block of the run and frees only
+        // when all are superseded. With parity on, the slot grows by one
+        // page holding the XOR of the payload's zero-padded pages,
+        // programmed after the payload and before the commit record.
+        let parity = self.config.parity;
+        let stored_bytes = placement.allocated_bytes + if parity { BLOCK_BYTES } else { 0 };
+        let device_offset = self.slots.alloc_run(stored_bytes, s.run.blocks);
+        let off = device_offset as usize;
+        let bb = BLOCK_BYTES as usize;
+        for page in 0..payload.len().div_ceil(bb).max(1) {
+            if let Err(e) = self.faults.program_page() {
+                return Err(fault_to_edc(e));
+            }
+            let lo = page * bb;
+            let hi = (lo + bb).min(payload.len());
+            self.device[off + lo..off + hi].copy_from_slice(&payload[lo..hi]);
+        }
+        if parity {
+            if let Err(e) = self.faults.program_page() {
+                return Err(fault_to_edc(e));
+            }
+            let page = xor_parity(payload);
+            let at = off + stored_bytes as usize - bb;
+            self.device[at..at + bb].copy_from_slice(&page);
+        }
+        // One dwell per stored run: the media is busy programming the
+        // run's pages while this shard's lock is held, and sleeps on
+        // different shards overlap.
+        self.device_dwell();
+        self.physical_written += stored_bytes;
+        let entry = MappingEntry {
+            tag,
+            run_start: s.run.start_block,
+            run_blocks: s.run.blocks,
+            device_offset,
+            stored_bytes,
+            compressed_bytes: payload.len() as u64,
+            checksum: checksum64(payload, s.run.start_block),
+            parity,
+        };
+        // The commit point: one more page program for the journal
+        // record. A cut here drops the run (payload durable but
+        // unreferenced) — never the reverse.
+        if let Err(e) = self.faults.program_page() {
+            return Err(fault_to_edc(e));
+        }
+        self.journal.append(&entry);
+        // Mapping update; release superseded runs and drop their
+        // cached decompressions — a later read must never see them.
+        for old in self.map.insert_run(entry) {
+            self.release_superseded(&old);
+        }
+        Ok((
+            WriteResult {
+                start_block: s.run.start_block,
+                blocks: s.run.blocks,
+                tag,
+                payload_bytes: payload.len() as u64,
+                allocated_bytes: placement.allocated_bytes,
+            },
+            entry,
+        ))
+    }
+
+    /// Everything that must happen when a mapping insertion supersedes an
+    /// old entry's block: drop the block's slot reference (the slot frees
+    /// at zero), mirror the release into the dedup refcount ledger (a
+    /// no-op for untracked runs), and invalidate any cached decompression
+    /// of the superseded run — a later read must never see it.
+    fn release_superseded(&mut self, old: &MappingEntry) {
+        self.slots.release_block_ref(old.device_offset);
+        self.dedup.release_block(old.device_offset, old.run_start);
+        if let Some(stale) = self.cache.invalidate(old.device_offset) {
+            self.recycle_read_buf(stale);
+        }
+    }
+
+    /// Split every sealed run at its content-defined cut points (block
+    /// granular, FastCDC-style gear hash) so identical content sequences
+    /// become identical storable units regardless of logical position.
+    /// Runs at or below the chunker's minimum pass through unsplit; every
+    /// sub-chunk inherits its parent's sealed codec decision, keeping the
+    /// ladder's intensity semantics intact.
+    fn chunk_sealed(&mut self) {
+        let sealed = std::mem::take(&mut self.sealed);
+        let bb = BLOCK_BYTES as usize;
+        for s in sealed {
+            let cuts = chunk_blocks(&self.gear, &self.config.dedup, &s.bytes);
+            if cuts.len() <= 1 {
+                self.sealed.push(s);
+                continue;
+            }
+            let mut at = 0u32;
+            for len in cuts {
+                let lo = at as usize * bb;
+                let hi = lo + len as usize * bb;
+                self.sealed.push(SealedRun {
+                    run: MergedRun {
+                        start_block: s.run.start_block + u64::from(at),
+                        blocks: len,
+                        arrivals_ns: Vec::new(),
+                    },
+                    bytes: s.bytes[lo..hi].to_vec(),
+                    codec: s.codec,
+                });
+                at += len;
+            }
+        }
+    }
+
+    /// Byte-compare a candidate chunk against the stored run `template`
+    /// describes: checksum first (a rotted payload must never be adopted
+    /// as a dedup target), then the raw bytes — decoded into `scratch`
+    /// for compressed runs, straight out of the image for write-through
+    /// ones. Draws nothing from the fault stream: a dedup probe is a
+    /// pure lookup, not a modelled device access.
+    fn chunk_matches_stored(
+        &self,
+        template: &MappingEntry,
+        raw: &[u8],
+        scratch: &mut Vec<u8>,
+    ) -> bool {
+        let off = template.device_offset as usize;
+        let payload = &self.device[off..off + template.compressed_bytes as usize];
+        if checksum64(payload, template.run_start) != template.checksum {
+            return false;
+        }
+        if template.tag == CodecId::None {
+            return payload == raw;
+        }
+        self.decode_payload(template, scratch).is_ok() && scratch[..] == raw[..]
     }
 
     /// Rebuild the store's volatile state from the durable journal after
@@ -999,6 +1252,11 @@ impl EdcPipeline {
         // recovered store re-learns heat (and re-cools demoted extents)
         // before the background pass touches anything.
         self.heat.reset();
+        // The refcount ledger is rebuilt from the journal: `Put` records
+        // enter with one referrer (so a legacy journal replays with every
+        // refcount = 1, exactly the pre-dedup state), `Ref` records add
+        // sharers and re-teach content hashes.
+        self.dedup.reset();
         let replay = self.journal.replay();
         // A cleanly-decoded record carrying another shard's id means the
         // journal stream was mis-routed — adopting its mappings would
@@ -1006,30 +1264,72 @@ impl EdcPipeline {
         if let Some(seq) = replay.wrong_shard {
             return Err(RecoveryError { seq, reason: "record belongs to another shard" });
         }
-        // Replay re-runs each committed insert_run, tracking which runs
+        // Replay re-runs each committed insertion, tracking which runs
         // are still live (not fully superseded by a later record).
         let mut live: HashMap<u64, MappingEntry> = HashMap::new();
-        for (seq, entry) in replay.entries.iter().enumerate() {
+        for (seq, record) in replay.records.iter().enumerate() {
             let seq = seq as u64;
-            if entry.run_blocks == 0 {
-                return Err(RecoveryError { seq, reason: "zero-length run" });
-            }
-            if entry.parity && entry.stored_bytes <= BLOCK_BYTES {
-                return Err(RecoveryError { seq, reason: "parity run too small for its parity page" });
-            }
-            let payload_slot =
-                entry.stored_bytes - if entry.parity { BLOCK_BYTES } else { 0 };
-            if entry.compressed_bytes > payload_slot {
-                return Err(RecoveryError { seq, reason: "payload exceeds its slot" });
-            }
-            if entry.stored_bytes == 0 || entry.device_offset + entry.stored_bytes > capacity {
-                return Err(RecoveryError { seq, reason: "slot beyond device" });
-            }
-            self.slots.adopt_run(entry.device_offset, entry.stored_bytes, entry.run_blocks);
-            live.insert(entry.device_offset, *entry);
-            for old in self.map.insert_run(*entry) {
-                if self.slots.release_block_ref(old.device_offset).is_some() {
-                    live.remove(&old.device_offset);
+            match record {
+                JournalRecord::Put(entry) => {
+                    if entry.run_blocks == 0 {
+                        return Err(RecoveryError { seq, reason: "zero-length run" });
+                    }
+                    if entry.parity && entry.stored_bytes <= BLOCK_BYTES {
+                        return Err(RecoveryError {
+                            seq,
+                            reason: "parity run too small for its parity page",
+                        });
+                    }
+                    let payload_slot =
+                        entry.stored_bytes - if entry.parity { BLOCK_BYTES } else { 0 };
+                    if entry.compressed_bytes > payload_slot {
+                        return Err(RecoveryError { seq, reason: "payload exceeds its slot" });
+                    }
+                    if entry.stored_bytes == 0 || entry.device_offset + entry.stored_bytes > capacity
+                    {
+                        return Err(RecoveryError { seq, reason: "slot beyond device" });
+                    }
+                    self.slots.adopt_run(entry.device_offset, entry.stored_bytes, entry.run_blocks);
+                    live.insert(entry.device_offset, *entry);
+                    self.dedup.insert_unique(None, *entry);
+                    for old in self.map.insert_run(*entry) {
+                        self.dedup.release_block(old.device_offset, old.run_start);
+                        if self.slots.release_block_ref(old.device_offset).is_some() {
+                            live.remove(&old.device_offset);
+                        }
+                    }
+                }
+                JournalRecord::Ref(r) => {
+                    // A sharer's commit record: the target must still be
+                    // live at this point of the replay (the foreground
+                    // path only ever references live runs, so anything
+                    // else is journal corruption).
+                    let Some(template) = live.get(&r.device_offset).copied() else {
+                        return Err(RecoveryError {
+                            seq,
+                            reason: "dedup ref to a dead or unknown run",
+                        });
+                    };
+                    if template.run_blocks != r.run_blocks {
+                        return Err(RecoveryError { seq, reason: "dedup ref length mismatch" });
+                    }
+                    let sharer = MappingEntry {
+                        run_start: r.run_start,
+                        run_blocks: r.run_blocks,
+                        checksum: r.checksum,
+                        ..template
+                    };
+                    self.slots.add_run_refs(r.device_offset, r.run_blocks);
+                    self.dedup.add_referrer(r.device_offset, r.run_start, r.run_blocks);
+                    if r.content_hash != 0 {
+                        self.dedup.learn_hash(r.device_offset, r.content_hash);
+                    }
+                    for old in self.map.insert_run(sharer) {
+                        self.dedup.release_block(old.device_offset, old.run_start);
+                        if self.slots.release_block_ref(old.device_offset).is_some() {
+                            live.remove(&old.device_offset);
+                        }
+                    }
                 }
             }
         }
@@ -1041,7 +1341,9 @@ impl EdcPipeline {
         // Audit: a journaled run's payload must still hash to its record's
         // checksum. Payload-then-commit ordering guarantees it at crash
         // time; rot or image damage after the crash can still break it,
-        // and such runs are dropped rather than served corrupt.
+        // and such runs are dropped rather than served corrupt. A shared
+        // run drops with EVERY referrer — a dedup sharer pointing at a
+        // rotted payload must not survive either.
         let mut survivors: Vec<MappingEntry> = live.into_values().collect();
         survivors.sort_by_key(|e| e.device_offset);
         for entry in survivors {
@@ -1049,12 +1351,20 @@ impl EdcPipeline {
                 report.replayed_runs += 1;
             } else {
                 report.payload_mismatches += 1;
-                for b in entry.run_start..entry.run_start + u64::from(entry.run_blocks) {
-                    if self.map.get(b).is_some_and(|e| e.device_offset == entry.device_offset) {
-                        self.map.remove(b);
-                        self.slots.release_block_ref(entry.device_offset);
+                let referrers = self
+                    .dedup
+                    .referrers(entry.device_offset)
+                    .unwrap_or_else(|| vec![(entry.run_start, entry.run_blocks)]);
+                for (r_start, _) in referrers {
+                    for b in r_start..r_start + u64::from(entry.run_blocks) {
+                        if self.map.get(b).is_some_and(|e| e.device_offset == entry.device_offset)
+                        {
+                            self.map.remove(b);
+                            self.slots.release_block_ref(entry.device_offset);
+                        }
                     }
                 }
+                self.dedup.purge(entry.device_offset);
             }
         }
         Ok(report)
@@ -1104,8 +1414,13 @@ impl EdcPipeline {
                 continue;
             }
             if self.try_parity_repair(&entry) {
-                // Reconstructed in place; now retire the suspect slot.
-                self.rewrite_run(&entry)?;
+                // Reconstructed in place; now retire the suspect slot —
+                // unless a referrer (dedup sharing) is partially
+                // superseded, in which case relocation is unsafe and the
+                // in-place repair alone has to carry the run.
+                if let Some(referrers) = self.relocation_referrers(&entry) {
+                    self.rewrite_run(&entry, &referrers)?;
+                }
                 report.repaired += 1;
             } else {
                 report.unrecoverable += 1;
@@ -1157,10 +1472,18 @@ impl EdcPipeline {
 
     /// Move a (just-repaired) run out-of-place: fresh slot, payload and
     /// parity pages programmed against the power-cut clock, journal commit
-    /// record, mapping update. The superseded slot is released and its
-    /// cached decompression invalidated — a later allocation reusing that
-    /// offset must never hit stale cache.
-    fn rewrite_run(&mut self, old: &MappingEntry) -> Result<(), EdcError> {
+    /// record, mapping update — then every dedup sharer re-pointed at the
+    /// new slot through its own journaled `Ref` record. The superseded
+    /// slot is released and its cached decompression invalidated — a
+    /// later allocation reusing that offset must never hit stale cache.
+    ///
+    /// `referrers` must come from [`EdcPipeline::relocation_referrers`]
+    /// (every referrer fully live), or stale blocks would resurrect.
+    fn rewrite_run(
+        &mut self,
+        old: &MappingEntry,
+        referrers: &[(u64, u32)],
+    ) -> Result<(), EdcError> {
         let bb = BLOCK_BYTES as usize;
         let off = old.device_offset as usize;
         let payload: Vec<u8> = self.device[off..off + old.compressed_bytes as usize].to_vec();
@@ -1188,13 +1511,73 @@ impl EdcPipeline {
             return Err(fault_to_edc(e));
         }
         self.journal.append(&entry);
+        // Carry the ledger state (hash, referrer counts) to the new
+        // offset before the mapping updates release the old one.
+        self.dedup.relocate(old.device_offset, entry);
         for evicted in self.map.insert_run(entry) {
-            self.slots.release_block_ref(evicted.device_offset);
-            if let Some(stale) = self.cache.invalidate(evicted.device_offset) {
-                self.recycle_read_buf(stale);
+            self.release_superseded(&evicted);
+        }
+        self.repoint_sharers(old, &entry, &payload, referrers)
+    }
+
+    /// Re-point every dedup sharer of a just-relocated run at its new
+    /// slot, exactly like a foreground dedup hit: slot references first,
+    /// then the journaled `Ref` commit record, then the mapping update.
+    /// The sharers' superseded entries release the old slot's remaining
+    /// references, freeing it once the last one moves.
+    fn repoint_sharers(
+        &mut self,
+        old: &MappingEntry,
+        entry: &MappingEntry,
+        payload: &[u8],
+        referrers: &[(u64, u32)],
+    ) -> Result<(), EdcError> {
+        let hash = self.dedup.content_hash(entry.device_offset).unwrap_or(0);
+        for &(r_start, _) in referrers {
+            if r_start == old.run_start {
+                continue;
+            }
+            let sharer = MappingEntry {
+                run_start: r_start,
+                checksum: checksum64(payload, r_start),
+                ..*entry
+            };
+            self.slots.add_run_refs(entry.device_offset, entry.run_blocks);
+            if let Err(e) = self.faults.program_page() {
+                return Err(fault_to_edc(e));
+            }
+            self.journal.append_ref(&sharer, hash);
+            for evicted in self.map.insert_run(sharer) {
+                self.release_superseded(&evicted);
             }
         }
         Ok(())
+    }
+
+    /// The referrers of a relocation candidate, as `(run_start, blocks)`
+    /// pairs with the mapping's representative first — or `None` when any
+    /// referrer (the representative included) is partially superseded:
+    /// re-inserting the full run range would then resurrect stale blocks,
+    /// so the caller must leave the run in place. Untracked runs (dedup
+    /// off, or adopted from a legacy journal) audit their single implicit
+    /// referrer the same way.
+    fn relocation_referrers(&self, entry: &MappingEntry) -> Option<Vec<(u64, u32)>> {
+        let mut referrers = self
+            .dedup
+            .referrers(entry.device_offset)
+            .unwrap_or_else(|| vec![(entry.run_start, entry.run_blocks)]);
+        referrers.sort_unstable_by_key(|&(s, _)| (s != entry.run_start, s));
+        for &(r_start, _) in &referrers {
+            for b in r_start..r_start + u64::from(entry.run_blocks) {
+                let live = self.map.get(b).is_some_and(|e| {
+                    e.device_offset == entry.device_offset && e.run_start == r_start
+                });
+                if !live {
+                    return None;
+                }
+            }
+        }
+        Some(referrers)
     }
 
     /// Heat-aware background recompression (the GC-cooperation policy,
@@ -1247,6 +1630,17 @@ impl EdcPipeline {
             if rewrites >= max_rewrites {
                 break;
             }
+            // A dedup sharer enumerates once per referrer; relocating the
+            // run under one referrer re-points them all, leaving the
+            // siblings' snapshot entries stale. Those were already
+            // handled this pass — don't re-count (or re-touch) them.
+            let stale = self
+                .map
+                .get(entry.run_start)
+                .is_none_or(|e| e.device_offset != entry.device_offset);
+            if stale {
+                continue;
+            }
             report.scanned += 1;
             let blocks = u64::from(entry.run_blocks);
             if self.hints.lookup(entry.run_start).is_some_and(FileTypeHint::settles_compressibility)
@@ -1265,6 +1659,10 @@ impl EdcPipeline {
                     if entry.tag == CodecId::None || achieved > self.config.heat.demote_ratio {
                         continue; // hot and worth its compression: leave it
                     }
+                    let Some(referrers) = self.relocation_referrers(&entry) else {
+                        report.skipped_shared += 1;
+                        continue;
+                    };
                     let mut raw = self.read_buf_pool.pop().unwrap_or_default();
                     if self.decompress_run_into(&entry, &mut raw).is_err() {
                         self.recycle_read_buf(raw);
@@ -1273,7 +1671,7 @@ impl EdcPipeline {
                     }
                     let stored =
                         raw_len + if self.config.parity { BLOCK_BYTES } else { 0 };
-                    let res = self.replace_run(&entry, CodecId::None, &raw, stored);
+                    let res = self.replace_run(&entry, CodecId::None, &raw, stored, &referrers);
                     self.recycle_read_buf(raw);
                     res?;
                     self.heat.mark_demoted(entry.run_start, blocks);
@@ -1285,6 +1683,10 @@ impl EdcPipeline {
                     if codec_strength(entry.tag) >= codec_strength(target) {
                         continue; // already at (or above) the target tier
                     }
+                    let Some(referrers) = self.relocation_referrers(&entry) else {
+                        report.skipped_shared += 1;
+                        continue;
+                    };
                     let mut raw = self.read_buf_pool.pop().unwrap_or_default();
                     if self.run_raw_bytes(&entry, &mut raw).is_err() {
                         self.recycle_read_buf(raw);
@@ -1304,7 +1706,7 @@ impl EdcPipeline {
                         self.scratch.push(comp);
                         continue;
                     }
-                    let res = self.replace_run(&entry, target, &comp, stored);
+                    let res = self.replace_run(&entry, target, &comp, stored, &referrers);
                     comp.clear();
                     self.scratch.push(comp);
                     let new_entry = match res {
@@ -1361,13 +1763,18 @@ impl EdcPipeline {
     /// [`EdcPipeline::rewrite_run`]: fresh slot, payload (+ parity) pages
     /// programmed against the power-cut clock, journal commit record,
     /// mapping update, superseded slot released and its cached
-    /// decompression dropped. Returns the new mapping entry.
+    /// decompression dropped, every dedup sharer re-pointed through its
+    /// own journaled `Ref` record (the content hash carries over — it is
+    /// a hash of the *raw* bytes, which recompression does not change).
+    /// `referrers` must come from [`EdcPipeline::relocation_referrers`].
+    /// Returns the new mapping entry.
     fn replace_run(
         &mut self,
         old: &MappingEntry,
         tag: CodecId,
         payload: &[u8],
         stored_bytes: u64,
+        referrers: &[(u64, u32)],
     ) -> Result<MappingEntry, EdcError> {
         let bb = BLOCK_BYTES as usize;
         let parity = self.config.parity;
@@ -1407,12 +1814,13 @@ impl EdcPipeline {
             return Err(fault_to_edc(e));
         }
         self.journal.append(&entry);
+        // Carry the ledger state to the new offset, then re-point every
+        // sharer; their superseded entries drain the old slot's refs.
+        self.dedup.relocate(old.device_offset, entry);
         for evicted in self.map.insert_run(entry) {
-            self.slots.release_block_ref(evicted.device_offset);
-            if let Some(stale) = self.cache.invalidate(evicted.device_offset) {
-                self.recycle_read_buf(stale);
-            }
+            self.release_superseded(&evicted);
         }
+        self.repoint_sharers(old, &entry, payload, referrers)?;
         Ok(entry)
     }
 
@@ -1536,6 +1944,8 @@ impl EdcPipeline {
             recompressed_runs: self.recompressed_runs,
             demoted_runs: self.demoted_runs,
             cache: self.cache.stats(),
+            dedup_hits: self.dedup_hits,
+            dedup_elided_bytes: self.dedup_elided_bytes,
         }
     }
 
@@ -1559,6 +1969,78 @@ impl EdcPipeline {
                 report.clean += 1;
             } else {
                 report.unrecoverable += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Cross-check the dedup refcount ledger against the mapping table
+    /// both ways — the §14 analogue of the slot store's
+    /// bucket cross-check in [`EdcPipeline::verify`]:
+    ///
+    /// * every ledger referrer must be present in the mapping with
+    ///   exactly its recorded live block count, per tracked offset the
+    ///   mapping must hold exactly the ledger's referrers, and the slot
+    ///   store's outstanding block references must equal the ledger's
+    ///   total live blocks;
+    /// * conversely no mapped offset may carry sharing the ledger does
+    ///   not know about, and with dedup enabled every live run must be
+    ///   tracked.
+    ///
+    /// Read-only and fault-free; returns aggregate counters on success
+    /// and a typed [`EdcError::Integrity`] on the first inconsistency.
+    pub fn verify_dedup(&self) -> Result<DedupReport, EdcError> {
+        self.check_powered()?;
+        // Mapping side: live block counts grouped offset → referrers.
+        let mut map_side: HashMap<u64, Vec<(u64, u32)>> = HashMap::new();
+        for (entry, blocks) in self.map.referrer_counts() {
+            map_side.entry(entry.device_offset).or_default().push((entry.run_start, blocks));
+        }
+        let mut report = DedupReport::default();
+        for referrers in map_side.values() {
+            report.runs += 1;
+            if referrers.len() > 1 {
+                report.shared_runs += 1;
+                report.extra_refs += referrers.len() as u64 - 1;
+            }
+        }
+        if !self.config.dedup.enabled && self.dedup.is_empty() {
+            // A store with no ledger at all must also have no sharing.
+            if report.shared_runs > 0 {
+                return Err(EdcError::Integrity("shared run on a store with no dedup ledger"));
+            }
+            return Ok(report);
+        }
+        // Ledger → mapping: every recorded referrer really holds exactly
+        // its recorded blocks, and the slot refcount agrees.
+        for (off, referrers) in self.dedup.ledger() {
+            let map_refs = map_side.get(&off).map_or(&[][..], Vec::as_slice);
+            if map_refs.len() != referrers.len() {
+                return Err(EdcError::Integrity("ledger and mapping disagree on referrer count"));
+            }
+            let mut total = 0u32;
+            for &(r_start, blocks) in &referrers {
+                total += blocks;
+                if !map_refs.iter().any(|&(s, n)| s == r_start && n == blocks) {
+                    return Err(EdcError::Integrity("ledger referrer missing from the mapping"));
+                }
+            }
+            if self.slots.block_refs(off) != total {
+                return Err(EdcError::Integrity("slot refcount disagrees with the ledger"));
+            }
+        }
+        // Mapping → ledger: sharing outside the ledger is always an
+        // inconsistency; an untracked unique run is legal only while
+        // dedup is disabled (stored before the ledger existed).
+        for (off, referrers) in &map_side {
+            if self.dedup.tracked(*off) {
+                continue;
+            }
+            if referrers.len() > 1 {
+                return Err(EdcError::Integrity("shared run missing from the dedup ledger"));
+            }
+            if self.config.dedup.enabled {
+                return Err(EdcError::Integrity("live run missing from the dedup ledger"));
             }
         }
         Ok(report)
@@ -1607,6 +2089,10 @@ impl crate::store::Store for EdcPipeline {
 
     fn verify_store(&mut self) -> Result<ScrubReport, EdcError> {
         EdcPipeline::verify(self)
+    }
+
+    fn verify_dedup(&mut self) -> Result<DedupReport, EdcError> {
+        EdcPipeline::verify_dedup(self)
     }
 
     fn recompress(
@@ -2827,6 +3313,270 @@ mod tests {
                     "cut {cut}: data lost"
                 );
             }
+        }
+    }
+
+    fn dedup_pipeline() -> EdcPipeline {
+        EdcPipeline::new(
+            8 << 20,
+            PipelineConfig {
+                dedup: DedupConfig { enabled: true, ..DedupConfig::default() },
+                ..PipelineConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn dedup_hit_elides_flash_programs_and_storage() {
+        let mut p = dedup_pipeline();
+        let data = text_block(7);
+        p.write(0, 0, &data).unwrap();
+        p.flush(1).unwrap();
+        let physical_once = p.stats().physical_written;
+        let live_once = p.live_stored_bytes();
+        // The same bytes at a far-away logical block: a dedup hit.
+        p.write(10, 10 * 4096, &data).unwrap();
+        let r = p.flush(11).unwrap().expect("sealed run");
+        assert_eq!(r.allocated_bytes, 0, "a hit allocates no flash");
+        let stats = p.stats();
+        assert_eq!(stats.dedup_hits, 1);
+        assert_eq!(stats.dedup_elided_bytes, 4096);
+        assert_eq!(stats.physical_written, physical_once, "a hit programs no page data");
+        assert_eq!(p.live_stored_bytes(), live_once, "a hit stores no new payload");
+        assert_eq!(p.read(20, 0, 4096).unwrap(), data);
+        assert_eq!(p.read(21, 10 * 4096, 4096).unwrap(), data);
+        let report = p.verify_dedup().unwrap();
+        assert_eq!(report.shared_runs, 1);
+        assert_eq!(report.extra_refs, 1);
+    }
+
+    #[test]
+    fn duplicate_within_one_drain_dedups_against_earlier_chunk() {
+        let mut p = dedup_pipeline();
+        let data = text_block(9);
+        // Two identical single-block runs sealed into the same drain: the
+        // second must share the first's freshly stored run.
+        p.write(0, 0, &data).unwrap();
+        p.write(1, 20 * 4096, &data).unwrap();
+        p.flush_all(2).unwrap();
+        assert_eq!(p.stats().dedup_hits, 1);
+        assert_eq!(p.read(3, 0, 4096).unwrap(), data);
+        assert_eq!(p.read(4, 20 * 4096, 4096).unwrap(), data);
+        assert_eq!(p.verify_dedup().unwrap().shared_runs, 1);
+    }
+
+    #[test]
+    fn overwrite_releases_refs_and_zero_ref_run_is_freed() {
+        let mut p = dedup_pipeline();
+        let dup = text_block(3);
+        p.write(0, 0, &dup).unwrap();
+        p.flush(1).unwrap();
+        p.write(10, 10 * 4096, &dup).unwrap();
+        p.flush(11).unwrap();
+        assert_eq!(p.verify_dedup().unwrap().shared_runs, 1);
+        let live_shared = p.live_stored_bytes();
+        // Overwrite one referrer: the run drops back to a single ref.
+        let fresh = random_block(77);
+        p.write(20, 0, &fresh).unwrap();
+        p.flush(21).unwrap();
+        let report = p.verify_dedup().unwrap();
+        assert_eq!(report.shared_runs, 0, "one referrer left");
+        assert_eq!(p.read(30, 0, 4096).unwrap(), fresh);
+        assert_eq!(p.read(31, 10 * 4096, 4096).unwrap(), dup);
+        // Overwrite the last referrer: the run reaches zero refs and its
+        // slot is reclaimed (live bytes fall below the shared steady state).
+        let fresh2 = random_block(99);
+        p.write(40, 10 * 4096, &fresh2).unwrap();
+        p.flush(41).unwrap();
+        p.verify_dedup().unwrap();
+        assert_eq!(p.read(50, 10 * 4096, 4096).unwrap(), fresh2);
+        assert!(
+            p.live_stored_bytes() > live_shared,
+            "two incompressible blocks replaced one shared text run"
+        );
+        let v = p.verify().unwrap();
+        assert_eq!(v.unrecoverable, 0);
+    }
+
+    #[test]
+    fn long_sequential_run_is_chunked_at_content_defined_cuts() {
+        let mut p = dedup_pipeline();
+        let blocks = 40u64;
+        let data: Vec<u8> = (0..blocks).flat_map(|i| random_block(i * 31 + 5)).collect();
+        p.write(0, 0, &data).unwrap();
+        let results = p.flush_all(1).unwrap();
+        assert!(results.len() >= 2, "a {blocks}-block run must split (max 16 blocks/chunk)");
+        let max = p.config().dedup.max_chunk_blocks;
+        let mut covered = 0u64;
+        for r in &results {
+            assert!(r.blocks <= max, "chunk of {} blocks exceeds max {max}", r.blocks);
+            covered += u64::from(r.blocks);
+        }
+        assert_eq!(covered, blocks, "chunks must tile the run exactly");
+        assert_eq!(p.read(2, 0, blocks * 4096).unwrap(), data);
+        // Rewriting the same content elsewhere dedups chunk-for-chunk:
+        // identical bytes produce identical cut points.
+        p.write(10, 64 * 4096, &data).unwrap();
+        p.flush_all(11).unwrap();
+        assert_eq!(p.stats().dedup_hits, results.len() as u64);
+        assert_eq!(p.read(12, 64 * 4096, blocks * 4096).unwrap(), data);
+        p.verify_dedup().unwrap();
+    }
+
+    #[test]
+    fn recovery_rebuilds_the_refcount_ledger() {
+        let mut p = dedup_pipeline();
+        let dup = text_block(6);
+        p.write(0, 0, &dup).unwrap();
+        p.flush(1).unwrap();
+        p.write(10, 10 * 4096, &dup).unwrap();
+        p.flush(11).unwrap();
+        p.cut_power();
+        let report = p.recover().unwrap();
+        assert_eq!(report.payload_mismatches, 0);
+        let d = p.verify_dedup().unwrap();
+        assert_eq!(d.shared_runs, 1, "the Ref record must rebuild sharing");
+        assert_eq!(p.read(20, 0, 4096).unwrap(), dup);
+        assert_eq!(p.read(21, 10 * 4096, 4096).unwrap(), dup);
+        // The rebuilt refcounts must gate freeing: dropping one referrer
+        // keeps the other readable, dropping both reclaims the slot.
+        p.write(30, 0, &random_block(1)).unwrap();
+        p.flush(31).unwrap();
+        assert_eq!(p.read(40, 10 * 4096, 4096).unwrap(), dup);
+        p.write(50, 10 * 4096, &random_block(2)).unwrap();
+        p.flush(51).unwrap();
+        p.verify_dedup().unwrap();
+        assert_eq!(p.verify().unwrap().unrecoverable, 0);
+        // A second recovery replays the overwrites' releases too.
+        p.cut_power();
+        p.recover().unwrap();
+        p.verify_dedup().unwrap();
+        assert_eq!(p.read(60, 10 * 4096, 4096).unwrap(), random_block(2));
+    }
+
+    #[test]
+    fn recompression_relocates_shared_runs_and_repoints_sharers() {
+        let mut p = EdcPipeline::new(
+            8 << 20,
+            PipelineConfig {
+                selector: SelectorConfig {
+                    rungs: vec![crate::selector::LadderRung {
+                        max_calc_iops: f64::INFINITY,
+                        codec: CodecId::Lzf,
+                    }],
+                },
+                heat: crate::heat::HeatConfig {
+                    extent_blocks: 8,
+                    demote_ratio: 1.1,
+                    ..crate::heat::HeatConfig::default()
+                },
+                dedup: DedupConfig { enabled: true, ..DedupConfig::default() },
+                ..PipelineConfig::default()
+            },
+        );
+        let data: Vec<u8> = (0..4).flat_map(lowent_block).collect();
+        p.write(0, 0, &data).unwrap();
+        p.flush_all(1).unwrap();
+        p.write(1_000_000, 16 * 4096, &data).unwrap();
+        p.flush_all(1_000_001).unwrap();
+        assert!(p.stats().dedup_hits >= 1, "identical 4-block runs must share");
+        let shared_before = p.verify_dedup().unwrap().shared_runs;
+        assert!(shared_before >= 1);
+        // Long silence cools every extent; the pass upgrades Lzf → Deflate,
+        // relocating shared runs and re-pointing every sharer.
+        let report = p.recompress_pass(300_000_000_000, CodecId::Deflate, usize::MAX).unwrap();
+        assert!(report.recompressed > 0, "{report:?}");
+        assert_eq!(p.read(300_000_000_001, 0, data.len() as u64).unwrap(), data);
+        assert_eq!(p.read(300_000_000_002, 16 * 4096, data.len() as u64).unwrap(), data);
+        let d = p.verify_dedup().unwrap();
+        assert_eq!(d.shared_runs, shared_before, "sharing survives relocation");
+        assert_eq!(p.verify().unwrap().unrecoverable, 0);
+        // The relocation journaled everything: recovery sees the moved run
+        // and its re-pointed sharers.
+        p.cut_power();
+        p.recover().unwrap();
+        p.verify_dedup().unwrap();
+        assert_eq!(p.read(300_000_000_003, 0, data.len() as u64).unwrap(), data);
+        assert_eq!(p.read(300_000_000_004, 16 * 4096, data.len() as u64).unwrap(), data);
+    }
+
+    #[test]
+    fn dedup_off_leaves_behavior_and_ledger_empty() {
+        let mut on = dedup_pipeline();
+        let mut off = pipeline();
+        let mut now = 0u64;
+        for i in 0..24u64 {
+            let data = if i % 3 == 0 { text_block(1) } else { text_block(i as u8) };
+            on.write(now, i * 2 * 4096, &data).unwrap();
+            off.write(now, i * 2 * 4096, &data).unwrap();
+            now += 1_000_000;
+        }
+        on.flush_all(now).unwrap();
+        off.flush_all(now).unwrap();
+        assert_eq!(off.stats().dedup_hits, 0);
+        assert_eq!(off.stats().dedup_elided_bytes, 0);
+        assert!(on.stats().dedup_hits > 0);
+        // Same logical contents either way.
+        for i in 0..24u64 {
+            assert_eq!(
+                on.read(now + i, i * 2 * 4096, 4096).unwrap(),
+                off.read(now + i, i * 2 * 4096, 4096).unwrap(),
+            );
+        }
+        // ...but the deduped store programs less flash.
+        assert!(on.stats().physical_written < off.stats().physical_written);
+        off.verify_dedup().unwrap();
+    }
+
+    #[test]
+    fn verify_dedup_catches_a_tampered_ledger() {
+        let mut p = dedup_pipeline();
+        let dup = text_block(4);
+        p.write(0, 0, &dup).unwrap();
+        p.flush(1).unwrap();
+        p.write(10, 10 * 4096, &dup).unwrap();
+        p.flush(11).unwrap();
+        let off = p.map.get(0).expect("mapped").device_offset;
+        p.dedup.purge(off);
+        let err = p.verify_dedup().unwrap_err();
+        assert!(matches!(err, EdcError::Integrity(_)), "{err}");
+    }
+
+    #[test]
+    fn shared_runs_survive_gc_churn_with_verified_ledger() {
+        let mut p = dedup_pipeline();
+        let dup_a = text_block(11);
+        let dup_b = text_block(22);
+        let mut now = 0u64;
+        // Churn: hot rotation of duplicate and unique content over a small
+        // logical window forces constant allocate/release traffic while
+        // two duplicate families stay permanently shared.
+        for round in 0..12u64 {
+            for slot in 0..6u64 {
+                let data = match (round + slot) % 3 {
+                    0 => dup_a.clone(),
+                    1 => dup_b.clone(),
+                    _ => random_block(round * 131 + slot),
+                };
+                p.write(now, slot * 4 * 4096, &data).unwrap();
+                now += 1_000_000;
+            }
+            p.flush_all(now).unwrap();
+            now += 1_000_000;
+            // The ledger and mapping must agree after every drain; a run
+            // with outstanding refs being erased would trip this (or the
+            // SlotStore's own release panic) immediately.
+            p.verify_dedup().unwrap();
+            assert_eq!(p.verify().unwrap().unrecoverable, 0);
+        }
+        assert!(p.stats().dedup_hits > 0);
+        for slot in 0..6u64 {
+            let expect = match (11 + slot) % 3 {
+                0 => dup_a.clone(),
+                1 => dup_b.clone(),
+                _ => random_block(11 * 131 + slot),
+            };
+            assert_eq!(p.read(now, slot * 4 * 4096, 4096).unwrap(), expect, "slot {slot}");
         }
     }
 }

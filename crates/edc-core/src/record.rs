@@ -21,7 +21,7 @@
 //! ## Wire format
 //!
 //! ```text
-//! header:  magic "EDCRR1\0\0" | StoreSpec (92 B fixed) | crc64(header)
+//! header:  magic "EDCRR2\0\0" | StoreSpec (93 B fixed) | crc64(header)
 //! record:  payload_len u32 | payload | crc64(payload, seq)
 //! payload: now_ns u64 | op_len u32 | op bytes | output tag u8 | output digest u64
 //! ```
@@ -37,20 +37,23 @@ use crate::store::{Op, OpOutput, Store};
 use edc_compress::checksum64;
 use edc_flash::{FaultPlan, FAULT_PLAN_BYTES};
 
-/// Magic bytes opening every `.edcrr` log.
-pub const MAGIC: [u8; 8] = *b"EDCRR1\0\0";
+/// Magic bytes opening every `.edcrr` log. Bumped to `EDCRR2` when the
+/// spec grew its dedup flag byte; v1 logs no longer parse (re-record).
+pub const MAGIC: [u8; 8] = *b"EDCRR2\0\0";
 
 /// Fixed encoded size of a [`StoreSpec`].
-pub const SPEC_BYTES: usize = 38 + FAULT_PLAN_BYTES;
+pub const SPEC_BYTES: usize = 40 + FAULT_PLAN_BYTES;
 
 /// Everything needed to rebuild the recorded store from scratch.
 ///
 /// The spec pins the store *shape* (capacity, sharding, cache, parity,
 /// heat policy, fault plan); tuning knobs that don't change observable
 /// behaviour digests (worker count aside, which is recorded anyway for
-/// faithfulness) ride along. Codec ladder and estimator use defaults —
-/// campaigns that need custom ladders replay via
-/// [`Replayer::replay_against`] with their own store.
+/// faithfulness) ride along. The codec ladder is either the paper
+/// default or, with [`StoreSpec::fast_ladder`], pinned to the fast
+/// rung; estimator and allocator use defaults — campaigns that need
+/// anything fancier replay via [`Replayer::replay_against`] with their
+/// own store.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StoreSpec {
     /// Device capacity in bytes (split evenly across shards).
@@ -68,6 +71,13 @@ pub struct StoreSpec {
     pub parity: bool,
     /// Enable heat tracking / background recompression.
     pub heat_enabled: bool,
+    /// Enable the content-defined dedup front-end.
+    pub dedup: bool,
+    /// Pin the codec ladder to its fast rung (Lzf at every IOPS level)
+    /// instead of the paper-default elastic ladder. Fixtures that
+    /// exercise background recompression record with this set so the
+    /// write path leaves headroom for the pass to upgrade cold runs.
+    pub fast_ladder: bool,
     /// Heat decay half-life in simulated ns.
     pub heat_half_life_ns: u64,
     /// Initial fault plan (later plans arrive as
@@ -85,6 +95,8 @@ impl Default for StoreSpec {
             cache_runs: 32,
             parity: false,
             heat_enabled: true,
+            dedup: false,
+            fast_ladder: false,
             heat_half_life_ns: 1_000_000_000,
             fault: FaultPlan::none(),
         }
@@ -102,6 +114,8 @@ impl StoreSpec {
         out.extend_from_slice(&self.cache_runs.to_le_bytes());
         out.push(self.parity as u8);
         out.push(self.heat_enabled as u8);
+        out.push(self.dedup as u8);
+        out.push(self.fast_ladder as u8);
         out.extend_from_slice(&self.heat_half_life_ns.to_le_bytes());
         out.extend_from_slice(&self.fault.encode());
         debug_assert_eq!(out.len(), SPEC_BYTES);
@@ -116,7 +130,7 @@ impl StoreSpec {
         }
         let u64_at = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
         let u32_at = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().unwrap());
-        if bytes[28] > 1 || bytes[29] > 1 {
+        if bytes[28] > 1 || bytes[29] > 1 || bytes[30] > 1 || bytes[31] > 1 {
             return None;
         }
         Some(StoreSpec {
@@ -127,19 +141,36 @@ impl StoreSpec {
             cache_runs: u32_at(24),
             parity: bytes[28] == 1,
             heat_enabled: bytes[29] == 1,
-            heat_half_life_ns: u64_at(30),
-            fault: FaultPlan::decode(&bytes[38..38 + FAULT_PLAN_BYTES])?,
+            dedup: bytes[30] == 1,
+            fast_ladder: bytes[31] == 1,
+            heat_half_life_ns: u64_at(32),
+            fault: FaultPlan::decode(&bytes[40..40 + FAULT_PLAN_BYTES])?,
         })
     }
 
     /// The pipeline configuration this spec describes (defaults for the
     /// codec ladder, estimator and allocator).
     pub fn pipeline_config(&self) -> PipelineConfig {
+        let selector = if self.fast_ladder {
+            crate::selector::SelectorConfig {
+                rungs: vec![crate::selector::LadderRung {
+                    max_calc_iops: f64::INFINITY,
+                    codec: edc_compress::CodecId::Lzf,
+                }],
+            }
+        } else {
+            crate::selector::SelectorConfig::default()
+        };
         PipelineConfig {
             workers: self.workers.max(1) as usize,
             cache_runs: self.cache_runs as usize,
             parity: self.parity,
             fault: self.fault,
+            selector,
+            dedup: crate::dedup::DedupConfig {
+                enabled: self.dedup,
+                ..crate::dedup::DedupConfig::default()
+            },
             heat: crate::heat::HeatConfig {
                 enabled: self.heat_enabled,
                 half_life_ns: self.heat_half_life_ns.max(1),
@@ -468,6 +499,8 @@ mod tests {
             cache_runs: 64,
             parity: true,
             heat_enabled: false,
+            dedup: true,
+            fast_ladder: true,
             heat_half_life_ns: 77,
             fault: FaultPlan { seed: 3, read_error_rate: 0.01, ..FaultPlan::none() },
         };

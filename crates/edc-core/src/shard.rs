@@ -42,6 +42,7 @@
 //! acquires *all* shard locks before reading any counter, so its totals
 //! are one instant's truth.
 
+use crate::dedup::DedupReport;
 use crate::error::EdcError;
 use crate::journal::{RecoveryError, MAX_SHARDS};
 use crate::parallel::par_map_indexed;
@@ -291,6 +292,19 @@ impl ShardedPipeline {
         self.merge_scrub(self.for_each_shard(|p| p.verify()))
     }
 
+    /// Cross-check every shard's dedup refcount ledger against its
+    /// mapping table (see [`EdcPipeline::verify_dedup`]) and merge the
+    /// per-shard reports. The ledger is per shard — routing never shares
+    /// a run across shards — so the fan-out needs no cross-shard state.
+    pub fn verify_dedup(&self) -> Result<DedupReport, EdcError> {
+        let per_shard = self.for_each_shard(|p| p.verify_dedup());
+        let mut report = DedupReport::default();
+        for r in per_shard {
+            report.merge(&r?);
+        }
+        Ok(report)
+    }
+
     /// Heat-aware background recompression across every shard (see
     /// [`EdcPipeline::recompress_pass`]), fanned across worker threads
     /// like the other maintenance passes. Each shard consults its own
@@ -452,6 +466,10 @@ impl crate::store::Store for ShardedPipeline {
 
     fn verify_store(&mut self) -> Result<ScrubReport, EdcError> {
         ShardedPipeline::verify(self)
+    }
+
+    fn verify_dedup(&mut self) -> Result<DedupReport, EdcError> {
+        ShardedPipeline::verify_dedup(self)
     }
 
     fn recompress(

@@ -71,6 +71,27 @@ impl SlotStore {
         self.cursor = self.cursor.max(offset + bytes);
     }
 
+    /// Add `blocks` additional block references to the live slot at
+    /// `offset` — a dedup sharer's mapping entries now point at it. The
+    /// slot then frees only after *every* referrer's blocks release, so a
+    /// shared run can never be erased while refs are outstanding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not live (sharing a dead slot is a logic
+    /// bug, never a recoverable condition).
+    pub fn add_run_refs(&mut self, offset: u64, blocks: u32) {
+        assert!(blocks > 0);
+        let e = self.refs.get_mut(&offset).expect("add_run_refs on a dead slot");
+        e.0 += blocks;
+    }
+
+    /// Outstanding block references to the slot at `offset` (0 when the
+    /// slot is not live) — the dedup integrity audit's cross-check hook.
+    pub fn block_refs(&self, offset: u64) -> u32 {
+        self.refs.get(&offset).map_or(0, |e| e.0)
+    }
+
     /// Drop one block's reference to the slot at `offset` (the block's
     /// mapping entry was superseded). Returns `Some((offset, bytes))` when
     /// this was the last reference and the slot returned to the free pool.
@@ -179,6 +200,33 @@ mod tests {
         // Last reference frees it.
         assert_eq!(s.release_block_ref(off), Some((off, 8192)));
         assert_eq!(s.alloc(8192), off, "freed slot is reusable");
+    }
+
+    #[test]
+    fn shared_slot_survives_until_every_referrer_releases() {
+        let mut s = SlotStore::new(1 << 20);
+        let off = s.alloc_run(8192, 4); // writer: 4 block refs
+        s.add_run_refs(off, 4); // dedup sharer: 4 more
+        assert_eq!(s.block_refs(off), 8);
+        // The writer's blocks all release: slot must stay live.
+        for _ in 0..4 {
+            assert_eq!(s.release_block_ref(off), None);
+        }
+        assert_eq!(s.block_refs(off), 4);
+        assert_ne!(s.alloc(8192), off, "shared slot must not be reallocated");
+        // The sharer's blocks release: now it frees.
+        for _ in 0..3 {
+            assert_eq!(s.release_block_ref(off), None);
+        }
+        assert_eq!(s.release_block_ref(off), Some((off, 8192)));
+        assert_eq!(s.block_refs(off), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead slot")]
+    fn sharing_a_dead_slot_panics() {
+        let mut s = SlotStore::new(1 << 20);
+        s.add_run_refs(4096, 1);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! behavioural divergence — different codec choice, different allocation,
 //! a fault firing at a different point — changes a digest.
 
+use crate::dedup::DedupReport;
 use crate::error::EdcError;
 use crate::hints::FileTypeHint;
 use crate::pipeline::{
@@ -96,6 +97,9 @@ pub enum Op {
     /// Snapshot aggregate counters — recording one makes the replayer
     /// diff the full [`PipelineStats`] at that point.
     Stats,
+    /// Cross-check the dedup refcount ledger against the mapping table
+    /// both ways ([`Store::verify_dedup`]).
+    VerifyDedup,
 }
 
 /// Byte tags of the [`Op`] wire encoding (one per variant).
@@ -113,6 +117,7 @@ mod tag {
     pub const TRUNCATE_JOURNAL: u8 = 11;
     pub const POWER_CUT: u8 = 12;
     pub const STATS: u8 = 13;
+    pub const VERIFY_DEDUP: u8 = 14;
 }
 
 /// Stable u8 encoding of a [`FileTypeHint`] for the wire format.
@@ -227,6 +232,7 @@ impl Op {
             }
             Op::PowerCut => out.push(tag::POWER_CUT),
             Op::Stats => out.push(tag::STATS),
+            Op::VerifyDedup => out.push(tag::VERIFY_DEDUP),
         }
     }
 
@@ -276,6 +282,7 @@ impl Op {
             tag::TRUNCATE_JOURNAL => Op::TruncateJournal { shard: c.u32()?, bytes: c.u64()? },
             tag::POWER_CUT => Op::PowerCut,
             tag::STATS => Op::Stats,
+            tag::VERIFY_DEDUP => Op::VerifyDedup,
             _ => return None,
         };
         c.done().then_some(op)
@@ -297,6 +304,7 @@ impl Op {
             Op::TruncateJournal { .. } => "truncate_journal",
             Op::PowerCut => "power_cut",
             Op::Stats => "stats",
+            Op::VerifyDedup => "verify_dedup",
         }
     }
 }
@@ -326,6 +334,8 @@ pub enum OpOutput {
     Recompress(RecompressReport),
     /// Outcome of [`Op::Stats`].
     Stats(PipelineStats),
+    /// Outcome of [`Op::VerifyDedup`].
+    Dedup(DedupReport),
     /// An op with no observable return value succeeded.
     Unit,
     /// The op failed; the typed error, rendered.
@@ -342,6 +352,7 @@ impl OpOutput {
             OpOutput::Scrub(_) => "scrub",
             OpOutput::Recompress(_) => "recompress",
             OpOutput::Stats(_) => "stats",
+            OpOutput::Dedup(_) => "dedup",
             OpOutput::Unit => "unit",
             OpOutput::Err(_) => "err",
         }
@@ -359,6 +370,7 @@ impl OpOutput {
             OpOutput::Stats(_) => 6,
             OpOutput::Unit => 7,
             OpOutput::Err(_) => 8,
+            OpOutput::Dedup(_) => 9,
         }
     }
 
@@ -405,6 +417,7 @@ impl OpOutput {
                 push(&mut buf, r.skipped_demoted);
                 push(&mut buf, r.skipped_no_gain);
                 push(&mut buf, r.skipped_unreadable);
+                push(&mut buf, r.skipped_shared);
                 push(&mut buf, r.bytes_reclaimed);
             }
             OpOutput::Stats(s) => {
@@ -422,6 +435,13 @@ impl OpOutput {
                 push(&mut buf, s.cache.misses);
                 push(&mut buf, s.cache.evictions);
                 push(&mut buf, s.cache.invalidations);
+                push(&mut buf, s.dedup_hits);
+                push(&mut buf, s.dedup_elided_bytes);
+            }
+            OpOutput::Dedup(r) => {
+                push(&mut buf, r.runs);
+                push(&mut buf, r.shared_runs);
+                push(&mut buf, r.extra_refs);
             }
             OpOutput::Unit => {}
             OpOutput::Err(msg) => buf.extend_from_slice(msg.as_bytes()),
@@ -465,6 +485,10 @@ pub trait Store {
 
     /// Read-only integrity audit; nothing is healed or rewritten.
     fn verify_store(&mut self) -> Result<ScrubReport, EdcError>;
+
+    /// Cross-check the dedup refcount ledger against the mapping table
+    /// both ways (summed over shards); read-only.
+    fn verify_dedup(&mut self) -> Result<DedupReport, EdcError>;
 
     /// Heat-aware background recompression; `max_rewrites` is the budget
     /// per shard on a sharded store.
@@ -584,6 +608,10 @@ pub trait Store {
                 OpOutput::Unit
             }
             Op::Stats => OpOutput::Stats(self.stats()),
+            Op::VerifyDedup => match self.verify_dedup() {
+                Ok(r) => OpOutput::Dedup(r),
+                Err(e) => OpOutput::Err(e.to_string()),
+            },
         }
     }
 }
@@ -613,6 +641,7 @@ mod tests {
             Op::TruncateJournal { shard: 3, bytes: 130 },
             Op::PowerCut,
             Op::Stats,
+            Op::VerifyDedup,
         ]
     }
 

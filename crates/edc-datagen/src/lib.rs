@@ -19,7 +19,9 @@
 //! * [`corpus`] — the two evaluation datasets of the paper's Fig. 2
 //!   ("Linux source files", "Mozilla Firefox files") as synthetic look-alikes,
 //! * [`ratio_dial`] — generate blocks hitting a *target* compressed
-//!   fraction, SDGen's headline capability.
+//!   fraction, SDGen's headline capability,
+//! * [`dup`] — seeded duplication injection: a dialable duplicate
+//!   fraction with Zipfian-over-recency reuse, for dedup benchmarks.
 //!
 //! Everything is seeded via the in-tree [`rng::Rng64`] (the workspace has
 //! no external dependencies so it builds offline), so every experiment
@@ -31,12 +33,14 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod dup;
 pub mod generator;
 pub mod proptest;
 pub mod ratio_dial;
 pub mod rng;
 pub mod zipf;
 
+pub use dup::DupStream;
 pub use generator::{BlockClass, ContentGenerator, DataMix};
 pub use ratio_dial::RatioDial;
 pub use rng::Rng64;

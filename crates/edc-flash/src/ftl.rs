@@ -95,6 +95,11 @@ pub struct Ftl {
     bucket_pos: Vec<u32>,
     /// Bucket membership flag per block.
     sealed: Vec<bool>,
+    /// Victim-eligibility veto per block. A pinned block never enters the
+    /// GC candidate index, so it is never migrated or erased — the hook a
+    /// dedup layer uses to keep a physical block untouched while content
+    /// stored in it has outstanding extra references.
+    pinned: Vec<bool>,
     /// Monotone cursor: no non-empty bucket exists below this index. Pops
     /// advance it, inserts below it pull it back — amortized O(1) victim
     /// selection.
@@ -211,6 +216,7 @@ impl Ftl {
             bucket: vec![Vec::new(); sectors_per_block as usize + 1],
             bucket_pos: vec![0; blocks as usize],
             sealed: vec![false; blocks as usize],
+            pinned: vec![false; blocks as usize],
             min_bucket: sectors_per_block as usize + 1,
             relocated: Vec::new(),
         }
@@ -373,10 +379,51 @@ impl Ftl {
         }
     }
 
+    /// Veto GC victim selection for `block`: it leaves the candidate
+    /// index (if sealed) and re-entry is refused until
+    /// [`Ftl::unpin_block`]. Idempotent. The compression layer pins the
+    /// blocks of runs with outstanding extra references so shared content
+    /// is never relocated or erased behind the refcount ledger's back.
+    pub fn pin_block(&mut self, block: u32) {
+        let b = block as usize;
+        if self.pinned[b] {
+            return;
+        }
+        if self.sealed[b] {
+            self.unseal_block(block);
+        }
+        self.pinned[b] = true;
+    }
+
+    /// Lift the veto of [`Ftl::pin_block`]; if the block is currently a
+    /// GC candidate (non-active, non-free, non-retired) it re-enters the
+    /// victim index at its present valid count. Idempotent.
+    pub fn unpin_block(&mut self, block: u32) {
+        let b = block as usize;
+        if !self.pinned[b] {
+            return;
+        }
+        self.pinned[b] = false;
+        let candidate =
+            block != self.active_block && !self.retired[b] && !self.free_blocks.contains(&block);
+        if candidate {
+            self.seal_block(block);
+        }
+    }
+
+    /// Whether `block` is currently pinned out of GC victim selection.
+    pub fn is_pinned(&self, block: u32) -> bool {
+        self.pinned[block as usize]
+    }
+
     /// Enter `block` into the GC candidate index (the active block just
-    /// rotated away from it).
+    /// rotated away from it). Pinned blocks stay out of the index — they
+    /// rejoin on [`Ftl::unpin_block`].
     fn seal_block(&mut self, block: u32) {
         let b = block as usize;
+        if self.pinned[b] {
+            return;
+        }
         debug_assert!(!self.sealed[b] && !self.retired[b], "double seal");
         let v = self.valid[b] as usize;
         self.sealed[b] = true;
@@ -554,9 +601,9 @@ impl Ftl {
     /// (3) free-listed blocks hold no valid data, (4) total valid sectors
     /// equal the number of mapped logical sectors, (5) the GC bucket
     /// index exactly mirrors per-block state — a block is bucketed iff it
-    /// is a GC candidate (non-active, non-free, non-retired), sits in the
-    /// bucket named by its valid count, at its recorded position, exactly
-    /// once. Intended for tests, debugging, and post-recovery audits in
+    /// is a GC candidate (non-active, non-free, non-retired, non-pinned),
+    /// sits in the bucket named by its valid count, at its recorded
+    /// position, exactly once. Intended for tests, debugging, and post-recovery audits in
     /// the fault campaign; cost is O(physical sectors).
     pub fn verify_integrity(&self) -> Result<(), IntegrityError> {
         let mut mapped = 0u64;
@@ -603,8 +650,10 @@ impl Ftl {
             is_free[b as usize] = true;
         }
         for b in 0..self.valid.len() as u32 {
-            let candidate =
-                b != self.active_block && !is_free[b as usize] && !self.retired[b as usize];
+            let candidate = b != self.active_block
+                && !is_free[b as usize]
+                && !self.retired[b as usize]
+                && !self.pinned[b as usize];
             if self.sealed[b as usize] != candidate {
                 return Err(IntegrityError::GcBucketMismatch {
                     block: b,
@@ -1052,6 +1101,74 @@ mod tests {
             ftl2.verify_integrity().unwrap_err(),
             IntegrityError::GcBucketMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn pinned_block_is_never_erased_under_gc_churn() {
+        let cfg = small_cfg();
+        let mut ftl = Ftl::new(&cfg);
+        let cap = ftl.logical_sectors();
+        for l in 0..cap {
+            ftl.write(l, 1);
+        }
+        // Pin a sealed block that still holds valid data and remember
+        // which logical sectors live there.
+        let pinned = (0..ftl.sealed.len() as u32)
+            .find(|&b| ftl.sealed[b as usize] && ftl.valid[b as usize] > 0)
+            .expect("a sealed block with valid data");
+        ftl.pin_block(pinned);
+        assert!(ftl.is_pinned(pinned));
+        ftl.pin_block(pinned); // idempotent
+        ftl.verify_integrity().expect("pinning must keep the index exact");
+        let base = pinned * ftl.sectors_per_block;
+        let residents: Vec<u32> = (0..ftl.sectors_per_block)
+            .map(|s| ftl.rmap[(base + s) as usize])
+            .filter(|&o| o != FREE && o != INVALID)
+            .collect();
+        let erases_before = ftl.erase_counts()[pinned as usize];
+        // Heavy churn everywhere *except* the resident sectors: GC runs
+        // hard but the pinned block must never be victimized.
+        let mut x = 0x51ED_B10Cu64;
+        for i in 0..30_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let lsn = x % cap;
+            if residents.contains(&(lsn as u32)) {
+                continue;
+            }
+            ftl.write(lsn, 1);
+            if i % 5_000 == 0 {
+                ftl.verify_integrity().expect("churn checkpoint");
+            }
+        }
+        assert!(ftl.stats().gc_runs > 0, "the workload must exercise GC");
+        assert_eq!(
+            ftl.erase_counts()[pinned as usize],
+            erases_before,
+            "a pinned block must never be erased"
+        );
+        for &lsn in &residents {
+            assert_eq!(
+                ftl.map[lsn as usize] / ftl.sectors_per_block,
+                pinned,
+                "resident lsn {lsn} must stay in place (never migrated)"
+            );
+        }
+        // Unpinning returns the block to the rotation; churn may now
+        // reclaim it without tripping any invariant.
+        ftl.unpin_block(pinned);
+        assert!(!ftl.is_pinned(pinned));
+        ftl.unpin_block(pinned); // idempotent
+        ftl.verify_integrity().expect("unpin must restore the index");
+        for _ in 0..30_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ftl.write(x % cap, 1);
+        }
+        ftl.verify_integrity().expect("post-unpin churn");
+        assert_eq!(ftl.read(0, cap), cap, "no data lost across pin/unpin churn");
     }
 
     #[test]

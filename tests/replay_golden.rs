@@ -37,6 +37,8 @@ fn golden_log_spec_is_the_documented_shape() {
     assert_eq!(log.spec.shards, 2);
     assert!(log.spec.parity);
     assert_eq!(log.spec.workers, 2);
+    assert!(log.spec.dedup, "fixture must exercise the dedup front-end");
+    assert!(log.spec.fast_ladder, "fixture records on the fast rung so passes have work");
     assert!(!log.torn_tail);
 }
 
