@@ -145,7 +145,8 @@ impl ExperimentEnv {
     pub fn storage(&self, platform: Platform) -> Storage {
         match platform {
             Platform::SingleSsd => Storage::single(self.ssd),
-            Platform::Rais5 => Storage::rais(RaisLevel::Rais5, 5, self.ssd),
+            Platform::Rais5 => Storage::rais(RaisLevel::Rais5, 5, self.ssd)
+                .expect("five-member RAIS5 over the bench SSD config is a valid shape"),
             Platform::Hdd => Storage::hdd(self.ssd.logical_bytes, HddTiming::default()),
         }
     }

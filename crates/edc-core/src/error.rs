@@ -10,7 +10,7 @@ use crate::journal::RecoveryError;
 use crate::pipeline::ReadError;
 use core::fmt;
 use edc_compress::CodecError;
-use edc_flash::FaultError;
+use edc_flash::{ArrayError, FaultError};
 
 /// Errors from the pipeline's write side ([`crate::pipeline::EdcPipeline::write`],
 /// `write_batch`, `flush`, `flush_all`).
@@ -67,6 +67,9 @@ pub enum EdcError {
     /// (e.g. the dedup refcount ledger disagreeing with the mapping
     /// table). Always a logic-level inconsistency, never media damage.
     Integrity(&'static str),
+    /// A RAIS array-level failure (shape error, degraded-path loss,
+    /// member fault) surfaced through the pipeline's error type.
+    Array(ArrayError),
 }
 
 impl fmt::Display for EdcError {
@@ -77,6 +80,7 @@ impl fmt::Display for EdcError {
             EdcError::Recovery(e) => write!(f, "recovery failed: {e}"),
             EdcError::Fault(e) => write!(f, "flash fault: {e}"),
             EdcError::Integrity(msg) => write!(f, "integrity audit failed: {msg}"),
+            EdcError::Array(e) => write!(f, "array error: {e}"),
         }
     }
 }
@@ -89,6 +93,7 @@ impl std::error::Error for EdcError {
             EdcError::Recovery(e) => Some(e),
             EdcError::Fault(e) => Some(e),
             EdcError::Integrity(_) => None,
+            EdcError::Array(e) => Some(e),
         }
     }
 }
@@ -117,6 +122,12 @@ impl From<FaultError> for EdcError {
     }
 }
 
+impl From<ArrayError> for EdcError {
+    fn from(e: ArrayError) -> Self {
+        EdcError::Array(e)
+    }
+}
+
 impl From<CodecError> for EdcError {
     fn from(e: CodecError) -> Self {
         EdcError::Write(WriteError::Codec(e))
@@ -141,10 +152,14 @@ mod tests {
         fn codec() -> Result<(), EdcError> {
             Err(CodecError::WriteThrough)?
         }
+        fn array() -> Result<(), EdcError> {
+            Err(ArrayError::EmptyChunk)?
+        }
         assert!(matches!(read(), Err(EdcError::Read(_))));
         assert!(matches!(write(), Err(EdcError::Write(_))));
         assert!(matches!(fault(), Err(EdcError::Fault(_))));
         assert!(matches!(codec(), Err(EdcError::Write(WriteError::Codec(_)))));
+        assert!(matches!(array(), Err(EdcError::Array(ArrayError::EmptyChunk))));
     }
 
     #[test]

@@ -87,8 +87,8 @@ pub use pipeline::{
     ScrubReport, WriteResult,
 };
 pub use record::{
-    parse as parse_edcrr, Divergence, LogRecord, ParsedLog, Recorder, ReplayReport, Replayer,
-    StoreSpec,
+    parse as parse_edcrr, Divergence, LogRecord, ParsedLog, Recorder, ReplayRefusal,
+    ReplayReport, Replayer, StoreSpec,
 };
 pub use scheme::{CodecUsage, EdcConfig, Policy, SimConfig, SimScheme, BLOCK_BYTES};
 pub use sd::{MergedRun, SdConfig, SequentialityDetector};

@@ -448,6 +448,82 @@ impl ReplayReport {
     }
 }
 
+/// Why [`Replayer::replay_as`] refused to run a log.
+///
+/// Replaying a log against a store of a different *shape* than the one
+/// it was recorded on — different capacity, sharding, parity layout, or
+/// fault plan — produces a wall of digest divergences that look like
+/// behavioural regressions but are really a harness mistake. Array
+/// campaigns hit this first: a RAIS-backed store presents a different
+/// geometry than the single-device specs all existing goldens were
+/// recorded against, so the replay layer refuses up front with a typed
+/// error instead of diverging op by op.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayRefusal {
+    /// The log bytes failed to parse (bad magic, torn header, invalid
+    /// spec) — same failures [`parse`] reports.
+    Parse(String),
+    /// The target store's shape disagrees with the spec the log was
+    /// recorded against on a behaviour-determining field.
+    SpecMismatch {
+        /// Name of the first disagreeing [`StoreSpec`] field.
+        field: &'static str,
+        /// The value the log was recorded with.
+        recorded: String,
+        /// The value the replay target declares.
+        actual: String,
+    },
+}
+
+impl std::fmt::Display for ReplayRefusal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayRefusal::Parse(e) => write!(f, "log does not parse: {e}"),
+            ReplayRefusal::SpecMismatch { field, recorded, actual } => write!(
+                f,
+                "replay target shape disagrees with the recorded spec: \
+                 {field} was recorded as {recorded}, target declares {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayRefusal {}
+
+impl StoreSpec {
+    /// Check that a store built from `self` can faithfully replay a log
+    /// recorded against `recorded`, reporting the first disagreeing
+    /// shape field as a typed [`ReplayRefusal::SpecMismatch`].
+    ///
+    /// Every field except `workers` is compared: worker count is the one
+    /// knob documented to be bit-identical at any value, so it may
+    /// legitimately differ between capture and replay machines.
+    pub fn require_matches(&self, recorded: &StoreSpec) -> Result<(), ReplayRefusal> {
+        macro_rules! same {
+            ($field:ident) => {
+                if self.$field != recorded.$field {
+                    return Err(ReplayRefusal::SpecMismatch {
+                        field: stringify!($field),
+                        recorded: format!("{:?}", recorded.$field),
+                        actual: format!("{:?}", self.$field),
+                    });
+                }
+            };
+        }
+        same!(capacity_bytes);
+        same!(shards);
+        same!(extent_blocks);
+        same!(cache_runs);
+        same!(parity);
+        same!(heat_enabled);
+        same!(dedup);
+        same!(fast_ladder);
+        same!(heat_half_life_ns);
+        same!(fault);
+        Ok(())
+    }
+}
+
 /// Re-executes `.edcrr` logs against fresh stores.
 pub struct Replayer;
 
@@ -457,6 +533,22 @@ impl Replayer {
     pub fn replay(bytes: &[u8]) -> Result<ReplayReport, String> {
         let log = parse(bytes)?;
         let mut store = log.spec.build();
+        Ok(Self::replay_against(store.as_mut(), &log))
+    }
+
+    /// Replay `bytes` onto a fresh store built from `target`, refusing
+    /// with a typed [`ReplayRefusal`] when `target`'s shape disagrees
+    /// with the spec the log was recorded against.
+    ///
+    /// This is the entry point for harnesses that *declare* the store
+    /// they intend to replay on (an array-backed campaign, a re-shaped
+    /// fuzz target): a log captured on a single-device spec is rejected
+    /// before the first op is dispatched, instead of replaying into a
+    /// wall of meaningless digest divergences.
+    pub fn replay_as(target: &StoreSpec, bytes: &[u8]) -> Result<ReplayReport, ReplayRefusal> {
+        let log = parse(bytes).map_err(ReplayRefusal::Parse)?;
+        target.require_matches(&log.spec)?;
+        let mut store = target.build();
         Ok(Self::replay_against(store.as_mut(), &log))
     }
 
@@ -595,6 +687,31 @@ mod tests {
         bytes2[MAGIC.len() + 2] ^= 0xFF; // spec byte: header CRC catches it
         assert!(Replayer::replay(&bytes2).is_err());
         assert!(Replayer::replay(&bytes2[..10]).is_err());
+    }
+
+    #[test]
+    fn mismatched_target_spec_is_refused_not_diverged() {
+        let recorded = StoreSpec::default();
+        let bytes = drive(recorded);
+        // Same shape replays fine — and a different worker count is
+        // explicitly allowed (bit-identical by design).
+        let same = StoreSpec { workers: 8, ..recorded };
+        let report = Replayer::replay_as(&same, &bytes).expect("same shape accepted");
+        assert!(report.is_exact());
+        // A differently-shaped target (what an array-backed campaign
+        // would declare) is refused with a typed error naming the field.
+        let reshaped = StoreSpec { shards: 4, capacity_bytes: 256 << 20, ..recorded };
+        match Replayer::replay_as(&reshaped, &bytes) {
+            Err(ReplayRefusal::SpecMismatch { field, .. }) => {
+                assert_eq!(field, "capacity_bytes");
+            }
+            other => panic!("expected a spec mismatch, got {other:?}"),
+        }
+        // Garbage bytes surface as a typed parse refusal.
+        assert!(matches!(
+            Replayer::replay_as(&recorded, b"not a log"),
+            Err(ReplayRefusal::Parse(_))
+        ));
     }
 
     #[test]

@@ -370,9 +370,7 @@ impl ShardedPipeline {
     /// rather than in lockstep.
     pub fn set_fault_plan(&self, plan: edc_flash::FaultPlan) {
         for (i, m) in self.shards.iter().enumerate() {
-            let mut per_shard = plan;
-            per_shard.seed = shard_fault_seed(plan.seed, i);
-            m.lock().expect("shard poisoned").set_fault_plan(per_shard);
+            m.lock().expect("shard poisoned").set_fault_plan(plan.for_lane(i));
         }
     }
 
@@ -427,20 +425,6 @@ impl ShardedPipeline {
         }
         Ok(report)
     }
-}
-
-/// Derive shard `i`'s fault seed from a plan seed: identity for shard 0
-/// (one-shard front-ends draw the exact plain-pipeline stream), a
-/// splitmix-style avalanche of `(seed, i)` otherwise so shards'
-/// decision streams decorrelate.
-fn shard_fault_seed(seed: u64, shard: usize) -> u64 {
-    if shard == 0 {
-        return seed;
-    }
-    let mut x = seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
 }
 
 impl crate::store::Store for ShardedPipeline {

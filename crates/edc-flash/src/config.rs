@@ -45,6 +45,47 @@ impl Default for NandTiming {
     }
 }
 
+/// A misconfigured [`SsdConfig`], reported by [`SsdConfig::check`] instead
+/// of a panic so array constructors can surface it as a typed error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Logical capacity was zero.
+    ZeroCapacity,
+    /// Logical capacity is not a whole number of erase blocks.
+    MisalignedCapacity,
+    /// Over-provisioning must be positive to allow out-of-place updates.
+    NoSpareArea,
+    /// `sectors_per_block` was zero.
+    ZeroBlockSize,
+    /// The device has too few physical blocks for the GC watermark.
+    TooSmallForWatermark,
+    /// Spare blocks do not exceed the GC watermark.
+    SpareBelowWatermark,
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::ZeroCapacity => write!(f, "capacity must be positive"),
+            ConfigError::MisalignedCapacity => {
+                write!(f, "logical capacity must be a whole number of blocks")
+            }
+            ConfigError::NoSpareArea => {
+                write!(f, "need spare area for out-of-place updates")
+            }
+            ConfigError::ZeroBlockSize => write!(f, "sectors_per_block must be positive"),
+            ConfigError::TooSmallForWatermark => {
+                write!(f, "device too small for the GC watermark")
+            }
+            ConfigError::SpareBelowWatermark => {
+                write!(f, "over-provisioning must exceed the GC watermark")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Full device configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SsdConfig {
@@ -106,25 +147,39 @@ impl SsdConfig {
         (physical_bytes / self.block_bytes()) as u32
     }
 
+    /// Non-panicking invariant check; returns the first violated invariant.
+    ///
+    /// Fault-plan rates are still checked by [`FaultPlan::validate`] at
+    /// device construction — they are developer errors, not array-shape
+    /// errors, so they stay panicking.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.sectors_per_block == 0 {
+            return Err(ConfigError::ZeroBlockSize);
+        }
+        if self.logical_bytes == 0 {
+            return Err(ConfigError::ZeroCapacity);
+        }
+        if !self.logical_bytes.is_multiple_of(self.block_bytes()) {
+            return Err(ConfigError::MisalignedCapacity);
+        }
+        if self.overprovision <= 0.0 {
+            return Err(ConfigError::NoSpareArea);
+        }
+        if self.physical_blocks() <= self.gc_low_watermark + 1 {
+            return Err(ConfigError::TooSmallForWatermark);
+        }
+        let spare_blocks = self.physical_blocks() - (self.logical_bytes / self.block_bytes()) as u32;
+        if spare_blocks <= self.gc_low_watermark {
+            return Err(ConfigError::SpareBelowWatermark);
+        }
+        Ok(())
+    }
+
     /// Validate invariants; panics with a clear message on misconfiguration.
     pub fn validate(&self) {
-        assert!(self.logical_bytes > 0, "capacity must be positive");
-        assert_eq!(
-            self.logical_bytes % self.block_bytes(),
-            0,
-            "logical capacity must be a whole number of blocks"
-        );
-        assert!(self.overprovision > 0.0, "need spare area for out-of-place updates");
-        assert!(self.sectors_per_block > 0);
-        assert!(
-            self.physical_blocks() > self.gc_low_watermark + 1,
-            "device too small for the GC watermark"
-        );
-        let spare_blocks = self.physical_blocks() - (self.logical_bytes / self.block_bytes()) as u32;
-        assert!(
-            spare_blocks > self.gc_low_watermark,
-            "over-provisioning ({spare_blocks} blocks) must exceed the GC watermark"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
         self.fault.validate();
     }
 }
@@ -166,6 +221,17 @@ mod tests {
     fn zero_overprovision_rejected() {
         let cfg = SsdConfig { overprovision: 0.0, ..SsdConfig::default() };
         cfg.validate();
+    }
+
+    #[test]
+    fn check_reports_typed_errors_without_panicking() {
+        assert_eq!(SsdConfig::default().check(), Ok(()));
+        let cfg = SsdConfig { logical_bytes: (1 << 30) + 1024, ..SsdConfig::default() };
+        assert_eq!(cfg.check(), Err(ConfigError::MisalignedCapacity));
+        let cfg = SsdConfig { overprovision: 0.0, ..SsdConfig::default() };
+        assert_eq!(cfg.check(), Err(ConfigError::NoSpareArea));
+        let cfg = SsdConfig { logical_bytes: 0, ..SsdConfig::default() };
+        assert_eq!(cfg.check(), Err(ConfigError::ZeroCapacity));
     }
 
     #[test]

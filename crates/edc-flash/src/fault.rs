@@ -156,6 +156,32 @@ impl FaultPlan {
     }
 }
 
+/// Derive lane `lane`'s fault seed from a base plan seed: identity for
+/// lane 0 (a one-lane component then draws exactly the base stream) and a
+/// splitmix-style avalanche of `(seed, lane)` otherwise, so shards or
+/// array members fault independently instead of in lockstep. Shared by
+/// the sharded pipeline front-end (per-shard plans) and the RAIS array
+/// (per-member plans).
+pub fn lane_seed(seed: u64, lane: usize) -> u64 {
+    if lane == 0 {
+        return seed;
+    }
+    // The avalanche steps of splitmix64 without its increment, preserving
+    // bit-for-bit the per-shard seeds recorded in existing `.edcrr` logs.
+    let mut x = seed ^ (lane as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// The plan re-seeded for lane `lane` via [`lane_seed`]; every other
+    /// knob is copied verbatim.
+    pub fn for_lane(&self, lane: usize) -> FaultPlan {
+        FaultPlan { seed: lane_seed(self.seed, lane), ..*self }
+    }
+}
+
 /// A typed flash-level fault, surfaced by the fallible device entry
 /// points instead of a panic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,6 +202,9 @@ pub enum FaultError {
     PoweredOff,
     /// Block retirement exhausted the spare area: no free block remains.
     WornOut,
+    /// The whole device failed (controller death / member-SSD kill in a
+    /// RAIS campaign); no I/O will ever succeed again on this instance.
+    DeviceFailed,
 }
 
 impl fmt::Display for FaultError {
@@ -189,6 +218,7 @@ impl fmt::Display for FaultError {
             }
             FaultError::PoweredOff => write!(f, "device is powered off after a power cut"),
             FaultError::WornOut => write!(f, "device worn out: spare blocks exhausted"),
+            FaultError::DeviceFailed => write!(f, "whole device failed"),
         }
     }
 }
@@ -495,6 +525,21 @@ mod tests {
         for _ in 0..512 {
             assert_eq!(a.read_fault(), b.read_fault());
         }
+    }
+
+    #[test]
+    fn lane_seeds_decorrelate_but_lane_zero_is_identity() {
+        let base = FaultPlan { seed: 77, read_error_rate: 0.5, ..FaultPlan::none() };
+        assert_eq!(base.for_lane(0), base);
+        let mut streams: Vec<Vec<bool>> = (0..4)
+            .map(|lane| {
+                let mut s = FaultState::new(base.for_lane(lane));
+                (0..256).map(|_| s.read_fault()).collect()
+            })
+            .collect();
+        streams.sort();
+        streams.dedup();
+        assert_eq!(streams.len(), 4, "every lane must draw a distinct stream");
     }
 
     #[test]

@@ -40,6 +40,17 @@ pub struct FtlStats {
 }
 
 impl FtlStats {
+    /// Fold another FTL's counters into this one (array-level aggregation
+    /// over member devices).
+    pub fn merge(&mut self, other: &FtlStats) {
+        self.user_sectors_written += other.user_sectors_written;
+        self.migrated_sectors += other.migrated_sectors;
+        self.erases += other.erases;
+        self.gc_runs += other.gc_runs;
+        self.trimmed_sectors += other.trimmed_sectors;
+        self.retired_blocks += other.retired_blocks;
+    }
+
     /// Write amplification factor: physical sectors written per user sector.
     pub fn write_amplification(&self) -> f64 {
         if self.user_sectors_written == 0 {

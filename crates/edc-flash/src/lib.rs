@@ -26,8 +26,9 @@
 //!   per-block wear accounting,
 //! * [`ssd`] — [`SsdDevice`]: the timing front-end that services byte-
 //!   addressed reads/writes and reports [`DeviceStats`],
-//! * [`rais`] — [`RaisArray`]: RAIS0/RAIS5 striping with parity over N
-//!   simulated devices (the paper's Fig. 11 platform).
+//! * [`rais`] — [`RaisArray`]: RAIS0/RAIS5 striping over N simulated
+//!   devices (the paper's Fig. 11 platform) with compression-aware parity,
+//!   whole-member fault injection, degraded-mode reads and online rebuild.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,10 +41,13 @@ pub mod rais;
 pub mod ssd;
 pub mod wear;
 
-pub use config::{NandTiming, SsdConfig};
-pub use fault::{FaultError, FaultPlan, FaultState, FaultStats, FAULT_PLAN_BYTES};
+pub use config::{ConfigError, NandTiming, SsdConfig};
+pub use fault::{lane_seed, FaultError, FaultPlan, FaultState, FaultStats, FAULT_PLAN_BYTES};
 pub use ftl::{Ftl, FtlStats, IntegrityError};
 pub use hdd::{HddDevice, HddTiming};
-pub use rais::{RaisArray, RaisLevel};
+pub use rais::{
+    ArrayError, ArrayIntegrityError, ArrayScrubReport, CapacityReport, ChunkRead, LossReason,
+    MemberState, RaisArray, RaisLevel, ReadMode, RebuildProgress, RepairStats,
+};
 pub use ssd::{DeviceStats, IoKind, SsdDevice};
 pub use wear::WearStats;

@@ -1,19 +1,46 @@
 //! RAIS — Redundant Array of Independent SSDs (the paper's §IV-B term) —
-//! striping simulated devices into one logical volume.
+//! striping simulated devices into one fault-tolerant logical volume.
 //!
-//! * **RAIS0** stripes data across all `N` devices.
+//! * **RAIS0** stripes data across all `N` devices, no redundancy.
 //! * **RAIS5** stripes data across `N-1` devices per row with rotating
 //!   parity; partial-chunk writes pay the classic small-write penalty
 //!   (read old data, read old parity, write data, write parity), while
 //!   full-row writes compute parity in memory and pay one parity write.
 //!
-//! Sub-I/Os to different devices proceed in parallel (each device has its
-//! own service chain); the array completion is the slowest leg — so the
-//! array preserves the single-device trend of Fig. 10, which is what
-//! Fig. 11 demonstrates.
+//! Two planes coexist:
+//!
+//! * The **timing plane** ([`RaisArray::submit`]) services byte-addressed
+//!   host I/O against the member devices, preserved unchanged from the
+//!   fair-weather striper: sub-I/Os to different devices proceed in
+//!   parallel and the array completion is the slowest leg, which is how
+//!   the array preserves the single-device trend of Fig. 10 (what Fig. 11
+//!   demonstrates). It is for healthy, unfaulted arrays only.
+//! * The **data plane** ([`RaisArray::write_row`], [`RaisArray::read_chunk`]
+//!   and friends) stores caller-provided *compressed* chunk payloads and
+//!   is where fault tolerance lives. Parity is computed over the
+//!   compressed runs of a row: every data leg is zero-padded to the length
+//!   of the **largest compressed chunk in that row** and XORed, so the
+//!   parity leg shrinks with the achieved compression ratio instead of
+//!   always costing a full chunk — the Elastic-RAID observation that
+//!   compression-aware parity cuts the RAID write penalty. The space the
+//!   ratio frees is exported as elastic *virtual capacity*
+//!   ([`RaisArray::capacity`]).
+//!
+//! Fault tolerance: members can be killed wholesale
+//! ([`RaisArray::kill_member`]), reads of a lost member's chunks are
+//! served **degraded** by XOR-reconstruction from the surviving row,
+//! rotted chunks detected by checksum are repaired from parity with a
+//! durable write-back, and [`RaisArray::rebuild`] walks stripes
+//! reconstructing onto a replacement device while foreground I/O
+//! continues (reconstruction operates on the compressed bytes directly —
+//! nothing is decompressed that reconstruction does not require).
+//! Per-member fault plans derive decorrelated seeds from one base plan via
+//! [`crate::fault::lane_seed`], the same scheme the sharded pipeline uses
+//! per shard.
 
-use crate::config::SsdConfig;
-use crate::ftl::FtlStats;
+use crate::config::{ConfigError, SsdConfig};
+use crate::fault::{FaultError, FaultPlan, FaultStats};
+use crate::ftl::{FtlStats, IntegrityError};
 use crate::ssd::{Completion, DeviceStats, IoKind, SsdDevice};
 
 /// Supported array levels.
@@ -25,34 +52,474 @@ pub enum RaisLevel {
     Rais5,
 }
 
+/// Why a chunk could not be recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossReason {
+    /// RAIS0 has no parity: a failed member or corrupt chunk is gone.
+    NoRedundancy,
+    /// A second fault in the same row (corrupt or unavailable sibling or
+    /// parity leg) while reconstructing — the URE-during-rebuild scenario.
+    DoubleFault,
+}
+
+/// A typed array-level error. Shape errors replace the old constructor
+/// panics; data-plane errors make loss explicit instead of silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrayError {
+    /// Too few member devices for the requested level.
+    TooFewMembers {
+        /// Requested level.
+        level: RaisLevel,
+        /// Members given.
+        members: usize,
+        /// Minimum the level needs.
+        required: usize,
+    },
+    /// Chunk size must be a positive multiple of 4 KiB.
+    BadChunk {
+        /// The rejected chunk size.
+        chunk: u64,
+    },
+    /// Chunk size must divide the member capacity so rows tile exactly.
+    ChunkVsCapacity {
+        /// The chunk size.
+        chunk: u64,
+        /// The member logical capacity it does not divide.
+        member_bytes: u64,
+    },
+    /// The member device configuration is invalid.
+    Config(ConfigError),
+    /// Member index out of range.
+    BadMember {
+        /// The rejected index.
+        member: usize,
+        /// Array width.
+        width: usize,
+    },
+    /// Stripe row out of range.
+    BadRow {
+        /// The rejected row.
+        row: u64,
+        /// Rows in the array.
+        rows: u64,
+    },
+    /// Data position within a row out of range.
+    BadPosition {
+        /// The rejected position.
+        pos: usize,
+        /// Data legs per row.
+        data_width: usize,
+    },
+    /// `write_row` was given the wrong number of payloads.
+    WrongWidth {
+        /// Payloads given.
+        given: usize,
+        /// Data legs per row.
+        data_width: usize,
+    },
+    /// A chunk payload was empty.
+    EmptyChunk,
+    /// A chunk payload exceeds the stripe unit.
+    ChunkTooLarge {
+        /// Payload length.
+        len: usize,
+        /// Stripe unit.
+        chunk: u64,
+    },
+    /// No chunk has been stored at this location.
+    NotStored {
+        /// Stripe row.
+        row: u64,
+        /// Data position.
+        pos: usize,
+    },
+    /// Rebuild was requested on a member that is not failed.
+    NotFailed {
+        /// The member.
+        member: usize,
+    },
+    /// A rebuild step was requested on a member that is not rebuilding.
+    NotRebuilding {
+        /// The member.
+        member: usize,
+    },
+    /// The chunk is genuinely lost — detected, typed, never silent.
+    Unrecoverable {
+        /// Stripe row.
+        row: u64,
+        /// Data position.
+        pos: usize,
+        /// Why recovery failed.
+        reason: LossReason,
+    },
+    /// A member device fault surfaced through the array.
+    Fault(FaultError),
+}
+
+impl core::fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ArrayError::TooFewMembers { level, members, required } => write!(
+                f,
+                "{level:?} needs at least {required} devices, got {members}"
+            ),
+            ArrayError::BadChunk { chunk } => {
+                write!(f, "chunk must be a positive multiple of 4 KiB, got {chunk}")
+            }
+            ArrayError::ChunkVsCapacity { chunk, member_bytes } => write!(
+                f,
+                "chunk {chunk} must divide the member capacity {member_bytes}"
+            ),
+            ArrayError::Config(e) => write!(f, "member config: {e}"),
+            ArrayError::BadMember { member, width } => {
+                write!(f, "member {member} out of range (width {width})")
+            }
+            ArrayError::BadRow { row, rows } => {
+                write!(f, "row {row} out of range ({rows} rows)")
+            }
+            ArrayError::BadPosition { pos, data_width } => {
+                write!(f, "position {pos} out of range (data width {data_width})")
+            }
+            ArrayError::WrongWidth { given, data_width } => {
+                write!(f, "write_row wants {data_width} payloads, got {given}")
+            }
+            ArrayError::EmptyChunk => write!(f, "empty chunk payload"),
+            ArrayError::ChunkTooLarge { len, chunk } => {
+                write!(f, "payload of {len} bytes exceeds the {chunk}-byte stripe unit")
+            }
+            ArrayError::NotStored { row, pos } => {
+                write!(f, "no chunk stored at row {row} position {pos}")
+            }
+            ArrayError::NotFailed { member } => {
+                write!(f, "member {member} is not failed; nothing to rebuild")
+            }
+            ArrayError::NotRebuilding { member } => {
+                write!(f, "member {member} is not rebuilding")
+            }
+            ArrayError::Unrecoverable { row, pos, reason } => {
+                let why = match reason {
+                    LossReason::NoRedundancy => "no redundancy at this level",
+                    LossReason::DoubleFault => "double fault in the row",
+                };
+                write!(f, "chunk at row {row} position {pos} unrecoverable: {why}")
+            }
+            ArrayError::Fault(e) => write!(f, "member fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArrayError::Config(e) => Some(e),
+            ArrayError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultError> for ArrayError {
+    fn from(e: FaultError) -> Self {
+        ArrayError::Fault(e)
+    }
+}
+
+impl From<ConfigError> for ArrayError {
+    fn from(e: ConfigError) -> Self {
+        ArrayError::Config(e)
+    }
+}
+
+/// One violated array invariant, found by [`RaisArray::verify_integrity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrayIntegrityError {
+    /// A member device's FTL failed its own integrity check.
+    Member {
+        /// Which member.
+        member: usize,
+        /// The FTL violation.
+        error: IntegrityError,
+    },
+    /// A stored chunk disagrees with its recorded length or checksum.
+    MetaMismatch {
+        /// Stripe row.
+        row: u64,
+        /// Member holding the chunk.
+        member: usize,
+    },
+    /// A fully-populated row's legs do not XOR to its stored parity.
+    ParityMismatch {
+        /// Stripe row.
+        row: u64,
+    },
+}
+
+impl core::fmt::Display for ArrayIntegrityError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ArrayIntegrityError::Member { member, error } => {
+                write!(f, "member {member}: {error}")
+            }
+            ArrayIntegrityError::MetaMismatch { row, member } => {
+                write!(f, "row {row} member {member}: stored bytes disagree with metadata")
+            }
+            ArrayIntegrityError::ParityMismatch { row } => {
+                write!(f, "row {row}: legs do not XOR to parity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrayIntegrityError {}
+
+/// Lifecycle of one member device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberState {
+    /// Serving I/O normally.
+    Healthy,
+    /// Whole-device failure: every access errors, stored chunks are gone.
+    Failed,
+    /// A replacement device is being populated by [`RaisArray::rebuild_step`].
+    Rebuilding {
+        /// First row not yet reconstructed.
+        next_row: u64,
+    },
+}
+
+/// How a chunk read was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Straight from the member holding it.
+    Direct,
+    /// Reconstructed from parity + surviving legs (member lost or stale).
+    Degraded,
+    /// Corruption was detected by checksum, reconstructed from parity and
+    /// durably written back to the member.
+    Repaired,
+}
+
+/// A served chunk read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRead {
+    /// The chunk payload, bit-identical to what was written.
+    pub data: Vec<u8>,
+    /// Array-level timing (slowest leg involved).
+    pub completion: Completion,
+    /// How the read was served.
+    pub mode: ReadMode,
+}
+
+/// Repair/degraded-path counters for campaign reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Reads served by reconstruction because the member was unavailable.
+    pub degraded_reads: u64,
+    /// Chunks whose corruption was detected and durably repaired.
+    pub repaired_chunks: u64,
+    /// Bytes written back by those repairs.
+    pub repaired_bytes: u64,
+}
+
+/// Progress of an online rebuild.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebuildProgress {
+    /// The member being rebuilt.
+    pub member: usize,
+    /// Rows processed so far (cumulative cursor).
+    pub rows_done: u64,
+    /// Total rows in the array.
+    pub total_rows: u64,
+    /// Chunks reconstructed onto the replacement in this call.
+    pub reconstructed_chunks: u64,
+    /// Bytes reconstructed in this call.
+    pub reconstructed_bytes: u64,
+    /// Chunks that could not be reconstructed (double faults) in this call.
+    pub lost_chunks: u64,
+    /// Whether the member is healthy again.
+    pub done: bool,
+}
+
+/// Outcome of a full-array scrub pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArrayScrubReport {
+    /// Stripe rows visited.
+    pub rows_scanned: u64,
+    /// Chunks fetched and checksum-verified.
+    pub chunks_verified: u64,
+    /// Corrupt chunks repaired from redundancy.
+    pub repaired: u64,
+    /// Corrupt chunks that could not be repaired (loss).
+    pub unrepaired: u64,
+}
+
+/// Capacity accounting: physical, stored, and elastic virtual bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CapacityReport {
+    /// Fixed exported logical capacity (data legs × member capacity).
+    pub exported_bytes: u64,
+    /// Logical bytes currently represented by stored chunks.
+    pub logical_stored_bytes: u64,
+    /// Compressed bytes those chunks occupy.
+    pub physical_data_bytes: u64,
+    /// Compressed parity bytes currently resident.
+    pub parity_bytes: u64,
+    /// Cumulative parity bytes written (compressed parity legs).
+    pub parity_bytes_written: u64,
+    /// What a compression-blind array would have written for the same
+    /// parity updates (one full chunk each).
+    pub parity_control_bytes: u64,
+    /// Elastic virtual capacity: exported × achieved compression ratio.
+    pub virtual_bytes: u64,
+}
+
+/// Chunk metadata recorded at write time — the durable source of truth a
+/// fetch is verified against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LegMeta {
+    /// Stored (compressed) length in bytes.
+    len: u32,
+    /// Checksum of the stored bytes.
+    crc: u64,
+}
+
+/// Per-row metadata: one slot per data position plus the parity leg.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RowMeta {
+    legs: Vec<Option<LegMeta>>,
+    parity: Option<LegMeta>,
+}
+
+#[derive(Debug, Clone)]
+struct Member {
+    dev: SsdDevice,
+    state: MemberState,
+    /// Stored chunk payloads by row (`None` = nothing resident here).
+    chunks: Vec<Option<Vec<u8>>>,
+}
+
 /// An array of simulated SSDs.
 #[derive(Debug, Clone)]
 pub struct RaisArray {
     level: RaisLevel,
-    devices: Vec<SsdDevice>,
+    cfg: SsdConfig,
+    base_fault: FaultPlan,
+    members: Vec<Member>,
     /// Stripe unit (chunk) in bytes.
     chunk: u64,
+    rows: u64,
+    rows_meta: Vec<Option<RowMeta>>,
+    logical_stored: u64,
+    physical_data: u64,
+    parity_stored: u64,
+    parity_bytes_written: u64,
+    parity_control_bytes: u64,
+    repairs: RepairStats,
+}
+
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Dependency-free 64-bit checksum of a chunk payload.
+fn chunk_crc(data: &[u8]) -> u64 {
+    let mut h = mix64(data.len() as u64 ^ 0xC0DE_C0DE_C0DE_C0DE);
+    for word in data.chunks(8) {
+        let mut buf = [0u8; 8];
+        buf[..word.len()].copy_from_slice(word);
+        h = mix64(h ^ u64::from_le_bytes(buf));
+    }
+    h
+}
+
+/// XOR `src` into `acc`, growing `acc` with zeroes if `src` is longer.
+fn xor_into(acc: &mut Vec<u8>, src: &[u8]) {
+    if src.len() > acc.len() {
+        acc.resize(src.len(), 0);
+    }
+    for (a, b) in acc.iter_mut().zip(src) {
+        *a ^= *b;
+    }
+}
+
+/// Min-start / max-finish accumulator over parallel sub-I/Os.
+struct Span {
+    start_ns: u64,
+    finish_ns: u64,
+}
+
+impl Span {
+    fn new() -> Span {
+        Span { start_ns: u64::MAX, finish_ns: 0 }
+    }
+
+    fn track(&mut self, c: Completion) {
+        self.start_ns = self.start_ns.min(c.start_ns);
+        self.finish_ns = self.finish_ns.max(c.finish_ns);
+    }
+
+    fn completion(&self, now_ns: u64) -> Completion {
+        if self.start_ns == u64::MAX {
+            Completion { start_ns: now_ns, finish_ns: now_ns }
+        } else {
+            Completion { start_ns: self.start_ns, finish_ns: self.finish_ns }
+        }
+    }
 }
 
 impl RaisArray {
-    /// Build an array of `n` identical devices.
+    /// Build an array of `n` identical devices with stripe unit `chunk`.
     ///
-    /// # Panics
-    /// Panics if `n` is too small for the level or `chunk` is not
-    /// sector-aligned.
-    pub fn new(level: RaisLevel, n: usize, cfg: SsdConfig, chunk: u64) -> Self {
-        match level {
-            RaisLevel::Rais0 => assert!(n >= 2, "RAIS0 needs at least 2 devices"),
-            RaisLevel::Rais5 => assert!(n >= 3, "RAIS5 needs at least 3 devices"),
+    /// Shape problems come back as typed [`ArrayError`]s instead of the
+    /// panics the old constructor threw. Each member derives a
+    /// decorrelated fault seed from `cfg.fault` via
+    /// [`FaultPlan::for_lane`] (member 0 keeps the base seed).
+    pub fn new(level: RaisLevel, n: usize, cfg: SsdConfig, chunk: u64) -> Result<Self, ArrayError> {
+        let required = match level {
+            RaisLevel::Rais0 => 2,
+            RaisLevel::Rais5 => 3,
+        };
+        if n < required {
+            return Err(ArrayError::TooFewMembers { level, members: n, required });
         }
-        assert!(chunk > 0 && chunk.is_multiple_of(4096), "chunk must be a multiple of 4 KiB");
-        let devices = (0..n).map(|_| SsdDevice::new(cfg)).collect();
-        RaisArray { level, devices, chunk }
+        if chunk == 0 || !chunk.is_multiple_of(4096) {
+            return Err(ArrayError::BadChunk { chunk });
+        }
+        cfg.check()?;
+        if !cfg.logical_bytes.is_multiple_of(chunk) {
+            return Err(ArrayError::ChunkVsCapacity { chunk, member_bytes: cfg.logical_bytes });
+        }
+        let rows = cfg.logical_bytes / chunk;
+        let base_fault = cfg.fault;
+        let members = (0..n)
+            .map(|i| Member {
+                dev: SsdDevice::new(SsdConfig { fault: base_fault.for_lane(i), ..cfg }),
+                state: MemberState::Healthy,
+                chunks: vec![None; rows as usize],
+            })
+            .collect();
+        Ok(RaisArray {
+            level,
+            cfg,
+            base_fault,
+            members,
+            chunk,
+            rows,
+            rows_meta: (0..rows).map(|_| None).collect(),
+            logical_stored: 0,
+            physical_data: 0,
+            parity_stored: 0,
+            parity_bytes_written: 0,
+            parity_control_bytes: 0,
+            repairs: RepairStats::default(),
+        })
     }
 
     /// Number of member devices.
     pub fn width(&self) -> usize {
-        self.devices.len()
+        self.members.len()
     }
 
     /// Array level.
@@ -60,61 +527,826 @@ impl RaisArray {
         self.level
     }
 
+    /// Stripe unit in bytes.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.chunk
+    }
+
+    /// Stripe rows in the array.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
     /// Data devices per stripe row.
-    fn data_width(&self) -> u64 {
+    pub fn data_width(&self) -> usize {
         match self.level {
-            RaisLevel::Rais0 => self.devices.len() as u64,
-            RaisLevel::Rais5 => self.devices.len() as u64 - 1,
+            RaisLevel::Rais0 => self.members.len(),
+            RaisLevel::Rais5 => self.members.len() - 1,
         }
     }
 
     /// Exported logical capacity in bytes.
     pub fn logical_bytes(&self) -> u64 {
-        self.data_width() * self.devices[0].logical_bytes()
+        self.data_width() as u64 * self.cfg.logical_bytes
     }
 
     /// Aggregate host statistics over all members.
     pub fn stats(&self) -> DeviceStats {
-        self.devices.iter().fold(DeviceStats::default(), |mut acc, d| {
-            let s = d.stats();
-            acc.reads += s.reads;
-            acc.writes += s.writes;
-            acc.bytes_read += s.bytes_read;
-            acc.bytes_written += s.bytes_written;
-            acc.busy_ns += s.busy_ns;
-            acc.gc_stall_ns += s.gc_stall_ns;
+        self.members.iter().fold(DeviceStats::default(), |mut acc, m| {
+            acc.merge(&m.dev.stats());
             acc
         })
     }
 
-    /// Aggregate FTL statistics over all members.
+    /// Aggregate FTL statistics over all members (including TRIM and
+    /// retired-block counters).
     pub fn ftl_stats(&self) -> FtlStats {
-        self.devices.iter().fold(FtlStats::default(), |mut acc, d| {
-            let s = d.ftl_stats();
-            acc.user_sectors_written += s.user_sectors_written;
-            acc.migrated_sectors += s.migrated_sectors;
-            acc.erases += s.erases;
-            acc.gc_runs += s.gc_runs;
+        self.members.iter().fold(FtlStats::default(), |mut acc, m| {
+            acc.merge(&m.dev.ftl_stats());
             acc
         })
+    }
+
+    /// Aggregate injected-fault counters over all members.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.members.iter().fold(FaultStats::default(), |mut acc, m| {
+            acc.merge(&m.dev.fault_stats());
+            acc
+        })
+    }
+
+    /// Repair/degraded-path counters.
+    pub fn repair_stats(&self) -> RepairStats {
+        self.repairs
     }
 
     /// Access a member device (for inspection in tests/reports).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
     pub fn device(&self, i: usize) -> &SsdDevice {
-        &self.devices[i]
+        &self.members[i].dev
+    }
+
+    /// Lifecycle state of member `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn member_state(&self, i: usize) -> MemberState {
+        self.members[i].state
+    }
+
+    /// Re-arm fault injection: `base` becomes the array's base plan and
+    /// every member gets the lane-derived plan for its index, restarting
+    /// each decision stream (member 0 keeps the base seed).
+    pub fn set_member_fault_plans(&mut self, base: FaultPlan) {
+        self.base_fault = base;
+        for (i, m) in self.members.iter_mut().enumerate() {
+            m.dev.set_fault_plan(base.for_lane(i));
+        }
+    }
+
+    /// Replace one member's fault plan, leaving the others untouched —
+    /// the campaign hook for arming bit rot on a single device at a
+    /// time. Single-member rot is the survivable pattern by
+    /// construction: every corrupt leg reconstructs from siblings on
+    /// clean devices, so a zero-loss gate over it is structural, not a
+    /// property of the seed.
+    pub fn set_member_fault_plan(&mut self, i: usize, plan: FaultPlan) -> Result<(), ArrayError> {
+        if i >= self.members.len() {
+            return Err(ArrayError::BadMember { member: i, width: self.members.len() });
+        }
+        self.members[i].dev.set_fault_plan(plan);
+        Ok(())
     }
 
     /// Precondition every member.
     pub fn precondition(&mut self, fraction: f64) {
-        for d in &mut self.devices {
-            d.precondition(fraction);
+        for m in &mut self.members {
+            m.dev.precondition(fraction);
+        }
+    }
+
+    /// Capacity accounting, including the elastic virtual capacity the
+    /// achieved compression ratio exposes.
+    pub fn capacity(&self) -> CapacityReport {
+        let exported = self.logical_bytes();
+        let ratio = if self.physical_data > 0 {
+            self.logical_stored as f64 / self.physical_data as f64
+        } else {
+            1.0
+        };
+        CapacityReport {
+            exported_bytes: exported,
+            logical_stored_bytes: self.logical_stored,
+            physical_data_bytes: self.physical_data,
+            parity_bytes: self.parity_stored,
+            parity_bytes_written: self.parity_bytes_written,
+            parity_control_bytes: self.parity_control_bytes,
+            virtual_bytes: (exported as f64 * ratio) as u64,
+        }
+    }
+
+    /// Member index holding data position `pos` of `row`.
+    fn data_member(&self, row: u64, pos: usize) -> usize {
+        match self.level {
+            RaisLevel::Rais0 => pos,
+            RaisLevel::Rais5 => {
+                let pdev = (row % self.members.len() as u64) as usize;
+                if pos < pdev {
+                    pos
+                } else {
+                    pos + 1
+                }
+            }
+        }
+    }
+
+    /// Member index holding the parity leg of `row` (RAIS5 only).
+    fn parity_member(&self, row: u64) -> usize {
+        (row % self.members.len() as u64) as usize
+    }
+
+    fn check_row_pos(&self, row: u64, pos: usize) -> Result<(), ArrayError> {
+        if row >= self.rows {
+            return Err(ArrayError::BadRow { row, rows: self.rows });
+        }
+        if pos >= self.data_width() {
+            return Err(ArrayError::BadPosition { pos, data_width: self.data_width() });
+        }
+        Ok(())
+    }
+
+    fn check_payload(&self, payload: &[u8]) -> Result<(), ArrayError> {
+        if payload.is_empty() {
+            return Err(ArrayError::EmptyChunk);
+        }
+        if payload.len() as u64 > self.chunk {
+            return Err(ArrayError::ChunkTooLarge { len: payload.len(), chunk: self.chunk });
+        }
+        Ok(())
+    }
+
+    /// Fetch the stored bytes of member `m` at `row` with a timed device
+    /// read. When `rot` is set this is a host-facing fetch: a bit-rot draw
+    /// may stick a flipped bit into the *stored* copy before it is
+    /// returned (detected later by checksum). Internal read-modify-write
+    /// fetches pass `rot = false` so parity math never ingests silent
+    /// corruption it had no chance to verify.
+    fn fetch(
+        &mut self,
+        now_ns: u64,
+        m: usize,
+        row: u64,
+        rot: bool,
+    ) -> Result<(Vec<u8>, Completion), ArrayError> {
+        let member = &mut self.members[m];
+        let len = member.chunks[row as usize]
+            .as_ref()
+            .map(|b| b.len())
+            .expect("fetch called without stored bytes");
+        let c = member.dev.try_submit(now_ns, IoKind::Read, row * self.chunk, len as u32)?;
+        if rot {
+            if let Some(bit) = member.dev.faults_mut().bit_rot() {
+                let bytes = member.chunks[row as usize].as_mut().unwrap();
+                let bit = bit as usize % (bytes.len() * 8);
+                bytes[bit / 8] ^= 1 << (bit % 8);
+            }
+        }
+        Ok((member.chunks[row as usize].clone().unwrap(), c))
+    }
+
+    /// Store `bytes` on member `m` at `row` with a timed device write.
+    fn store(
+        &mut self,
+        now_ns: u64,
+        m: usize,
+        row: u64,
+        bytes: Vec<u8>,
+    ) -> Result<Completion, ArrayError> {
+        let member = &mut self.members[m];
+        let c = member.dev.try_submit(now_ns, IoKind::Write, row * self.chunk, bytes.len() as u32)?;
+        member.chunks[row as usize] = Some(bytes);
+        Ok(c)
+    }
+
+    /// Whether member `m` can serve stored bytes for `row` right now.
+    fn resident(&self, m: usize, row: u64) -> bool {
+        self.members[m].state != MemberState::Failed
+            && self.members[m].chunks[row as usize].is_some()
+    }
+
+    /// Write a full stripe row of compressed chunk payloads (exactly
+    /// [`RaisArray::data_width`] of them, each `1..=chunk` bytes).
+    ///
+    /// On RAIS5 the parity leg is computed over the payloads padded to the
+    /// largest one and written once — the compressed-parity saving. A leg
+    /// owned by a failed member is recorded in row metadata but not
+    /// stored; on RAIS5 it stays reconstructible from parity (a degraded
+    /// write), on RAIS0 it is lost and later reads get a typed error.
+    pub fn write_row(
+        &mut self,
+        now_ns: u64,
+        row: u64,
+        payloads: &[&[u8]],
+    ) -> Result<Completion, ArrayError> {
+        if row >= self.rows {
+            return Err(ArrayError::BadRow { row, rows: self.rows });
+        }
+        let dw = self.data_width();
+        if payloads.len() != dw {
+            return Err(ArrayError::WrongWidth { given: payloads.len(), data_width: dw });
+        }
+        for p in payloads {
+            self.check_payload(p)?;
+        }
+
+        self.release_row_accounting(row);
+        let mut span = Span::new();
+        let mut legs = Vec::with_capacity(dw);
+        for (pos, payload) in payloads.iter().enumerate() {
+            let m = self.data_member(row, pos);
+            legs.push(Some(LegMeta { len: payload.len() as u32, crc: chunk_crc(payload) }));
+            if self.members[m].state != MemberState::Failed {
+                span.track(self.store(now_ns, m, row, payload.to_vec())?);
+            }
+            self.logical_stored += self.chunk;
+            self.physical_data += payload.len() as u64;
+        }
+
+        let parity = if self.level == RaisLevel::Rais5 {
+            let plen = payloads.iter().map(|p| p.len()).max().unwrap_or(0);
+            let mut pbuf = vec![0u8; plen];
+            for p in payloads {
+                xor_into(&mut pbuf, p);
+            }
+            let meta = LegMeta { len: plen as u32, crc: chunk_crc(&pbuf) };
+            let pm = self.parity_member(row);
+            if self.members[pm].state != MemberState::Failed {
+                span.track(self.store(now_ns, pm, row, pbuf)?);
+                self.parity_bytes_written += plen as u64;
+                self.parity_control_bytes += self.chunk;
+            }
+            self.parity_stored += plen as u64;
+            Some(meta)
+        } else {
+            None
+        };
+
+        self.rows_meta[row as usize] = Some(RowMeta { legs, parity });
+        Ok(span.completion(now_ns))
+    }
+
+    /// Overwrite one data chunk of a row (compressed read-modify-write).
+    ///
+    /// With the old leg and old parity resident this is the classic
+    /// small-write path — two reads, an XOR delta truncated to the new row
+    /// maximum, two writes. Around a failed member it falls back to
+    /// recomputing parity from the surviving legs.
+    pub fn write_chunk(
+        &mut self,
+        now_ns: u64,
+        row: u64,
+        pos: usize,
+        payload: &[u8],
+    ) -> Result<Completion, ArrayError> {
+        self.check_row_pos(row, pos)?;
+        self.check_payload(payload)?;
+        let dw = self.data_width();
+        if self.rows_meta[row as usize].is_none() {
+            self.rows_meta[row as usize] =
+                Some(RowMeta { legs: vec![None; dw], parity: None });
+        }
+        let m = self.data_member(row, pos);
+        let new_meta = LegMeta { len: payload.len() as u32, crc: chunk_crc(payload) };
+        let old_leg = self.rows_meta[row as usize].as_ref().unwrap().legs[pos];
+        let mut span = Span::new();
+
+        if self.level == RaisLevel::Rais5 {
+            let pm = self.parity_member(row);
+            let old_parity = self.rows_meta[row as usize].as_ref().unwrap().parity;
+
+            // New parity length: the row maximum after this update.
+            let plen_new = {
+                let meta = self.rows_meta[row as usize].as_ref().unwrap();
+                meta.legs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, l)| if i == pos { None } else { *l })
+                    .map(|l| l.len as usize)
+                    .chain(std::iter::once(payload.len()))
+                    .max()
+                    .unwrap()
+            };
+
+            let mut pbuf;
+            if old_leg.is_some()
+                && self.resident(m, row)
+                && old_parity.is_some()
+                && self.resident(pm, row)
+            {
+                // Delta path: parity' = parity ⊕ old ⊕ new, padded to the
+                // working maximum then truncated to the new row maximum
+                // (the tail provably XORs to zero).
+                let (old_bytes, c1) = self.fetch(now_ns, m, row, false)?;
+                let (par_bytes, c2) = self.fetch(now_ns, pm, row, false)?;
+                span.track(c1);
+                span.track(c2);
+                pbuf = par_bytes;
+                xor_into(&mut pbuf, &old_bytes);
+                xor_into(&mut pbuf, payload);
+                pbuf.truncate(plen_new);
+                pbuf.resize(plen_new, 0);
+            } else {
+                // Reconstruction path: gather every surviving sibling leg;
+                // a sibling that is metadata-only while the target or
+                // parity is also unavailable is a double fault.
+                pbuf = vec![0u8; plen_new];
+                xor_into(&mut pbuf, payload);
+                for (sib_pos, leg) in self
+                    .rows_meta[row as usize]
+                    .as_ref()
+                    .unwrap()
+                    .legs
+                    .clone()
+                    .iter()
+                    .enumerate()
+                {
+                    if sib_pos == pos || leg.is_none() {
+                        continue;
+                    }
+                    let sm = self.data_member(row, sib_pos);
+                    if !self.resident(sm, row) {
+                        return Err(ArrayError::Unrecoverable {
+                            row,
+                            pos: sib_pos,
+                            reason: LossReason::DoubleFault,
+                        });
+                    }
+                    let (bytes, c) = self.fetch(now_ns, sm, row, false)?;
+                    span.track(c);
+                    xor_into(&mut pbuf, &bytes);
+                }
+                pbuf.truncate(plen_new);
+                pbuf.resize(plen_new, 0);
+            }
+
+            let pmeta = LegMeta { len: plen_new as u32, crc: chunk_crc(&pbuf) };
+            if let Some(op) = old_parity {
+                self.parity_stored -= u64::from(op.len);
+            }
+            self.parity_stored += plen_new as u64;
+            if self.members[pm].state != MemberState::Failed {
+                span.track(self.store(now_ns, pm, row, pbuf)?);
+                self.parity_bytes_written += plen_new as u64;
+                self.parity_control_bytes += self.chunk;
+            }
+            self.rows_meta[row as usize].as_mut().unwrap().parity = Some(pmeta);
+        }
+
+        if let Some(old) = old_leg {
+            self.physical_data -= u64::from(old.len);
+        } else {
+            self.logical_stored += self.chunk;
+        }
+        self.physical_data += payload.len() as u64;
+        if self.members[m].state != MemberState::Failed {
+            span.track(self.store(now_ns, m, row, payload.to_vec())?);
+        }
+        self.rows_meta[row as usize].as_mut().unwrap().legs[pos] = Some(new_meta);
+        Ok(span.completion(now_ns))
+    }
+
+    /// Read one data chunk back, bit-identical to what was written.
+    ///
+    /// A chunk on a failed (or not-yet-rebuilt) member is reconstructed
+    /// from parity and the surviving legs ([`ReadMode::Degraded`]). A
+    /// chunk whose fetch fails its checksum — sticky bit rot — is
+    /// reconstructed and durably written back ([`ReadMode::Repaired`]).
+    /// RAIS0 has no redundancy: both cases surface
+    /// [`ArrayError::Unrecoverable`] instead of silent corruption.
+    pub fn read_chunk(&mut self, now_ns: u64, row: u64, pos: usize) -> Result<ChunkRead, ArrayError> {
+        self.check_row_pos(row, pos)?;
+        let leg = self
+            .rows_meta[row as usize]
+            .as_ref()
+            .and_then(|m| m.legs[pos])
+            .ok_or(ArrayError::NotStored { row, pos })?;
+        let m = self.data_member(row, pos);
+
+        if self.resident(m, row) {
+            let (bytes, c) = match self.fetch(now_ns, m, row, true) {
+                Ok(ok) => ok,
+                Err(ArrayError::Fault(FaultError::ReadFault)) => {
+                    // Retries exhausted on the member: serve via the row.
+                    return self.serve_degraded(now_ns, row, pos, leg);
+                }
+                Err(e) => return Err(e),
+            };
+            if bytes.len() == leg.len as usize && chunk_crc(&bytes) == leg.crc {
+                return Ok(ChunkRead { data: bytes, completion: c, mode: ReadMode::Direct });
+            }
+            // Checksum mismatch: rot detected. Reconstruct and repair.
+            if self.level == RaisLevel::Rais0 {
+                return Err(ArrayError::Unrecoverable {
+                    row,
+                    pos,
+                    reason: LossReason::NoRedundancy,
+                });
+            }
+            let mut span = Span::new();
+            span.track(c);
+            let (data, rspan) = self.reconstruct(now_ns, row, pos, leg)?;
+            span.track(rspan.completion(now_ns));
+            span.track(self.store(now_ns, m, row, data.clone())?);
+            self.repairs.repaired_chunks += 1;
+            self.repairs.repaired_bytes += data.len() as u64;
+            return Ok(ChunkRead {
+                data,
+                completion: span.completion(now_ns),
+                mode: ReadMode::Repaired,
+            });
+        }
+        self.serve_degraded(now_ns, row, pos, leg)
+    }
+
+    /// Serve a read whose member cannot: reconstruct from the row.
+    fn serve_degraded(
+        &mut self,
+        now_ns: u64,
+        row: u64,
+        pos: usize,
+        leg: LegMeta,
+    ) -> Result<ChunkRead, ArrayError> {
+        if self.level == RaisLevel::Rais0 {
+            return Err(ArrayError::Unrecoverable { row, pos, reason: LossReason::NoRedundancy });
+        }
+        let (data, span) = self.reconstruct(now_ns, row, pos, leg)?;
+        self.repairs.degraded_reads += 1;
+        Ok(ChunkRead { data, completion: span.completion(now_ns), mode: ReadMode::Degraded })
+    }
+
+    /// XOR-reconstruct the data leg at (`row`, `pos`) from parity and the
+    /// surviving legs, verifying every ingredient and the result against
+    /// recorded checksums. Any unavailable or corrupt ingredient is a
+    /// double fault. All fetches are host-facing (rot draws apply) — this
+    /// is exactly where a URE during reconstruction hurts a real array.
+    fn reconstruct(
+        &mut self,
+        now_ns: u64,
+        row: u64,
+        pos: usize,
+        leg: LegMeta,
+    ) -> Result<(Vec<u8>, Span), ArrayError> {
+        let meta = self.rows_meta[row as usize].clone().unwrap();
+        let pmeta = meta.parity.ok_or(ArrayError::Unrecoverable {
+            row,
+            pos,
+            reason: LossReason::DoubleFault,
+        })?;
+        let pm = self.parity_member(row);
+        let mut span = Span::new();
+        if !self.resident(pm, row) {
+            return Err(ArrayError::Unrecoverable { row, pos, reason: LossReason::DoubleFault });
+        }
+        let (pbytes, c) = self.fetch(now_ns, pm, row, true)?;
+        span.track(c);
+        if pbytes.len() != pmeta.len as usize || chunk_crc(&pbytes) != pmeta.crc {
+            return Err(ArrayError::Unrecoverable { row, pos, reason: LossReason::DoubleFault });
+        }
+        let mut acc = pbytes;
+        for (sib_pos, sib) in meta.legs.iter().enumerate() {
+            if sib_pos == pos {
+                continue;
+            }
+            let Some(sib) = sib else { continue };
+            let sm = self.data_member(row, sib_pos);
+            if !self.resident(sm, row) {
+                return Err(ArrayError::Unrecoverable {
+                    row,
+                    pos,
+                    reason: LossReason::DoubleFault,
+                });
+            }
+            let (bytes, c) = self.fetch(now_ns, sm, row, true)?;
+            span.track(c);
+            if bytes.len() != sib.len as usize || chunk_crc(&bytes) != sib.crc {
+                return Err(ArrayError::Unrecoverable {
+                    row,
+                    pos,
+                    reason: LossReason::DoubleFault,
+                });
+            }
+            xor_into(&mut acc, &bytes);
+        }
+        acc.truncate(leg.len as usize);
+        acc.resize(leg.len as usize, 0);
+        if chunk_crc(&acc) != leg.crc {
+            return Err(ArrayError::Unrecoverable { row, pos, reason: LossReason::DoubleFault });
+        }
+        Ok((acc, span))
+    }
+
+    /// Kill member `i`: whole-device failure. Its stored chunks are gone
+    /// and every device access errors until [`RaisArray::start_rebuild`]
+    /// installs a replacement. Idempotent.
+    pub fn kill_member(&mut self, i: usize) -> Result<(), ArrayError> {
+        if i >= self.members.len() {
+            return Err(ArrayError::BadMember { member: i, width: self.members.len() });
+        }
+        let member = &mut self.members[i];
+        member.state = MemberState::Failed;
+        member.dev.fail();
+        for c in &mut member.chunks {
+            *c = None;
+        }
+        Ok(())
+    }
+
+    /// Install a fresh replacement device for failed member `i` and arm
+    /// the rebuild cursor. The replacement derives the same lane-`i` fault
+    /// seed the original had.
+    pub fn start_rebuild(&mut self, i: usize) -> Result<(), ArrayError> {
+        if i >= self.members.len() {
+            return Err(ArrayError::BadMember { member: i, width: self.members.len() });
+        }
+        if self.members[i].state != MemberState::Failed {
+            return Err(ArrayError::NotFailed { member: i });
+        }
+        let cfg = SsdConfig { fault: self.base_fault.for_lane(i), ..self.cfg };
+        self.members[i] = Member {
+            dev: SsdDevice::new(cfg),
+            state: MemberState::Rebuilding { next_row: 0 },
+            chunks: vec![None; self.rows as usize],
+        };
+        Ok(())
+    }
+
+    /// Advance the online rebuild of member `i` by up to `max_rows` stripe
+    /// rows, reconstructing this member's legs (data via parity XOR,
+    /// parity by recomputation) onto the replacement. Foreground I/O may
+    /// interleave between calls — chunks the foreground already rewrote
+    /// onto the replacement are skipped. Reconstruction works on the
+    /// stored compressed bytes; nothing is decompressed.
+    pub fn rebuild_step(
+        &mut self,
+        now_ns: u64,
+        i: usize,
+        max_rows: u64,
+    ) -> Result<RebuildProgress, ArrayError> {
+        if i >= self.members.len() {
+            return Err(ArrayError::BadMember { member: i, width: self.members.len() });
+        }
+        let MemberState::Rebuilding { next_row } = self.members[i].state else {
+            return Err(ArrayError::NotRebuilding { member: i });
+        };
+        let end = (next_row + max_rows).min(self.rows);
+        let mut progress = RebuildProgress {
+            member: i,
+            total_rows: self.rows,
+            ..RebuildProgress::default()
+        };
+        for row in next_row..end {
+            let Some(meta) = self.rows_meta[row as usize].clone() else { continue };
+            if self.members[i].chunks[row as usize].is_some() {
+                continue; // Foreground already re-populated this slot.
+            }
+            if self.level == RaisLevel::Rais5 && self.parity_member(row) == i {
+                let Some(pmeta) = meta.parity else { continue };
+                match self.recompute_parity(now_ns, row, &meta, pmeta) {
+                    Ok(pbuf) => {
+                        progress.reconstructed_bytes += pbuf.len() as u64;
+                        progress.reconstructed_chunks += 1;
+                        self.store(now_ns, i, row, pbuf)?;
+                    }
+                    Err(ArrayError::Unrecoverable { .. }) => progress.lost_chunks += 1,
+                    Err(e) => return Err(e),
+                }
+                continue;
+            }
+            // Data leg owned by this member, if any.
+            let Some(pos) = (0..meta.legs.len()).find(|&p| self.data_member(row, p) == i) else {
+                continue;
+            };
+            let Some(leg) = meta.legs[pos] else { continue };
+            if self.level == RaisLevel::Rais0 {
+                // Nothing to reconstruct from; the loss was already typed
+                // at read time.
+                progress.lost_chunks += 1;
+                continue;
+            }
+            match self.reconstruct(now_ns, row, pos, leg) {
+                Ok((bytes, _span)) => {
+                    progress.reconstructed_bytes += bytes.len() as u64;
+                    progress.reconstructed_chunks += 1;
+                    self.store(now_ns, i, row, bytes)?;
+                }
+                Err(ArrayError::Unrecoverable { .. }) => progress.lost_chunks += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        progress.rows_done = end;
+        if end == self.rows {
+            self.members[i].state = MemberState::Healthy;
+            progress.done = true;
+        } else {
+            self.members[i].state = MemberState::Rebuilding { next_row: end };
+        }
+        Ok(progress)
+    }
+
+    /// Recompute the parity leg of `row` from its data legs, verified
+    /// against the recorded parity checksum.
+    fn recompute_parity(
+        &mut self,
+        now_ns: u64,
+        row: u64,
+        meta: &RowMeta,
+        pmeta: LegMeta,
+    ) -> Result<Vec<u8>, ArrayError> {
+        let mut pbuf = vec![0u8; pmeta.len as usize];
+        for (pos, leg) in meta.legs.iter().enumerate() {
+            let Some(leg) = leg else { continue };
+            let sm = self.data_member(row, pos);
+            if !self.resident(sm, row) {
+                return Err(ArrayError::Unrecoverable {
+                    row,
+                    pos,
+                    reason: LossReason::DoubleFault,
+                });
+            }
+            let (bytes, _c) = self.fetch(now_ns, sm, row, true)?;
+            if bytes.len() != leg.len as usize || chunk_crc(&bytes) != leg.crc {
+                return Err(ArrayError::Unrecoverable {
+                    row,
+                    pos,
+                    reason: LossReason::DoubleFault,
+                });
+            }
+            xor_into(&mut pbuf, &bytes);
+        }
+        pbuf.truncate(pmeta.len as usize);
+        pbuf.resize(pmeta.len as usize, 0);
+        if chunk_crc(&pbuf) != pmeta.crc {
+            return Err(ArrayError::Unrecoverable {
+                row,
+                pos: usize::MAX,
+                reason: LossReason::DoubleFault,
+            });
+        }
+        Ok(pbuf)
+    }
+
+    /// Full offline-style rebuild: [`RaisArray::start_rebuild`] then step
+    /// to completion. Returns the cumulative progress.
+    pub fn rebuild(&mut self, now_ns: u64, i: usize) -> Result<RebuildProgress, ArrayError> {
+        self.start_rebuild(i)?;
+        let mut total = RebuildProgress { member: i, total_rows: self.rows, ..Default::default() };
+        loop {
+            let step = self.rebuild_step(now_ns, i, 64)?;
+            total.reconstructed_chunks += step.reconstructed_chunks;
+            total.reconstructed_bytes += step.reconstructed_bytes;
+            total.lost_chunks += step.lost_chunks;
+            total.rows_done = step.rows_done;
+            if step.done {
+                total.done = true;
+                return Ok(total);
+            }
+        }
+    }
+
+    /// Fetch and checksum-verify every resident chunk, repairing corrupt
+    /// ones from redundancy (data legs from parity, parity legs by
+    /// recomputation) with durable write-back. Unrepairable corruption is
+    /// counted, never silently served.
+    pub fn scrub(&mut self, now_ns: u64) -> Result<ArrayScrubReport, ArrayError> {
+        let mut report = ArrayScrubReport::default();
+        for row in 0..self.rows {
+            let Some(meta) = self.rows_meta[row as usize].clone() else { continue };
+            report.rows_scanned += 1;
+            for (pos, leg) in meta.legs.iter().enumerate() {
+                let Some(leg) = leg else { continue };
+                let m = self.data_member(row, pos);
+                if !self.resident(m, row) {
+                    continue; // Degraded leg: rebuild's job, not scrub's.
+                }
+                let (bytes, _c) = self.fetch(now_ns, m, row, true)?;
+                report.chunks_verified += 1;
+                if bytes.len() == leg.len as usize && chunk_crc(&bytes) == leg.crc {
+                    continue;
+                }
+                if self.level == RaisLevel::Rais0 {
+                    report.unrepaired += 1;
+                    continue;
+                }
+                match self.reconstruct(now_ns, row, pos, *leg) {
+                    Ok((data, _span)) => {
+                        self.repairs.repaired_chunks += 1;
+                        self.repairs.repaired_bytes += data.len() as u64;
+                        self.store(now_ns, m, row, data)?;
+                        report.repaired += 1;
+                    }
+                    Err(ArrayError::Unrecoverable { .. }) => report.unrepaired += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+            if let Some(pmeta) = meta.parity {
+                let pm = self.parity_member(row);
+                if self.resident(pm, row) {
+                    let (bytes, _c) = self.fetch(now_ns, pm, row, true)?;
+                    report.chunks_verified += 1;
+                    if bytes.len() != pmeta.len as usize || chunk_crc(&bytes) != pmeta.crc {
+                        match self.recompute_parity(now_ns, row, &meta, pmeta) {
+                            Ok(pbuf) => {
+                                self.repairs.repaired_chunks += 1;
+                                self.repairs.repaired_bytes += pbuf.len() as u64;
+                                self.store(now_ns, pm, row, pbuf)?;
+                                report.repaired += 1;
+                            }
+                            Err(ArrayError::Unrecoverable { .. }) => report.unrepaired += 1,
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Check array invariants without consuming fault draws: every member
+    /// FTL's own integrity, every resident chunk against its recorded
+    /// length/checksum, and — where a row is fully resident — the XOR
+    /// relation between legs and parity. After a bit-rot campaign run
+    /// [`RaisArray::scrub`] first; `verify_integrity` reports rot that
+    /// scrub has not yet repaired as [`ArrayIntegrityError::MetaMismatch`].
+    pub fn verify_integrity(&self) -> Result<(), ArrayIntegrityError> {
+        for (i, m) in self.members.iter().enumerate() {
+            if m.state == MemberState::Failed {
+                continue;
+            }
+            if let Err(error) = m.dev.verify_integrity() {
+                return Err(ArrayIntegrityError::Member { member: i, error });
+            }
+        }
+        for row in 0..self.rows {
+            let Some(meta) = &self.rows_meta[row as usize] else { continue };
+            let mut all_resident = true;
+            let mut acc: Vec<u8> = Vec::new();
+            for (pos, leg) in meta.legs.iter().enumerate() {
+                let Some(leg) = leg else {
+                    all_resident = false;
+                    continue;
+                };
+                let m = self.data_member(row, pos);
+                match self.members[m].chunks[row as usize].as_ref() {
+                    Some(bytes) if self.members[m].state != MemberState::Failed => {
+                        if bytes.len() != leg.len as usize || chunk_crc(bytes) != leg.crc {
+                            return Err(ArrayIntegrityError::MetaMismatch { row, member: m });
+                        }
+                        xor_into(&mut acc, bytes);
+                    }
+                    _ => all_resident = false,
+                }
+            }
+            if let Some(pmeta) = meta.parity {
+                let pm = self.parity_member(row);
+                match self.members[pm].chunks[row as usize].as_ref() {
+                    Some(bytes) if self.members[pm].state != MemberState::Failed => {
+                        if bytes.len() != pmeta.len as usize || chunk_crc(bytes) != pmeta.crc {
+                            return Err(ArrayIntegrityError::MetaMismatch { row, member: pm });
+                        }
+                        if all_resident {
+                            let mut check = acc.clone();
+                            xor_into(&mut check, bytes);
+                            if check.iter().any(|&b| b != 0) {
+                                return Err(ArrayIntegrityError::ParityMismatch { row });
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Undo the capacity accounting of whatever `row` currently stores
+    /// (called before a full-row overwrite).
+    fn release_row_accounting(&mut self, row: u64) {
+        let Some(meta) = self.rows_meta[row as usize].take() else { return };
+        for leg in meta.legs.iter().flatten() {
+            self.logical_stored -= self.chunk;
+            self.physical_data -= u64::from(leg.len);
+        }
+        if let Some(p) = meta.parity {
+            self.parity_stored -= u64::from(p.len);
         }
     }
 
     /// Locate a data chunk: `(device index, device byte offset)` for global
-    /// chunk index `ci`.
+    /// chunk index `ci` (timing plane).
     fn locate(&self, ci: u64) -> (usize, u64) {
-        let n = self.devices.len() as u64;
+        let n = self.members.len() as u64;
         match self.level {
             RaisLevel::Rais0 => {
                 let dev = (ci % n) as usize;
@@ -132,19 +1364,26 @@ impl RaisArray {
         }
     }
 
-    /// Parity device and offset for a stripe row.
+    /// Parity device and offset for a stripe row (timing plane).
     fn parity_of(&self, row: u64) -> (usize, u64) {
-        let n = self.devices.len() as u64;
+        let n = self.members.len() as u64;
         ((row % n) as usize, row * self.chunk)
     }
 
-    /// Submit one host I/O at `now_ns`; returns the array-level completion
-    /// (the slowest sub-I/O).
+    /// Submit one host I/O at `now_ns` on the timing plane; returns the
+    /// array-level completion (the slowest sub-I/O).
+    ///
+    /// This path models request *timing* only and predates the data
+    /// plane; use it on healthy arrays without armed fault plans.
+    ///
+    /// # Panics
+    /// Panics on zero-length I/O, on a failed member, or if an injected
+    /// fault fires.
     pub fn submit(&mut self, now_ns: u64, kind: IoKind, offset: u64, len: u32) -> Completion {
         assert!(len > 0, "zero-length I/O");
         let offset = offset % self.logical_bytes();
         let len = u64::from(len).min(self.logical_bytes() - offset);
-        let mut span = Span { start_ns: u64::MAX, finish_ns: 0 };
+        let mut span = Span::new();
 
         match (self.level, kind) {
             (_, IoKind::Read) | (RaisLevel::Rais0, IoKind::Write) => {
@@ -156,12 +1395,17 @@ impl RaisArray {
                     let within = pos % self.chunk;
                     let take = (self.chunk - within).min(end - pos);
                     let (dev, dev_off) = self.locate(ci);
-                    span.track(self.devices[dev].submit(now_ns, kind, dev_off + within, take as u32));
+                    span.track(self.members[dev].dev.submit(
+                        now_ns,
+                        kind,
+                        dev_off + within,
+                        take as u32,
+                    ));
                     pos += take;
                 }
             }
             (RaisLevel::Rais5, IoKind::Write) => {
-                let dw = self.data_width();
+                let dw = self.data_width() as u64;
                 let row_bytes = dw * self.chunk;
                 let mut pos = offset;
                 let end = offset + len;
@@ -178,14 +1422,14 @@ impl RaisArray {
                         for k in 0..dw {
                             let ci = row * dw + k;
                             let (dev, dev_off) = self.locate(ci);
-                            span.track(self.devices[dev].submit(
+                            span.track(self.members[dev].dev.submit(
                                 now_ns,
                                 IoKind::Write,
                                 dev_off,
                                 self.chunk as u32,
                             ));
                         }
-                        span.track(self.devices[pdev].submit(
+                        span.track(self.members[pdev].dev.submit(
                             now_ns,
                             IoKind::Write,
                             poff,
@@ -201,13 +1445,13 @@ impl RaisArray {
                             let take = (self.chunk - within).min(seg_end - p);
                             let (dev, dev_off) = self.locate(ci);
                             // Read old data, read old parity (parallel).
-                            let r1 = self.devices[dev].submit(
+                            let r1 = self.members[dev].dev.submit(
                                 now_ns,
                                 IoKind::Read,
                                 dev_off + within,
                                 take as u32,
                             );
-                            let r2 = self.devices[pdev].submit(
+                            let r2 = self.members[pdev].dev.submit(
                                 now_ns,
                                 IoKind::Read,
                                 poff + within,
@@ -216,13 +1460,13 @@ impl RaisArray {
                             let ready = r1.finish_ns.max(r2.finish_ns);
                             // Write new data and new parity once both reads
                             // are in.
-                            span.track(self.devices[dev].submit(
+                            span.track(self.members[dev].dev.submit(
                                 ready,
                                 IoKind::Write,
                                 dev_off + within,
                                 take as u32,
                             ));
-                            span.track(self.devices[pdev].submit(
+                            span.track(self.members[pdev].dev.submit(
                                 ready,
                                 IoKind::Write,
                                 poff + within,
@@ -241,19 +1485,6 @@ impl RaisArray {
     }
 }
 
-/// Min-start / max-finish accumulator over parallel sub-I/Os.
-struct Span {
-    start_ns: u64,
-    finish_ns: u64,
-}
-
-impl Span {
-    fn track(&mut self, c: Completion) {
-        self.start_ns = self.start_ns.min(c.start_ns);
-        self.finish_ns = self.finish_ns.max(c.finish_ns);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,11 +1500,16 @@ mod tests {
     }
 
     fn rais5() -> RaisArray {
-        RaisArray::new(RaisLevel::Rais5, 5, member_cfg(), 65536)
+        RaisArray::new(RaisLevel::Rais5, 5, member_cfg(), 65536).unwrap()
     }
 
     fn rais0() -> RaisArray {
-        RaisArray::new(RaisLevel::Rais0, 5, member_cfg(), 65536)
+        RaisArray::new(RaisLevel::Rais0, 5, member_cfg(), 65536).unwrap()
+    }
+
+    /// A compressible-looking payload of `len` bytes, seeded by `tag`.
+    fn payload(tag: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i as u64).wrapping_mul(7).wrapping_add(tag * 131) % 251) as u8).collect()
     }
 
     #[test]
@@ -283,9 +1519,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least 3")]
-    fn rais5_needs_three_devices() {
-        let _ = RaisArray::new(RaisLevel::Rais5, 2, member_cfg(), 65536);
+    fn shape_errors_are_typed_not_panics() {
+        assert_eq!(
+            RaisArray::new(RaisLevel::Rais5, 2, member_cfg(), 65536).unwrap_err(),
+            ArrayError::TooFewMembers { level: RaisLevel::Rais5, members: 2, required: 3 }
+        );
+        assert_eq!(
+            RaisArray::new(RaisLevel::Rais0, 1, member_cfg(), 65536).unwrap_err(),
+            ArrayError::TooFewMembers { level: RaisLevel::Rais0, members: 1, required: 2 }
+        );
+        assert_eq!(
+            RaisArray::new(RaisLevel::Rais0, 2, member_cfg(), 1000).unwrap_err(),
+            ArrayError::BadChunk { chunk: 1000 }
+        );
+        assert!(matches!(
+            RaisArray::new(
+                RaisLevel::Rais0,
+                2,
+                SsdConfig { overprovision: 0.0, ..member_cfg() },
+                65536
+            )
+            .unwrap_err(),
+            ArrayError::Config(ConfigError::NoSpareArea)
+        ));
+        assert!(matches!(
+            RaisArray::new(RaisLevel::Rais0, 2, member_cfg(), (16 << 20) - 4096 + 8192)
+                .unwrap_err(),
+            ArrayError::ChunkVsCapacity { .. }
+        ));
     }
 
     #[test]
@@ -398,5 +1659,350 @@ mod tests {
         let s = a.stats();
         assert_eq!(s.writes, 3);
         assert_eq!(s.bytes_written, 65536 * 3);
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane: compressed parity, degraded reads, rebuild.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn row_roundtrip_and_direct_reads() {
+        let mut a = rais5();
+        let ps: Vec<Vec<u8>> = (0..4).map(|i| payload(i, 3000 + 500 * i as usize)).collect();
+        let refs: Vec<&[u8]> = ps.iter().map(|p| p.as_slice()).collect();
+        a.write_row(0, 0, &refs).unwrap();
+        for (pos, p) in ps.iter().enumerate() {
+            let r = a.read_chunk(0, 0, pos).unwrap();
+            assert_eq!(&r.data, p);
+            assert_eq!(r.mode, ReadMode::Direct);
+        }
+        a.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn parity_leg_sized_to_largest_compressed_chunk() {
+        let mut a = rais5();
+        let ps: Vec<Vec<u8>> = vec![payload(1, 4096), payload(2, 9000), payload(3, 5000), payload(4, 4096)];
+        let refs: Vec<&[u8]> = ps.iter().map(|p| p.as_slice()).collect();
+        a.write_row(0, 0, &refs).unwrap();
+        let cap = a.capacity();
+        assert_eq!(cap.parity_bytes, 9000, "parity sized to the row max");
+        assert_eq!(cap.parity_bytes_written, 9000);
+        assert_eq!(cap.parity_control_bytes, 65536, "uncompressed control pays a full chunk");
+        assert!(cap.parity_bytes_written < cap.parity_control_bytes);
+    }
+
+    #[test]
+    fn virtual_capacity_grows_with_compression_ratio() {
+        let mut a = rais5();
+        // 64 KiB logical chunks stored in 16 KiB: ratio 4 → 4x virtual.
+        let ps: Vec<Vec<u8>> = (0..4).map(|i| payload(i, 16384)).collect();
+        let refs: Vec<&[u8]> = ps.iter().map(|p| p.as_slice()).collect();
+        a.write_row(0, 0, &refs).unwrap();
+        let cap = a.capacity();
+        assert_eq!(cap.logical_stored_bytes, 4 * 65536);
+        assert_eq!(cap.physical_data_bytes, 4 * 16384);
+        assert_eq!(cap.virtual_bytes, cap.exported_bytes * 4);
+    }
+
+    #[test]
+    fn degraded_reads_bit_identical_after_any_single_kill() {
+        for victim in 0..5 {
+            let mut a = rais5();
+            let ps: Vec<Vec<u8>> = (0..4).map(|i| payload(i + 10, 2000 + 700 * i as usize)).collect();
+            let refs: Vec<&[u8]> = ps.iter().map(|p| p.as_slice()).collect();
+            for row in 0..3 {
+                a.write_row(0, row, &refs).unwrap();
+            }
+            a.kill_member(victim).unwrap();
+            for row in 0..3 {
+                for (pos, p) in ps.iter().enumerate() {
+                    let r = a.read_chunk(0, row, pos).unwrap();
+                    assert_eq!(&r.data, p, "victim {victim} row {row} pos {pos}");
+                }
+            }
+            // The victim is the parity member of at most one of the three
+            // rows, so it must have been a data member somewhere.
+            assert!(a.repair_stats().degraded_reads > 0, "victim {victim}");
+        }
+    }
+
+    #[test]
+    fn rais0_kill_is_typed_loss_not_silent() {
+        let mut a = rais0();
+        let ps: Vec<Vec<u8>> = (0..5).map(|i| payload(i, 4096)).collect();
+        let refs: Vec<&[u8]> = ps.iter().map(|p| p.as_slice()).collect();
+        a.write_row(0, 0, &refs).unwrap();
+        a.kill_member(2).unwrap();
+        let err = a.read_chunk(0, 0, 2).unwrap_err();
+        assert_eq!(
+            err,
+            ArrayError::Unrecoverable { row: 0, pos: 2, reason: LossReason::NoRedundancy }
+        );
+        // Other members still serve.
+        assert_eq!(a.read_chunk(0, 0, 0).unwrap().data, ps[0]);
+    }
+
+    #[test]
+    fn rebuild_restores_health_and_data() {
+        let mut a = rais5();
+        let rows = 8u64;
+        for row in 0..rows {
+            let ps: Vec<Vec<u8>> = (0..4).map(|i| payload(row * 10 + i, 3000 + (row as usize % 3) * 800)).collect();
+            let refs: Vec<&[u8]> = ps.iter().map(|p| p.as_slice()).collect();
+            a.write_row(0, row, &refs).unwrap();
+        }
+        a.kill_member(1).unwrap();
+        assert_eq!(a.member_state(1), MemberState::Failed);
+        let progress = a.rebuild(0, 1).unwrap();
+        assert!(progress.done);
+        assert_eq!(progress.lost_chunks, 0);
+        assert!(progress.reconstructed_chunks > 0);
+        assert_eq!(a.member_state(1), MemberState::Healthy);
+        // Every chunk reads Direct again — member 1 is fully repopulated.
+        for row in 0..rows {
+            for pos in 0..4 {
+                let r = a.read_chunk(0, row, pos).unwrap();
+                assert_eq!(r.mode, ReadMode::Direct, "row {row} pos {pos}");
+                assert_eq!(&r.data, &payload(row * 10 + pos as u64, 3000 + (row as usize % 3) * 800));
+            }
+        }
+        a.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn online_rebuild_interleaves_with_foreground_writes() {
+        let mut a = rais5();
+        for row in 0..6u64 {
+            let ps: Vec<Vec<u8>> = (0..4).map(|i| payload(row * 7 + i, 5000)).collect();
+            let refs: Vec<&[u8]> = ps.iter().map(|p| p.as_slice()).collect();
+            a.write_row(0, row, &refs).unwrap();
+        }
+        a.kill_member(3).unwrap();
+        a.start_rebuild(3).unwrap();
+        // Step one row at a time, interleaving a foreground overwrite that
+        // lands on the rebuilding member ahead of the cursor.
+        let hot = payload(999, 6000);
+        a.write_chunk(0, 5, 2, &hot).unwrap();
+        let mut done = false;
+        while !done {
+            done = a.rebuild_step(0, 3, 1).unwrap().done;
+        }
+        assert_eq!(a.member_state(3), MemberState::Healthy);
+        assert_eq!(a.read_chunk(0, 5, 2).unwrap().data, hot);
+        for row in 0..5u64 {
+            for pos in 0..4 {
+                assert_eq!(a.read_chunk(0, row, pos).unwrap().data, payload(row * 7 + pos as u64, 5000));
+            }
+        }
+        a.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn rot_detected_and_repaired_from_parity() {
+        let mut a = rais5();
+        let ps: Vec<Vec<u8>> = (0..4).map(|i| payload(i, 8000)).collect();
+        let refs: Vec<&[u8]> = ps.iter().map(|p| p.as_slice()).collect();
+        a.write_row(0, 0, &refs).unwrap();
+        // Corrupt member bytes directly (simulating rot that already stuck).
+        let m = a.data_member(0, 1);
+        a.members[m].chunks[0].as_mut().unwrap()[100] ^= 0xFF;
+        let r = a.read_chunk(0, 0, 1).unwrap();
+        assert_eq!(r.mode, ReadMode::Repaired);
+        assert_eq!(&r.data, &ps[1]);
+        assert_eq!(a.repair_stats().repaired_chunks, 1);
+        // Repair is durable: next read is Direct.
+        let r2 = a.read_chunk(0, 0, 1).unwrap();
+        assert_eq!(r2.mode, ReadMode::Direct);
+        a.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn injected_bit_rot_never_served_silently() {
+        // With an armed per-member rot plan, every read either returns the
+        // exact written bytes or a typed error — across many reads.
+        let mut a = rais5();
+        let ps: Vec<Vec<u8>> = (0..4).map(|i| payload(i + 40, 7000)).collect();
+        let refs: Vec<&[u8]> = ps.iter().map(|p| p.as_slice()).collect();
+        for row in 0..4 {
+            a.write_row(0, row, &refs).unwrap();
+        }
+        a.set_member_fault_plans(FaultPlan { seed: 42, bit_rot_rate: 0.05, ..FaultPlan::none() });
+        let mut repaired = 0;
+        for _ in 0..10 {
+            for row in 0..4 {
+                for (pos, p) in ps.iter().enumerate() {
+                    match a.read_chunk(0, row, pos) {
+                        Ok(r) => {
+                            assert_eq!(&r.data, p, "row {row} pos {pos}");
+                            if r.mode == ReadMode::Repaired {
+                                repaired += 1;
+                            }
+                        }
+                        Err(ArrayError::Unrecoverable { .. }) => {}
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            }
+        }
+        assert!(repaired > 0, "a 5% rot rate over 160 reads must fire and repair");
+        assert!(a.fault_stats().rot_pages > 0);
+    }
+
+    #[test]
+    fn scrub_repairs_rot_and_reports() {
+        let mut a = rais5();
+        let ps: Vec<Vec<u8>> = (0..4).map(|i| payload(i + 60, 6000)).collect();
+        let refs: Vec<&[u8]> = ps.iter().map(|p| p.as_slice()).collect();
+        for row in 0..3 {
+            a.write_row(0, row, &refs).unwrap();
+        }
+        let m = a.data_member(1, 0);
+        a.members[m].chunks[1].as_mut().unwrap()[7] ^= 1;
+        let report = a.scrub(0).unwrap();
+        assert_eq!(report.rows_scanned, 3);
+        assert_eq!(report.repaired, 1);
+        assert_eq!(report.unrepaired, 0);
+        a.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn compressed_rmw_updates_parity_with_length_change() {
+        let mut a = rais5();
+        let ps: Vec<Vec<u8>> = vec![payload(1, 9000), payload(2, 4096), payload(3, 4096), payload(4, 4096)];
+        let refs: Vec<&[u8]> = ps.iter().map(|p| p.as_slice()).collect();
+        a.write_row(0, 0, &refs).unwrap();
+        assert_eq!(a.capacity().parity_bytes, 9000);
+        // Shrink the longest leg: parity must shrink to the new row max.
+        let small = payload(9, 4500);
+        a.write_chunk(0, 0, 0, &small).unwrap();
+        assert_eq!(a.capacity().parity_bytes, 4500);
+        assert_eq!(a.read_chunk(0, 0, 0).unwrap().data, small);
+        // Grow a leg past everything: parity grows with it.
+        let big = payload(11, 20000);
+        a.write_chunk(0, 0, 3, &big).unwrap();
+        assert_eq!(a.capacity().parity_bytes, 20000);
+        for (pos, want) in [(0usize, &small), (3usize, &big)] {
+            assert_eq!(&a.read_chunk(0, 0, pos).unwrap().data, want);
+        }
+        a.verify_integrity().unwrap();
+        // Reconstruction still works after RMW: kill a member and re-read.
+        a.kill_member(a.data_member(0, 1)).unwrap();
+        assert_eq!(a.read_chunk(0, 0, 1).unwrap().data, ps[1]);
+    }
+
+    #[test]
+    fn degraded_write_then_rebuild_recovers_phantom_leg() {
+        let mut a = rais5();
+        let ps: Vec<Vec<u8>> = (0..4).map(|i| payload(i + 80, 5000)).collect();
+        let refs: Vec<&[u8]> = ps.iter().map(|p| p.as_slice()).collect();
+        a.write_row(0, 0, &refs).unwrap();
+        let victim = a.data_member(0, 2);
+        a.kill_member(victim).unwrap();
+        // Overwrite the failed member's chunk: a degraded write. The new
+        // bytes live only in parity until rebuild.
+        let fresh = payload(123, 4800);
+        a.write_chunk(0, 0, 2, &fresh).unwrap();
+        let r = a.read_chunk(0, 0, 2).unwrap();
+        assert_eq!(r.mode, ReadMode::Degraded);
+        assert_eq!(r.data, fresh);
+        let progress = a.rebuild(0, victim).unwrap();
+        assert_eq!(progress.lost_chunks, 0);
+        let r2 = a.read_chunk(0, 0, 2).unwrap();
+        assert_eq!(r2.mode, ReadMode::Direct);
+        assert_eq!(r2.data, fresh);
+    }
+
+    #[test]
+    fn double_fault_is_typed_loss() {
+        let mut a = rais5();
+        let ps: Vec<Vec<u8>> = (0..4).map(|i| payload(i, 4096)).collect();
+        let refs: Vec<&[u8]> = ps.iter().map(|p| p.as_slice()).collect();
+        a.write_row(0, 0, &refs).unwrap();
+        a.kill_member(a.data_member(0, 0)).unwrap();
+        // Corrupt a surviving sibling: reconstruction of pos 0 must fail
+        // typed (URE during degraded operation), not return garbage.
+        let sib = a.data_member(0, 1);
+        a.members[sib].chunks[0].as_mut().unwrap()[0] ^= 1;
+        let err = a.read_chunk(0, 0, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            ArrayError::Unrecoverable { reason: LossReason::DoubleFault, .. }
+        ));
+        // The corrupt sibling is equally unrecoverable while the row is
+        // degraded (two unknowns, one parity) — typed, never garbage.
+        let err = a.read_chunk(0, 0, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            ArrayError::Unrecoverable { reason: LossReason::DoubleFault, .. }
+        ));
+        // The intact survivors still serve directly.
+        assert_eq!(a.read_chunk(0, 0, 2).unwrap().data, ps[2]);
+        assert_eq!(a.read_chunk(0, 0, 3).unwrap().data, ps[3]);
+    }
+
+    #[test]
+    fn compressed_parity_charges_fewer_device_bytes() {
+        // The whole point: a row of well-compressed chunks must write
+        // fewer parity bytes to the device than chunk-sized parity would.
+        let mut a = rais5();
+        let ps: Vec<Vec<u8>> = (0..4).map(|i| payload(i, 8192)).collect();
+        let refs: Vec<&[u8]> = ps.iter().map(|p| p.as_slice()).collect();
+        for row in 0..10 {
+            a.write_row(0, row, &refs).unwrap();
+        }
+        let cap = a.capacity();
+        assert_eq!(cap.parity_bytes_written, 10 * 8192);
+        assert_eq!(cap.parity_control_bytes, 10 * 65536);
+        // Device-level accounting agrees: total bytes written across
+        // members is data + compressed parity, not data + full chunks.
+        assert_eq!(a.stats().bytes_written, 10 * (4 * 8192 + 8192));
+    }
+
+    #[test]
+    fn member_fault_plans_are_decorrelated() {
+        let mut a = rais5();
+        a.set_member_fault_plans(FaultPlan { seed: 7, bit_rot_rate: 0.5, ..FaultPlan::none() });
+        let seeds: Vec<u64> =
+            (0..5).map(|i| a.members[i].dev.config().fault.seed).collect();
+        assert_eq!(seeds[0], 7, "lane 0 keeps the base seed");
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 5, "lane seeds must be distinct: {seeds:?}");
+    }
+
+    #[test]
+    fn rebuild_requires_failed_member() {
+        let mut a = rais5();
+        assert_eq!(a.start_rebuild(0).unwrap_err(), ArrayError::NotFailed { member: 0 });
+        assert_eq!(
+            a.rebuild_step(0, 0, 1).unwrap_err(),
+            ArrayError::NotRebuilding { member: 0 }
+        );
+        assert_eq!(a.kill_member(9).unwrap_err(), ArrayError::BadMember { member: 9, width: 5 });
+    }
+
+    #[test]
+    fn payload_shape_errors() {
+        let mut a = rais5();
+        let big = vec![0u8; 65537];
+        assert_eq!(
+            a.write_chunk(0, 0, 0, &big).unwrap_err(),
+            ArrayError::ChunkTooLarge { len: 65537, chunk: 65536 }
+        );
+        assert_eq!(a.write_chunk(0, 0, 0, &[]).unwrap_err(), ArrayError::EmptyChunk);
+        assert_eq!(
+            a.write_row(0, 0, &[&[1u8][..]]).unwrap_err(),
+            ArrayError::WrongWidth { given: 1, data_width: 4 }
+        );
+        assert_eq!(
+            a.read_chunk(0, 0, 0).unwrap_err(),
+            ArrayError::NotStored { row: 0, pos: 0 }
+        );
+        assert_eq!(
+            a.read_chunk(0, 99999, 0).unwrap_err(),
+            ArrayError::BadRow { row: 99999, rows: 256 }
+        );
     }
 }

@@ -39,6 +39,19 @@ pub struct DeviceStats {
     pub gc_stall_ns: u64,
 }
 
+impl DeviceStats {
+    /// Fold another device's counters into this one (array-level
+    /// aggregation over members).
+    pub fn merge(&mut self, other: &DeviceStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.busy_ns += other.busy_ns;
+        self.gc_stall_ns += other.gc_stall_ns;
+    }
+}
+
 /// One completed I/O.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {
@@ -71,13 +84,33 @@ pub struct SsdDevice {
     ftl: Ftl,
     busy_until: u64,
     stats: DeviceStats,
+    failed: bool,
 }
 
 impl SsdDevice {
     /// Create a device from `cfg` (validated).
     pub fn new(cfg: SsdConfig) -> Self {
         cfg.validate();
-        SsdDevice { ftl: Ftl::new(&cfg), cfg, busy_until: 0, stats: DeviceStats::default() }
+        SsdDevice {
+            ftl: Ftl::new(&cfg),
+            cfg,
+            busy_until: 0,
+            stats: DeviceStats::default(),
+            failed: false,
+        }
+    }
+
+    /// Mark the whole device as failed. Every subsequent I/O returns
+    /// [`FaultError::DeviceFailed`] until the device is replaced (arrays
+    /// replace failed members with a fresh device during rebuild; there is
+    /// deliberately no `unfail` — a dead SSD stays dead).
+    pub fn fail(&mut self) {
+        self.failed = true;
+    }
+
+    /// Whether [`SsdDevice::fail`] was called.
+    pub fn is_failed(&self) -> bool {
+        self.failed
     }
 
     /// The device configuration.
@@ -178,6 +211,9 @@ impl SsdDevice {
         len: u32,
     ) -> Result<Completion, FaultError> {
         assert!(len > 0, "zero-length I/O");
+        if self.failed {
+            return Err(FaultError::DeviceFailed);
+        }
         let offset = self.wrap_offset(offset);
         let max_len = self.cfg.logical_bytes - offset;
         let len = u64::from(len).min(max_len);
@@ -473,6 +509,44 @@ mod tests {
         d.power_cycle();
         d.try_submit(0, IoKind::Write, 8192, 4096).expect("restored");
         d.verify_integrity().expect("integrity after recovery");
+    }
+
+    #[test]
+    fn failed_device_refuses_all_io() {
+        let mut d = dev();
+        d.submit(0, IoKind::Write, 0, 4096);
+        d.fail();
+        assert!(d.is_failed());
+        assert_eq!(d.try_submit(0, IoKind::Read, 0, 4096), Err(FaultError::DeviceFailed));
+        assert_eq!(d.try_submit(0, IoKind::Write, 0, 4096), Err(FaultError::DeviceFailed));
+        // Stats stop moving once the device is dead.
+        assert_eq!(d.stats().reads, 0);
+        assert_eq!(d.stats().writes, 1);
+    }
+
+    #[test]
+    fn device_stats_merge_sums_every_counter() {
+        let a = DeviceStats {
+            reads: 1,
+            writes: 2,
+            bytes_read: 3,
+            bytes_written: 4,
+            busy_ns: 5,
+            gc_stall_ns: 6,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(
+            b,
+            DeviceStats {
+                reads: 2,
+                writes: 4,
+                bytes_read: 6,
+                bytes_written: 8,
+                busy_ns: 10,
+                gc_stall_ns: 12,
+            }
+        );
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use edc_flash::ssd::Completion;
 use edc_flash::{
-    DeviceStats, FtlStats, HddDevice, HddTiming, IoKind, RaisArray, RaisLevel, SsdConfig,
-    SsdDevice, WearStats,
+    ArrayError, ArrayIntegrityError, DeviceStats, FaultStats, FtlStats, HddDevice, HddTiming,
+    IoKind, RaisArray, RaisLevel, SsdConfig, SsdDevice, WearStats,
 };
 
 /// The storage backing a scheme: the paper evaluates a single SSD
@@ -29,8 +29,10 @@ impl Storage {
     }
 
     /// A RAIS array of `n` devices with `cfg` each and 64 KiB chunks.
-    pub fn rais(level: RaisLevel, n: usize, cfg: SsdConfig) -> Self {
-        Storage::Array(RaisArray::new(level, n, cfg, 64 * 1024))
+    /// Shape problems (member count, chunk alignment, member config) come
+    /// back as typed [`ArrayError`]s.
+    pub fn rais(level: RaisLevel, n: usize, cfg: SsdConfig) -> Result<Self, ArrayError> {
+        Ok(Storage::Array(RaisArray::new(level, n, cfg, 64 * 1024)?))
     }
 
     /// A single hard disk of `logical_bytes` capacity.
@@ -107,6 +109,30 @@ impl Storage {
             Storage::Hdd(_) => {}
         }
     }
+
+    /// Injected-fault counters: a single device's own, an array's summed
+    /// over every member (per-member decorrelated plans included), zero
+    /// for HDDs (no fault model).
+    pub fn fault_stats(&self) -> FaultStats {
+        match self {
+            Storage::Single(d) => d.fault_stats(),
+            Storage::Array(a) => a.fault_stats(),
+            Storage::Hdd(_) => FaultStats::default(),
+        }
+    }
+
+    /// Check backing-store integrity: the single device's FTL invariants,
+    /// or every array member's FTL plus the array's chunk/parity metadata.
+    /// HDDs have no FTL and always pass.
+    pub fn verify_integrity(&self) -> Result<(), ArrayIntegrityError> {
+        match self {
+            Storage::Single(d) => d
+                .verify_integrity()
+                .map_err(|error| ArrayIntegrityError::Member { member: 0, error }),
+            Storage::Array(a) => a.verify_integrity(),
+            Storage::Hdd(_) => Ok(()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -126,7 +152,7 @@ mod tests {
     #[test]
     fn single_and_array_share_interface() {
         let mut s = Storage::single(cfg());
-        let mut a = Storage::rais(RaisLevel::Rais5, 5, cfg());
+        let mut a = Storage::rais(RaisLevel::Rais5, 5, cfg()).unwrap();
         for st in [&mut s, &mut a] {
             let c = st.submit(0, IoKind::Write, 0, 4096);
             assert!(c.finish_ns > 0);
@@ -149,7 +175,7 @@ mod tests {
 
     #[test]
     fn wear_stats_aggregate_array_members() {
-        let mut a = Storage::rais(RaisLevel::Rais0, 3, cfg());
+        let mut a = Storage::rais(RaisLevel::Rais0, 3, cfg()).unwrap();
         // Enough random overwrites to trigger GC somewhere.
         let mut x = 3u64;
         let mut now = 0;
@@ -165,6 +191,27 @@ mod tests {
         let w = a.wear_stats();
         assert!(w.blocks > 0);
         assert_eq!(w.total_erases, a.ftl_stats().erases);
+    }
+
+    #[test]
+    fn rais_shape_errors_are_typed() {
+        assert!(matches!(
+            Storage::rais(RaisLevel::Rais5, 2, cfg()),
+            Err(ArrayError::TooFewMembers { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_and_integrity_thread_through_every_backend() {
+        let s = Storage::single(cfg());
+        assert_eq!(s.fault_stats(), FaultStats::default());
+        s.verify_integrity().unwrap();
+        let a = Storage::rais(RaisLevel::Rais5, 3, cfg()).unwrap();
+        assert_eq!(a.fault_stats(), FaultStats::default());
+        a.verify_integrity().unwrap();
+        let h = Storage::hdd(1 << 30, HddTiming::default());
+        assert_eq!(h.fault_stats(), FaultStats::default());
+        h.verify_integrity().unwrap();
     }
 
     #[test]

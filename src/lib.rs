@@ -76,8 +76,8 @@ pub mod prelude {
     };
     pub use edc_core::shard::{ShardConfig, ShardedPipeline};
     pub use edc_core::{
-        Clock, ManualClock, Op, OpOutput, Recorder, ReplayReport, Replayer, Store, StoreSpec,
-        TieredSeries, WallClock,
+        Clock, ManualClock, Op, OpOutput, Recorder, ReplayRefusal, ReplayReport, Replayer,
+        Store, StoreSpec, TieredSeries, WallClock,
     };
     pub use edc_flash::{FaultPlan, SsdConfig};
 }

@@ -218,7 +218,8 @@ fn edc_works_on_rais5_and_hdd_platforms() {
                 edc::flash::RaisLevel::Rais5,
                 5,
                 SsdConfig { logical_bytes: 64 << 20, ..SsdConfig::default() },
-            ),
+            )
+            .expect("valid RAIS5 shape"),
         ),
         ("hdd", Storage::hdd(256 << 20, edc::flash::HddTiming::default())),
     ];

@@ -43,6 +43,38 @@ fn golden_log_spec_is_the_documented_shape() {
 }
 
 #[test]
+fn reshaped_store_refuses_single_device_golden_log() {
+    // An array-backed campaign (RAIS over five members) presents a
+    // different store geometry than the single-device spec this golden
+    // was recorded against. Declaring that shape to the replayer must
+    // produce a typed refusal before any op is dispatched — never a
+    // silent wall of digest divergences.
+    let bytes = fixture_bytes("golden_sharded.edcrr");
+    let recorded = edc::core::parse_edcrr(&bytes).expect("golden log parses").spec;
+    let array_shaped = StoreSpec {
+        capacity_bytes: 5 * recorded.capacity_bytes,
+        shards: 5,
+        ..recorded
+    };
+    match Replayer::replay_as(&array_shaped, &bytes) {
+        Err(ReplayRefusal::SpecMismatch { field, .. }) => {
+            assert_eq!(field, "capacity_bytes");
+        }
+        Ok(report) => panic!(
+            "reshaped store replayed {} op(s) with {} divergence(s) instead of refusing",
+            report.ops,
+            report.divergences.len()
+        ),
+        Err(other) => panic!("expected a spec mismatch, got {other}"),
+    }
+    // The declared-shape path still accepts the true shape, and a
+    // replay-machine worker-count difference is explicitly tolerated.
+    let same = StoreSpec { workers: recorded.workers + 2, ..recorded };
+    let report = Replayer::replay_as(&same, &bytes).expect("true shape accepted");
+    assert!(report.is_exact());
+}
+
+#[test]
 fn corrupting_any_golden_byte_is_detected() {
     // Flip one byte in a handful of positions spread across the log:
     // parse must flag a torn/corrupt record (or the replay must diverge)
