@@ -36,6 +36,12 @@
 //!   [`content::ContentModel`] and CPU cost from the
 //!   deterministic cost model, so multi-hour traces replay in seconds.
 //!
+//! Concurrent clients stripe over N pipelines through
+//! [`shard::ShardedPipeline`], and [`ring::Ring`] adds an asynchronous
+//! submission/completion-queue front-end on top of it — fixed-depth
+//! per-shard rings with typed backpressure, so queue depth rather than
+//! caller thread count drives device saturation.
+//!
 //! Every pipeline entry point is fallible, funnelling into the unified
 //! [`error::EdcError`]. Arm a seeded `edc_flash::FaultPlan` and the store
 //! injects read faults, bit rot and power cuts; committed runs are
@@ -61,6 +67,7 @@ pub mod monitor;
 pub mod parallel;
 pub mod pipeline;
 pub mod record;
+pub mod ring;
 pub mod scheme;
 pub mod sd;
 pub mod selector;
@@ -90,6 +97,7 @@ pub use record::{
     parse as parse_edcrr, Divergence, LogRecord, ParsedLog, Recorder, ReplayRefusal,
     ReplayReport, Replayer, StoreSpec,
 };
+pub use ring::{Ring, RingConfig, RingError, RingStats, Ticket};
 pub use scheme::{CodecUsage, EdcConfig, Policy, SimConfig, SimScheme, BLOCK_BYTES};
 pub use sd::{MergedRun, SdConfig, SequentialityDetector};
 pub use selector::{codec_strength, AlgorithmSelector, LadderRung, SelectorConfig};

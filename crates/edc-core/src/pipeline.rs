@@ -500,6 +500,22 @@ impl EdcPipeline {
     /// The whole batch is validated before any write is accepted, so an
     /// alignment error leaves the store untouched.
     pub fn write_batch(&mut self, writes: &[BatchWrite<'_>]) -> Result<Vec<WriteResult>, EdcError> {
+        Ok(self.write_batch_indexed(writes)?.into_iter().map(|(_, r)| r).collect())
+    }
+
+    /// [`EdcPipeline::write_batch`] with provenance: every flushed run is
+    /// paired with the index of the batch entry whose acceptance sealed
+    /// it, so a caller multiplexing independent submitters over one batch
+    /// (the ring front-end) can attribute each result to the submission
+    /// that caused it. Dedup chunking may split one sealed run into
+    /// several results; all of them carry the sealing entry's index. Runs
+    /// sealed before the batch began are attributed to entry 0. Results
+    /// come back in seal order, exactly as [`EdcPipeline::write_batch`]
+    /// returns them.
+    pub fn write_batch_indexed(
+        &mut self,
+        writes: &[BatchWrite<'_>],
+    ) -> Result<Vec<(usize, WriteResult)>, EdcError> {
         self.check_powered()?;
         for w in writes {
             if !w.offset.is_multiple_of(BLOCK_BYTES)
@@ -509,7 +525,14 @@ impl EdcPipeline {
                 return Err(WriteError::Unaligned.into());
             }
         }
-        for w in writes {
+        // One `(owner entry, run blocks)` pair per sealed run, in seal
+        // order. Dedup chunking splits runs but never reorders them, and
+        // a run's chunks partition its blocks exactly — so walking the
+        // drained results while summing block counts recovers which
+        // sealed run (hence which entry) each result came from.
+        let mut owners: Vec<(usize, u32)> =
+            self.sealed.iter().map(|s| (0usize, s.run.blocks)).collect();
+        for (i, w) in writes.iter().enumerate() {
             let start = w.offset / BLOCK_BYTES;
             let blocks = (w.data.len() as u64 / BLOCK_BYTES) as u32;
             self.monitor.record(&Request {
@@ -523,10 +546,27 @@ impl EdcPipeline {
             if let Some(run) = self.sd.on_write(start, blocks, w.now_ns) {
                 let bytes = std::mem::take(&mut self.pending);
                 self.seal_run(w.now_ns, run, bytes);
+                owners.push((i, self.sealed.last().expect("just sealed").run.blocks));
             }
             self.pending.extend_from_slice(w.data);
         }
-        self.drain_sealed()
+        let results = self.drain_sealed()?;
+        let mut indexed = Vec::with_capacity(results.len());
+        let mut runs = owners.into_iter();
+        let mut cur = runs.next();
+        let mut seen = 0u32;
+        for r in results {
+            let (owner, total) = cur.expect("more results than sealed runs");
+            seen += r.blocks;
+            indexed.push((owner, r));
+            if seen >= total {
+                debug_assert_eq!(seen, total, "chunk blocks must partition the run");
+                cur = runs.next();
+                seen = 0;
+            }
+        }
+        debug_assert!(cur.is_none(), "sealed run left without a result");
+        Ok(indexed)
     }
 
     /// Register a file-type hint for the byte range `[offset, offset+len)`

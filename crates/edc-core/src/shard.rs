@@ -148,6 +148,25 @@ impl ShardedPipeline {
         ((block / self.extent_blocks) % self.shards.len() as u64) as usize
     }
 
+    /// Shard owning the whole byte range `[offset, offset + len)`, or
+    /// `None` if the range straddles an extent boundary and therefore
+    /// fans out to more than one piece. The ring front-end routes on
+    /// this: an op it accepts touches exactly one shard, so one drainer
+    /// owns it end to end. A zero-length range belongs to the shard of
+    /// its offset.
+    pub fn single_shard_of(&self, offset: u64, len: u64) -> Option<usize> {
+        if self.shards.len() == 1 {
+            return Some(0);
+        }
+        let extent_bytes = self.extent_blocks * BLOCK_BYTES;
+        let last = offset + len.saturating_sub(1);
+        if offset / extent_bytes == last / extent_bytes {
+            Some(self.shard_of_block(offset / BLOCK_BYTES))
+        } else {
+            None
+        }
+    }
+
     /// Split `[offset, offset + len)` at extent boundaries into
     /// shard-routed pieces, in address order.
     fn pieces(&self, offset: u64, len: u64) -> Vec<Piece> {

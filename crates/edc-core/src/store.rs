@@ -449,9 +449,26 @@ impl OpOutput {
         checksum64(&buf, u64::from(self.tag()))
     }
 
-    fn from_writes(r: Result<Vec<WriteResult>, EdcError>) -> OpOutput {
+    /// Fold a write/flush outcome into an output record — the same
+    /// mapping [`Store::dispatch`] applies, shared with the ring
+    /// front-end so a completion posted by a drainer is bit-identical
+    /// to the blocking path's output for the same op.
+    pub fn from_writes(r: Result<Vec<WriteResult>, EdcError>) -> OpOutput {
         match r {
             Ok(v) => OpOutput::Writes(v),
+            Err(e) => OpOutput::Err(e.to_string()),
+        }
+    }
+
+    /// Fold a read outcome into an output record (length + checksum
+    /// summary on success, rendered error otherwise) — shared between
+    /// [`Store::dispatch`] and the ring front-end.
+    pub fn from_read(r: Result<Vec<u8>, ReadError>) -> OpOutput {
+        match r {
+            Ok(bytes) => OpOutput::Read {
+                len: bytes.len() as u64,
+                checksum: checksum64(&bytes, bytes.len() as u64),
+            },
             Err(e) => OpOutput::Err(e.to_string()),
         }
     }
@@ -547,13 +564,7 @@ pub trait Store {
                     .collect();
                 OpOutput::from_writes(self.write_batch(&batch))
             }
-            Op::Read { offset, len } => match self.read(now_ns, *offset, *len) {
-                Ok(bytes) => OpOutput::Read {
-                    len: bytes.len() as u64,
-                    checksum: checksum64(&bytes, bytes.len() as u64),
-                },
-                Err(e) => OpOutput::Err(e.to_string()),
-            },
+            Op::Read { offset, len } => OpOutput::from_read(self.read(now_ns, *offset, *len)),
             Op::Flush => OpOutput::from_writes(self.flush_all(now_ns)),
             Op::Scrub => match self.scrub() {
                 Ok(r) => OpOutput::Scrub(r),

@@ -1,0 +1,157 @@
+//! Smoke tests for the async ring front-end: typed backpressure on a
+//! depth-4 ring, and 8 real submitter threads pushing disjoint-block
+//! writes through one [`Ring`] with no lost updates.
+
+use edc_core::pipeline::PipelineConfig;
+use edc_core::ring::{Ring, RingConfig, RingError};
+use edc_core::shard::{ShardConfig, ShardedPipeline};
+use edc_core::store::{Op, OpOutput};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BB: u64 = 4096;
+const THREADS: usize = 8;
+
+/// A full 4 KiB block stamped with `(thread, block, round)` in every
+/// lane, so provenance is checkable at any byte.
+fn stamp(thread: usize, block: u64, round: u64) -> Vec<u8> {
+    format!("t{thread:02} b{block:04} r{round:04} ring smoke payload lane ")
+        .into_bytes()
+        .into_iter()
+        .cycle()
+        .take(BB as usize)
+        .collect()
+}
+
+fn store(shards: usize) -> ShardedPipeline {
+    ShardedPipeline::new(
+        shards as u64 * 4 * 1024 * 1024,
+        ShardConfig { shards, extent_blocks: 2, pipeline: PipelineConfig::default() },
+    )
+}
+
+/// Fill a depth-4 ring, hit the typed [`RingError::Full`], reap, refill.
+/// Occupancy only frees at *reap* time, so the rejection is deterministic
+/// no matter how fast the drainer runs.
+#[test]
+fn depth_four_ring_backpressures_then_reaps_then_refills() {
+    let s = store(1);
+    Ring::serve(&s, RingConfig { depth: 4, shards: 1 }, |ring| {
+        let mut tickets = Vec::new();
+        for i in 0..4u64 {
+            tickets.push(
+                ring.submit(i, Op::Read { offset: i * BB, len: BB }).expect("ring has room"),
+            );
+        }
+        assert_eq!(
+            ring.submit(4, Op::Read { offset: 0, len: BB }),
+            Err(RingError::Full),
+            "5th op must bounce off a depth-4 ring"
+        );
+        // Reap one → exactly one slot frees.
+        let out = ring.wait(tickets.remove(0)).expect("first completion");
+        assert!(matches!(out, OpOutput::Read { len, .. } if len == BB));
+        let t = ring.submit(5, Op::Read { offset: 0, len: BB }).expect("slot freed by reap");
+        tickets.push(t);
+        assert_eq!(ring.submit(6, Op::Read { offset: 0, len: BB }), Err(RingError::Full));
+        // Drain the rest and refill a full window.
+        for t in tickets.drain(..) {
+            ring.wait(t).expect("completion");
+        }
+        for i in 0..4u64 {
+            tickets.push(
+                ring.submit(7 + i, Op::Read { offset: i * BB, len: BB }).expect("refill"),
+            );
+        }
+        let done = ring.drain();
+        assert_eq!(done.len(), 4, "drain harvests the refilled window");
+        let st = ring.stats();
+        assert_eq!(st.rejected_full, 2);
+        assert_eq!(st.submitted, 9);
+        assert_eq!(st.completed, 9);
+    });
+}
+
+/// 8 submitter threads, each owning a private block range, pump writes
+/// through the ring with a 4-deep in-flight window per thread, then
+/// verify through the ring; after shutdown every block holds its owner's
+/// last stamp and the stats ledger adds up — no lost updates, no
+/// double-counts.
+#[test]
+fn eight_submitters_disjoint_blocks_no_lost_updates() {
+    const BLOCKS_PER_THREAD: u64 = 16;
+    const ROUNDS: u64 = 3;
+    const WINDOW: u64 = 4;
+    let s = store(4);
+    let clock = AtomicU64::new(0);
+    Ring::serve(&s, RingConfig { depth: 64, shards: 4 }, |ring| {
+        std::thread::scope(|sc| {
+            for t in 0..THREADS {
+                let (ring, clock) = (&*ring, &clock);
+                sc.spawn(move || {
+                    let base = t as u64 * BLOCKS_PER_THREAD;
+                    for round in 0..ROUNDS {
+                        // Window of WINDOW distinct blocks in flight at
+                        // once (never two in-flight ops on one block).
+                        for chunk in 0..BLOCKS_PER_THREAD / WINDOW {
+                            let lo = base + chunk * WINDOW;
+                            let tickets: Vec<_> = (lo..lo + WINDOW)
+                                .map(|b| {
+                                    let now =
+                                        clock.fetch_add(1, Ordering::Relaxed) * 1_000_000;
+                                    ring.submit(
+                                        now,
+                                        Op::Write { offset: b * BB, data: stamp(t, b, round) },
+                                    )
+                                    .expect("depth 64 never fills at window 4")
+                                })
+                                .collect();
+                            for ticket in tickets {
+                                match ring.wait(ticket).expect("write completion") {
+                                    OpOutput::Writes(_) => {}
+                                    other => panic!("write completed as {}", other.kind()),
+                                }
+                            }
+                        }
+                        // Read the whole range back through the ring.
+                        for b in base..base + BLOCKS_PER_THREAD {
+                            let now = clock.fetch_add(1, Ordering::Relaxed) * 1_000_000;
+                            let ticket = ring
+                                .submit(now, Op::Read { offset: b * BB, len: BB })
+                                .expect("read submit");
+                            let expect = stamp(t, b, round);
+                            match ring.wait(ticket).expect("read completion") {
+                                OpOutput::Read { len, checksum } => {
+                                    assert_eq!(len, BB);
+                                    assert_eq!(
+                                        checksum,
+                                        edc_compress::checksum64(&expect, BB),
+                                        "thread {t} lost its round-{round} write to block {b}"
+                                    );
+                                }
+                                other => panic!("read completed as {}", other.kind()),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let st = ring.stats();
+        assert_eq!(st.submitted, st.completed, "everything submitted completed");
+        assert_eq!(st.rejected_full, 0);
+    });
+    // Blocking read-back after shutdown: the ring's effects are ordinary
+    // store state.
+    let now = clock.load(Ordering::Relaxed) * 1_000_000 + 1;
+    s.flush_all(now).expect("flush");
+    for t in 0..THREADS {
+        let base = t as u64 * BLOCKS_PER_THREAD;
+        for b in 0..BLOCKS_PER_THREAD {
+            let got = s.read(now + 1, (base + b) * BB, BB).expect("final read");
+            assert_eq!(got, stamp(t, base + b, ROUNDS - 1));
+        }
+    }
+    let stats = s.stats();
+    let expected = THREADS as u64 * BLOCKS_PER_THREAD * ROUNDS * BB;
+    assert_eq!(stats.logical_written, expected, "stats ledger must match the client ledger");
+    assert_eq!(stats.mapped_blocks, THREADS as u64 * BLOCKS_PER_THREAD);
+}

@@ -17,7 +17,7 @@
 //! | [`trace`] | SPC/MSR trace parsers, synthetic bursty workload generators, workload statistics |
 //! | [`flash`] | NAND SSD simulator: page-mapped FTL, garbage collection, wear, RAIS arrays |
 //! | [`sim`] | discrete-event replay engine: event queue, CPU pool, latency accounting |
-//! | [`core`] | EDC itself — monitor, selector, sequentiality detector, quantized allocator, mapping table — plus the Native/fixed baselines, a real-bytes [`EdcPipeline`](core::pipeline::EdcPipeline), a parallel compression engine, and the concurrent [`ShardedPipeline`](core::shard::ShardedPipeline) front-end |
+//! | [`core`] | EDC itself — monitor, selector, sequentiality detector, quantized allocator, mapping table — plus the Native/fixed baselines, a real-bytes [`EdcPipeline`](core::pipeline::EdcPipeline), a parallel compression engine, the concurrent [`ShardedPipeline`](core::shard::ShardedPipeline) front-end, and the asynchronous [`Ring`](core::ring::Ring) submission/completion front-end |
 //!
 //! ## Quickstart
 //!
@@ -74,6 +74,7 @@ pub mod prelude {
         BatchWrite, EdcPipeline, PipelineConfig, PipelineStats, ReadError, RecoveryReport,
         WriteResult,
     };
+    pub use edc_core::ring::{Ring, RingConfig, RingError, RingStats, Ticket};
     pub use edc_core::shard::{ShardConfig, ShardedPipeline};
     pub use edc_core::{
         Clock, ManualClock, Op, OpOutput, Recorder, ReplayRefusal, ReplayReport, Replayer,
